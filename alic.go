@@ -1,0 +1,240 @@
+// Package alic (Active Learning for Iterative Compilation) is the
+// public API of a full reproduction of
+//
+//	W. F. Ogilvie, P. Petoumenos, Z. Wang, H. Leather:
+//	"Minimizing the Cost of Iterative Compilation with Active
+//	Learning", CGO 2017.
+//
+// The library builds program-specific models that predict the runtime
+// of a kernel under a given set of compiler optimization parameters
+// (loop unrolling, cache tiling, register tiling), using dynamic-tree
+// regression driven by an active learner. Its contribution — combining
+// active learning with sequential analysis so that each configuration
+// is profiled only as many times as the noise actually warrants — cuts
+// model-training cost by a geometric-mean ~4x (up to 26x) versus the
+// classic fixed 35-observation sampling plan.
+//
+// # Quick start
+//
+//	k, _ := alic.KernelByName("mm")
+//	res, _ := alic.Learn(k, alic.DefaultLearnOptions())
+//	fmt.Println("model RMSE:", res.FinalError)
+//
+// The packages behind this facade:
+//
+//   - internal/core      — Algorithm 1 (active learning + sequential analysis)
+//   - internal/dynatree  — particle-filtered dynamic-tree regression
+//   - internal/spapt     — the 11 SPAPT kernels with Table 1 search spaces
+//   - internal/loopnest, internal/costmodel — the compilation substrate
+//   - internal/noise, internal/measure — the simulated profiling environment
+//   - internal/dataset   — §4.5 datasets (10,000 configs x 35 observations)
+//   - internal/experiment — regenerators for every table and figure
+package alic
+
+import (
+	"fmt"
+
+	"alic/internal/core"
+	"alic/internal/dataset"
+	"alic/internal/dynatree"
+	"alic/internal/measure"
+	"alic/internal/spapt"
+	"alic/internal/stats"
+	"alic/internal/tuner"
+)
+
+// Re-exported core types. Downstream code uses these names; the
+// internal packages stay private.
+type (
+	// Kernel is one SPAPT search problem (benchmark).
+	Kernel = spapt.Kernel
+	// Config is a point of a kernel's optimization space.
+	Config = spapt.Config
+	// Model is a trained dynamic-tree runtime predictor.
+	Model = dynatree.Forest
+	// ModelConfig parameterises the dynamic-tree model.
+	ModelConfig = dynatree.Config
+	// LearnerOptions configures the active-learning loop.
+	LearnerOptions = core.Options
+	// LearnerResult reports a learning run.
+	LearnerResult = core.Result
+	// CurvePoint is one (acquisitions, cost, error) learning-curve sample.
+	CurvePoint = core.CurvePoint
+	// Session is a cost-accounted simulated profiling session.
+	Session = measure.Session
+	// Dataset is a §4.5-style corpus for one kernel.
+	Dataset = dataset.Dataset
+	// DatasetOptions configures dataset generation.
+	DatasetOptions = dataset.Options
+	// TunerOptions configures model-driven configuration search.
+	TunerOptions = tuner.Options
+	// TunerResult reports a model-driven search.
+	TunerResult = tuner.Result
+)
+
+// Sampling plans and acquisition heuristics.
+const (
+	// VariablePlan is the paper's sequential-analysis plan.
+	VariablePlan = core.VariablePlan
+	// FixedPlan is the classic constant sampling plan.
+	FixedPlan = core.FixedPlan
+	// ALC is Cohn's acquisition heuristic (the paper's default).
+	ALC = core.ALC
+	// ALM is MacKay's maximum-variance heuristic.
+	ALM = core.ALM
+	// RandomScore disables active selection.
+	RandomScore = core.RandomScore
+)
+
+// Kernels returns the 11-kernel SPAPT suite used in the paper's
+// evaluation.
+func Kernels() []*Kernel { return spapt.Kernels() }
+
+// KernelNames lists the kernels in Table 1 order.
+func KernelNames() []string { return spapt.Names() }
+
+// KernelByName returns one kernel of the suite.
+func KernelByName(name string) (*Kernel, error) { return spapt.ByName(name) }
+
+// NewSession opens a simulated profiling session for a kernel. Equal
+// seeds reproduce identical noise.
+func NewSession(k *Kernel, seed uint64) (*Session, error) {
+	return measure.NewSession(k, seed)
+}
+
+// GenerateDataset builds a dataset per §4.5 of the paper.
+func GenerateDataset(k *Kernel, opts DatasetOptions) (*Dataset, error) {
+	return dataset.Generate(k, opts)
+}
+
+// DefaultDatasetOptions returns the paper's dataset parameters
+// (10,000 configurations, 35 observations, 75% train).
+func DefaultDatasetOptions() DatasetOptions { return dataset.DefaultOptions() }
+
+// DefaultLearnOptions returns the paper's learning parameters
+// (ninit=5, nobs=35, nc=500, nmax=2500, ALC scoring, variable plan)
+// with a model sized for interactive use.
+func DefaultLearnOptions() LearnOptions {
+	return LearnOptions{
+		Learner:     core.DefaultOptions(),
+		PoolSize:    4000,
+		TestSize:    800,
+		DatasetSeed: 1,
+	}
+}
+
+// LearnOptions bundles everything Learn needs.
+type LearnOptions struct {
+	// Learner configures Algorithm 1 (plan, scorer, budgets, model).
+	Learner LearnerOptions
+	// PoolSize is the number of candidate configurations made
+	// available for training.
+	PoolSize int
+	// TestSize is the held-out test-set size used for the error curve.
+	TestSize int
+	// DatasetSeed drives configuration sampling and noise.
+	DatasetSeed uint64
+}
+
+// LearnResult is the outcome of Learn.
+type LearnResult struct {
+	// Result is the learner's report (model, curve, costs).
+	*LearnerResult
+	// Dataset is the corpus the run trained and evaluated on.
+	Dataset *Dataset
+}
+
+// Learn builds a runtime model for the kernel with the configured
+// sampling plan, profiling (simulated) binaries on demand and charging
+// their cost as the paper does. The returned curve tracks test RMSE
+// against cumulative profiling seconds.
+func Learn(k *Kernel, opts LearnOptions) (*LearnResult, error) {
+	if k == nil {
+		return nil, fmt.Errorf("alic: nil kernel")
+	}
+	if opts.PoolSize < opts.Learner.NInit {
+		return nil, fmt.Errorf("alic: PoolSize %d below NInit %d", opts.PoolSize, opts.Learner.NInit)
+	}
+	if opts.TestSize < 1 {
+		return nil, fmt.Errorf("alic: TestSize %d < 1", opts.TestSize)
+	}
+	ds, err := dataset.Generate(k, dataset.Options{
+		NConfigs:  opts.PoolSize + opts.TestSize,
+		NObs:      opts.Learner.NObs,
+		TrainFrac: float64(opts.PoolSize) / float64(opts.PoolSize+opts.TestSize),
+		Seed:      opts.DatasetSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunOnDataset(ds, opts.Learner)
+	if err != nil {
+		return nil, err
+	}
+	return &LearnResult{LearnerResult: res, Dataset: ds}, nil
+}
+
+// RunOnDataset runs the configured learner over a pre-generated
+// dataset: the training pool supplies candidates, the test split
+// supplies the RMSE curve, and observation costs follow §4.3.
+func RunOnDataset(ds *Dataset, opts LearnerOptions) (*LearnerResult, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("alic: nil dataset")
+	}
+	pool := make(core.SlicePool, len(ds.TrainIdx))
+	for i, idx := range ds.TrainIdx {
+		pool[i] = ds.Features[idx]
+	}
+	oracle := newDatasetOracle(ds)
+	testX := ds.TestFeatures()
+	testY := ds.TestTargets()
+	eval := func(m *Model) float64 {
+		pred := make([]float64, len(testX))
+		for i, x := range testX {
+			pred[i] = m.PredictMeanFast(x)
+		}
+		return stats.RMSE(pred, testY)
+	}
+	learner, err := core.New(opts, pool, oracle, eval)
+	if err != nil {
+		return nil, err
+	}
+	return learner.Run()
+}
+
+// datasetOracle adapts a Dataset to the core.Oracle interface with
+// §4.3 cost accounting (compile once per distinct config, pay every
+// observed runtime).
+type datasetOracle struct {
+	ds   *dataset.Dataset
+	obs  map[int]int
+	cost float64
+}
+
+func newDatasetOracle(ds *dataset.Dataset) *datasetOracle {
+	return &datasetOracle{ds: ds, obs: make(map[int]int)}
+}
+
+func (o *datasetOracle) Observe(i int) (float64, error) {
+	idx := o.ds.TrainIdx[i]
+	n := o.obs[idx]
+	if n == 0 {
+		o.cost += o.ds.CompileTime[idx]
+	}
+	y := o.ds.Observe(idx, n)
+	o.obs[idx] = n + 1
+	o.cost += y
+	return y, nil
+}
+
+func (o *datasetOracle) Cost() float64 { return o.cost }
+
+// Tune performs model-driven configuration search (§4.1): rank random
+// configurations with a trained model, verify the best few by
+// profiling, and report the winner with its speedup over -O2.
+func Tune(model *Model, sess *Session, ds *Dataset, opts TunerOptions) (*TunerResult, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("alic: nil dataset")
+	}
+	return tuner.Search(model, sess, ds.Normalizer, opts)
+}

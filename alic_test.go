@@ -1,0 +1,167 @@
+package alic
+
+import (
+	"math"
+	"testing"
+)
+
+func quickLearnOptions() LearnOptions {
+	o := DefaultLearnOptions()
+	o.PoolSize = 400
+	o.TestSize = 150
+	o.Learner.NInit = 4
+	o.Learner.NObs = 6
+	o.Learner.NCand = 60
+	o.Learner.NMax = 60
+	o.Learner.EvalEvery = 20
+	o.Learner.Tree.Particles = 60
+	o.Learner.Tree.ScoreParticles = 20
+	return o
+}
+
+func TestKernelSuiteAccessors(t *testing.T) {
+	if got := len(Kernels()); got != 11 {
+		t.Fatalf("suite size %d", got)
+	}
+	if got := len(KernelNames()); got != 11 {
+		t.Fatalf("names %d", got)
+	}
+	k, err := KernelByName("mm")
+	if err != nil || k.Name != "mm" {
+		t.Fatalf("KernelByName: %v %v", k, err)
+	}
+	if _, err := KernelByName("bogus"); err == nil {
+		t.Fatal("bogus kernel accepted")
+	}
+}
+
+func TestLearnEndToEnd(t *testing.T) {
+	k, _ := KernelByName("mvt")
+	res, err := Learn(k, quickLearnOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model == nil || res.Dataset == nil {
+		t.Fatal("missing model or dataset")
+	}
+	if math.IsNaN(res.FinalError) || res.FinalError <= 0 {
+		t.Fatalf("final error %v", res.FinalError)
+	}
+	if res.Cost <= 0 {
+		t.Fatalf("cost %v", res.Cost)
+	}
+	if len(res.Curve) == 0 {
+		t.Fatal("no curve recorded")
+	}
+}
+
+func TestLearnValidation(t *testing.T) {
+	if _, err := Learn(nil, quickLearnOptions()); err == nil {
+		t.Fatal("nil kernel accepted")
+	}
+	k, _ := KernelByName("mvt")
+	bad := quickLearnOptions()
+	bad.PoolSize = 1
+	if _, err := Learn(k, bad); err == nil {
+		t.Fatal("tiny pool accepted")
+	}
+	bad2 := quickLearnOptions()
+	bad2.TestSize = 0
+	if _, err := Learn(k, bad2); err == nil {
+		t.Fatal("zero test size accepted")
+	}
+}
+
+func TestRunOnDatasetPlansDiffer(t *testing.T) {
+	// The fixed-35 plan must cost dramatically more than the variable
+	// plan for the same number of acquisitions.
+	k, _ := KernelByName("lu")
+	ds, err := GenerateDataset(k, DatasetOptions{
+		NConfigs: 500, NObs: 12, TrainFrac: 0.8, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := quickLearnOptions().Learner
+	opts.NObs = 12
+
+	varRes, err := RunOnDataset(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := opts
+	fixed.Plan = FixedPlan
+	fixed.PlanObs = 12
+	fixedRes, err := RunOnDataset(ds, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if varRes.Cost >= fixedRes.Cost {
+		t.Fatalf("variable cost %v not below fixed cost %v", varRes.Cost, fixedRes.Cost)
+	}
+	if fixedRes.Observations != fixedRes.Acquired*12 {
+		t.Fatalf("fixed plan observations %d for %d acquisitions",
+			fixedRes.Observations, fixedRes.Acquired)
+	}
+}
+
+func TestTuneEndToEnd(t *testing.T) {
+	k, _ := KernelByName("mvt")
+	res, err := Learn(k, quickLearnOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(k, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tres, err := Tune(res.Model, sess, res.Dataset, TunerOptions{
+		Candidates: 300, Verify: 5, VerifyObs: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tres.Best.Measured <= 0 || math.IsNaN(tres.Best.Measured) {
+		t.Fatalf("bad winner %+v", tres.Best)
+	}
+	if tres.Speedup <= 0 {
+		t.Fatalf("speedup %v", tres.Speedup)
+	}
+}
+
+func TestLearnWithStopError(t *testing.T) {
+	k, _ := KernelByName("lu")
+	opts := quickLearnOptions()
+	opts.Learner.NMax = 3000
+	opts.Learner.StopError = 10 // trivially loose: fires as soon as the window fills
+	opts.Learner.StopWindow = 10
+	res, err := Learn(k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Acquired >= 3000 {
+		t.Fatal("stop rule never fired")
+	}
+	if res.PrequentialError <= 0 {
+		t.Fatalf("prequential error %v", res.PrequentialError)
+	}
+}
+
+func TestModelImportanceThroughFacade(t *testing.T) {
+	k, _ := KernelByName("jacobi")
+	res, err := Learn(k, quickLearnOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := res.Model.Importance(k.Dim())
+	if len(imp) != k.Dim() {
+		t.Fatalf("importance dims %d, want %d", len(imp), k.Dim())
+	}
+	sum := 0.0
+	for _, v := range imp {
+		sum += v
+	}
+	if sum <= 0.99 {
+		t.Fatalf("importance sums to %v; model learned nothing?", sum)
+	}
+}

@@ -1,0 +1,446 @@
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper (see DESIGN.md §4 for the experiment index) plus the
+// ablation benchmarks of DESIGN.md §5.
+//
+// The table/figure benchmarks run micro-scaled versions of the full
+// experiments so `go test -bench=.` terminates in minutes; they report
+// the headline quantity of each artefact (speed-up, error, run counts)
+// via b.ReportMetric. cmd/repro regenerates the full artefacts.
+package alic
+
+import (
+	"fmt"
+	"testing"
+
+	"alic/internal/core"
+	"alic/internal/dynatree"
+	"alic/internal/experiment"
+	"alic/internal/gp"
+	"alic/internal/rng"
+	"alic/internal/spapt"
+	"alic/internal/tuner"
+)
+
+// benchSettings is the micro scale used by the benchmarks.
+func benchSettings() experiment.Settings {
+	return experiment.Settings{
+		NInit: 5, NObs: 35, NCand: 60, NMax: 120,
+		Particles: 120, ScoreParticles: 30,
+		Reps:        1,
+		PoolConfigs: 500, TestConfigs: 150,
+		EvalEvery: 15,
+		Seed:      1,
+	}
+}
+
+// BenchmarkTable1 regenerates one Table 1 row per sub-benchmark:
+// lowest common RMSE between the fixed-35 baseline and the variable
+// plan, and the speed-up of the latter.
+func BenchmarkTable1(b *testing.B) {
+	for _, name := range spapt.Names() {
+		b.Run(name, func(b *testing.B) {
+			k, err := spapt.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.Table1([]*spapt.Kernel{k}, benchSettings(), nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				speedup = res.Rows[0].Speedup
+			}
+			b.ReportMetric(speedup, "speedup")
+		})
+	}
+}
+
+// BenchmarkTable2 regenerates the noise-characterisation table for the
+// full suite and reports the widest variance spread observed.
+func BenchmarkTable2(b *testing.B) {
+	s := benchSettings()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Table2(nil, s, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spread = 0
+		for _, row := range res.Rows {
+			if row.Variance.Max > spread {
+				spread = row.Variance.Max
+			}
+		}
+	}
+	b.ReportMetric(spread, "max-variance")
+}
+
+// BenchmarkFigure1 regenerates the mm unroll-plane sampling study and
+// reports the fraction of runs the per-point optimal plan needs
+// relative to the fixed 35-observation plan (paper: ~48%).
+func BenchmarkFigure1(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Figure1(30, 35, 1e-4, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = float64(res.AdaptiveRuns) / float64(res.FixedRuns)
+	}
+	b.ReportMetric(frac, "run-fraction")
+}
+
+// BenchmarkFigure2 regenerates the adi unroll sweep and reports the
+// relative climb between the low and high plateaus.
+func BenchmarkFigure2(b *testing.B) {
+	var climb float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Figure2(30, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		climb = res.TrueMean[len(res.TrueMean)-1] / res.TrueMean[0]
+	}
+	b.ReportMetric(climb, "plateau-ratio")
+}
+
+// BenchmarkFigure5 regenerates the speed-up bar chart data (a Table 1
+// sweep over a representative kernel subset) and reports the geometric
+// mean.
+func BenchmarkFigure5(b *testing.B) {
+	names := []string{"atax", "lu", "gemver"}
+	var ks []*spapt.Kernel
+	for _, n := range names {
+		k, err := spapt.ByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ks = append(ks, k)
+	}
+	var geo float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Table1(ks, benchSettings(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		geo = res.GeoMeanSpeedup
+	}
+	b.ReportMetric(geo, "geomean-speedup")
+}
+
+// BenchmarkFigure6 regenerates the three-plan learning curves for each
+// of the paper's six plotted kernels and reports the final RMSE of the
+// variable plan.
+func BenchmarkFigure6(b *testing.B) {
+	for _, name := range experiment.Figure6Kernels() {
+		b.Run(name, func(b *testing.B) {
+			var rmse float64
+			for i := 0; i < b.N; i++ {
+				out, err := experiment.Figure6([]string{name}, benchSettings(), nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c := out[0].Curves[experiment.VariableObservations]
+				rmse = c.Error[len(c.Error)-1]
+			}
+			b.ReportMetric(rmse, "rmse")
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §5) --------------------------------------------
+
+// learnOnce runs one learning session on jacobi with the given options
+// tweak and returns the final error.
+func learnOnce(b *testing.B, mutate func(*LearnOptions)) float64 {
+	b.Helper()
+	k, err := KernelByName("jacobi")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := DefaultLearnOptions()
+	opts.PoolSize = 500
+	opts.TestSize = 150
+	opts.Learner.NMax = 120
+	opts.Learner.NCand = 60
+	opts.Learner.EvalEvery = 0
+	opts.Learner.Tree.Particles = 120
+	opts.Learner.Tree.ScoreParticles = 30
+	mutate(&opts)
+	res, err := Learn(k, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.FinalError
+}
+
+// BenchmarkAblationScorer compares the ALC and ALM acquisition
+// heuristics and passive random selection (§3.3).
+func BenchmarkAblationScorer(b *testing.B) {
+	for _, sc := range []struct {
+		name   string
+		scorer core.Scorer
+	}{{"alc", ALC}, {"alm", ALM}, {"random", RandomScore}} {
+		b.Run(sc.name, func(b *testing.B) {
+			var rmse float64
+			for i := 0; i < b.N; i++ {
+				rmse = learnOnce(b, func(o *LearnOptions) { o.Learner.Scorer = sc.scorer })
+			}
+			b.ReportMetric(rmse, "rmse")
+		})
+	}
+}
+
+// BenchmarkAblationParticles sweeps the particle-cloud size (the paper
+// uses 5,000; quality saturates far earlier on these spaces).
+func BenchmarkAblationParticles(b *testing.B) {
+	for _, n := range []int{50, 120, 400} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var rmse float64
+			for i := 0; i < b.N; i++ {
+				rmse = learnOnce(b, func(o *LearnOptions) {
+					o.Learner.Tree.Particles = n
+					o.Learner.Tree.ScoreParticles = max(15, n/4)
+				})
+			}
+			b.ReportMetric(rmse, "rmse")
+		})
+	}
+}
+
+// BenchmarkAblationRevisitCap sweeps nobs, the per-configuration
+// observation cap of the sequential-analysis plan.
+func BenchmarkAblationRevisitCap(b *testing.B) {
+	for _, cap := range []int{5, 15, 35} {
+		b.Run(fmt.Sprintf("nobs=%d", cap), func(b *testing.B) {
+			var rmse float64
+			for i := 0; i < b.N; i++ {
+				rmse = learnOnce(b, func(o *LearnOptions) { o.Learner.NObs = cap })
+			}
+			b.ReportMetric(rmse, "rmse")
+		})
+	}
+}
+
+// BenchmarkAblationCandidates sweeps nc, the fresh-candidate count per
+// iteration (the paper uses 500).
+func BenchmarkAblationCandidates(b *testing.B) {
+	for _, nc := range []int{30, 120, 300} {
+		b.Run(fmt.Sprintf("nc=%d", nc), func(b *testing.B) {
+			var rmse float64
+			for i := 0; i < b.N; i++ {
+				rmse = learnOnce(b, func(o *LearnOptions) { o.Learner.NCand = nc })
+			}
+			b.ReportMetric(rmse, "rmse")
+		})
+	}
+}
+
+// BenchmarkAblationBatch sweeps the batch-acquisition width (§3.1's
+// parallel extension).
+func BenchmarkAblationBatch(b *testing.B) {
+	for _, width := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("b=%d", width), func(b *testing.B) {
+			var rmse float64
+			for i := 0; i < b.N; i++ {
+				rmse = learnOnce(b, func(o *LearnOptions) { o.Learner.Batch = width })
+			}
+			b.ReportMetric(rmse, "rmse")
+		})
+	}
+}
+
+// BenchmarkAblationGP pits the dynamic tree's incremental update
+// against refitting an exact GP from scratch, at growing training-set
+// sizes — the O(n^3) motivation of §3.2.
+func BenchmarkAblationGP(b *testing.B) {
+	makeData := func(n int) ([][]float64, []float64) {
+		r := rng.New(5)
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+			ys[i] = xs[i][0] + 2*xs[i][1]*xs[i][2] + r.NormMS(0, 0.05)
+		}
+		return xs, ys
+	}
+	for _, n := range []int{100, 300, 600} {
+		xs, ys := makeData(n)
+		b.Run(fmt.Sprintf("gp-refit/n=%d", n), func(b *testing.B) {
+			g, err := gp.New(gp.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				// A GP active learner must refit after each new point;
+				// one refit at size n is the marginal cost.
+				if err := g.Fit(xs, ys); err != nil {
+					b.Fatal(err)
+				}
+				g.Predict(xs[0])
+			}
+		})
+		b.Run(fmt.Sprintf("dynatree-update/n=%d", n), func(b *testing.B) {
+			cfg := dynatree.DefaultConfig()
+			cfg.Particles = 120
+			cfg.ScoreParticles = 30
+			f, err := dynatree.New(cfg, 3, rng.New(6))
+			if err != nil {
+				b.Fatal(err)
+			}
+			f.UpdateBatch(xs, ys)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// The dynamic tree's marginal cost: one incremental
+				// update at size n.
+				f.Update(xs[i%len(xs)], ys[i%len(ys)])
+				f.PredictMeanFast(xs[0])
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTunerSearch compares model-driven configuration
+// search against budget-matched classical random search (the paper's
+// §1 framing of iterative compilation): both spend comparable
+// profiling seconds; the metric is the speedup over -O2 each finds.
+func BenchmarkAblationTunerSearch(b *testing.B) {
+	prep := func() (*LearnResult, *Kernel) {
+		k, err := KernelByName("gemver")
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := DefaultLearnOptions()
+		opts.PoolSize = 600
+		opts.TestSize = 150
+		opts.Learner.NMax = 150
+		opts.Learner.NCand = 60
+		opts.Learner.EvalEvery = 0
+		opts.Learner.Tree.Particles = 150
+		opts.Learner.Tree.ScoreParticles = 30
+		res, err := Learn(k, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res, k
+	}
+	b.Run("model-driven", func(b *testing.B) {
+		var speedup float64
+		for i := 0; i < b.N; i++ {
+			res, k := prep()
+			sess, err := NewSession(k, 77)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tres, err := Tune(res.Model, sess, res.Dataset, TunerOptions{
+				Candidates: 3000, Verify: 10, VerifyObs: 2, Seed: 9,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			speedup = tres.Speedup
+		}
+		b.ReportMetric(speedup, "speedup")
+	})
+	b.Run("random-search", func(b *testing.B) {
+		var speedup float64
+		for i := 0; i < b.N; i++ {
+			_, k := prep()
+			sess, err := NewSession(k, 77)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Budget matched to the model-driven verification pass.
+			res, err := tuner.RandomSearch(sess, 60, 2, 9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			speedup = res.Speedup
+		}
+		b.ReportMetric(speedup, "speedup")
+	})
+}
+
+// BenchmarkAblationTreePrior sweeps the CGM split-prior parameters
+// (alpha, beta) that control how eagerly the dynamic trees partition
+// the space.
+func BenchmarkAblationTreePrior(b *testing.B) {
+	for _, cfg := range []struct {
+		name        string
+		alpha, beta float64
+	}{
+		{"shallow-a0.5-b2", 0.5, 2},
+		{"default-a0.95-b2", 0.95, 2},
+		{"deep-a0.95-b1", 0.95, 1},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var rmse float64
+			for i := 0; i < b.N; i++ {
+				rmse = learnOnce(b, func(o *LearnOptions) {
+					o.Learner.Tree.Alpha = cfg.alpha
+					o.Learner.Tree.Beta = cfg.beta
+				})
+			}
+			b.ReportMetric(rmse, "rmse")
+		})
+	}
+}
+
+// BenchmarkAblationStopError measures the cost saved by the
+// prequential stopping rule (§3.1's model-error completion criterion)
+// against a fixed acquisition budget on an easy kernel.
+func BenchmarkAblationStopError(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		stop float64
+	}{{"budget-only", 0}, {"stop-at-rmse-0.08", 0.08}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				k, err := KernelByName("jacobi")
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := DefaultLearnOptions()
+				opts.PoolSize = 500
+				opts.TestSize = 150
+				opts.Learner.NMax = 200
+				opts.Learner.NCand = 60
+				opts.Learner.EvalEvery = 0
+				opts.Learner.Tree.Particles = 120
+				opts.Learner.Tree.ScoreParticles = 30
+				opts.Learner.StopError = cfg.stop
+				opts.Learner.StopWindow = 30
+				res, err := Learn(k, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = res.Cost
+			}
+			b.ReportMetric(cost, "cost-s")
+		})
+	}
+}
+
+// BenchmarkAblationLeafModel compares constant and linear dynamic-tree
+// leaves (the two models of the R dynaTree package) on the learning
+// task.
+func BenchmarkAblationLeafModel(b *testing.B) {
+	for _, lm := range []struct {
+		name  string
+		model dynatree.LeafModel
+	}{{"constant", dynatree.ConstantLeaf}, {"linear", dynatree.LinearLeaf}} {
+		b.Run(lm.name, func(b *testing.B) {
+			var rmse float64
+			for i := 0; i < b.N; i++ {
+				rmse = learnOnce(b, func(o *LearnOptions) {
+					o.Learner.Tree.LeafModel = lm.model
+					o.Learner.Tree.Particles = 60
+					o.Learner.Tree.ScoreParticles = 20
+				})
+			}
+			b.ReportMetric(rmse, "rmse")
+		})
+	}
+}

@@ -1,0 +1,134 @@
+// Command alic tunes a SPAPT kernel end-to-end: it learns a runtime
+// model with the chosen sampling plan (the paper's variable-observation
+// plan by default), then runs model-driven configuration search (§4.1)
+// and reports the best configuration found together with its speedup
+// over the -O2 baseline.
+//
+// Usage:
+//
+//	alic -kernel mm
+//	alic -kernel gemver -plan fixed -planobs 35
+//	alic -kernel atax -scorer alm -nmax 600 -seed 3
+//	alic -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"alic"
+	"alic/internal/report"
+)
+
+func main() {
+	var (
+		kernel    = flag.String("kernel", "mm", "kernel to tune")
+		list      = flag.Bool("list", false, "list available kernels and exit")
+		describe  = flag.Bool("describe", false, "print the kernel's parameters and loop nests, then exit")
+		plan      = flag.String("plan", "variable", "sampling plan: variable|fixed")
+		planObs   = flag.Int("planobs", 35, "observations per example for the fixed plan")
+		scorer    = flag.String("scorer", "alc", "acquisition heuristic: alc|alm|random")
+		nmax      = flag.Int("nmax", 400, "acquisition budget")
+		ninit     = flag.Int("ninit", 5, "seed examples")
+		nobs      = flag.Int("nobs", 35, "seed observations / revisit cap")
+		ncand     = flag.Int("ncand", 150, "candidates per iteration")
+		particles = flag.Int("particles", 400, "dynamic-tree particles")
+		pool      = flag.Int("pool", 3000, "training pool size")
+		test      = flag.Int("test", 600, "test set size")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		verify    = flag.Int("verify", 10, "configurations to verify during tuning")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, k := range alic.Kernels() {
+			fmt.Printf("%-12s %-55s space %.3g\n", k.Name, k.Doc, k.SpaceSize())
+		}
+		return
+	}
+
+	k, err := alic.KernelByName(*kernel)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *describe {
+		out, err := k.Describe(k.BaselineConfig())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	opts := alic.DefaultLearnOptions()
+	opts.PoolSize = *pool
+	opts.TestSize = *test
+	opts.DatasetSeed = *seed
+	opts.Learner.NInit = *ninit
+	opts.Learner.NObs = *nobs
+	opts.Learner.NCand = *ncand
+	opts.Learner.NMax = *nmax
+	opts.Learner.Seed = *seed
+	opts.Learner.Tree.Particles = *particles
+	opts.Learner.Tree.ScoreParticles = max(20, *particles/6)
+
+	switch *plan {
+	case "variable":
+		opts.Learner.Plan = alic.VariablePlan
+	case "fixed":
+		opts.Learner.Plan = alic.FixedPlan
+		opts.Learner.PlanObs = *planObs
+	default:
+		fatal(fmt.Errorf("unknown plan %q", *plan))
+	}
+	switch *scorer {
+	case "alc":
+		opts.Learner.Scorer = alic.ALC
+	case "alm":
+		opts.Learner.Scorer = alic.ALM
+	case "random":
+		opts.Learner.Scorer = alic.RandomScore
+	default:
+		fatal(fmt.Errorf("unknown scorer %q", *scorer))
+	}
+
+	fmt.Printf("learning %s: plan=%s scorer=%s nmax=%d (space %.3g)\n",
+		k.Name, *plan, *scorer, *nmax, k.SpaceSize())
+	res, err := alic.Learn(k, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model: RMSE %s s after %d acquisitions (%d runs, %d unique configs, %d revisits)\n",
+		report.FormatFloat(res.FinalError), res.Acquired, res.Observations,
+		res.Unique, res.Revisits)
+	fmt.Printf("training cost: %s simulated seconds\n", report.FormatFloat(res.Cost))
+
+	sess, err := alic.NewSession(k, *seed+1)
+	if err != nil {
+		fatal(err)
+	}
+	tres, err := alic.Tune(res.Model, sess, res.Dataset, alic.TunerOptions{
+		Candidates: 4000, Verify: *verify, VerifyObs: 3, Seed: *seed + 2,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\nbest configuration (verified %d candidates, %s s verification cost):\n",
+		len(tres.Top), report.FormatFloat(tres.VerifyCost))
+	for i, p := range k.Params {
+		fmt.Printf("  %-10s (%s, %s/%s) = %d\n",
+			p.Name, p.Kind, k.Nests[p.Nest].Name, p.Loop, tres.Best.Config[i])
+	}
+	fmt.Printf("predicted %s s, measured %s s, baseline %s s -> speedup %.2fx\n",
+		report.FormatFloat(tres.Best.Predicted),
+		report.FormatFloat(tres.Best.Measured),
+		report.FormatFloat(tres.Baseline), tres.Speedup)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "alic:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,570 @@
+// Package core implements the paper's contribution: Algorithm 1, an
+// active-learning loop for iterative compilation extended with
+// sequential analysis. Instead of profiling every selected
+// configuration a fixed number of times, the learner takes a single
+// observation per acquisition and keeps previously-seen configurations
+// in the candidate set (until they accumulate nobs observations), so a
+// noisy configuration can be revisited when the model judges another
+// observation of it more informative than a fresh configuration — the
+// multi-armed-bandit flavour described in §3.1.
+//
+// The package also provides the two baselines of §4.3 (a classic
+// active learner with a constant sampling plan of 35 observations, and
+// one with a single observation), plus a passive random-sampling
+// baseline and a batch-acquisition extension.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"alic/internal/dynatree"
+	"alic/internal/rng"
+	"alic/internal/stats"
+)
+
+// Oracle supplies observations for pool items and accounts their cost.
+// Implementations wrap either a live profiling session or a
+// pre-generated dataset.
+type Oracle interface {
+	// Observe returns one noisy runtime observation of pool item i,
+	// charging its cost (including one-time compilation).
+	Observe(i int) (float64, error)
+	// Cost returns the cumulative evaluation cost in seconds.
+	Cost() float64
+}
+
+// Pool is the set F of all configurations the learner may sample.
+type Pool interface {
+	// Len returns the number of configurations in the pool.
+	Len() int
+	// Features returns the (standardised) feature vector of item i.
+	Features(i int) []float64
+}
+
+// Plan selects the sampling plan.
+type Plan int
+
+const (
+	// VariablePlan is the paper's contribution: one observation per
+	// acquisition with model-driven revisits (Algorithm 1).
+	VariablePlan Plan = iota
+	// FixedPlan is the classic approach: every selected configuration
+	// is profiled Options.PlanObs times and never revisited.
+	FixedPlan
+)
+
+func (p Plan) String() string {
+	switch p {
+	case VariablePlan:
+		return "variable"
+	case FixedPlan:
+		return "fixed"
+	default:
+		return fmt.Sprintf("Plan(%d)", int(p))
+	}
+}
+
+// Scorer selects the acquisition heuristic (§3.3).
+type Scorer int
+
+const (
+	// ALC is Cohn's heuristic: choose the candidate minimising the
+	// expected average predictive variance over the candidate set.
+	// O(|C|^2) but robust to heteroskedasticity — the paper's choice.
+	ALC Scorer = iota
+	// ALM is MacKay's heuristic: choose the candidate with maximum
+	// predictive variance. O(|C|).
+	ALM
+	// RandomScore disables active learning: candidates are chosen
+	// uniformly (the passive baseline of prior work).
+	RandomScore
+)
+
+func (s Scorer) String() string {
+	switch s {
+	case ALC:
+		return "alc"
+	case ALM:
+		return "alm"
+	case RandomScore:
+		return "random"
+	default:
+		return fmt.Sprintf("Scorer(%d)", int(s))
+	}
+}
+
+// Options configures a learning run. The defaults mirror §4.4 of the
+// paper: ninit=5, nobs=35, nc=500, nmax=2500.
+type Options struct {
+	// Plan selects variable (sequential analysis) or fixed sampling.
+	Plan Plan
+	// PlanObs is the constant sample size for FixedPlan (35 or 1 in
+	// the paper's comparison).
+	PlanObs int
+	// NInit seeds the model with this many random configurations.
+	NInit int
+	// NObs is the number of observations for each seed configuration
+	// and the revisit cap of the variable plan.
+	NObs int
+	// NCand is the number of fresh random candidates per iteration.
+	NCand int
+	// NMax is the total number of acquisitions (loop iterations).
+	NMax int
+	// Batch acquires this many configurations per iteration (>= 1),
+	// the parallel extension noted in §3.1.
+	Batch int
+	// Scorer is the acquisition heuristic.
+	Scorer Scorer
+	// Tree configures the dynamic-tree model.
+	Tree dynatree.Config
+	// EvalEvery evaluates the model (via the Evaluator) after every
+	// EvalEvery acquisitions; 0 disables curve recording.
+	EvalEvery int
+	// Seed drives all learner randomness.
+	Seed uint64
+	// StopCost, when positive, ends the run once the oracle cost
+	// exceeds it (the wall-clock completion criterion of §3.1).
+	StopCost float64
+	// StopError, when positive, ends the run once the prequential
+	// (one-step-ahead) RMSE over the last StopWindow acquisitions
+	// drops to StopError or below — the model-error completion
+	// criterion §3.1 sketches, without held-out data or refits.
+	StopError float64
+	// StopWindow is the sliding-window size of the prequential
+	// estimator (default 50 when StopError is set).
+	StopWindow int
+}
+
+// DefaultOptions returns the paper's experiment parameters for the
+// variable plan.
+func DefaultOptions() Options {
+	return Options{
+		Plan:      VariablePlan,
+		PlanObs:   1,
+		NInit:     5,
+		NObs:      35,
+		NCand:     500,
+		NMax:      2500,
+		Batch:     1,
+		Scorer:    ALC,
+		Tree:      dynatree.DefaultConfig(),
+		EvalEvery: 25,
+		Seed:      1,
+	}
+}
+
+func (o Options) validate(poolLen int) error {
+	if o.NInit < 1 {
+		return fmt.Errorf("core: NInit %d < 1", o.NInit)
+	}
+	if o.NObs < 1 {
+		return fmt.Errorf("core: NObs %d < 1", o.NObs)
+	}
+	if o.NCand < 1 {
+		return fmt.Errorf("core: NCand %d < 1", o.NCand)
+	}
+	if o.NMax < o.NInit {
+		return fmt.Errorf("core: NMax %d < NInit %d", o.NMax, o.NInit)
+	}
+	if o.Batch < 1 {
+		return fmt.Errorf("core: Batch %d < 1", o.Batch)
+	}
+	if o.Plan == FixedPlan && o.PlanObs < 1 {
+		return fmt.Errorf("core: FixedPlan needs PlanObs >= 1, got %d", o.PlanObs)
+	}
+	if poolLen < o.NInit {
+		return fmt.Errorf("core: pool of %d smaller than NInit %d", poolLen, o.NInit)
+	}
+	return nil
+}
+
+// Evaluator measures model quality (e.g. RMSE on a held-out test set).
+type Evaluator func(m *dynatree.Forest) float64
+
+// CurvePoint is one sample of the learning curve.
+type CurvePoint struct {
+	// Acquired counts acquisitions (loop iterations) so far.
+	Acquired int
+	// Cost is the oracle's cumulative evaluation cost in seconds.
+	Cost float64
+	// Error is the Evaluator's result (NaN if no evaluator).
+	Error float64
+}
+
+// Result summarises a learning run.
+type Result struct {
+	// Model is the final dynamic-tree model.
+	Model *dynatree.Forest
+	// Curve is the recorded learning curve (empty if EvalEvery == 0 or
+	// no evaluator was supplied).
+	Curve []CurvePoint
+	// FinalError is the last evaluation (NaN if never evaluated).
+	FinalError float64
+	// Cost is the total evaluation cost in seconds.
+	Cost float64
+	// Acquired is the number of acquisitions performed.
+	Acquired int
+	// Observations is the total number of profiling runs.
+	Observations int
+	// Unique is the number of distinct configurations profiled.
+	Unique int
+	// Revisits is the number of acquisitions that re-observed an
+	// already-seen configuration (variable plan only).
+	Revisits int
+	// PrequentialError is the final sliding-window one-step-ahead RMSE
+	// (NaN until the window fills).
+	PrequentialError float64
+	// StoppedBy reports which completion criterion ended the run.
+	StoppedBy StopReason
+}
+
+// StopReason identifies the completion criterion that ended a run.
+type StopReason int
+
+const (
+	// StopBudget means the NMax acquisition budget was exhausted.
+	StopBudget StopReason = iota
+	// StopByCost means the StopCost wall-clock criterion fired.
+	StopByCost
+	// StopByError means the StopError prequential criterion fired.
+	StopByError
+	// StopExhausted means the candidate pool ran dry.
+	StopExhausted
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopBudget:
+		return "budget"
+	case StopByCost:
+		return "cost"
+	case StopByError:
+		return "error"
+	case StopExhausted:
+		return "exhausted"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
+// Learner runs active learning over a pool.
+type Learner struct {
+	opts Options
+	pool Pool
+	ora  Oracle
+	eval Evaluator
+	r    *rng.Stream
+
+	model *dynatree.Forest
+	// obsCount[i] is D in Algorithm 1: observations taken per pool item.
+	obsCount map[int]int
+	// order keeps seen pool items in first-seen order for determinism.
+	order []int
+
+	acquired     int
+	observations int
+	revisits     int
+	curve        []CurvePoint
+	preq         *prequential
+	stoppedBy    StopReason
+}
+
+// New constructs a learner. The evaluator may be nil.
+func New(opts Options, pool Pool, oracle Oracle, eval Evaluator) (*Learner, error) {
+	if pool == nil || oracle == nil {
+		return nil, fmt.Errorf("core: nil pool or oracle")
+	}
+	if err := opts.validate(pool.Len()); err != nil {
+		return nil, err
+	}
+	window := opts.StopWindow
+	if window <= 0 {
+		window = 50
+	}
+	return &Learner{
+		opts:     opts,
+		pool:     pool,
+		ora:      oracle,
+		eval:     eval,
+		r:        rng.NewStream(opts.Seed, 0xac71ea12),
+		obsCount: make(map[int]int),
+		preq:     newPrequential(window),
+	}, nil
+}
+
+// Run executes the learning loop to completion and returns the result.
+func (l *Learner) Run() (*Result, error) {
+	if err := l.seed(); err != nil {
+		return nil, err
+	}
+	for l.acquired < l.opts.NMax {
+		if l.opts.StopCost > 0 && l.ora.Cost() >= l.opts.StopCost {
+			l.stoppedBy = StopByCost
+			break
+		}
+		if l.opts.StopError > 0 {
+			if pe := l.preq.rmse(); !math.IsNaN(pe) && pe <= l.opts.StopError {
+				l.stoppedBy = StopByError
+				break
+			}
+		}
+		batch := l.opts.Batch
+		if rem := l.opts.NMax - l.acquired; batch > rem {
+			batch = rem
+		}
+		chosen, err := l.selectBatch(batch)
+		if err != nil {
+			return nil, err
+		}
+		if len(chosen) == 0 {
+			l.stoppedBy = StopExhausted
+			break
+		}
+		for _, idx := range chosen {
+			if err := l.acquire(idx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res := &Result{
+		Model:            l.model,
+		Curve:            l.curve,
+		FinalError:       math.NaN(),
+		Cost:             l.ora.Cost(),
+		Acquired:         l.acquired,
+		Observations:     l.observations,
+		Unique:           len(l.obsCount),
+		Revisits:         l.revisits,
+		PrequentialError: l.preq.rmse(),
+		StoppedBy:        l.stoppedBy,
+	}
+	if l.eval != nil {
+		res.FinalError = l.eval(l.model)
+		if len(l.curve) == 0 || l.curve[len(l.curve)-1].Acquired != l.acquired {
+			res.Curve = append(res.Curve, CurvePoint{
+				Acquired: l.acquired, Cost: res.Cost, Error: res.FinalError,
+			})
+		}
+	}
+	if len(res.Curve) > 0 {
+		res.FinalError = res.Curve[len(res.Curve)-1].Error
+	}
+	return res, nil
+}
+
+// seed draws NInit random configurations, observes each one NObs times
+// (PlanObs for fixed plans), and fits the initial model — the "initial
+// training points" of Figure 3.
+func (l *Learner) seed() error {
+	seedObs := l.opts.NObs
+	if l.opts.Plan == FixedPlan {
+		seedObs = l.opts.PlanObs
+	}
+	idxs := l.r.Sample(l.pool.Len(), l.opts.NInit)
+
+	// First pass: gather seed observations so the prior can be
+	// calibrated on them before the model absorbs anything.
+	means := make([]float64, len(idxs))
+	var all []float64
+	for i, idx := range idxs {
+		var w stats.Welford
+		for j := 0; j < seedObs; j++ {
+			y, err := l.ora.Observe(idx)
+			if err != nil {
+				return err
+			}
+			w.Add(y)
+			all = append(all, y)
+			l.observations++
+		}
+		means[i] = w.Mean()
+		l.obsCount[idx] = seedObs
+		l.order = append(l.order, idx)
+	}
+
+	cfg := l.opts.Tree
+	cfg.CalibratePrior(all)
+	dim := len(l.pool.Features(idxs[0]))
+	model, err := dynatree.New(cfg, dim, l.r.Split("dynatree"))
+	if err != nil {
+		return err
+	}
+	l.model = model
+	for i, idx := range idxs {
+		l.model.Update(l.pool.Features(idx), means[i])
+		l.acquired++
+		l.maybeEval()
+	}
+	return nil
+}
+
+// candidateSet assembles the candidate indices for one iteration: NCand
+// fresh unseen configurations plus — under the variable plan — every
+// seen configuration with fewer than NObs observations.
+func (l *Learner) candidateSet() []int {
+	cands := make([]int, 0, l.opts.NCand+16)
+	// Fresh candidates: rejection-sample unseen pool items.
+	seenTries := 0
+	for len(cands) < l.opts.NCand && seenTries < 20*l.opts.NCand {
+		i := l.r.Intn(l.pool.Len())
+		if _, seen := l.obsCount[i]; seen {
+			seenTries++
+			continue
+		}
+		cands = append(cands, i)
+	}
+	if l.opts.Plan == VariablePlan {
+		for _, i := range l.order {
+			if l.obsCount[i] < l.opts.NObs {
+				cands = append(cands, i)
+			}
+		}
+	}
+	return cands
+}
+
+// selectBatch scores the candidate set and returns the batch most worth
+// observing next.
+func (l *Learner) selectBatch(batch int) ([]int, error) {
+	cands := l.candidateSet()
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	if batch > len(cands) {
+		batch = len(cands)
+	}
+
+	switch l.opts.Scorer {
+	case RandomScore:
+		perm := l.r.Perm(len(cands))
+		out := make([]int, batch)
+		for i := 0; i < batch; i++ {
+			out[i] = cands[perm[i]]
+		}
+		return out, nil
+
+	case ALM:
+		scores := make([]float64, len(cands))
+		for i, c := range cands {
+			scores[i] = l.model.ALM(l.pool.Features(c))
+		}
+		// Highest predictive variance first.
+		return pickBest(cands, scores, batch, false), nil
+
+	case ALC:
+		feats := make([][]float64, len(cands))
+		for i, c := range cands {
+			feats[i] = l.pool.Features(c)
+		}
+		// predictAvgModelVariance of Algorithm 1: reference set = the
+		// candidate set itself; pick the minimum expected variance.
+		scores := l.model.ALCScores(feats, feats)
+		return pickBest(cands, scores, batch, true), nil
+
+	default:
+		return nil, fmt.Errorf("core: unknown scorer %v", l.opts.Scorer)
+	}
+}
+
+// pickBest returns the batch candidates with the lowest (minimise) or
+// highest scores.
+func pickBest(cands []int, scores []float64, batch int, minimise bool) []int {
+	type pair struct {
+		idx   int
+		score float64
+	}
+	ps := make([]pair, len(cands))
+	for i := range cands {
+		ps[i] = pair{cands[i], scores[i]}
+	}
+	// Partial selection sort: batch is small.
+	for i := 0; i < batch; i++ {
+		best := i
+		for j := i + 1; j < len(ps); j++ {
+			better := ps[j].score < ps[best].score
+			if !minimise {
+				better = ps[j].score > ps[best].score
+			}
+			if better {
+				best = j
+			}
+		}
+		ps[i], ps[best] = ps[best], ps[i]
+	}
+	out := make([]int, batch)
+	for i := 0; i < batch; i++ {
+		out[i] = ps[i].idx
+	}
+	return out
+}
+
+// acquire takes observations of pool item idx per the plan and updates
+// the model.
+func (l *Learner) acquire(idx int) error {
+	n := 1
+	if l.opts.Plan == FixedPlan {
+		n = l.opts.PlanObs
+	}
+	var w stats.Welford
+	for j := 0; j < n; j++ {
+		y, err := l.ora.Observe(idx)
+		if err != nil {
+			return err
+		}
+		w.Add(y)
+		l.observations++
+	}
+	if prev, seen := l.obsCount[idx]; seen {
+		l.revisits++
+		l.obsCount[idx] = prev + n
+	} else {
+		l.obsCount[idx] = n
+		l.order = append(l.order, idx)
+	}
+	// Prequential estimate: test on the new target before training on
+	// it.
+	feats := l.pool.Features(idx)
+	resid := l.model.PredictMeanFast(feats) - w.Mean()
+	l.preq.add(resid * resid)
+
+	// Fixed plans learn the averaged runtime; the variable plan feeds
+	// the single (noisy) observation to the model.
+	l.model.Update(feats, w.Mean())
+	l.acquired++
+	l.maybeEval()
+	return nil
+}
+
+func (l *Learner) maybeEval() {
+	if l.eval == nil || l.opts.EvalEvery <= 0 {
+		return
+	}
+	if l.acquired%l.opts.EvalEvery != 0 && l.acquired != l.opts.NMax {
+		return
+	}
+	l.curve = append(l.curve, CurvePoint{
+		Acquired: l.acquired,
+		Cost:     l.ora.Cost(),
+		Error:    l.eval(l.model),
+	})
+}
+
+// ObservationCounts returns a copy of D in Algorithm 1: how many times
+// each seen pool item has been observed.
+func (l *Learner) ObservationCounts() map[int]int {
+	out := make(map[int]int, len(l.obsCount))
+	for k, v := range l.obsCount {
+		out[k] = v
+	}
+	return out
+}
+
+// SlicePool adapts a feature matrix to the Pool interface.
+type SlicePool [][]float64
+
+// Len returns the number of rows.
+func (p SlicePool) Len() int { return len(p) }
+
+// Features returns row i.
+func (p SlicePool) Features(i int) []float64 { return p[i] }

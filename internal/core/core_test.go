@@ -1,0 +1,426 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"alic/internal/dynatree"
+	"alic/internal/rng"
+	"alic/internal/stats"
+)
+
+// funcOracle simulates profiling a synthetic response surface with
+// configurable noise and compile cost.
+type funcOracle struct {
+	pool        SlicePool
+	fn          func(x []float64) float64
+	noiseSigma  func(x []float64) float64
+	compileCost float64
+
+	r        *rng.Stream
+	cost     float64
+	compiled map[int]bool
+	observes int
+}
+
+func newFuncOracle(pool SlicePool, fn func([]float64) float64,
+	sigma func([]float64) float64, compileCost float64, seed uint64) *funcOracle {
+	return &funcOracle{
+		pool:        pool,
+		fn:          fn,
+		noiseSigma:  sigma,
+		compileCost: compileCost,
+		r:           rng.New(seed),
+		compiled:    make(map[int]bool),
+	}
+}
+
+func (o *funcOracle) Observe(i int) (float64, error) {
+	if !o.compiled[i] {
+		o.compiled[i] = true
+		o.cost += o.compileCost
+	}
+	x := o.pool[i]
+	y := o.fn(x) + o.r.Norm()*o.noiseSigma(x)
+	if y < 0.001 {
+		y = 0.001
+	}
+	o.cost += y
+	o.observes++
+	return y, nil
+}
+
+func (o *funcOracle) Cost() float64 { return o.cost }
+
+// gridPool builds a 1D pool of n evenly spaced points in [0, 1].
+func gridPool(n int) SlicePool {
+	p := make(SlicePool, n)
+	for i := range p {
+		p[i] = []float64{float64(i) / float64(n-1)}
+	}
+	return p
+}
+
+func stepFn(x []float64) float64 {
+	if x[0] < 0.5 {
+		return 1
+	}
+	return 3
+}
+
+func smallOpts() Options {
+	o := DefaultOptions()
+	o.NInit = 4
+	o.NObs = 8
+	o.NCand = 40
+	o.NMax = 120
+	o.EvalEvery = 20
+	o.Tree.Particles = 60
+	o.Tree.ScoreParticles = 20
+	return o
+}
+
+// testEval builds an evaluator measuring RMSE against the true function
+// over a probe grid.
+func testEval(fn func([]float64) float64) Evaluator {
+	probes := gridPool(101)
+	want := make([]float64, len(probes))
+	for i, x := range probes {
+		want[i] = fn(x)
+	}
+	return func(m *dynatree.Forest) float64 {
+		pred := make([]float64, len(probes))
+		for i, x := range probes {
+			pred[i] = m.PredictMeanFast(x)
+		}
+		return stats.RMSE(pred, want)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	pool := gridPool(50)
+	ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.01 }, 0.1, 1)
+	cases := []func(*Options){
+		func(o *Options) { o.NInit = 0 },
+		func(o *Options) { o.NObs = 0 },
+		func(o *Options) { o.NCand = 0 },
+		func(o *Options) { o.NMax = o.NInit - 1 },
+		func(o *Options) { o.Batch = 0 },
+		func(o *Options) { o.Plan = FixedPlan; o.PlanObs = 0 },
+		func(o *Options) { o.NInit = 100 }, // exceeds pool
+	}
+	for i, mutate := range cases {
+		o := smallOpts()
+		mutate(&o)
+		if _, err := New(o, pool, ora, nil); err == nil {
+			t.Fatalf("case %d: invalid options accepted", i)
+		}
+	}
+	if _, err := New(smallOpts(), nil, ora, nil); err == nil {
+		t.Fatal("nil pool accepted")
+	}
+	if _, err := New(smallOpts(), pool, nil, nil); err == nil {
+		t.Fatal("nil oracle accepted")
+	}
+}
+
+func TestLearnsStep(t *testing.T) {
+	pool := gridPool(400)
+	ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 2)
+	eval := testEval(stepFn)
+	l, err := New(smallOpts(), pool, ora, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalError > 0.35 {
+		t.Fatalf("final RMSE %v too high for a clean step", res.FinalError)
+	}
+	if res.Acquired != 120 {
+		t.Fatalf("acquired %d, want 120", res.Acquired)
+	}
+	if len(res.Curve) == 0 {
+		t.Fatal("no learning curve recorded")
+	}
+	// Error at the end must improve on the earliest recorded point.
+	first, last := res.Curve[0].Error, res.Curve[len(res.Curve)-1].Error
+	if last > first {
+		t.Fatalf("learning made things worse: %v -> %v", first, last)
+	}
+}
+
+func TestCurveCostMonotone(t *testing.T) {
+	pool := gridPool(300)
+	ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 3)
+	l, _ := New(smallOpts(), pool, ora, testEval(stepFn))
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, p := range res.Curve {
+		if p.Cost <= prev {
+			t.Fatalf("curve cost not increasing: %v after %v", p.Cost, prev)
+		}
+		prev = p.Cost
+	}
+	if math.Abs(res.Cost-ora.Cost()) > 1e-12 {
+		t.Fatal("result cost disagrees with oracle")
+	}
+}
+
+func TestVariablePlanRevisitsNoisyRegions(t *testing.T) {
+	// Heteroskedastic surface: right half very noisy. The variable plan
+	// should spend extra observations there.
+	pool := gridPool(500)
+	sigma := func(x []float64) float64 {
+		if x[0] >= 0.5 {
+			return 0.6
+		}
+		return 0.01
+	}
+	fn := func(x []float64) float64 { return 2 + x[0] }
+	ora := newFuncOracle(pool, fn, sigma, 0.05, 4)
+	opts := smallOpts()
+	opts.NMax = 200
+	l, _ := New(opts, pool, ora, nil)
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Revisits == 0 {
+		t.Fatal("variable plan never revisited under heavy noise")
+	}
+	// Observation cap: no configuration may exceed NObs observations.
+	for idx, n := range l.ObservationCounts() {
+		if n > opts.NObs {
+			t.Fatalf("pool item %d observed %d times, cap %d", idx, n, opts.NObs)
+		}
+	}
+	// Revisited observations should concentrate in the noisy half.
+	noisyObs, quietObs := 0, 0
+	for idx, n := range l.ObservationCounts() {
+		if n <= 1 {
+			continue
+		}
+		if pool[idx][0] >= 0.5 {
+			noisyObs += n
+		} else {
+			quietObs += n
+		}
+	}
+	if noisyObs <= quietObs {
+		t.Fatalf("multi-observation effort not concentrated in noisy half: noisy=%d quiet=%d",
+			noisyObs, quietObs)
+	}
+}
+
+func TestFixedPlanBookkeeping(t *testing.T) {
+	pool := gridPool(300)
+	ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.02 }, 0.05, 5)
+	opts := smallOpts()
+	opts.Plan = FixedPlan
+	opts.PlanObs = 7
+	opts.NMax = 40
+	l, _ := New(opts, pool, ora, nil)
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Revisits != 0 {
+		t.Fatalf("fixed plan revisited %d times", res.Revisits)
+	}
+	// Every acquisition (including seeds) takes exactly PlanObs runs.
+	want := res.Acquired * opts.PlanObs
+	if res.Observations != want {
+		t.Fatalf("observations %d, want %d", res.Observations, want)
+	}
+	if res.Unique != res.Acquired {
+		t.Fatalf("fixed plan unique %d != acquired %d", res.Unique, res.Acquired)
+	}
+}
+
+func TestVariableCheaperThanFixedAtSameAcquisitions(t *testing.T) {
+	fn := func(x []float64) float64 { return 1 + math.Sin(3*x[0]) }
+	sigma := func(x []float64) float64 { return 0.02 }
+	run := func(plan Plan, planObs int) float64 {
+		pool := gridPool(400)
+		ora := newFuncOracle(pool, fn, sigma, 0.05, 6)
+		opts := smallOpts()
+		opts.Plan = plan
+		opts.PlanObs = planObs
+		l, _ := New(opts, pool, ora, nil)
+		res, err := l.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cost
+	}
+	costVar := run(VariablePlan, 1)
+	costFixed := run(FixedPlan, 35)
+	if costVar >= costFixed/3 {
+		t.Fatalf("variable plan cost %v not well below fixed-35 cost %v", costVar, costFixed)
+	}
+}
+
+func TestStopCost(t *testing.T) {
+	pool := gridPool(300)
+	ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.02 }, 0.5, 7)
+	opts := smallOpts()
+	opts.NMax = 10000
+	opts.StopCost = 50
+	l, _ := New(opts, pool, ora, nil)
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Acquired >= 10000 {
+		t.Fatal("StopCost did not stop the run")
+	}
+	// Cost can overshoot by at most one batch of observations.
+	if res.Cost > 80 {
+		t.Fatalf("cost %v overshot StopCost badly", res.Cost)
+	}
+}
+
+func TestBatchAcquisition(t *testing.T) {
+	pool := gridPool(400)
+	ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 8)
+	opts := smallOpts()
+	opts.Batch = 5
+	opts.NMax = 64
+	l, _ := New(opts, pool, ora, testEval(stepFn))
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Acquired != 64 {
+		t.Fatalf("batch run acquired %d, want exactly NMax=64", res.Acquired)
+	}
+	if res.FinalError > 0.6 {
+		t.Fatalf("batch learning failed: RMSE %v", res.FinalError)
+	}
+}
+
+func TestScorers(t *testing.T) {
+	for _, sc := range []Scorer{ALC, ALM, RandomScore} {
+		pool := gridPool(300)
+		ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 9)
+		opts := smallOpts()
+		opts.Scorer = sc
+		opts.NMax = 60
+		l, _ := New(opts, pool, ora, testEval(stepFn))
+		res, err := l.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", sc, err)
+		}
+		if res.FinalError > 1.0 {
+			t.Fatalf("%v: RMSE %v implausibly high", sc, res.FinalError)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() float64 {
+		pool := gridPool(300)
+		ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 10)
+		l, _ := New(smallOpts(), pool, ora, testEval(stepFn))
+		res, err := l.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalError
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different results")
+	}
+}
+
+func TestSmallPoolExhaustion(t *testing.T) {
+	// Pool smaller than NMax: the learner must stop gracefully once
+	// every configuration is fully observed.
+	pool := gridPool(12)
+	ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 11)
+	opts := smallOpts()
+	opts.NInit = 3
+	opts.NObs = 2
+	opts.NCand = 10
+	opts.NMax = 1000
+	l, _ := New(opts, pool, ora, nil)
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Acquired >= 1000 {
+		t.Fatal("learner did not stop on pool exhaustion")
+	}
+	// Cap must hold for every item.
+	for idx, n := range l.ObservationCounts() {
+		if n > opts.NObs {
+			t.Fatalf("item %d observed %d > cap %d", idx, n, opts.NObs)
+		}
+	}
+}
+
+func TestPickBest(t *testing.T) {
+	cands := []int{10, 20, 30, 40}
+	scores := []float64{3, 1, 4, 2}
+	got := pickBest(cands, scores, 2, true)
+	if got[0] != 20 || got[1] != 40 {
+		t.Fatalf("minimise pick = %v", got)
+	}
+	got = pickBest(cands, scores, 2, false)
+	if got[0] != 30 || got[1] != 10 {
+		t.Fatalf("maximise pick = %v", got)
+	}
+	if got := pickBest(cands, scores, 4, true); len(got) != 4 {
+		t.Fatalf("full pick length %d", len(got))
+	}
+}
+
+func TestPlanAndScorerStrings(t *testing.T) {
+	if VariablePlan.String() != "variable" || FixedPlan.String() != "fixed" {
+		t.Fatal("plan strings wrong")
+	}
+	if ALC.String() != "alc" || ALM.String() != "alm" || RandomScore.String() != "random" {
+		t.Fatal("scorer strings wrong")
+	}
+	if Plan(9).String() == "" || Scorer(9).String() == "" {
+		t.Fatal("unknown values should render")
+	}
+}
+
+func TestALCOutperformsRandomOnHeteroskedastic(t *testing.T) {
+	// With equal budgets, ALC-guided variable learning should reach
+	// equal or better error than passive random selection on a surface
+	// with localised complexity. (Seeds fixed; this is a smoke-level
+	// comparison, not a statistical claim.)
+	fn := func(x []float64) float64 {
+		if x[0] > 0.7 {
+			return 2 + 3*math.Sin(20*x[0])
+		}
+		return 2
+	}
+	sigma := func(x []float64) float64 { return 0.03 }
+	run := func(sc Scorer) float64 {
+		pool := gridPool(600)
+		ora := newFuncOracle(pool, fn, sigma, 0.02, 12)
+		opts := smallOpts()
+		opts.Scorer = sc
+		opts.NMax = 150
+		l, _ := New(opts, pool, ora, testEval(fn))
+		res, err := l.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalError
+	}
+	alc := run(ALC)
+	random := run(RandomScore)
+	if alc > random*1.5 {
+		t.Fatalf("ALC (%v) much worse than random (%v)", alc, random)
+	}
+}

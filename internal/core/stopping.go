@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math"
+)
+
+// Section 3.1 of the paper notes that the completion criterion of
+// Algorithm 1 need not be a fixed acquisition count: it "could have
+// been based on, for example, wall-clock time or some estimate of
+// error in the final model established through cross-validation".
+// Options.StopCost implements the wall-clock variant; this file
+// implements the error-estimate variant.
+//
+// The estimator is prequential ("test-then-train"): immediately before
+// the model absorbs a new observation, the current model predicts it,
+// and the squared residual enters a sliding window. The windowed RMSE
+// is an unbiased running estimate of the model's error on exactly the
+// distribution the learner samples — no held-out data or refitting
+// needed, which matters because dynamic trees are updated
+// incrementally.
+
+// prequential tracks a sliding-window RMSE of one-step-ahead
+// prediction residuals.
+type prequential struct {
+	window  int
+	resid2  []float64
+	nextIdx int
+	filled  bool
+}
+
+func newPrequential(window int) *prequential {
+	if window < 1 {
+		window = 1
+	}
+	return &prequential{window: window, resid2: make([]float64, 0, window)}
+}
+
+// add records one squared residual.
+func (p *prequential) add(r2 float64) {
+	if len(p.resid2) < p.window {
+		p.resid2 = append(p.resid2, r2)
+		if len(p.resid2) == p.window {
+			p.filled = true
+		}
+		return
+	}
+	p.resid2[p.nextIdx] = r2
+	p.nextIdx = (p.nextIdx + 1) % p.window
+}
+
+// rmse returns the windowed RMSE, or NaN until the window has filled
+// (so early, high-variance estimates cannot trigger a stop).
+func (p *prequential) rmse() float64 {
+	if !p.filled {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, r := range p.resid2 {
+		sum += r
+	}
+	return math.Sqrt(sum / float64(len(p.resid2)))
+}
+
+// n returns the number of residuals recorded so far (capped at the
+// window size).
+func (p *prequential) n() int { return len(p.resid2) }

@@ -1,0 +1,432 @@
+// Package costmodel estimates the runtime of a transformed loop nest on
+// an analytic machine model. It stands in for the paper's Intel
+// i7-4770K + gcc 4.7.2 testbed (see DESIGN.md, substitution table): the
+// active learner never inspects the model — it only observes
+// (configuration → runtime) pairs — so what matters is that the
+// response surface exhibits the phenomena real iterative-compilation
+// spaces show:
+//
+//   - unrolling amortises loop overhead until register pressure and
+//     instruction-cache limits make it counter-productive (the
+//     plateau → climb → plateau shape of Figure 2 of the paper);
+//   - cache tiling steps the runtime down when the per-tile working
+//     set drops below the L2 and then L1 capacity, while overly small
+//     tiles pay strip-mining overhead;
+//   - register tiling trades memory traffic for register pressure.
+//
+// The model is deterministic; measurement noise is layered on top by
+// internal/noise.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"alic/internal/loopnest"
+)
+
+// Machine is the analytic hardware model.
+type Machine struct {
+	Name string
+
+	// Cache capacities in bytes and access latencies in cycles.
+	L1Bytes, L2Bytes, L3Bytes       int64
+	LineBytes                       int
+	L1Latency, L2Latency, L3Latency float64
+	MemLatency                      float64
+
+	// Registers available for the innermost body (vector registers on
+	// the paper's AVX2 machine).
+	Registers int
+	// SpillCost is the extra cycles charged per spilled value access.
+	SpillCost float64
+
+	// IssueWidth is the superscalar issue width (flops per cycle).
+	IssueWidth float64
+	// LoopOverhead is the cycles of compare+increment+branch per
+	// iteration of a loop.
+	LoopOverhead float64
+	// ClockGHz converts cycles to seconds.
+	ClockGHz float64
+
+	// UopCacheInstrs is the body size (in instructions) beyond which
+	// the front-end loses its streaming advantage; ICacheInstrs the
+	// size beyond which instruction fetch itself begins to miss.
+	UopCacheInstrs int
+	ICacheInstrs   int
+}
+
+// DefaultMachine models the paper's Intel Core i7-4770K (Haswell,
+// 3.4 GHz): 32 KB L1D, 256 KB L2, 8 MB L3, 16 architectural vector
+// registers, 4-wide issue.
+func DefaultMachine() Machine {
+	return Machine{
+		Name:           "i7-4770K-model",
+		L1Bytes:        32 << 10,
+		L2Bytes:        256 << 10,
+		L3Bytes:        8 << 20,
+		LineBytes:      64,
+		L1Latency:      4,
+		L2Latency:      12,
+		L3Latency:      36,
+		MemLatency:     210,
+		Registers:      16,
+		SpillCost:      5,
+		IssueWidth:     4,
+		LoopOverhead:   3,
+		ClockGHz:       3.4,
+		UopCacheInstrs: 384,
+		ICacheInstrs:   6144,
+	}
+}
+
+// Validate checks the machine parameters.
+func (m Machine) Validate() error {
+	if m.L1Bytes <= 0 || m.L2Bytes < m.L1Bytes || m.L3Bytes < m.L2Bytes {
+		return fmt.Errorf("costmodel: cache sizes must satisfy 0 < L1 <= L2 <= L3")
+	}
+	if m.LineBytes <= 0 || m.Registers <= 0 || m.IssueWidth <= 0 || m.ClockGHz <= 0 {
+		return fmt.Errorf("costmodel: line size, registers, issue width and clock must be positive")
+	}
+	if m.L1Latency <= 0 || m.L2Latency < m.L1Latency || m.L3Latency < m.L2Latency || m.MemLatency < m.L3Latency {
+		return fmt.Errorf("costmodel: latencies must increase with cache level")
+	}
+	return nil
+}
+
+// Estimate returns the predicted runtime, in seconds, of the nest under
+// the transform. The nest and transform are assumed validated.
+func (m Machine) Estimate(n *loopnest.Nest, t loopnest.Transform) float64 {
+	iters := float64(n.Iterations())
+
+	// --- Body replication and register pressure -------------------------
+	// Unroll and register tiling replicate the body; clamp factors to
+	// the trip counts (a real compiler would refuse or clamp too).
+	bodyCopies := 1.0
+	for _, l := range n.Loops {
+		u := clamp(t.UnrollOf(l.Name), 1, l.Trip)
+		rt := clamp(t.RegTileOf(l.Name), 1, l.Trip)
+		bodyCopies *= float64(u * rt)
+	}
+
+	regNeed := m.registerNeed(n, t)
+	spillPerIter := 0.0
+	if regNeed > float64(m.Registers) {
+		// Fraction of value accesses that spill; saturates at 1 so the
+		// runtime climb flattens into the upper plateau of Figure 2.
+		spillFrac := (regNeed - float64(m.Registers)) / regNeed
+		accesses := float64(len(n.Body.Reads) + len(n.Body.Writes))
+		spillPerIter = spillFrac * accesses * m.SpillCost
+	}
+
+	// --- Loop overhead ---------------------------------------------------
+	overheadPerIter := m.loopOverheadPerIter(n, t)
+
+	// --- Front-end (instruction delivery) --------------------------------
+	bodyInstrs := bodyCopies * float64(n.Body.Flops+len(n.Body.Reads)+len(n.Body.Writes)+2)
+	frontend := 1.0
+	if bodyInstrs > float64(m.UopCacheInstrs) {
+		frontend = 1.12
+	}
+	if bodyInstrs > float64(m.ICacheInstrs) {
+		frontend = 1.35
+	}
+
+	// --- Memory ----------------------------------------------------------
+	memPerIter := m.memoryCostPerIter(n, t)
+
+	// --- Compute ---------------------------------------------------------
+	flopsPerIter := float64(n.Body.Flops) / m.IssueWidth
+
+	cycles := iters * (flopsPerIter + overheadPerIter + spillPerIter + memPerIter) * frontend
+	return cycles / (m.ClockGHz * 1e9)
+}
+
+// registerNeed estimates the number of live values in the innermost
+// body after unrolling and register tiling.
+func (m Machine) registerNeed(n *loopnest.Nest, t loopnest.Transform) float64 {
+	need := 2.0 // index/scratch
+	refs := make([]loopnest.Ref, 0, len(n.Body.Reads)+len(n.Body.Writes))
+	refs = append(refs, n.Body.Reads...)
+	refs = append(refs, n.Body.Writes...)
+	for _, r := range refs {
+		vals := 1.0
+		for _, l := range n.Loops {
+			if !r.DependsOn(l.Name) {
+				continue
+			}
+			u := clamp(t.UnrollOf(l.Name), 1, l.Trip)
+			rt := clamp(t.RegTileOf(l.Name), 1, l.Trip)
+			vals *= float64(u * rt)
+		}
+		need += vals
+	}
+	return need
+}
+
+// loopOverheadPerIter amortises each loop's control overhead over the
+// iterations beneath it, accounting for unrolling (which divides the
+// innermost overhead) and strip-mining from cache tiling (which adds a
+// loop level).
+func (m Machine) loopOverheadPerIter(n *loopnest.Nest, t loopnest.Transform) float64 {
+	overhead := 0.0
+	// Iterations strictly inside loop i.
+	inner := 1.0
+	for i := len(n.Loops) - 1; i >= 0; i-- {
+		l := n.Loops[i]
+		u := float64(clamp(t.UnrollOf(l.Name), 1, l.Trip))
+		rt := float64(clamp(t.RegTileOf(l.Name), 1, l.Trip))
+		// The loop executes trip/(u*rt) control steps per sweep; its
+		// overhead per body iteration below it is LoopOverhead /
+		// (inner * u * rt).
+		overhead += m.LoopOverhead / (inner * u * rt)
+		if tile := t.CacheTileOf(l.Name); tile >= 1 && tile < l.Trip {
+			// Strip-mining adds an outer tile loop executing
+			// trip/tile times: overhead amortised over the whole
+			// sweep of the original loop.
+			overhead += m.LoopOverhead / (inner * float64(tile))
+		}
+		inner *= float64(l.Trip)
+	}
+	return overhead
+}
+
+// memoryCostPerIter charges every reference an average access cost
+// derived from its stride behaviour and the cache level its working
+// set fits in.
+func (m Machine) memoryCostPerIter(n *loopnest.Nest, t loopnest.Transform) float64 {
+	wsBytes := m.workingSet(n, t)
+	missLat := m.missLatency(wsBytes)
+
+	cost := m.tileReloadCostPerIter(n, t, wsBytes)
+	refs := make([]loopnest.Ref, 0, len(n.Body.Reads)+len(n.Body.Writes))
+	refs = append(refs, n.Body.Reads...)
+	refs = append(refs, n.Body.Writes...)
+	innermost := n.InnermostLoop().Name
+	for _, r := range refs {
+		a, err := n.Array(r.Array)
+		if err != nil {
+			continue
+		}
+		if !r.DependsOn(innermost) {
+			// Invariant in the innermost loop: register-resident after
+			// the first access (unless spilled, charged elsewhere).
+			// Register tiling of an outer loop the ref depends on
+			// amortises the remaining L1 hits further.
+			cost += m.L1Latency / float64(n.InnermostLoop().Trip)
+			continue
+		}
+		stride := m.strideBytes(r, a, innermost)
+		missRate := 1.0
+		if stride < m.LineBytes {
+			missRate = float64(stride) / float64(m.LineBytes)
+		}
+		// Partial-line penalty: if a cache tile truncates the innermost
+		// strip so that it touches less than one line (span < line),
+		// every pass refetches the line having consumed only span/stride
+		// of it. The extra misses are served from wherever the full
+		// data set lives.
+		if stride > 0 && stride < m.LineBytes {
+			effTrip := n.InnermostLoop().Trip
+			if tile := t.CacheTileOf(innermost); tile >= 1 && tile < effTrip {
+				effTrip = tile
+			}
+			if span := stride * effTrip; span < m.LineBytes {
+				fullWS := m.workingSet(n, loopnest.Transform{})
+				reloadLat := m.L1Latency + m.missLatency(fullWS)
+				extra := float64(stride)/float64(span) - missRate
+				cost += extra * reloadLat
+			}
+		}
+		// Register tiling of a loop this ref is invariant in lets the
+		// value be reused from a register across that tile.
+		reuse := 1.0
+		for _, l := range n.Loops {
+			if l.Name == innermost || r.DependsOn(l.Name) {
+				continue
+			}
+			if rt := clamp(t.RegTileOf(l.Name), 1, l.Trip); rt > 1 {
+				reuse *= float64(rt)
+			}
+		}
+		cost += m.L1Latency + missRate*missLat/reuse
+	}
+	return cost
+}
+
+// tileReloadCostPerIter charges the cold misses each tile pass incurs:
+// tiling trades capacity misses inside a tile for a reload of the tile
+// working set on every tile boundary. This is what makes overly small
+// tiles counter-productive — the reload traffic is amortised over ever
+// fewer iterations.
+func (m Machine) tileReloadCostPerIter(n *loopnest.Nest, t loopnest.Transform, tileWS int64) float64 {
+	itersPerTile := 1.0
+	tiled := false
+	for _, l := range n.Loops {
+		if tile := t.CacheTileOf(l.Name); tile >= 1 && tile < l.Trip {
+			tiled = true
+			itersPerTile *= float64(tile)
+		} else {
+			itersPerTile *= float64(l.Trip)
+		}
+	}
+	if !tiled {
+		return 0
+	}
+	// The reload is served from wherever the full data set lives.
+	fullWS := m.workingSet(n, loopnest.Transform{})
+	reloadLat := m.L1Latency + m.missLatency(fullWS)
+	coldMisses := float64(tileWS) / float64(m.LineBytes)
+	return coldMisses * reloadLat / itersPerTile
+}
+
+// workingSet estimates the bytes live between reuses, shrunk by cache
+// tiles: for every array dimension indexed by a tiled loop the extent
+// is clamped to the tile size.
+func (m Machine) workingSet(n *loopnest.Nest, t loopnest.Transform) int64 {
+	total := int64(0)
+	seen := make(map[string]bool)
+	refs := make([]loopnest.Ref, 0, len(n.Body.Reads)+len(n.Body.Writes))
+	refs = append(refs, n.Body.Reads...)
+	refs = append(refs, n.Body.Writes...)
+	for _, r := range refs {
+		if seen[r.Array] {
+			continue
+		}
+		seen[r.Array] = true
+		a, err := n.Array(r.Array)
+		if err != nil {
+			continue
+		}
+		bytes := int64(a.ElemBytes)
+		for d, extent := range a.Dims {
+			eff := extent
+			if d < len(r.Index) {
+				// The dimension's extent within one tile is bounded by
+				// the smallest tile among loops indexing it.
+				for loop, c := range r.Index[d].Coeffs {
+					if c == 0 {
+						continue
+					}
+					if l, err := n.Loop(loop); err == nil {
+						span := l.Trip
+						if tile := t.CacheTileOf(loop); tile >= 1 && tile < l.Trip {
+							span = tile
+						}
+						if s := span * abs(c); s < eff {
+							eff = s
+						}
+					}
+				}
+			}
+			if eff < 1 {
+				eff = 1
+			}
+			bytes *= int64(eff)
+		}
+		total += bytes
+	}
+	return total
+}
+
+// missLatency maps a working-set size to the average extra latency of a
+// cache miss, interpolating smoothly between levels so tiling sweeps
+// produce realistic soft knees rather than discontinuities.
+func (m Machine) missLatency(ws int64) float64 {
+	switch {
+	case ws <= m.L1Bytes:
+		return 0
+	case ws <= m.L2Bytes:
+		f := logFrac(ws, m.L1Bytes, m.L2Bytes)
+		return (m.L2Latency - m.L1Latency) * f
+	case ws <= m.L3Bytes:
+		f := logFrac(ws, m.L2Bytes, m.L3Bytes)
+		return (m.L2Latency - m.L1Latency) + (m.L3Latency-m.L2Latency)*f
+	default:
+		// Saturate the DRAM penalty once the working set is 8x L3.
+		f := logFrac(ws, m.L3Bytes, 8*m.L3Bytes)
+		if f > 1 {
+			f = 1
+		}
+		return (m.L3Latency - m.L1Latency) + (m.MemLatency-m.L3Latency)*f
+	}
+}
+
+// strideBytes returns the address stride of the reference per step of
+// the given loop, assuming row-major layout.
+func (m Machine) strideBytes(r loopnest.Ref, a loopnest.Array, loop string) int {
+	// Find the last (fastest-varying) dimension that depends on loop.
+	for d := len(r.Index) - 1; d >= 0; d-- {
+		c := r.Index[d].Coeff(loop)
+		if c == 0 {
+			continue
+		}
+		stride := a.ElemBytes * abs(c)
+		for dd := d + 1; dd < len(a.Dims); dd++ {
+			stride *= a.Dims[dd]
+		}
+		return stride
+	}
+	return 0
+}
+
+// CompileTime models the gcc -O2 compile+link time of the transformed
+// nest, in seconds: a base cost plus code-growth terms. Unrolled and
+// register-tiled bodies enlarge the generated code; every strip-mined
+// loop adds structure.
+func (m Machine) CompileTime(nests []*loopnest.Nest, ts []loopnest.Transform) float64 {
+	const (
+		base        = 0.18
+		perNest     = 0.05
+		perBodyCopy = 0.0009
+		perTile     = 0.012
+		// Compilers bound code growth: unrolling stops replicating once
+		// the body exceeds an instruction budget, so compile time
+		// saturates too.
+		maxCopies = 1024
+	)
+	total := base
+	for i, n := range nests {
+		total += perNest
+		var t loopnest.Transform
+		if i < len(ts) {
+			t = ts[i]
+		}
+		copies := 1.0
+		for _, l := range n.Loops {
+			copies *= float64(clamp(t.UnrollOf(l.Name), 1, l.Trip) *
+				clamp(t.RegTileOf(l.Name), 1, l.Trip))
+			if tile := t.CacheTileOf(l.Name); tile >= 1 && tile < l.Trip {
+				total += perTile
+			}
+		}
+		total += perBodyCopy * math.Min(copies, maxCopies)
+	}
+	return total
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// logFrac returns the position of v between lo and hi on a log scale,
+// in [0, 1+].
+func logFrac(v, lo, hi int64) float64 {
+	if v <= lo {
+		return 0
+	}
+	return math.Log(float64(v)/float64(lo)) / math.Log(float64(hi)/float64(lo))
+}

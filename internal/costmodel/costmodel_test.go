@@ -1,0 +1,300 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"alic/internal/loopnest"
+)
+
+func matmulNest(n int) *loopnest.Nest {
+	return &loopnest.Nest{
+		Name: "mm",
+		Loops: []loopnest.Loop{
+			{Name: "i", Trip: n},
+			{Name: "j", Trip: n},
+			{Name: "k", Trip: n},
+		},
+		Arrays: []loopnest.Array{
+			{Name: "A", Dims: []int{n, n}, ElemBytes: 8},
+			{Name: "B", Dims: []int{n, n}, ElemBytes: 8},
+			{Name: "C", Dims: []int{n, n}, ElemBytes: 8},
+		},
+		Body: loopnest.Stmt{
+			Reads: []loopnest.Ref{
+				loopnest.R("A", "i", "k"),
+				loopnest.R("B", "k", "j"),
+				loopnest.R("C", "i", "j"),
+			},
+			Writes: []loopnest.Ref{loopnest.R("C", "i", "j")},
+			Flops:  2,
+		},
+	}
+}
+
+// sweepNest is a simple 1D streaming kernel.
+func sweepNest(n int) *loopnest.Nest {
+	return &loopnest.Nest{
+		Name:  "sweep",
+		Loops: []loopnest.Loop{{Name: "i", Trip: n}},
+		Arrays: []loopnest.Array{
+			{Name: "x", Dims: []int{n}, ElemBytes: 8},
+			{Name: "y", Dims: []int{n}, ElemBytes: 8},
+		},
+		Body: loopnest.Stmt{
+			Reads:  []loopnest.Ref{loopnest.R("x", "i")},
+			Writes: []loopnest.Ref{loopnest.R("y", "i")},
+			Flops:  1,
+		},
+	}
+}
+
+func TestDefaultMachineValid(t *testing.T) {
+	if err := DefaultMachine().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadMachines(t *testing.T) {
+	cases := []func(*Machine){
+		func(m *Machine) { m.L1Bytes = 0 },
+		func(m *Machine) { m.L2Bytes = m.L1Bytes - 1 },
+		func(m *Machine) { m.L3Bytes = m.L2Bytes - 1 },
+		func(m *Machine) { m.LineBytes = 0 },
+		func(m *Machine) { m.Registers = 0 },
+		func(m *Machine) { m.IssueWidth = 0 },
+		func(m *Machine) { m.ClockGHz = 0 },
+		func(m *Machine) { m.L2Latency = m.L1Latency - 1 },
+		func(m *Machine) { m.MemLatency = 0 },
+	}
+	for i, mutate := range cases {
+		m := DefaultMachine()
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Fatalf("case %d: invalid machine accepted", i)
+		}
+	}
+}
+
+func TestEstimatePositiveAndDeterministic(t *testing.T) {
+	m := DefaultMachine()
+	n := matmulNest(128)
+	tr := loopnest.NewTransform()
+	tr.Unroll["k"] = 4
+	a := m.Estimate(n, tr)
+	b := m.Estimate(n, tr)
+	if a <= 0 {
+		t.Fatalf("estimate %v not positive", a)
+	}
+	if a != b {
+		t.Fatal("estimate not deterministic")
+	}
+}
+
+func TestEstimateScalesWithIterations(t *testing.T) {
+	m := DefaultMachine()
+	small := m.Estimate(matmulNest(64), loopnest.Transform{})
+	big := m.Estimate(matmulNest(128), loopnest.Transform{})
+	// 8x the iterations must cost at least 4x (cache effects may push
+	// it above 8x, never below half-linear).
+	if big < 4*small {
+		t.Fatalf("scaling broken: 64 -> %v, 128 -> %v", small, big)
+	}
+}
+
+func TestModerateUnrollHelps(t *testing.T) {
+	m := DefaultMachine()
+	n := sweepNest(1 << 20)
+	base := m.Estimate(n, loopnest.Transform{})
+	tr := loopnest.NewTransform()
+	tr.Unroll["i"] = 4
+	unrolled := m.Estimate(n, tr)
+	if unrolled >= base {
+		t.Fatalf("moderate unrolling should amortise loop overhead: %v -> %v", base, unrolled)
+	}
+}
+
+func TestExcessiveUnrollHurts(t *testing.T) {
+	// The Figure-2 shape: past the register budget, runtime climbs.
+	m := DefaultMachine()
+	n := matmulNest(256)
+	mk := func(u int) float64 {
+		tr := loopnest.NewTransform()
+		tr.Unroll["k"] = u
+		tr.Unroll["j"] = u
+		return m.Estimate(n, tr)
+	}
+	moderate := mk(2)
+	excessive := mk(30)
+	if excessive <= moderate {
+		t.Fatalf("excessive unrolling should hurt: u=2 %v, u=30 %v", moderate, excessive)
+	}
+}
+
+func TestUnrollCurveHasPlateauShape(t *testing.T) {
+	// Runtime as a function of unroll should be roughly flat, then
+	// climb, then flatten again (saturating spill fraction).
+	m := DefaultMachine()
+	n := matmulNest(256)
+	runtime := func(u int) float64 {
+		tr := loopnest.NewTransform()
+		tr.Unroll["j"] = u
+		tr.Unroll["k"] = u
+		return m.Estimate(n, tr)
+	}
+	r1, r2 := runtime(1), runtime(2)
+	r16, r24, r30 := runtime(16), runtime(24), runtime(30)
+	// Early region roughly flat (within 20%).
+	if r2 > 1.2*r1 {
+		t.Fatalf("early unroll region not flat: %v -> %v", r1, r2)
+	}
+	// Late region climbs well above early region.
+	if r16 < 1.3*r1 {
+		t.Fatalf("no climb: r1=%v r16=%v", r1, r16)
+	}
+	// Saturation: growth from 24 to 30 much smaller than from 2 to 16.
+	if (r30-r24)/r24 > 0.3*(r16-r2)/r2 {
+		t.Fatalf("no saturation: r24=%v r30=%v", r24, r30)
+	}
+}
+
+func TestCacheTilingHelpsMatmul(t *testing.T) {
+	m := DefaultMachine()
+	n := matmulNest(512)
+	base := m.Estimate(n, loopnest.Transform{})
+	tr := loopnest.NewTransform()
+	tr.CacheTile["j"] = 32
+	tr.CacheTile["k"] = 32
+	tiled := m.Estimate(n, tr)
+	if tiled >= base {
+		t.Fatalf("cache tiling should help a 512x512 matmul: %v -> %v", base, tiled)
+	}
+}
+
+func TestTinyTilesPayOverhead(t *testing.T) {
+	m := DefaultMachine()
+	n := matmulNest(512)
+	mk := func(tile int) float64 {
+		tr := loopnest.NewTransform()
+		tr.CacheTile["j"] = tile
+		tr.CacheTile["k"] = tile
+		return m.Estimate(n, tr)
+	}
+	if mk(2) <= mk(32) {
+		t.Fatalf("tile=2 should be worse than tile=32: %v vs %v", mk(2), mk(32))
+	}
+}
+
+func TestRegisterTilingReducesMemoryCost(t *testing.T) {
+	// In matmul, register-tiling i lets B[k][j] be reused from
+	// registers across the i-tile.
+	m := DefaultMachine()
+	n := matmulNest(256)
+	base := m.Estimate(n, loopnest.Transform{})
+	tr := loopnest.NewTransform()
+	tr.RegTile["i"] = 2
+	tiled := m.Estimate(n, tr)
+	if tiled >= base {
+		t.Fatalf("register tiling i by 2 should help matmul: %v -> %v", base, tiled)
+	}
+}
+
+func TestWorkingSetRespondsToTiles(t *testing.T) {
+	m := DefaultMachine()
+	n := matmulNest(512)
+	full := m.workingSet(n, loopnest.Transform{})
+	tr := loopnest.NewTransform()
+	tr.CacheTile["j"] = 16
+	tr.CacheTile["k"] = 16
+	tiled := m.workingSet(n, tr)
+	if tiled >= full {
+		t.Fatalf("tiling did not shrink working set: %d -> %d", full, tiled)
+	}
+	if full != int64(3*512*512*8) {
+		t.Fatalf("untiled working set %d, want %d", full, 3*512*512*8)
+	}
+}
+
+func TestMissLatencyMonotonic(t *testing.T) {
+	m := DefaultMachine()
+	prev := -1.0
+	for ws := int64(1 << 10); ws < 1<<28; ws *= 2 {
+		lat := m.missLatency(ws)
+		if lat < prev {
+			t.Fatalf("miss latency decreased at ws=%d: %v -> %v", ws, prev, lat)
+		}
+		prev = lat
+	}
+	if m.missLatency(m.L1Bytes) != 0 {
+		t.Fatal("L1-resident working set should have zero miss latency")
+	}
+	if m.missLatency(1<<30) < m.MemLatency-m.L1Latency-1 {
+		t.Fatal("huge working set should approach DRAM latency")
+	}
+}
+
+func TestStrideBytes(t *testing.T) {
+	m := DefaultMachine()
+	a := loopnest.Array{Name: "A", Dims: []int{100, 100}, ElemBytes: 8}
+	// A[i][k]: stride in k is elem size; stride in i is a full row.
+	r := loopnest.R("A", "i", "k")
+	if got := m.strideBytes(r, a, "k"); got != 8 {
+		t.Fatalf("stride in k = %d, want 8", got)
+	}
+	if got := m.strideBytes(r, a, "i"); got != 800 {
+		t.Fatalf("stride in i = %d, want 800", got)
+	}
+	if got := m.strideBytes(r, a, "j"); got != 0 {
+		t.Fatalf("stride in absent loop = %d, want 0", got)
+	}
+}
+
+func TestCompileTimeGrowsWithCodeSize(t *testing.T) {
+	m := DefaultMachine()
+	n := matmulNest(128)
+	nests := []*loopnest.Nest{n}
+	plain := m.CompileTime(nests, []loopnest.Transform{{}})
+	tr := loopnest.NewTransform()
+	tr.Unroll["j"] = 16
+	tr.Unroll["k"] = 16
+	tr.CacheTile["i"] = 32
+	heavy := m.CompileTime(nests, []loopnest.Transform{tr})
+	if heavy <= plain {
+		t.Fatalf("compile time should grow with code size: %v -> %v", plain, heavy)
+	}
+	if plain <= 0 {
+		t.Fatalf("compile time %v not positive", plain)
+	}
+}
+
+func TestEstimatePropertyPositiveFinite(t *testing.T) {
+	m := DefaultMachine()
+	n := matmulNest(64)
+	if err := quick.Check(func(u1, u2, u3, ct1, rt1 uint8) bool {
+		tr := loopnest.NewTransform()
+		tr.Unroll["i"] = int(u1%32) + 1
+		tr.Unroll["j"] = int(u2%32) + 1
+		tr.Unroll["k"] = int(u3%32) + 1
+		tr.CacheTile["j"] = int(ct1 % 64)
+		tr.RegTile["i"] = int(rt1%8) + 1
+		sec := m.Estimate(n, tr)
+		return sec > 0 && sec < 1e6
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClampAndHelpers(t *testing.T) {
+	if clamp(5, 1, 3) != 3 || clamp(-1, 1, 3) != 1 || clamp(2, 1, 3) != 2 {
+		t.Fatal("clamp broken")
+	}
+	if abs(-4) != 4 || abs(4) != 4 {
+		t.Fatal("abs broken")
+	}
+	if logFrac(100, 100, 1000) != 0 {
+		t.Fatal("logFrac at lo should be 0")
+	}
+	if f := logFrac(1000, 100, 1000); f < 0.999 || f > 1.001 {
+		t.Fatalf("logFrac at hi = %v", f)
+	}
+}

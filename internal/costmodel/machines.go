@@ -1,0 +1,64 @@
+package costmodel
+
+// Alternative machine models. The paper's opening argument is that
+// "performance is not portable between platforms, [so] engineers must
+// fine-tune heuristics for each processor in turn" — which is why
+// learned, per-platform models beat hand-written heuristics. These
+// presets make that argument testable inside the simulator: the same
+// configuration ranks differently across machines
+// (TestHeuristicsAreNotPortable, examples/cross-platform).
+
+// MobileMachine models a small in-order mobile core (Cortex-A53
+// class): half the registers, a tiny L2, no L3 worth speaking of,
+// 2-wide issue, slow DRAM. Register pressure bites much earlier and
+// cache tiles must be far smaller than on the desktop part.
+func MobileMachine() Machine {
+	return Machine{
+		Name:           "cortex-a53-model",
+		L1Bytes:        16 << 10,
+		L2Bytes:        128 << 10,
+		L3Bytes:        512 << 10, // shared cluster cache
+		LineBytes:      64,
+		L1Latency:      3,
+		L2Latency:      15,
+		L3Latency:      40,
+		MemLatency:     320,
+		Registers:      8,
+		SpillCost:      6,
+		IssueWidth:     2,
+		LoopOverhead:   4,
+		ClockGHz:       1.4,
+		UopCacheInstrs: 128,
+		ICacheInstrs:   2048,
+	}
+}
+
+// ServerMachine models a wide server core (Xeon class): bigger caches
+// at slightly higher latency, more rename headroom (modeled as extra
+// architectural registers), 6-wide issue. Aggressive unrolling stays
+// profitable far longer than on the desktop part.
+func ServerMachine() Machine {
+	return Machine{
+		Name:           "xeon-server-model",
+		L1Bytes:        48 << 10,
+		L2Bytes:        1 << 20,
+		L3Bytes:        32 << 20,
+		LineBytes:      64,
+		L1Latency:      5,
+		L2Latency:      14,
+		L3Latency:      42,
+		MemLatency:     240,
+		Registers:      32,
+		SpillCost:      5,
+		IssueWidth:     6,
+		LoopOverhead:   2,
+		ClockGHz:       2.4,
+		UopCacheInstrs: 768,
+		ICacheInstrs:   8192,
+	}
+}
+
+// Machines returns all built-in machine models, default first.
+func Machines() []Machine {
+	return []Machine{DefaultMachine(), MobileMachine(), ServerMachine()}
+}

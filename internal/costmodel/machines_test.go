@@ -1,0 +1,140 @@
+package costmodel
+
+import (
+	"sort"
+	"testing"
+
+	"alic/internal/loopnest"
+)
+
+func TestAllMachinesValid(t *testing.T) {
+	for _, m := range Machines() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	if len(Machines()) != 3 {
+		t.Fatalf("want 3 machine presets")
+	}
+	names := map[string]bool{}
+	for _, m := range Machines() {
+		if names[m.Name] {
+			t.Fatalf("duplicate machine name %q", m.Name)
+		}
+		names[m.Name] = true
+	}
+}
+
+func TestMobileRegisterPressureBitesEarlier(t *testing.T) {
+	// The unroll factor at which runtime starts climbing must be lower
+	// on the 8-register mobile core than on the 32-register server.
+	n := matmulNest(128)
+	climbPoint := func(m Machine) int {
+		base := m.Estimate(n, loopnest.Transform{})
+		for u := 2; u <= 32; u++ {
+			tr := loopnest.NewTransform()
+			tr.Unroll["k"] = u
+			if m.Estimate(n, tr) > base*1.05 {
+				return u
+			}
+		}
+		return 33
+	}
+	mobile := climbPoint(MobileMachine())
+	server := climbPoint(ServerMachine())
+	if mobile >= server {
+		t.Fatalf("mobile climb at u=%d not earlier than server u=%d", mobile, server)
+	}
+}
+
+// TestHeuristicsAreNotPortable exercises the paper's opening premise:
+// the ranking of optimization configurations on one machine does not
+// carry to another. We draw a spread of configurations, rank them per
+// machine, and require substantial rank disagreement.
+func TestHeuristicsAreNotPortable(t *testing.T) {
+	n := matmulNest(256)
+	var trs []loopnest.Transform
+	for u := 1; u <= 16; u *= 2 {
+		for tile := 0; tile <= 64; tile += 32 {
+			tr := loopnest.NewTransform()
+			tr.Unroll["k"] = u
+			tr.Unroll["j"] = u
+			if tile > 0 {
+				tr.CacheTile["j"] = tile
+				tr.CacheTile["k"] = tile
+			}
+			trs = append(trs, tr)
+		}
+	}
+	rank := func(m Machine) []int {
+		type scored struct {
+			idx int
+			t   float64
+		}
+		ss := make([]scored, len(trs))
+		for i, tr := range trs {
+			ss[i] = scored{i, m.Estimate(n, tr)}
+		}
+		sort.Slice(ss, func(a, b int) bool { return ss[a].t < ss[b].t })
+		pos := make([]int, len(trs))
+		for r, s := range ss {
+			pos[s.idx] = r
+		}
+		return pos
+	}
+	desktop := rank(DefaultMachine())
+	mobile := rank(MobileMachine())
+	// Count pairwise order inversions (Kendall distance).
+	inversions := 0
+	pairs := 0
+	for i := 0; i < len(trs); i++ {
+		for j := i + 1; j < len(trs); j++ {
+			pairs++
+			if (desktop[i] < desktop[j]) != (mobile[i] < mobile[j]) {
+				inversions++
+			}
+		}
+	}
+	if frac := float64(inversions) / float64(pairs); frac < 0.05 {
+		t.Fatalf("rankings nearly identical across machines (%.1f%% inversions); "+
+			"portability premise not exercised", frac*100)
+	}
+}
+
+func TestBestConfigDiffersAcrossMachines(t *testing.T) {
+	// The argmin over a structured sweep should differ between the
+	// desktop and the mobile machine.
+	n := matmulNest(256)
+	best := func(m Machine) (int, int) {
+		bu, bt := 1, 0
+		bestT := m.Estimate(n, loopnest.Transform{})
+		for u := 1; u <= 16; u++ {
+			for tile := 0; tile <= 96; tile += 8 {
+				tr := loopnest.NewTransform()
+				tr.Unroll["k"] = u
+				if tile > 0 {
+					tr.CacheTile["j"] = tile
+					tr.CacheTile["k"] = tile
+				}
+				if got := m.Estimate(n, tr); got < bestT {
+					bestT, bu, bt = got, u, tile
+				}
+			}
+		}
+		return bu, bt
+	}
+	du, dt := best(DefaultMachine())
+	mu, mt := best(MobileMachine())
+	if du == mu && dt == mt {
+		t.Fatalf("identical best config (u=%d tile=%d) on desktop and mobile", du, dt)
+	}
+}
+
+func TestServerToleratesBiggerWorkingSets(t *testing.T) {
+	// The same working set must see a lower miss latency on the
+	// bigger-cached server machine.
+	ws := int64(4 << 20)
+	if ServerMachine().missLatency(ws) >= MobileMachine().missLatency(ws) {
+		t.Fatal("server model not benefiting from larger caches")
+	}
+}

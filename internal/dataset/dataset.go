@@ -1,0 +1,207 @@
+// Package dataset materialises the experimental datasets of §4.5 of
+// the paper: for each kernel, a corpus of distinct randomly selected
+// configurations, each profiled a fixed number of times (35 in the
+// paper), split into a training pool and a held-out test set
+// (7,500 / 2,500), with features standardised by scaling and centring.
+package dataset
+
+import (
+	"fmt"
+
+	"alic/internal/noise"
+	"alic/internal/rng"
+	"alic/internal/spapt"
+	"alic/internal/stats"
+)
+
+// Options configures dataset generation.
+type Options struct {
+	// NConfigs is the number of distinct configurations (paper: 10,000).
+	NConfigs int
+	// NObs is the number of observations per configuration (paper: 35).
+	NObs int
+	// TrainFrac is the fraction marked available for training
+	// (paper: 0.75).
+	TrainFrac float64
+	// Seed drives config selection, noise, and the split.
+	Seed uint64
+}
+
+// DefaultOptions returns the paper's §4.5 settings.
+func DefaultOptions() Options {
+	return Options{NConfigs: 10000, NObs: 35, TrainFrac: 0.75, Seed: 1}
+}
+
+// PointStats summarises the NObs observations of one configuration.
+type PointStats struct {
+	Mean     float64
+	Variance float64
+}
+
+// Dataset is a generated corpus for one kernel.
+type Dataset struct {
+	Kernel *spapt.Kernel
+	Opts   Options
+
+	// Configs are the distinct sampled configurations.
+	Configs []spapt.Config
+	// Raw are the [0,1]-scaled feature vectors.
+	Raw [][]float64
+	// Features are the standardised feature vectors (zero mean, unit
+	// variance over the corpus).
+	Features [][]float64
+	// TrueMean is the noise-free model runtime per configuration.
+	TrueMean []float64
+	// Observed summarises the NObs noisy observations per config; its
+	// Mean is the regression target the paper trains and tests on.
+	Observed []PointStats
+	// CompileTime is the simulated compile time per configuration.
+	CompileTime []float64
+	// TrainIdx and TestIdx partition the corpus.
+	TrainIdx, TestIdx []int
+
+	// Normalizer holds the feature scaling fitted on the corpus.
+	Normalizer *stats.Normalizer
+
+	sampler *noise.Sampler
+}
+
+// Generate builds the dataset for a kernel.
+func Generate(k *spapt.Kernel, opts Options) (*Dataset, error) {
+	if k == nil {
+		return nil, fmt.Errorf("dataset: nil kernel")
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.NConfigs < 2 {
+		return nil, fmt.Errorf("dataset: NConfigs %d < 2", opts.NConfigs)
+	}
+	if opts.NObs < 1 {
+		return nil, fmt.Errorf("dataset: NObs %d < 1", opts.NObs)
+	}
+	if opts.TrainFrac <= 0 || opts.TrainFrac >= 1 {
+		return nil, fmt.Errorf("dataset: TrainFrac %v outside (0, 1)", opts.TrainFrac)
+	}
+	if float64(opts.NConfigs) > k.SpaceSize()/2 {
+		return nil, fmt.Errorf("dataset: NConfigs %d too large for space of size %g",
+			opts.NConfigs, k.SpaceSize())
+	}
+
+	sampler, err := noise.NewSampler(k.Noise, k.Dim(), opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{Kernel: k, Opts: opts, sampler: sampler}
+
+	r := rng.NewStream(opts.Seed, 0xda7a5e7) // dataset stream
+	seen := make(map[uint64]bool, opts.NConfigs)
+	d.Configs = make([]spapt.Config, 0, opts.NConfigs)
+	for len(d.Configs) < opts.NConfigs {
+		cfg := k.RandomConfig(r)
+		key := k.Key(cfg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		d.Configs = append(d.Configs, cfg)
+	}
+
+	n := len(d.Configs)
+	d.Raw = make([][]float64, n)
+	d.TrueMean = make([]float64, n)
+	d.Observed = make([]PointStats, n)
+	d.CompileTime = make([]float64, n)
+	for i, cfg := range d.Configs {
+		d.Raw[i] = k.Features(cfg)
+		mu, err := k.TrueRuntime(cfg)
+		if err != nil {
+			return nil, err
+		}
+		d.TrueMean[i] = mu
+		ct, err := k.CompileTime(cfg)
+		if err != nil {
+			return nil, err
+		}
+		d.CompileTime[i] = ct
+
+		var w stats.Welford
+		key := k.Key(cfg)
+		for j := 0; j < opts.NObs; j++ {
+			w.Add(sampler.Sample(mu, d.Raw[i], key, j))
+		}
+		d.Observed[i] = PointStats{Mean: w.Mean(), Variance: w.Variance()}
+	}
+
+	d.Normalizer = stats.FitNormalizer(d.Raw)
+	d.Features = d.Normalizer.TransformAll(d.Raw)
+
+	// Random train/test split.
+	perm := r.Perm(n)
+	nTrain := int(float64(n) * opts.TrainFrac)
+	if nTrain < 1 {
+		nTrain = 1
+	}
+	if nTrain >= n {
+		nTrain = n - 1
+	}
+	d.TrainIdx = append([]int(nil), perm[:nTrain]...)
+	d.TestIdx = append([]int(nil), perm[nTrain:]...)
+	return d, nil
+}
+
+// Observe regenerates observation obsIdx of configuration i — the same
+// value the dataset saw during generation for obsIdx < NObs, and fresh
+// consistent draws beyond.
+func (d *Dataset) Observe(i, obsIdx int) float64 {
+	cfg := d.Configs[i]
+	return d.sampler.Sample(d.TrueMean[i], d.Raw[i], d.Kernel.Key(cfg), obsIdx)
+}
+
+// TestFeatures returns the standardised features of the test set.
+func (d *Dataset) TestFeatures() [][]float64 {
+	out := make([][]float64, len(d.TestIdx))
+	for i, idx := range d.TestIdx {
+		out[i] = d.Features[idx]
+	}
+	return out
+}
+
+// TestTargets returns the observed mean runtimes of the test set (the
+// ground truth of equation (1) in the paper).
+func (d *Dataset) TestTargets() []float64 {
+	out := make([]float64, len(d.TestIdx))
+	for i, idx := range d.TestIdx {
+		out[i] = d.Observed[idx].Mean
+	}
+	return out
+}
+
+// VarianceSummary returns the spread of per-configuration observation
+// variances across the corpus — the first column group of Table 2.
+func (d *Dataset) VarianceSummary() stats.Summary {
+	vs := make([]float64, len(d.Observed))
+	for i, o := range d.Observed {
+		vs[i] = o.Variance
+	}
+	return stats.Summarize(vs)
+}
+
+// CIOverMeanSummary returns the spread of the 95% CI half-width over
+// mean ratio when each configuration is sampled nObs times (nObs <=
+// NObs uses the first nObs observations) — the remaining column groups
+// of Table 2.
+func (d *Dataset) CIOverMeanSummary(nObs int, confidence float64) (stats.Summary, error) {
+	if nObs < 2 {
+		return stats.Summary{}, fmt.Errorf("dataset: CI needs nObs >= 2, got %d", nObs)
+	}
+	ratios := make([]float64, len(d.Configs))
+	for i := range d.Configs {
+		var w stats.Welford
+		for j := 0; j < nObs; j++ {
+			w.Add(d.Observe(i, j))
+		}
+		ratios[i] = stats.CIOverMean(w.Mean(), w.Stddev(), w.N(), confidence)
+	}
+	return stats.Summarize(ratios), nil
+}

@@ -1,0 +1,629 @@
+package dynatree
+
+import (
+	"fmt"
+	"math"
+
+	"alic/internal/rng"
+	"alic/internal/stats"
+)
+
+// Config parameterises a dynamic-tree forest. The zero value is not
+// usable; call DefaultConfig and override as needed.
+type Config struct {
+	// Particles is the particle-cloud size N (the paper uses 5,000).
+	Particles int
+	// ScoreParticles is the number of particles used when evaluating
+	// acquisition scores (ALM/ALC). Scoring cost is linear in this
+	// value; 0 means use every particle.
+	ScoreParticles int
+	// Alpha and Beta parameterise the CGM tree prior
+	// p_split(node) = Alpha * (1 + depth)^(-Beta).
+	Alpha, Beta float64
+	// M0, Kappa0, A0, B0 are the NIG leaf prior parameters. A0 must be
+	// greater than 1 so predictive variances exist for empty leaves.
+	M0, Kappa0, A0, B0 float64
+	// MinLeafForSplit is the minimum number of observations a leaf
+	// needs before grow moves are proposed.
+	MinLeafForSplit int
+	// LeafModel selects constant (default) or linear leaves, matching
+	// the two models of the R dynaTree package. ALC scoring always
+	// uses the constant-model closed form as a surrogate; ALM and
+	// prediction honour the configured model.
+	LeafModel LeafModel
+}
+
+// DefaultConfig returns the configuration used by the experiments:
+// weakly-informative NIG prior on standardised targets and the standard
+// CGM prior parameters.
+func DefaultConfig() Config {
+	return Config{
+		Particles:       1000,
+		ScoreParticles:  100,
+		Alpha:           0.95,
+		Beta:            2,
+		M0:              0,
+		Kappa0:          0.1,
+		A0:              3,
+		B0:              2,
+		MinLeafForSplit: 3,
+	}
+}
+
+// CalibratePrior centres the NIG prior on the sample moments of ys so
+// that the prior predictive roughly matches the data scale (empirical
+// Bayes on the seed set). It leaves Kappa0 and A0 untouched.
+func (c *Config) CalibratePrior(ys []float64) {
+	if len(ys) == 0 {
+		return
+	}
+	s := stats.Summarize(ys)
+	c.M0 = s.Mean
+	v := s.Variance
+	if v <= 0 || len(ys) < 2 {
+		v = 1
+	}
+	// Prior predictive variance = B0 (Kappa0+1)/(Kappa0 (A0-1)).
+	// Choose B0 so that it equals the sample variance.
+	c.B0 = v * c.Kappa0 * (c.A0 - 1) / (c.Kappa0 + 1)
+	if c.B0 <= 0 {
+		c.B0 = 1e-9
+	}
+}
+
+func (c Config) validate() error {
+	if c.Particles < 1 {
+		return fmt.Errorf("dynatree: Particles must be >= 1, got %d", c.Particles)
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("dynatree: Alpha must be in (0,1), got %v", c.Alpha)
+	}
+	if c.Beta < 0 {
+		return fmt.Errorf("dynatree: Beta must be >= 0, got %v", c.Beta)
+	}
+	if c.Kappa0 <= 0 || c.B0 <= 0 {
+		return fmt.Errorf("dynatree: Kappa0 and B0 must be positive")
+	}
+	if c.A0 <= 1 {
+		return fmt.Errorf("dynatree: A0 must be > 1, got %v", c.A0)
+	}
+	if c.MinLeafForSplit < 2 {
+		return fmt.Errorf("dynatree: MinLeafForSplit must be >= 2, got %d", c.MinLeafForSplit)
+	}
+	return nil
+}
+
+// Forest is a particle-filtered dynamic-tree regression model. It is
+// not safe for concurrent mutation; Predict and the scoring methods are
+// read-only and may be called concurrently with each other.
+type Forest struct {
+	cfg       Config
+	prior     nigPrior
+	lprior    linPrior
+	dim       int
+	points    []point
+	particles []*node
+	r         *rng.Stream
+
+	// Scratch buffers reused across updates.
+	logW []float64
+	idx  []int
+}
+
+// --- leaf-model dispatch --------------------------------------------------
+
+// nodeML returns the log marginal likelihood of a leaf's data under
+// the configured leaf model.
+func (f *Forest) nodeML(s suff, lin *linSuff) float64 {
+	if f.cfg.LeafModel == LinearLeaf {
+		return f.lprior.logMarginal(lin)
+	}
+	return f.prior.logMarginal(s)
+}
+
+// nodePredict returns the posterior-predictive location and variance
+// at x for a leaf.
+func (f *Forest) nodePredict(nd *node, x []float64) (loc, variance float64) {
+	if f.cfg.LeafModel == LinearLeaf {
+		_, loc, _ = f.lprior.predictive(nd.lin, x)
+		return loc, f.lprior.predVariance(nd.lin, x)
+	}
+	_, loc, _ = f.prior.predictive(nd.s)
+	return loc, f.prior.predVariance(nd.s)
+}
+
+// nodeLogPredDensity returns the log predictive density of (x, y) in a
+// leaf.
+func (f *Forest) nodeLogPredDensity(nd *node, x []float64, y float64) float64 {
+	if f.cfg.LeafModel == LinearLeaf {
+		return f.lprior.logPredictiveDensity(nd.lin, x, y)
+	}
+	return f.prior.logPredictiveDensity(nd.s, y)
+}
+
+// attachLin (re)builds the linear sufficient statistics of a leaf from
+// its point set.
+func (f *Forest) attachLin(nd *node) {
+	lin := newLinSuff(f.dim)
+	for _, idx := range nd.pts {
+		lin.add(f.points[idx].x, f.points[idx].y)
+	}
+	nd.lin = lin
+}
+
+// New creates a forest over inputs of the given dimension. The stream
+// drives all stochastic behaviour (resampling and tree moves).
+func New(cfg Config, dim int, r *rng.Stream) (*Forest, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if dim < 1 {
+		return nil, fmt.Errorf("dynatree: dimension must be >= 1, got %d", dim)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("dynatree: nil rng stream")
+	}
+	f := &Forest{
+		cfg:       cfg,
+		prior:     nigPrior{m0: cfg.M0, kappa0: cfg.Kappa0, a0: cfg.A0, b0: cfg.B0},
+		lprior:    linPrior{m0: cfg.M0, kappa0: cfg.Kappa0, a0: cfg.A0, b0: cfg.B0},
+		dim:       dim,
+		particles: make([]*node, cfg.Particles),
+		r:         r,
+		logW:      make([]float64, cfg.Particles),
+		idx:       make([]int, cfg.Particles),
+	}
+	for i := range f.particles {
+		f.particles[i] = newLeaf(0)
+		if cfg.LeafModel == LinearLeaf {
+			f.particles[i].lin = newLinSuff(dim)
+		}
+	}
+	return f, nil
+}
+
+// N returns the number of observations absorbed so far.
+func (f *Forest) N() int { return len(f.points) }
+
+// pSplit is the CGM split prior at the given depth.
+func (f *Forest) pSplit(depth int) float64 {
+	return f.cfg.Alpha * math.Pow(1+float64(depth), -f.cfg.Beta)
+}
+
+// Update absorbs one observation: resample particles by the predictive
+// density of (x, y), then apply a stochastic stay/prune/grow move to
+// the leaf containing x in each particle and insert the point.
+func (f *Forest) Update(x []float64, y float64) {
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		panic("dynatree: non-finite target")
+	}
+	xcopy := make([]float64, len(x))
+	copy(xcopy, x)
+	idx := len(f.points)
+	f.points = append(f.points, point{x: xcopy, y: y})
+
+	// Step 1: importance weights = posterior predictive density at the
+	// new observation.
+	if len(f.points) > 1 { // with a single point all weights are equal
+		for i, p := range f.particles {
+			leaf := p.leafFor(xcopy)
+			f.logW[i] = f.nodeLogPredDensity(leaf, xcopy, y)
+		}
+		f.resample()
+	}
+
+	// Step 2: propagate every particle with a local tree move, then
+	// insert the point.
+	for i := range f.particles {
+		f.particles[i] = f.propagate(f.particles[i], idx, xcopy, y)
+	}
+}
+
+// UpdateBatch absorbs observations one at a time in order.
+func (f *Forest) UpdateBatch(xs [][]float64, ys []float64) {
+	if len(xs) != len(ys) {
+		panic("dynatree: UpdateBatch length mismatch")
+	}
+	for i := range xs {
+		f.Update(xs[i], ys[i])
+	}
+}
+
+// resample replaces the particle cloud with a systematic resample
+// proportional to exp(logW).
+func (f *Forest) resample() {
+	n := len(f.particles)
+	maxW := math.Inf(-1)
+	for _, lw := range f.logW {
+		if lw > maxW {
+			maxW = lw
+		}
+	}
+	if math.IsInf(maxW, -1) || math.IsNaN(maxW) {
+		return // degenerate weights: keep the cloud as-is
+	}
+	total := 0.0
+	w := make([]float64, n)
+	for i, lw := range f.logW {
+		w[i] = math.Exp(lw - maxW)
+		total += w[i]
+	}
+	if total <= 0 || math.IsNaN(total) {
+		return
+	}
+	// Systematic resampling.
+	u := f.r.Float64() / float64(n)
+	cum := 0.0
+	j := 0
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		target := (u + float64(i)/float64(n)) * total
+		for cum+w[j] < target && j < n-1 {
+			cum += w[j]
+			j++
+		}
+		counts[j]++
+	}
+	out := make([]*node, 0, n)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		out = append(out, f.particles[i]) // first occurrence: move, no copy
+		for k := 1; k < c; k++ {
+			out = append(out, f.particles[i].clone())
+		}
+	}
+	copy(f.particles, out)
+}
+
+// moveStay etc. label the particle moves for diagnostics.
+const (
+	moveStay = iota
+	movePrune
+	moveGrow
+)
+
+// propagate applies one stochastic stay/prune/grow move to the leaf of
+// root containing x, inserts point idx, and returns the (possibly new)
+// root.
+func (f *Forest) propagate(root *node, idx int, x []float64, y float64) *node {
+	leaf, parent := root.descend(x)
+
+	// Sufficient statistics of the leaf with the new point included.
+	sNew := leaf.s
+	sNew.add(y)
+	var linNew *linSuff
+	if f.cfg.LeafModel == LinearLeaf {
+		linNew = leaf.lin.clone()
+		linNew.add(x, y)
+	}
+
+	// --- Candidate move weights (log space) -----------------------------
+	logw := make([]float64, 0, 3)
+	moves := make([]int, 0, 3)
+
+	// Stay: leaf keeps its data plus the new point.
+	stayLW := math.Log1p(-f.pSplit(leaf.depth)) + f.nodeML(sNew, linNew)
+	logw = append(logw, stayLW)
+	moves = append(moves, moveStay)
+
+	// Prune: allowed when the leaf has a parent whose other child is
+	// also a leaf; the parent collapses into a single leaf.
+	var sib *node
+	var mergedLin *linSuff
+	if parent != nil {
+		sib = parent.left
+		if sib == leaf {
+			sib = parent.right
+		}
+		if sib.leaf {
+			merged := sNew.merge(sib.s)
+			if f.cfg.LeafModel == LinearLeaf {
+				mergedLin = linNew.merge(sib.lin)
+			}
+			// Compare subtrees rooted at the parent. The pruned tree
+			// contributes (1-p_split(parent)) * ML(merged); the kept
+			// tree contributes p_split(parent) * (1-p_split(leaf)) *
+			// ML(leaf+new) * (1-p_split(sib)) * ML(sib). The stay
+			// weight above lacks the parent-level factors, so add them
+			// here to put all three moves on the parent's footing.
+			parentSplitLW := math.Log(f.pSplit(parent.depth)) +
+				math.Log1p(-f.pSplit(sib.depth)) + f.nodeML(sib.s, sib.lin)
+			logw[0] += parentSplitLW
+			pruneLW := math.Log1p(-f.pSplit(parent.depth)) + f.nodeML(merged, mergedLin)
+			logw = append(logw, pruneLW)
+			moves = append(moves, movePrune)
+		}
+	}
+
+	// Grow: propose one split of the leaf (with the new point included)
+	// when it holds enough observations.
+	var growDim int
+	var growCut float64
+	if leaf.s.n+1 >= f.cfg.MinLeafForSplit {
+		ptsPlus := make([]int, 0, len(leaf.pts)+1)
+		ptsPlus = append(ptsPlus, leaf.pts...)
+		ptsPlus = append(ptsPlus, idx)
+		if dim, cut, ok := proposeSplit(ptsPlus, f.points, f.r); ok {
+			l, r := partitionLeaf(ptsPlus, f.points, leaf.depth, dim, cut)
+			if f.cfg.LeafModel == LinearLeaf {
+				f.attachLin(l)
+				f.attachLin(r)
+			}
+			growLW := math.Log(f.pSplit(leaf.depth)) +
+				math.Log1p(-f.pSplit(l.depth)) + f.nodeML(l.s, l.lin) +
+				math.Log1p(-f.pSplit(r.depth)) + f.nodeML(r.s, r.lin)
+			// Match the parent-level footing if prune is on the table.
+			if len(moves) == 2 {
+				growLW += math.Log(f.pSplit(parent.depth)) +
+					math.Log1p(-f.pSplit(sib.depth)) + f.nodeML(sib.s, sib.lin)
+			}
+			logw = append(logw, growLW)
+			moves = append(moves, moveGrow)
+			growDim, growCut = dim, cut
+		}
+	}
+
+	move := moveStay
+	if len(moves) > 1 {
+		move = moves[sampleLog(logw, f.r)]
+	}
+
+	switch move {
+	case moveStay:
+		leaf.pts = append(leaf.pts, idx)
+		leaf.s = sNew
+		leaf.lin = linNew
+
+	case movePrune:
+		// Parent becomes a leaf holding both children's points plus the
+		// new one.
+		merged := sNew.merge(sib.s)
+		pts := make([]int, 0, len(leaf.pts)+len(sib.pts)+1)
+		pts = append(pts, leaf.pts...)
+		pts = append(pts, sib.pts...)
+		pts = append(pts, idx)
+		parent.leaf = true
+		parent.left, parent.right = nil, nil
+		parent.pts = pts
+		parent.s = merged
+		parent.lin = mergedLin
+
+	case moveGrow:
+		ptsPlus := make([]int, 0, len(leaf.pts)+1)
+		ptsPlus = append(ptsPlus, leaf.pts...)
+		ptsPlus = append(ptsPlus, idx)
+		l, r := partitionLeaf(ptsPlus, f.points, leaf.depth, growDim, growCut)
+		if f.cfg.LeafModel == LinearLeaf {
+			f.attachLin(l)
+			f.attachLin(r)
+		}
+		leaf.leaf = false
+		leaf.pts = nil
+		leaf.s = suff{}
+		leaf.lin = nil
+		leaf.dim = growDim
+		leaf.cut = growCut
+		leaf.left, leaf.right = l, r
+	}
+	return root
+}
+
+// sampleLog samples an index proportionally to exp(logw).
+func sampleLog(logw []float64, r *rng.Stream) int {
+	maxW := math.Inf(-1)
+	for _, lw := range logw {
+		if lw > maxW {
+			maxW = lw
+		}
+	}
+	w := make([]float64, len(logw))
+	total := 0.0
+	for i, lw := range logw {
+		w[i] = math.Exp(lw - maxW)
+		total += w[i]
+	}
+	if total <= 0 || math.IsNaN(total) {
+		return 0
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, wi := range w {
+		acc += wi
+		if u < acc {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// Predict returns the posterior-predictive mean and variance at x,
+// aggregated over particles by the law of total variance.
+func (f *Forest) Predict(x []float64) (mean, variance float64) {
+	n := len(f.particles)
+	sumM, sumV, sumM2 := 0.0, 0.0, 0.0
+	for _, p := range f.particles {
+		leaf := p.leafFor(x)
+		loc, v := f.nodePredict(leaf, x)
+		sumM += loc
+		sumM2 += loc * loc
+		sumV += v
+	}
+	mean = sumM / float64(n)
+	variance = sumV/float64(n) + sumM2/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}
+
+// PredictMean returns only the posterior-predictive mean at x.
+func (f *Forest) PredictMean(x []float64) float64 {
+	sum := 0.0
+	for _, p := range f.particles {
+		leaf := p.leafFor(x)
+		loc, _ := f.nodePredict(leaf, x)
+		sum += loc
+	}
+	return sum / float64(len(f.particles))
+}
+
+// PredictMeanFast returns the posterior-predictive mean at x using the
+// scoring subsample of particles. It trades a little Monte Carlo
+// accuracy for a large speedup when evaluating learning curves over
+// thousands of test points.
+func (f *Forest) PredictMeanFast(x []float64) float64 {
+	parts := f.scoringParticles()
+	sum := 0.0
+	for _, p := range parts {
+		leaf := p.leafFor(x)
+		loc, _ := f.nodePredict(leaf, x)
+		sum += loc
+	}
+	return sum / float64(len(parts))
+}
+
+// scoringParticles returns the subset of particles used for
+// acquisition scoring (a strided subsample when ScoreParticles < N).
+func (f *Forest) scoringParticles() []*node {
+	k := f.cfg.ScoreParticles
+	if k <= 0 || k >= len(f.particles) {
+		return f.particles
+	}
+	out := make([]*node, 0, k)
+	stride := float64(len(f.particles)) / float64(k)
+	for i := 0; i < k; i++ {
+		out = append(out, f.particles[int(float64(i)*stride)])
+	}
+	return out
+}
+
+// ALM returns MacKay's active-learning score at x: the posterior
+// predictive variance. Higher is more informative.
+func (f *Forest) ALM(x []float64) float64 {
+	parts := f.scoringParticles()
+	sumM, sumV, sumM2 := 0.0, 0.0, 0.0
+	for _, p := range parts {
+		leaf := p.leafFor(x)
+		loc, v := f.nodePredict(leaf, x)
+		sumM += loc
+		sumM2 += loc * loc
+		sumV += v
+	}
+	n := float64(len(parts))
+	mean := sumM / n
+	variance := sumV/n + sumM2/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return variance
+}
+
+// ALCScores implements Cohn's heuristic as used by Algorithm 1 of the
+// paper (predictAvgModelVariance): for every candidate c it returns the
+// expected average posterior-predictive variance over the reference set
+// after hypothetically observing c once. The learner picks the
+// candidate with the LOWEST score.
+//
+// Under the NIG leaf model only reference points sharing c's leaf see
+// their variance change, which gives a closed form per (particle,
+// leaf); the implementation groups references by leaf so the cost is
+// O(particles * (|refs| + |cands|) * depth) rather than
+// O(particles * |refs| * |cands|).
+func (f *Forest) ALCScores(cands, refs [][]float64) []float64 {
+	parts := f.scoringParticles()
+	nRefs := float64(len(refs))
+	if len(refs) == 0 || len(cands) == 0 {
+		return make([]float64, len(cands))
+	}
+
+	// Current total average variance over refs, and per-particle
+	// per-leaf reference counts.
+	type leafInfo struct {
+		refCount int
+	}
+	baseAvgVar := 0.0
+	perParticle := make([]map[*node]*leafInfo, len(parts))
+	for pi, p := range parts {
+		m := make(map[*node]*leafInfo)
+		for _, r := range refs {
+			leaf := p.leafFor(r)
+			info := m[leaf]
+			if info == nil {
+				info = &leafInfo{}
+				m[leaf] = info
+			}
+			info.refCount++
+			baseAvgVar += f.prior.predVariance(leaf.s)
+		}
+		perParticle[pi] = m
+	}
+	nParts := float64(len(parts))
+	baseAvgVar /= nParts * nRefs
+
+	scores := make([]float64, len(cands))
+	for ci, c := range cands {
+		reduction := 0.0
+		for pi, p := range parts {
+			leaf := p.leafFor(c)
+			info := perParticle[pi][leaf]
+			if info == nil || info.refCount == 0 {
+				continue
+			}
+			vNow := f.prior.predVariance(leaf.s)
+			vAfter := f.prior.expectedPostVariance(leaf.s)
+			if math.IsInf(vNow, 0) || math.IsInf(vAfter, 0) {
+				continue
+			}
+			delta := vNow - vAfter
+			if delta > 0 {
+				reduction += delta * float64(info.refCount)
+			}
+		}
+		scores[ci] = baseAvgVar - reduction/(nParts*nRefs)
+	}
+	return scores
+}
+
+// AvgVariance returns the current average posterior-predictive variance
+// over the reference set, using the scoring subsample.
+func (f *Forest) AvgVariance(refs [][]float64) float64 {
+	if len(refs) == 0 {
+		return 0
+	}
+	parts := f.scoringParticles()
+	total := 0.0
+	for _, p := range parts {
+		for _, r := range refs {
+			leaf := p.leafFor(r)
+			total += f.prior.predVariance(leaf.s)
+		}
+	}
+	return total / (float64(len(parts)) * float64(len(refs)))
+}
+
+// Stats reports diagnostic aggregates over the particle cloud.
+type Stats struct {
+	Points    int
+	Particles int
+	AvgLeaves float64
+	AvgNodes  float64
+	MaxDepth  int
+}
+
+// Stats returns diagnostics about the current particle cloud.
+func (f *Forest) Stats() Stats {
+	st := Stats{Points: len(f.points), Particles: len(f.particles)}
+	for _, p := range f.particles {
+		nodes, leaves := p.countNodes()
+		st.AvgNodes += float64(nodes)
+		st.AvgLeaves += float64(leaves)
+		if d := p.maxDepth(); d > st.MaxDepth {
+			st.MaxDepth = d
+		}
+	}
+	st.AvgNodes /= float64(len(f.particles))
+	st.AvgLeaves /= float64(len(f.particles))
+	return st
+}

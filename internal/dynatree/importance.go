@@ -1,0 +1,69 @@
+package dynatree
+
+// Importance returns a per-dimension relevance score: the fraction of
+// internal (split) nodes across the particle cloud that split on each
+// input dimension. Dimensions the posterior considers irrelevant are
+// rarely split on, so their score approaches zero; scores sum to 1
+// when any split exists.
+//
+// This is the tree-ensemble analogue of automatic relevance
+// determination and is useful for inspecting which optimization
+// parameters a learned runtime model actually responds to.
+func (f *Forest) Importance(dim int) []float64 {
+	counts := make([]float64, dim)
+	total := 0.0
+	for _, p := range f.particles {
+		var walk func(nd *node)
+		walk = func(nd *node) {
+			if nd.leaf {
+				return
+			}
+			if nd.dim >= 0 && nd.dim < dim {
+				counts[nd.dim]++
+				total++
+			}
+			walk(nd.left)
+			walk(nd.right)
+		}
+		walk(p)
+	}
+	if total > 0 {
+		for i := range counts {
+			counts[i] /= total
+		}
+	}
+	return counts
+}
+
+// DepthImportance is like Importance but weights each split by
+// 2^-depth, so splits near the root (which partition more of the
+// space, and more of the data) count more.
+func (f *Forest) DepthImportance(dim int) []float64 {
+	counts := make([]float64, dim)
+	total := 0.0
+	for _, p := range f.particles {
+		var walk func(nd *node)
+		walk = func(nd *node) {
+			if nd.leaf {
+				return
+			}
+			w := 1.0
+			for d := 0; d < nd.depth && d < 62; d++ {
+				w /= 2
+			}
+			if nd.dim >= 0 && nd.dim < dim {
+				counts[nd.dim] += w
+				total += w
+			}
+			walk(nd.left)
+			walk(nd.right)
+		}
+		walk(p)
+	}
+	if total > 0 {
+		for i := range counts {
+			counts[i] /= total
+		}
+	}
+	return counts
+}

@@ -1,0 +1,72 @@
+package dynatree
+
+import (
+	"math"
+	"testing"
+
+	"alic/internal/rng"
+)
+
+func TestImportanceFindsRelevantDimension(t *testing.T) {
+	// y depends only on x0; x1 and x2 are noise dimensions.
+	cfg := smallConfig()
+	f, _ := New(cfg, 3, rng.New(41))
+	r := rng.New(42)
+	for i := 0; i < 400; i++ {
+		x := []float64{r.Float64(), r.Float64(), r.Float64()}
+		y := 1.0
+		if x[0] > 0.5 {
+			y = 4.0
+		}
+		f.Update(x, y+r.NormMS(0, 0.05))
+	}
+	imp := f.Importance(3)
+	if len(imp) != 3 {
+		t.Fatalf("importance has %d dims", len(imp))
+	}
+	sum := imp[0] + imp[1] + imp[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importance sums to %v", sum)
+	}
+	if imp[0] < imp[1]*2 || imp[0] < imp[2]*2 {
+		t.Fatalf("relevant dim not dominant: %v", imp)
+	}
+	// Depth-weighted importance should agree even more strongly: the
+	// first split is almost surely on x0.
+	dimp := f.DepthImportance(3)
+	if dimp[0] < imp[0] {
+		t.Fatalf("depth weighting should amplify the root dimension: %v vs %v", dimp, imp)
+	}
+}
+
+func TestImportanceEmptyForest(t *testing.T) {
+	f, _ := New(smallConfig(), 2, rng.New(43))
+	imp := f.Importance(2)
+	if imp[0] != 0 || imp[1] != 0 {
+		t.Fatalf("untrained forest should have zero importance, got %v", imp)
+	}
+	if d := f.DepthImportance(2); d[0] != 0 || d[1] != 0 {
+		t.Fatalf("untrained forest should have zero depth importance, got %v", d)
+	}
+}
+
+func TestImportanceNonNegativeNormalised(t *testing.T) {
+	f, _ := New(smallConfig(), 2, rng.New(44))
+	r := rng.New(45)
+	for i := 0; i < 200; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		f.Update(x, x[0]+x[1]+r.NormMS(0, 0.1))
+	}
+	for _, imp := range [][]float64{f.Importance(2), f.DepthImportance(2)} {
+		sum := 0.0
+		for _, v := range imp {
+			if v < 0 {
+				t.Fatalf("negative importance %v", imp)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("importance sums to %v", sum)
+		}
+	}
+}

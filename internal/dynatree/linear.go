@@ -1,0 +1,205 @@
+package dynatree
+
+import (
+	"math"
+
+	"alic/internal/linalg"
+	"alic/internal/stats"
+)
+
+// LeafModel selects the per-leaf regression model, mirroring the R
+// dynaTree package's "constant" and "linear" options.
+type LeafModel int
+
+const (
+	// ConstantLeaf fits a constant mean per leaf (the default, and the
+	// model the paper's experiments use).
+	ConstantLeaf LeafModel = iota
+	// LinearLeaf fits a Bayesian linear regression per leaf: fewer,
+	// larger leaves on smooth responses at a higher per-update cost.
+	LinearLeaf
+)
+
+func (m LeafModel) String() string {
+	switch m {
+	case ConstantLeaf:
+		return "constant"
+	case LinearLeaf:
+		return "linear"
+	default:
+		return "LeafModel(?)"
+	}
+}
+
+// linSuff holds the sufficient statistics of a linear leaf over
+// augmented inputs x~ = (1, x): X'X, X'y and y'y, plus a lazily
+// computed, cached posterior.
+type linSuff struct {
+	d   int // augmented dimension (1 + input dim)
+	n   int
+	xtx [][]float64
+	xty []float64
+	yty float64
+
+	// Cached posterior (valid when !dirty): Cholesky factor of
+	// Lambda_n = kappa0 I + X'X, posterior mean m_n, and b_n.
+	dirty bool
+	chol  [][]float64
+	mn    []float64
+	bn    float64
+}
+
+func newLinSuff(dim int) *linSuff {
+	d := dim + 1
+	s := &linSuff{d: d, dirty: true}
+	s.xtx = make([][]float64, d)
+	for i := range s.xtx {
+		s.xtx[i] = make([]float64, d)
+	}
+	s.xty = make([]float64, d)
+	return s
+}
+
+// aug returns the augmented input (1, x).
+func aug(x []float64) []float64 {
+	out := make([]float64, len(x)+1)
+	out[0] = 1
+	copy(out[1:], x)
+	return out
+}
+
+func (s *linSuff) add(x []float64, y float64) {
+	xa := aug(x)
+	for i := 0; i < s.d; i++ {
+		for j := 0; j <= i; j++ {
+			v := xa[i] * xa[j]
+			s.xtx[i][j] += v
+			if i != j {
+				s.xtx[j][i] += v
+			}
+		}
+		s.xty[i] += xa[i] * y
+	}
+	s.yty += y * y
+	s.n++
+	s.dirty = true
+}
+
+func (s *linSuff) clone() *linSuff {
+	cp := &linSuff{d: s.d, n: s.n, yty: s.yty, dirty: true}
+	cp.xtx = make([][]float64, s.d)
+	for i := range cp.xtx {
+		cp.xtx[i] = append([]float64(nil), s.xtx[i]...)
+	}
+	cp.xty = append([]float64(nil), s.xty...)
+	return cp
+}
+
+// merge returns a new linSuff combining s and o.
+func (s *linSuff) merge(o *linSuff) *linSuff {
+	out := s.clone()
+	for i := 0; i < out.d; i++ {
+		for j := 0; j < out.d; j++ {
+			out.xtx[i][j] += o.xtx[i][j]
+		}
+		out.xty[i] += o.xty[i]
+	}
+	out.yty += o.yty
+	out.n += o.n
+	out.dirty = true
+	return out
+}
+
+// linPrior is the Normal-Inverse-Gamma prior of the linear leaf:
+// beta | sigma^2 ~ N(beta0, sigma^2/kappa0 I) with beta0 = (m0, 0...),
+// sigma^2 ~ InvGamma(a0, b0).
+type linPrior struct {
+	m0     float64
+	kappa0 float64
+	a0     float64
+	b0     float64
+}
+
+// ensure computes (and caches) the posterior of s.
+func (p linPrior) ensure(s *linSuff) {
+	if !s.dirty && s.chol != nil {
+		return
+	}
+	lambda := make([][]float64, s.d)
+	for i := range lambda {
+		lambda[i] = append([]float64(nil), s.xtx[i]...)
+		lambda[i][i] += p.kappa0
+	}
+	chol, err := linalg.Cholesky(lambda)
+	if err != nil {
+		// The ridge kappa0 I makes Lambda SPD; failure can only come
+		// from extreme rounding. Retry with a stronger ridge.
+		for i := range lambda {
+			lambda[i][i] += 1e-8 * (1 + lambda[i][i])
+		}
+		chol, err = linalg.Cholesky(lambda)
+		if err != nil {
+			panic("dynatree: linear leaf covariance not SPD")
+		}
+	}
+	// rhs = K0 beta0 + X'y with beta0 = (m0, 0, ...).
+	rhs := append([]float64(nil), s.xty...)
+	rhs[0] += p.kappa0 * p.m0
+	mn := linalg.CholSolve(chol, rhs)
+	// b_n = b0 + (y'y + beta0'K0 beta0 - m_n' Lambda m_n)/2, and
+	// m_n' Lambda m_n = m_n . rhs.
+	bn := p.b0 + 0.5*(s.yty+p.kappa0*p.m0*p.m0-linalg.Dot(mn, rhs))
+	if bn < 1e-12 {
+		bn = 1e-12
+	}
+	s.chol = chol
+	s.mn = mn
+	s.bn = bn
+	s.dirty = false
+}
+
+func (p linPrior) an(s *linSuff) float64 { return p.a0 + float64(s.n)/2 }
+
+// logMarginal returns ln p(y_1..y_n) under the linear NIG prior.
+func (p linPrior) logMarginal(s *linSuff) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	p.ensure(s)
+	an := p.an(s)
+	n := float64(s.n)
+	d := float64(s.d)
+	return -n/2*math.Log(2*math.Pi) +
+		0.5*(d*math.Log(p.kappa0)-linalg.LogDetFromChol(s.chol)) +
+		p.a0*math.Log(p.b0) - an*math.Log(s.bn) +
+		stats.LogGamma(an) - stats.LogGamma(p.a0)
+}
+
+// predictive returns the Student-t posterior predictive at x.
+func (p linPrior) predictive(s *linSuff, x []float64) (df, loc, scale2 float64) {
+	p.ensure(s)
+	xa := aug(x)
+	an := p.an(s)
+	df = 2 * an
+	loc = linalg.Dot(s.mn, xa)
+	scale2 = s.bn / an * (1 + linalg.QuadForm(s.chol, xa))
+	return df, loc, scale2
+}
+
+// predVariance returns the predictive variance at x.
+func (p linPrior) predVariance(s *linSuff, x []float64) float64 {
+	df, _, scale2 := p.predictive(s, x)
+	if df <= 2 {
+		return math.Inf(1)
+	}
+	return scale2 * df / (df - 2)
+}
+
+// logPredictiveDensity returns ln t_df(y; loc, scale2).
+func (p linPrior) logPredictiveDensity(s *linSuff, x []float64, y float64) float64 {
+	df, loc, scale2 := p.predictive(s, x)
+	z2 := (y - loc) * (y - loc) / scale2
+	return stats.LogGamma((df+1)/2) - stats.LogGamma(df/2) -
+		0.5*math.Log(df*math.Pi*scale2) -
+		(df+1)/2*math.Log1p(z2/df)
+}

@@ -1,0 +1,221 @@
+package dynatree
+
+import (
+	"math"
+	"testing"
+
+	"alic/internal/rng"
+)
+
+func linConfig() Config {
+	c := DefaultConfig()
+	c.Particles = 60
+	c.ScoreParticles = 0
+	c.LeafModel = LinearLeaf
+	return c
+}
+
+func TestLeafModelString(t *testing.T) {
+	if ConstantLeaf.String() != "constant" || LinearLeaf.String() != "linear" {
+		t.Fatal("LeafModel strings wrong")
+	}
+}
+
+func TestLinSuffAddAndClone(t *testing.T) {
+	s := newLinSuff(2)
+	s.add([]float64{1, 2}, 3)
+	s.add([]float64{0, 1}, 1)
+	if s.n != 2 {
+		t.Fatalf("n = %d", s.n)
+	}
+	// X'X with augmented rows (1,1,2) and (1,0,1).
+	if s.xtx[0][0] != 2 || s.xtx[1][1] != 1 || s.xtx[2][2] != 5 {
+		t.Fatalf("xtx diagonal wrong: %v", s.xtx)
+	}
+	if s.xtx[0][2] != 3 || s.xtx[2][0] != 3 {
+		t.Fatalf("xtx symmetry wrong: %v", s.xtx)
+	}
+	if s.xty[0] != 4 || s.yty != 10 {
+		t.Fatalf("xty/yty wrong: %v %v", s.xty, s.yty)
+	}
+	cp := s.clone()
+	cp.add([]float64{5, 5}, 9)
+	if s.n != 2 || cp.n != 3 {
+		t.Fatal("clone shares state")
+	}
+}
+
+func TestLinSuffMerge(t *testing.T) {
+	a := newLinSuff(1)
+	a.add([]float64{1}, 2)
+	b := newLinSuff(1)
+	b.add([]float64{3}, 4)
+	m := a.merge(b)
+	whole := newLinSuff(1)
+	whole.add([]float64{1}, 2)
+	whole.add([]float64{3}, 4)
+	if m.n != whole.n || m.yty != whole.yty {
+		t.Fatal("merge counts wrong")
+	}
+	for i := range m.xtx {
+		for j := range m.xtx[i] {
+			if m.xtx[i][j] != whole.xtx[i][j] {
+				t.Fatal("merge xtx wrong")
+			}
+		}
+	}
+}
+
+func TestLinearMarginalChainRule(t *testing.T) {
+	// p(y1..yn) must equal the product of sequential predictive
+	// densities, exactly as for the constant model.
+	p := linPrior{m0: 0, kappa0: 0.5, a0: 3, b0: 2}
+	xs := [][]float64{{0.1}, {0.8}, {0.4}, {0.6}, {0.2}}
+	ys := []float64{1.1, 2.6, 1.9, 2.2, 1.3}
+	s := newLinSuff(1)
+	seq := 0.0
+	for i := range xs {
+		seq += p.logPredictiveDensity(s, xs[i], ys[i])
+		s.add(xs[i], ys[i])
+	}
+	joint := p.logMarginal(s)
+	if math.Abs(seq-joint) > 1e-9 {
+		t.Fatalf("chain rule violated: sequential %v joint %v", seq, joint)
+	}
+}
+
+func TestLinearPriorPredictive(t *testing.T) {
+	p := linPrior{m0: 5, kappa0: 1, a0: 3, b0: 2}
+	s := newLinSuff(1)
+	_, loc, scale2 := p.predictive(s, []float64{0.3})
+	// Empty leaf: prior predictive mean is the intercept prior m0.
+	if math.Abs(loc-5) > 1e-12 {
+		t.Fatalf("prior predictive loc %v, want 5", loc)
+	}
+	if scale2 <= 0 {
+		t.Fatalf("scale2 %v", scale2)
+	}
+	if v := p.predVariance(s, []float64{0.3}); v <= 0 || math.IsInf(v, 0) {
+		t.Fatalf("prior predictive variance %v", v)
+	}
+}
+
+func TestLinearLeafRecoversLine(t *testing.T) {
+	// With plenty of clean data in one leaf, the posterior slope must
+	// approach the true line.
+	p := linPrior{m0: 0, kappa0: 0.1, a0: 3, b0: 2}
+	s := newLinSuff(1)
+	r := rng.New(8)
+	for i := 0; i < 500; i++ {
+		x := r.Float64()
+		s.add([]float64{x}, 2+3*x+r.NormMS(0, 0.01))
+	}
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		_, loc, _ := p.predictive(s, []float64{x})
+		want := 2 + 3*x
+		if math.Abs(loc-want) > 0.05 {
+			t.Fatalf("at %v: predicted %v want %v", x, loc, want)
+		}
+	}
+}
+
+func TestLinearForestLearnsPiecewiseLinear(t *testing.T) {
+	// A kinked line: linear leaves should fit both segments closely.
+	f, err := New(linConfig(), 1, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := func(x float64) float64 {
+		if x < 0.5 {
+			return 1 + 2*x
+		}
+		return 3 - 2*(x-0.5)
+	}
+	r := rng.New(10)
+	for i := 0; i < 400; i++ {
+		x := r.Float64()
+		f.Update([]float64{x}, fn(x)+r.NormMS(0, 0.03))
+	}
+	sumErr, n := 0.0, 0
+	for x := 0.05; x < 1; x += 0.05 {
+		pred, v := f.Predict([]float64{x})
+		if v <= 0 || math.IsNaN(v) {
+			t.Fatalf("bad variance %v at %v", v, x)
+		}
+		sumErr += math.Abs(pred - fn(x))
+		n++
+	}
+	if avg := sumErr / float64(n); avg > 0.12 {
+		t.Fatalf("piecewise-linear MAE %v too high", avg)
+	}
+}
+
+func TestLinearBeatsConstantOnSmoothSlope(t *testing.T) {
+	// On a plain linear response, the linear leaf model should achieve
+	// lower error than constant leaves at the same budget.
+	run := func(model LeafModel) float64 {
+		cfg := linConfig()
+		cfg.LeafModel = model
+		f, _ := New(cfg, 1, rng.New(11))
+		r := rng.New(12)
+		for i := 0; i < 250; i++ {
+			x := r.Float64()
+			f.Update([]float64{x}, 5*x+r.NormMS(0, 0.05))
+		}
+		sumErr := 0.0
+		n := 0
+		for x := 0.05; x < 1; x += 0.05 {
+			pred, _ := f.Predict([]float64{x})
+			sumErr += math.Abs(pred - 5*x)
+			n++
+		}
+		return sumErr / float64(n)
+	}
+	linear := run(LinearLeaf)
+	constant := run(ConstantLeaf)
+	if linear >= constant {
+		t.Fatalf("linear leaves (%v) not better than constant (%v) on a slope",
+			linear, constant)
+	}
+}
+
+func TestLinearForestInvariants(t *testing.T) {
+	// Every leaf in every particle must carry linear stats consistent
+	// with its point count.
+	f, _ := New(linConfig(), 2, rng.New(13))
+	r := rng.New(14)
+	for i := 0; i < 120; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		f.Update(x, x[0]-x[1]+r.NormMS(0, 0.05))
+	}
+	for pi, p := range f.particles {
+		var check func(nd *node)
+		bad := false
+		check = func(nd *node) {
+			if nd.leaf {
+				if nd.lin == nil || nd.lin.n != nd.s.n {
+					bad = true
+				}
+				return
+			}
+			check(nd.left)
+			check(nd.right)
+		}
+		check(p)
+		if bad {
+			t.Fatalf("particle %d: linear stats inconsistent", pi)
+		}
+	}
+	// ALM still works (uses the linear predictive).
+	if v := f.ALM([]float64{0.5, 0.5}); v <= 0 || math.IsNaN(v) {
+		t.Fatalf("linear ALM %v", v)
+	}
+	// ALC still returns sane surrogate scores.
+	cands := [][]float64{{0.2, 0.2}, {0.8, 0.8}}
+	scores := f.ALCScores(cands, cands)
+	for _, s := range scores {
+		if s < 0 || math.IsNaN(s) {
+			t.Fatalf("linear-mode ALC score %v", s)
+		}
+	}
+}

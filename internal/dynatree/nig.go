@@ -1,0 +1,145 @@
+// Package dynatree implements dynamic trees for regression (Taddy,
+// Gramacy & Polson, JASA 2011) — the model used by the paper's active
+// learner (§3.2). A dynamic tree is a particle filter over Bayesian
+// regression trees: each particle is a recursive partition of the
+// feature space whose leaves carry a constant Gaussian model with a
+// Normal-Inverse-Gamma (NIG) conjugate prior. When a new observation
+// arrives, particles are reweighted by its posterior-predictive
+// density, resampled, and then locally perturbed by a stochastic
+// stay / prune / grow move around the leaf containing the new point —
+// the three updates shown in Figure 4 of the paper.
+//
+// The implementation provides the two acquisition heuristics used in
+// §3.3: MacKay's ALM (maximum predictive variance) and Cohn's ALC
+// (minimum expected average posterior variance over a reference set),
+// the latter in closed form under the NIG leaf model.
+//
+// Deviation from the R dynaTree package: grow moves sample a single
+// split proposal per particle (dimension uniform, cut uniform between
+// the observed extremes) instead of marginalising over every possible
+// split. This is standard SMC practice; particle diversity plays the
+// role of proposal enumeration.
+package dynatree
+
+import (
+	"math"
+
+	"alic/internal/stats"
+)
+
+// nigPrior is the Normal-Inverse-Gamma prior shared by every leaf:
+//
+//	sigma^2        ~ InvGamma(a0, b0)
+//	mu | sigma^2   ~ Normal(m0, sigma^2/kappa0)
+type nigPrior struct {
+	m0     float64
+	kappa0 float64
+	a0     float64
+	b0     float64
+}
+
+// suff holds the sufficient statistics of the observations in a leaf.
+type suff struct {
+	n     int
+	sumY  float64
+	sumY2 float64
+}
+
+func (s *suff) add(y float64) {
+	s.n++
+	s.sumY += y
+	s.sumY2 += y * y
+}
+
+func (s *suff) merge(o suff) suff {
+	return suff{n: s.n + o.n, sumY: s.sumY + o.sumY, sumY2: s.sumY2 + o.sumY2}
+}
+
+// posterior returns the NIG posterior parameters given the prior and
+// the leaf's sufficient statistics.
+func (p nigPrior) posterior(s suff) (mn, kappan, an, bn float64) {
+	n := float64(s.n)
+	kappan = p.kappa0 + n
+	an = p.a0 + n/2
+	if s.n == 0 {
+		return p.m0, kappan, an, p.b0
+	}
+	mean := s.sumY / n
+	mn = (p.kappa0*p.m0 + s.sumY) / kappan
+	// Within-leaf scatter: sum (y - ybar)^2, guarded against negative
+	// rounding for constant data.
+	ss := s.sumY2 - s.sumY*s.sumY/n
+	if ss < 0 {
+		ss = 0
+	}
+	d := mean - p.m0
+	bn = p.b0 + 0.5*ss + p.kappa0*n*d*d/(2*kappan)
+	return mn, kappan, an, bn
+}
+
+// logMarginal returns the log marginal likelihood ln p(y_1..y_n) of the
+// leaf's data under the NIG prior.
+func (p nigPrior) logMarginal(s suff) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	_, kappan, an, bn := p.posterior(s)
+	n := float64(s.n)
+	return -n/2*math.Log(2*math.Pi) +
+		0.5*(math.Log(p.kappa0)-math.Log(kappan)) +
+		p.a0*math.Log(p.b0) - an*math.Log(bn) +
+		stats.LogGamma(an) - stats.LogGamma(p.a0)
+}
+
+// predictive returns the Student-t posterior predictive for a point in
+// a leaf with statistics s: degrees of freedom, location, and squared
+// scale.
+func (p nigPrior) predictive(s suff) (df, loc, scale2 float64) {
+	mn, kappan, an, bn := p.posterior(s)
+	df = 2 * an
+	loc = mn
+	scale2 = bn * (kappan + 1) / (an * kappan)
+	return df, loc, scale2
+}
+
+// predVariance returns the posterior predictive variance of a point in
+// a leaf with statistics s: Var = scale2 * df/(df-2). Requires a0 > 1
+// so that the variance exists even for empty leaves.
+func (p nigPrior) predVariance(s suff) float64 {
+	df, _, scale2 := p.predictive(s)
+	if df <= 2 {
+		return math.Inf(1)
+	}
+	return scale2 * df / (df - 2)
+}
+
+// logPredictiveDensity returns the log density of observation y under
+// the leaf's posterior predictive Student-t distribution.
+func (p nigPrior) logPredictiveDensity(s suff, y float64) float64 {
+	df, loc, scale2 := p.predictive(s)
+	z2 := (y - loc) * (y - loc) / scale2
+	return stats.LogGamma((df+1)/2) - stats.LogGamma(df/2) -
+		0.5*math.Log(df*math.Pi*scale2) -
+		(df+1)/2*math.Log1p(z2/df)
+}
+
+// expectedPostVariance returns the expected posterior-predictive
+// variance of a point in the leaf *after* one additional observation is
+// drawn from the current predictive distribution — the closed-form
+// kernel of the ALC heuristic (Cohn, 1996) under the NIG model.
+//
+// Derivation: adding y increments kappa and a by 1 and 1/2, and b by
+// (kappa_n / (2(kappa_n+1))) (y - m_n)^2, whose predictive expectation
+// is b_n / (2(a_n - 1)). Hence E[b_{n+1}] = b_n (2a_n - 1)/(2a_n - 2).
+func (p nigPrior) expectedPostVariance(s suff) float64 {
+	_, kappan, an, bn := p.posterior(s)
+	if an <= 1 {
+		// E[b_{n+1}] requires a_n > 1 (the current predictive variance
+		// must exist).
+		return math.Inf(1)
+	}
+	eb := bn * (2*an - 1) / (2*an - 2)
+	kap1 := kappan + 1
+	a1 := an + 0.5
+	return eb * (kap1 + 1) / (kap1 * (a1 - 1))
+}

@@ -1,0 +1,183 @@
+package dynatree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"alic/internal/rng"
+)
+
+func testPrior() nigPrior {
+	return nigPrior{m0: 0, kappa0: 0.1, a0: 3, b0: 2}
+}
+
+func suffOf(ys ...float64) suff {
+	var s suff
+	for _, y := range ys {
+		s.add(y)
+	}
+	return s
+}
+
+func TestPosteriorEmptyIsPrior(t *testing.T) {
+	p := testPrior()
+	mn, kn, an, bn := p.posterior(suff{})
+	if mn != p.m0 || kn != p.kappa0 || an != p.a0 || bn != p.b0 {
+		t.Fatalf("empty posterior != prior: %v %v %v %v", mn, kn, an, bn)
+	}
+}
+
+func TestPosteriorShrinksTowardsData(t *testing.T) {
+	p := testPrior()
+	s := suffOf(10, 10, 10, 10, 10, 10, 10, 10, 10, 10)
+	mn, _, _, _ := p.posterior(s)
+	if mn <= 9 || mn >= 10 {
+		t.Fatalf("posterior mean %v should be close to (but below) 10", mn)
+	}
+	// With more data the posterior mean approaches the sample mean.
+	big := suff{}
+	for i := 0; i < 10000; i++ {
+		big.add(10)
+	}
+	mnBig, _, _, _ := p.posterior(big)
+	if math.Abs(mnBig-10) > 0.01 {
+		t.Fatalf("posterior mean with much data %v, want ~10", mnBig)
+	}
+	if math.Abs(mnBig-10) >= math.Abs(mn-10) {
+		t.Fatal("more data should shrink less")
+	}
+}
+
+func TestPredictiveVarianceDecreasesWithData(t *testing.T) {
+	p := testPrior()
+	r := rng.New(1)
+	s := suff{}
+	prev := p.predVariance(s)
+	if math.IsInf(prev, 0) || prev <= 0 {
+		t.Fatalf("prior predictive variance %v not positive finite", prev)
+	}
+	for i := 0; i < 200; i++ {
+		s.add(r.NormMS(5, 0.1))
+	}
+	after := p.predVariance(s)
+	if after >= prev {
+		t.Fatalf("variance did not decrease: %v -> %v", prev, after)
+	}
+}
+
+func TestLogMarginalAdditivity(t *testing.T) {
+	// p(y1, y2) = p(y1) p(y2 | y1): the marginal likelihood must equal
+	// the product of sequential predictive densities.
+	p := testPrior()
+	ys := []float64{1.3, -0.2, 0.7, 2.1, -1.0}
+	seq := 0.0
+	s := suff{}
+	for _, y := range ys {
+		seq += p.logPredictiveDensity(s, y)
+		s.add(y)
+	}
+	joint := p.logMarginal(s)
+	if math.Abs(seq-joint) > 1e-9 {
+		t.Fatalf("chain rule violated: sequential %v joint %v", seq, joint)
+	}
+}
+
+func TestLogMarginalFiniteProperty(t *testing.T) {
+	p := testPrior()
+	if err := quick.Check(func(raw []int8) bool {
+		s := suff{}
+		for _, v := range raw {
+			s.add(float64(v) / 8)
+		}
+		lm := p.logMarginal(s)
+		return !math.IsNaN(lm) && !math.IsInf(lm, 1)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictiveDensityIntegratesToOne(t *testing.T) {
+	// Numerically integrate the predictive density over a wide grid.
+	p := testPrior()
+	s := suffOf(0.5, 1.5, 1.0, 0.8)
+	const lo, hi, steps = -60.0, 60.0, 240000
+	h := (hi - lo) / steps
+	total := 0.0
+	for i := 0; i < steps; i++ {
+		y := lo + (float64(i)+0.5)*h
+		total += math.Exp(p.logPredictiveDensity(s, y)) * h
+	}
+	if math.Abs(total-1) > 1e-3 {
+		t.Fatalf("predictive density integrates to %v", total)
+	}
+}
+
+func TestPredictiveVarianceMatchesDensity(t *testing.T) {
+	// The closed-form predictive variance must match the second moment
+	// of the predictive density.
+	p := testPrior()
+	s := suffOf(2.0, 2.5, 1.5, 2.2, 1.8, 2.1)
+	_, loc, _ := p.predictive(s)
+	want := p.predVariance(s)
+	const lo, hi, steps = -80.0, 80.0, 320000
+	h := (hi - lo) / steps
+	m2 := 0.0
+	for i := 0; i < steps; i++ {
+		y := lo + (float64(i)+0.5)*h
+		d := y - loc
+		m2 += d * d * math.Exp(p.logPredictiveDensity(s, y)) * h
+	}
+	if math.Abs(m2-want)/want > 0.02 {
+		t.Fatalf("density variance %v, closed form %v", m2, want)
+	}
+}
+
+func TestExpectedPostVarianceReducesVariance(t *testing.T) {
+	p := testPrior()
+	if err := quick.Check(func(raw []int8) bool {
+		s := suff{}
+		for _, v := range raw {
+			s.add(float64(v) / 4)
+		}
+		now := p.predVariance(s)
+		after := p.expectedPostVariance(s)
+		// One extra observation must reduce expected variance.
+		return after < now
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedPostVarianceMonteCarlo(t *testing.T) {
+	// Verify the closed-form ALC kernel against Monte Carlo: draw y from
+	// the predictive, add it, and average the resulting variance.
+	p := testPrior()
+	s := suffOf(1.0, 2.0, 1.5, 1.2, 1.8)
+	want := p.expectedPostVariance(s)
+
+	df, loc, scale2 := p.predictive(s)
+	r := rng.New(42)
+	const trials = 400000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		y := loc + math.Sqrt(scale2)*r.StudentT(df)
+		s2 := s
+		s2.add(y)
+		sum += p.predVariance(s2)
+	}
+	got := sum / trials
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("Monte Carlo %v, closed form %v", got, want)
+	}
+}
+
+func TestSuffMerge(t *testing.T) {
+	a := suffOf(1, 2, 3)
+	b := suffOf(4, 5)
+	m := a.merge(b)
+	want := suffOf(1, 2, 3, 4, 5)
+	if m != want {
+		t.Fatalf("merge = %+v want %+v", m, want)
+	}
+}

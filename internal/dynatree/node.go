@@ -1,0 +1,186 @@
+package dynatree
+
+import (
+	"alic/internal/rng"
+)
+
+// point is one training observation owned by the Forest; particles
+// reference points by index so the feature vectors are stored once.
+type point struct {
+	x []float64
+	y float64
+}
+
+// node is a tree node. Internal nodes carry a split (dim, cut); leaves
+// carry the indices of the points they contain plus their sufficient
+// statistics. Points with x[dim] < cut descend left, others right.
+type node struct {
+	depth int
+
+	// Internal-node fields.
+	dim         int
+	cut         float64
+	left, right *node
+
+	// Leaf fields.
+	leaf bool
+	pts  []int
+	s    suff
+	// lin holds the linear-leaf sufficient statistics (nil when the
+	// forest uses the constant leaf model).
+	lin *linSuff
+}
+
+func newLeaf(depth int) *node {
+	return &node{depth: depth, leaf: true}
+}
+
+// clone deep-copies the subtree.
+func (nd *node) clone() *node {
+	cp := &node{
+		depth: nd.depth,
+		dim:   nd.dim,
+		cut:   nd.cut,
+		leaf:  nd.leaf,
+		s:     nd.s,
+	}
+	if nd.leaf {
+		cp.pts = make([]int, len(nd.pts))
+		copy(cp.pts, nd.pts)
+		if nd.lin != nil {
+			cp.lin = nd.lin.clone()
+		}
+		return cp
+	}
+	cp.left = nd.left.clone()
+	cp.right = nd.right.clone()
+	return cp
+}
+
+// descend returns the leaf containing x and its parent (nil for root).
+func (nd *node) descend(x []float64) (leaf, parent *node) {
+	var p *node
+	cur := nd
+	for !cur.leaf {
+		p = cur
+		if x[cur.dim] < cur.cut {
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+	}
+	return cur, p
+}
+
+// leafFor returns the leaf containing x.
+func (nd *node) leafFor(x []float64) *node {
+	l, _ := nd.descend(x)
+	return l
+}
+
+// addPoint routes point idx (with features x, target y) to its leaf and
+// updates the sufficient statistics along the way.
+func (nd *node) addPoint(idx int, x []float64, y float64) *node {
+	cur := nd
+	for !cur.leaf {
+		if x[cur.dim] < cur.cut {
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+	}
+	cur.pts = append(cur.pts, idx)
+	cur.s.add(y)
+	return cur
+}
+
+// countNodes returns the number of nodes and leaves in the subtree.
+func (nd *node) countNodes() (nodes, leaves int) {
+	if nd.leaf {
+		return 1, 1
+	}
+	ln, ll := nd.left.countNodes()
+	rn, rl := nd.right.countNodes()
+	return ln + rn + 1, ll + rl
+}
+
+// maxDepth returns the maximum leaf depth in the subtree.
+func (nd *node) maxDepth() int {
+	if nd.leaf {
+		return nd.depth
+	}
+	l, r := nd.left.maxDepth(), nd.right.maxDepth()
+	if l > r {
+		return l
+	}
+	return r
+}
+
+// proposeSplit samples a grow proposal for the leaf: a dimension chosen
+// uniformly among dimensions where the leaf's points are not constant,
+// and a cut drawn uniformly between the observed minimum and maximum in
+// that dimension. Returns ok=false if no dimension admits a split.
+func proposeSplit(leafPts []int, points []point, r *rng.Stream) (dim int, cut float64, ok bool) {
+	if len(leafPts) < 2 {
+		return 0, 0, false
+	}
+	d := len(points[leafPts[0]].x)
+	// Collect splittable dimensions.
+	var splittable []int
+	for j := 0; j < d; j++ {
+		lo, hi := points[leafPts[0]].x[j], points[leafPts[0]].x[j]
+		for _, idx := range leafPts[1:] {
+			v := points[idx].x[j]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi > lo {
+			splittable = append(splittable, j)
+		}
+	}
+	if len(splittable) == 0 {
+		return 0, 0, false
+	}
+	dim = splittable[r.Intn(len(splittable))]
+	lo, hi := points[leafPts[0]].x[dim], points[leafPts[0]].x[dim]
+	for _, idx := range leafPts[1:] {
+		v := points[idx].x[dim]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	// Uniform cut strictly inside (lo, hi): both extremes end up on
+	// opposite sides, so neither child is empty.
+	for i := 0; i < 8; i++ {
+		cut = lo + r.Float64()*(hi-lo)
+		if cut > lo && cut < hi {
+			return dim, cut, true
+		}
+	}
+	// Degenerate floating-point range.
+	return 0, 0, false
+}
+
+// partitionLeaf materialises the two children a grow move would create,
+// without mutating the original leaf.
+func partitionLeaf(leafPts []int, points []point, depth, dim int, cut float64) (left, right *node) {
+	left = newLeaf(depth + 1)
+	right = newLeaf(depth + 1)
+	for _, idx := range leafPts {
+		if points[idx].x[dim] < cut {
+			left.pts = append(left.pts, idx)
+			left.s.add(points[idx].y)
+		} else {
+			right.pts = append(right.pts, idx)
+			right.s.add(points[idx].y)
+		}
+	}
+	return left, right
+}

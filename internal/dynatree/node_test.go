@@ -1,0 +1,195 @@
+package dynatree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"alic/internal/rng"
+)
+
+func mkPoints(xs [][]float64, ys []float64) []point {
+	pts := make([]point, len(xs))
+	for i := range xs {
+		pts[i] = point{x: xs[i], y: ys[i]}
+	}
+	return pts
+}
+
+func TestDescendRoutesCorrectly(t *testing.T) {
+	// Manual two-level tree: split dim0 at 0.5, right child splits dim1
+	// at 0.3.
+	root := &node{dim: 0, cut: 0.5}
+	root.left = newLeaf(1)
+	root.right = &node{depth: 1, dim: 1, cut: 0.3}
+	root.right.left = newLeaf(2)
+	root.right.right = newLeaf(2)
+
+	cases := []struct {
+		x    []float64
+		want *node
+	}{
+		{[]float64{0.2, 0.9}, root.left},
+		{[]float64{0.7, 0.1}, root.right.left},
+		{[]float64{0.7, 0.8}, root.right.right},
+		{[]float64{0.5, 0.3}, root.right.right}, // boundary goes right
+	}
+	for _, c := range cases {
+		leaf, _ := root.descend(c.x)
+		if leaf != c.want {
+			t.Fatalf("descend(%v) went to wrong leaf", c.x)
+		}
+	}
+}
+
+func TestDescendParent(t *testing.T) {
+	root := &node{dim: 0, cut: 0.5}
+	root.left = newLeaf(1)
+	root.right = newLeaf(1)
+	leaf, parent := root.descend([]float64{0.1})
+	if leaf != root.left || parent != root {
+		t.Fatal("descend returned wrong leaf/parent pair")
+	}
+	// Root-leaf case: nil parent.
+	solo := newLeaf(0)
+	leaf, parent = solo.descend([]float64{0.1})
+	if leaf != solo || parent != nil {
+		t.Fatal("root leaf should have nil parent")
+	}
+}
+
+func TestAddPointUpdatesStats(t *testing.T) {
+	root := &node{dim: 0, cut: 0.0}
+	root.left = newLeaf(1)
+	root.right = newLeaf(1)
+	pts := []point{{x: []float64{-1}, y: 2}, {x: []float64{1}, y: 4}}
+	root.addPoint(0, pts[0].x, pts[0].y)
+	root.addPoint(1, pts[1].x, pts[1].y)
+	if root.left.s.n != 1 || root.left.s.sumY != 2 {
+		t.Fatalf("left stats %+v", root.left.s)
+	}
+	if root.right.s.n != 1 || root.right.s.sumY != 4 {
+		t.Fatalf("right stats %+v", root.right.s)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	root := &node{dim: 0, cut: 0.5}
+	root.left = newLeaf(1)
+	root.left.pts = []int{0, 1}
+	root.left.s = suffOf(1, 2)
+	root.right = newLeaf(1)
+
+	cp := root.clone()
+	// Mutating the clone must not affect the original.
+	cp.left.pts = append(cp.left.pts, 99)
+	cp.left.s.add(50)
+	cp.cut = 0.9
+	if len(root.left.pts) != 2 || root.left.s.n != 2 || root.cut != 0.5 {
+		t.Fatal("clone shared state with original")
+	}
+}
+
+func TestProposeSplitSeparatesChildren(t *testing.T) {
+	r := rng.New(3)
+	xs := [][]float64{{0, 5}, {1, 5}, {2, 5}, {3, 5}}
+	ys := []float64{1, 2, 3, 4}
+	pts := mkPoints(xs, ys)
+	leafPts := []int{0, 1, 2, 3}
+	for i := 0; i < 100; i++ {
+		dim, cut, ok := proposeSplit(leafPts, pts, r)
+		if !ok {
+			t.Fatal("split should be possible")
+		}
+		if dim != 0 {
+			t.Fatalf("dim 1 is constant; proposed dim %d", dim)
+		}
+		l, rr := partitionLeaf(leafPts, pts, 0, dim, cut)
+		if l.s.n == 0 || rr.s.n == 0 {
+			t.Fatalf("empty child with cut %v", cut)
+		}
+		if l.s.n+rr.s.n != 4 {
+			t.Fatal("children lost points")
+		}
+	}
+}
+
+func TestProposeSplitConstantLeaf(t *testing.T) {
+	r := rng.New(4)
+	xs := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	pts := mkPoints(xs, []float64{1, 2, 3})
+	if _, _, ok := proposeSplit([]int{0, 1, 2}, pts, r); ok {
+		t.Fatal("split proposed for constant features")
+	}
+}
+
+func TestProposeSplitSinglePoint(t *testing.T) {
+	r := rng.New(5)
+	pts := mkPoints([][]float64{{1}}, []float64{1})
+	if _, _, ok := proposeSplit([]int{0}, pts, r); ok {
+		t.Fatal("split proposed for single point")
+	}
+}
+
+func TestPartitionPreservesSuffStats(t *testing.T) {
+	if err := quick.Check(func(raw []int8, seed uint32) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		r := rng.New(uint64(seed))
+		xs := make([][]float64, len(raw))
+		ys := make([]float64, len(raw))
+		var whole suff
+		for i, v := range raw {
+			xs[i] = []float64{float64(v), float64(i % 3)}
+			ys[i] = float64(v) / 2
+			whole.add(ys[i])
+		}
+		pts := mkPoints(xs, ys)
+		idx := make([]int, len(raw))
+		for i := range idx {
+			idx[i] = i
+		}
+		dim, cut, ok := proposeSplit(idx, pts, r)
+		if !ok {
+			return true
+		}
+		l, rr := partitionLeaf(idx, pts, 0, dim, cut)
+		m := l.s.merge(rr.s)
+		return m.n == whole.n &&
+			almostEq(m.sumY, whole.sumY) && almostEq(m.sumY2, whole.sumY2) &&
+			l.depth == 1 && rr.depth == 1 && l.s.n > 0 && rr.s.n > 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func almostEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := 1.0
+	if a > 1 || a < -1 {
+		if a < 0 {
+			scale = -a
+		} else {
+			scale = a
+		}
+	}
+	return d <= 1e-9*scale
+}
+
+func TestCountNodesAndDepth(t *testing.T) {
+	root := &node{dim: 0, cut: 0.5}
+	root.left = newLeaf(1)
+	root.right = &node{depth: 1, dim: 1, cut: 0.3}
+	root.right.left = newLeaf(2)
+	root.right.right = newLeaf(2)
+	nodes, leaves := root.countNodes()
+	if nodes != 5 || leaves != 3 {
+		t.Fatalf("nodes=%d leaves=%d", nodes, leaves)
+	}
+	if d := root.maxDepth(); d != 2 {
+		t.Fatalf("maxDepth=%d", d)
+	}
+}

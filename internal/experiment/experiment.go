@@ -1,0 +1,358 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (§5):
+//
+//   - Table 1 / Figure 5: lowest common RMSE, profiling cost of the
+//     fixed-35 baseline vs the variable-observation approach, per-kernel
+//     speed-ups and their geometric mean.
+//   - Table 2: spread of runtime variance and 95% CI/mean ratios at 35
+//     and 5 observations per configuration.
+//   - Figure 1: MAE over the mm unroll plane for one sample vs the
+//     per-point optimal sample count.
+//   - Figure 2: runtime vs unroll factor for adi with single samples.
+//   - Figure 6: RMSE vs cumulative profiling cost for the three
+//     sampling plans.
+//
+// Absolute costs differ from the paper (the substrate is a simulator,
+// not the authors' testbed); the comparisons target the paper's
+// qualitative shape: who wins, by roughly what factor, and where the
+// crossovers fall. See EXPERIMENTS.md for the recorded outcomes.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"alic/internal/core"
+	"alic/internal/dataset"
+	"alic/internal/dynatree"
+	"alic/internal/spapt"
+	"alic/internal/stats"
+)
+
+// Settings scales the experiments. PaperSettings reproduces §4.4/§4.5
+// exactly; FastSettings is a laptop-scale variant that preserves the
+// qualitative results.
+type Settings struct {
+	// NInit, NObs, NCand, NMax parameterise Algorithm 1 (§4.4).
+	NInit, NObs, NCand, NMax int
+	// Particles and ScoreParticles size the dynamic-tree cloud.
+	Particles, ScoreParticles int
+	// Reps is the number of repetitions averaged (paper: 10).
+	Reps int
+	// PoolConfigs/TestConfigs split the dataset (paper: 7500/2500).
+	PoolConfigs, TestConfigs int
+	// EvalEvery is the learning-curve sampling interval (acquisitions).
+	EvalEvery int
+	// Seed is the base seed; repetition r uses Seed+r.
+	Seed uint64
+	// Workers bounds the number of concurrent learning runs
+	// (0 = GOMAXPROCS). Runs are independent and deterministic per
+	// (strategy, repetition), so parallelism does not change results.
+	Workers int
+}
+
+// PaperSettings returns the paper's experimental parameters (§4.4,
+// §4.5). Running all of Table 1 at this scale takes hours of CPU.
+func PaperSettings() Settings {
+	return Settings{
+		NInit: 5, NObs: 35, NCand: 500, NMax: 2500,
+		Particles: 5000, ScoreParticles: 250,
+		Reps:        10,
+		PoolConfigs: 7500, TestConfigs: 2500,
+		EvalEvery: 50,
+		Seed:      1,
+	}
+}
+
+// FastSettings returns a scaled-down configuration that finishes the
+// full Table 1 in minutes while preserving the paper's qualitative
+// results (orderings and approximate speed-up bands).
+func FastSettings() Settings {
+	return Settings{
+		NInit: 5, NObs: 35, NCand: 120, NMax: 320,
+		Particles: 300, ScoreParticles: 50,
+		Reps:        3,
+		PoolConfigs: 1600, TestConfigs: 500,
+		EvalEvery: 16,
+		Seed:      1,
+	}
+}
+
+func (s Settings) validate() error {
+	if s.NInit < 1 || s.NObs < 1 || s.NCand < 1 || s.NMax < s.NInit {
+		return fmt.Errorf("experiment: bad learner budgets %+v", s)
+	}
+	if s.Particles < 1 || s.Reps < 1 || s.EvalEvery < 1 {
+		return fmt.Errorf("experiment: bad model/rep settings %+v", s)
+	}
+	if s.PoolConfigs < s.NInit || s.TestConfigs < 1 {
+		return fmt.Errorf("experiment: bad dataset sizes %+v", s)
+	}
+	return nil
+}
+
+// Strategy identifies the three sampling plans of §4.3.
+type Strategy int
+
+const (
+	// AllObservations is the fixed 35-observation baseline of [4].
+	AllObservations Strategy = iota
+	// OneObservation is the fixed single-observation variant.
+	OneObservation
+	// VariableObservations is the paper's contribution.
+	VariableObservations
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case AllObservations:
+		return "all observations"
+	case OneObservation:
+		return "one observation"
+	case VariableObservations:
+		return "variable observations"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Strategies lists the three plans in the paper's plotting order.
+func Strategies() []Strategy {
+	return []Strategy{AllObservations, OneObservation, VariableObservations}
+}
+
+// learnerOptions maps a strategy to core options under the settings.
+func (s Settings) learnerOptions(strat Strategy, rep int) core.Options {
+	tree := dynatree.DefaultConfig()
+	tree.Particles = s.Particles
+	tree.ScoreParticles = s.ScoreParticles
+	opts := core.Options{
+		NInit:     s.NInit,
+		NObs:      s.NObs,
+		NCand:     s.NCand,
+		NMax:      s.NMax,
+		Batch:     1,
+		Scorer:    core.ALC,
+		Tree:      tree,
+		EvalEvery: s.EvalEvery,
+		Seed:      s.Seed + uint64(rep)*1000003,
+	}
+	switch strat {
+	case AllObservations:
+		opts.Plan = core.FixedPlan
+		opts.PlanObs = s.NObs
+	case OneObservation:
+		opts.Plan = core.FixedPlan
+		opts.PlanObs = 1
+	case VariableObservations:
+		opts.Plan = core.VariablePlan
+		opts.PlanObs = 1
+	}
+	return opts
+}
+
+// Curve is an averaged learning curve: Cost[i] is the mean cumulative
+// profiling cost and Error[i] the mean test RMSE at the i-th
+// evaluation point.
+type Curve struct {
+	Strategy Strategy
+	Cost     []float64
+	Error    []float64
+}
+
+// MinError returns the lowest error the curve reaches.
+func (c Curve) MinError() float64 {
+	min := math.Inf(1)
+	for _, e := range c.Error {
+		if e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// CostToReach returns the first cumulative cost at which the curve's
+// error drops to level or below, or +Inf if it never does.
+func (c Curve) CostToReach(level float64) float64 {
+	for i, e := range c.Error {
+		if e <= level+1e-15 {
+			return c.Cost[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// BenchmarkCurves holds the averaged curves of every strategy for one
+// kernel.
+type BenchmarkCurves struct {
+	Kernel *spapt.Kernel
+	Curves map[Strategy]Curve
+}
+
+// datasetOracle adapts a dataset's training pool to core.Oracle with
+// §4.3 cost accounting.
+type datasetOracle struct {
+	ds   *dataset.Dataset
+	obs  map[int]int
+	cost float64
+}
+
+func (o *datasetOracle) Observe(i int) (float64, error) {
+	idx := o.ds.TrainIdx[i]
+	n := o.obs[idx]
+	if n == 0 {
+		o.cost += o.ds.CompileTime[idx]
+	}
+	y := o.ds.Observe(idx, n)
+	o.obs[idx] = n + 1
+	o.cost += y
+	return y, nil
+}
+
+func (o *datasetOracle) Cost() float64 { return o.cost }
+
+// buildDataset generates the kernel's corpus under the settings.
+func buildDataset(k *spapt.Kernel, s Settings) (*dataset.Dataset, error) {
+	total := s.PoolConfigs + s.TestConfigs
+	return dataset.Generate(k, dataset.Options{
+		NConfigs:  total,
+		NObs:      s.NObs,
+		TrainFrac: float64(s.PoolConfigs) / float64(total),
+		Seed:      s.Seed,
+	})
+}
+
+// RunCurves runs every strategy Reps times on the kernel and returns
+// rep-averaged learning curves.
+func RunCurves(k *spapt.Kernel, s Settings, progress func(string)) (*BenchmarkCurves, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	ds, err := buildDataset(k, s)
+	if err != nil {
+		return nil, err
+	}
+	pool := make(core.SlicePool, len(ds.TrainIdx))
+	for i, idx := range ds.TrainIdx {
+		pool[i] = ds.Features[idx]
+	}
+	testX := ds.TestFeatures()
+	testY := ds.TestTargets()
+	eval := func(m *dynatree.Forest) float64 {
+		pred := make([]float64, len(testX))
+		for i, x := range testX {
+			pred[i] = m.PredictMeanFast(x)
+		}
+		return stats.RMSE(pred, testY)
+	}
+
+	// Every (strategy, repetition) run is independent and seeded
+	// deterministically, so they execute concurrently.
+	type job struct {
+		strat Strategy
+		rep   int
+	}
+	type outcome struct {
+		job   job
+		curve []core.CurvePoint
+		err   error
+	}
+	var jobs []job
+	for _, strat := range Strategies() {
+		for rep := 0; rep < s.Reps; rep++ {
+			jobs = append(jobs, job{strat, rep})
+		}
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var mu sync.Mutex
+	report := func(msg string) {
+		if progress == nil {
+			return
+		}
+		mu.Lock()
+		progress(msg)
+		mu.Unlock()
+	}
+
+	jobCh := make(chan job)
+	outCh := make(chan outcome, len(jobs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				report(fmt.Sprintf("%s: %v rep %d/%d", k.Name, j.strat, j.rep+1, s.Reps))
+				oracle := &datasetOracle{ds: ds, obs: make(map[int]int)}
+				learner, err := core.New(s.learnerOptions(j.strat, j.rep), pool, oracle, eval)
+				if err != nil {
+					outCh <- outcome{job: j, err: err}
+					continue
+				}
+				res, err := learner.Run()
+				if err != nil {
+					outCh <- outcome{job: j, err: err}
+					continue
+				}
+				if len(res.Curve) == 0 {
+					outCh <- outcome{job: j, err: fmt.Errorf("experiment: empty curve for %s/%v", k.Name, j.strat)}
+					continue
+				}
+				outCh <- outcome{job: j, curve: res.Curve}
+			}
+		}()
+	}
+	go func() {
+		for _, j := range jobs {
+			jobCh <- j
+		}
+		close(jobCh)
+		wg.Wait()
+		close(outCh)
+	}()
+
+	curvesByStrat := make(map[Strategy][][]core.CurvePoint)
+	for o := range outCh {
+		if o.err != nil {
+			return nil, o.err
+		}
+		curvesByStrat[o.job.strat] = append(curvesByStrat[o.job.strat], o.curve)
+	}
+
+	out := &BenchmarkCurves{Kernel: k, Curves: make(map[Strategy]Curve)}
+	for _, strat := range Strategies() {
+		runs := curvesByStrat[strat]
+		points := len(runs[0])
+		for _, c := range runs {
+			if len(c) < points {
+				points = len(c)
+			}
+		}
+		c := Curve{
+			Strategy: strat,
+			Cost:     make([]float64, points),
+			Error:    make([]float64, points),
+		}
+		for _, run := range runs {
+			for i := 0; i < points; i++ {
+				c.Cost[i] += run[i].Cost
+				c.Error[i] += run[i].Error
+			}
+		}
+		for i := 0; i < points; i++ {
+			c.Cost[i] /= float64(len(runs))
+			c.Error[i] /= float64(len(runs))
+		}
+		out.Curves[strat] = c
+	}
+	return out, nil
+}

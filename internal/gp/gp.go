@@ -1,0 +1,149 @@
+// Package gp implements an exact Gaussian-process regressor with a
+// squared-exponential kernel and Gaussian observation noise. Section
+// 3.2 of the paper cites GPs as the "collective wisdom" model for
+// uncertainty-aware regression and rejects them for active learning
+// because exact inference costs O(n^3) per refit; the dynamic tree is
+// the cheap alternative. This package exists to make that comparison
+// concrete: the ablation benchmarks pit it against internal/dynatree on
+// identical data (BenchmarkAblationGP).
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"alic/internal/linalg"
+)
+
+// Config holds the GP hyperparameters.
+type Config struct {
+	// LengthScale of the squared-exponential kernel.
+	LengthScale float64
+	// SignalVar is the kernel's signal variance.
+	SignalVar float64
+	// NoiseVar is the observation noise variance (jitter).
+	NoiseVar float64
+}
+
+// DefaultConfig returns mild, broadly usable hyperparameters for
+// standardised inputs.
+func DefaultConfig() Config {
+	return Config{LengthScale: 0.5, SignalVar: 1.0, NoiseVar: 0.01}
+}
+
+func (c Config) validate() error {
+	if c.LengthScale <= 0 || c.SignalVar <= 0 || c.NoiseVar <= 0 {
+		return fmt.Errorf("gp: hyperparameters must be positive: %+v", c)
+	}
+	return nil
+}
+
+// GP is an exact Gaussian-process regressor. Fit cost is O(n^3); the
+// model must be refit from scratch whenever data are added (the cost
+// the paper's dynamic trees avoid).
+type GP struct {
+	cfg   Config
+	xs    [][]float64
+	ys    []float64
+	chol  [][]float64 // Cholesky factor of K + noise*I
+	alpha []float64   // (K + noise*I)^-1 y
+	meanY float64
+}
+
+// New returns an unfitted GP.
+func New(cfg Config) (*GP, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &GP{cfg: cfg}, nil
+}
+
+// kernel evaluates the squared-exponential covariance.
+func (g *GP) kernel(a, b []float64) float64 {
+	d2 := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return g.cfg.SignalVar * math.Exp(-d2/(2*g.cfg.LengthScale*g.cfg.LengthScale))
+}
+
+// Fit trains the GP on the given data, replacing any previous fit.
+func (g *GP) Fit(xs [][]float64, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("gp: %d inputs vs %d targets", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return fmt.Errorf("gp: empty training set")
+	}
+	n := len(xs)
+	g.xs = make([][]float64, n)
+	g.ys = make([]float64, n)
+	for i := range xs {
+		g.xs[i] = append([]float64(nil), xs[i]...)
+	}
+	copy(g.ys, ys)
+
+	// Centre targets for a zero-mean prior.
+	g.meanY = 0
+	for _, y := range ys {
+		g.meanY += y
+	}
+	g.meanY /= float64(n)
+
+	// Build K + noise I.
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := g.kernel(g.xs[i], g.xs[j])
+			k[i][j] = v
+			k[j][i] = v
+		}
+		k[i][i] += g.cfg.NoiseVar
+	}
+
+	chol, err := linalg.Cholesky(k)
+	if err != nil {
+		return err
+	}
+	g.chol = chol
+
+	// alpha = K^-1 (y - mean): solve L L^T alpha = r.
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = g.ys[i] - g.meanY
+	}
+	g.alpha = linalg.CholSolve(chol, r)
+	return nil
+}
+
+// N returns the number of training points.
+func (g *GP) N() int { return len(g.xs) }
+
+// Predict returns the posterior mean and variance at x. It panics if
+// the GP has not been fitted.
+func (g *GP) Predict(x []float64) (mean, variance float64) {
+	if g.chol == nil {
+		panic("gp: Predict before Fit")
+	}
+	n := len(g.xs)
+	kstar := make([]float64, n)
+	for i := range kstar {
+		kstar[i] = g.kernel(x, g.xs[i])
+	}
+	mean = g.meanY
+	for i := range kstar {
+		mean += kstar[i] * g.alpha[i]
+	}
+	// v = L^-1 kstar; variance = k(x,x) - v.v
+	v := linalg.ForwardSolve(g.chol, kstar)
+	variance = g.kernel(x, x) + g.cfg.NoiseVar
+	for i := range v {
+		variance -= v[i] * v[i]
+	}
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}

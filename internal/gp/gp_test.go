@@ -1,0 +1,119 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"alic/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{LengthScale: 0, SignalVar: 1, NoiseVar: 1},
+		{LengthScale: 1, SignalVar: 0, NoiseVar: 1},
+		{LengthScale: 1, SignalVar: 1, NoiseVar: 0},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	g, _ := New(DefaultConfig())
+	if err := g.Fit(nil, nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+	if err := g.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestPredictPanicsBeforeFit(t *testing.T) {
+	g, _ := New(DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	g.Predict([]float64{0})
+}
+
+func TestInterpolatesTrainingData(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoiseVar = 1e-6
+	g, _ := New(cfg)
+	xs := [][]float64{{0}, {0.25}, {0.5}, {0.75}, {1}}
+	ys := []float64{1, 2, 0.5, 3, 2.5}
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		m, v := g.Predict(x)
+		if math.Abs(m-ys[i]) > 0.01 {
+			t.Fatalf("at %v: predicted %v want %v", x, m, ys[i])
+		}
+		if v > 0.01 {
+			t.Fatalf("variance at training point %v too high: %v", x, v)
+		}
+	}
+}
+
+func TestVarianceGrowsAwayFromData(t *testing.T) {
+	g, _ := New(DefaultConfig())
+	xs := [][]float64{{0.4}, {0.5}, {0.6}}
+	ys := []float64{1, 1, 1}
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	_, near := g.Predict([]float64{0.5})
+	_, far := g.Predict([]float64{3.0})
+	if far <= near {
+		t.Fatalf("variance far (%v) not above near (%v)", far, near)
+	}
+}
+
+func TestLearnsSmoothFunction(t *testing.T) {
+	g, _ := New(Config{LengthScale: 0.3, SignalVar: 1, NoiseVar: 1e-4})
+	r := rng.New(3)
+	var xs [][]float64
+	var ys []float64
+	fn := func(x float64) float64 { return math.Sin(4 * x) }
+	for i := 0; i < 40; i++ {
+		x := r.Float64()
+		xs = append(xs, []float64{x})
+		ys = append(ys, fn(x))
+	}
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.05; x < 1; x += 0.1 {
+		m, _ := g.Predict([]float64{x})
+		if math.Abs(m-fn(x)) > 0.1 {
+			t.Fatalf("at %v: predicted %v want %v", x, m, fn(x))
+		}
+	}
+}
+
+func TestFitCopiesInputs(t *testing.T) {
+	g, _ := New(DefaultConfig())
+	xs := [][]float64{{0.1}, {0.9}}
+	ys := []float64{1, 2}
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := g.Predict([]float64{0.1})
+	xs[0][0] = 0.9 // caller mutates its slice
+	ys[0] = 99
+	after, _ := g.Predict([]float64{0.1})
+	if before != after {
+		t.Fatal("GP shares memory with caller")
+	}
+	if g.N() != 2 {
+		t.Fatalf("N = %d", g.N())
+	}
+}

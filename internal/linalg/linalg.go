@@ -1,0 +1,96 @@
+// Package linalg provides the small dense linear-algebra kernels the
+// Bayesian models need: Cholesky factorisation of symmetric
+// positive-definite matrices, triangular solves, and log-determinants.
+// Matrices are [][]float64, row-major, and small (tens of rows), so
+// clarity beats blocking.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky returns the lower-triangular factor L with A = L L^T. It
+// fails if A is not positive definite.
+func Cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("linalg: not positive definite at row %d", i)
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// ForwardSolve solves L v = b for lower-triangular L.
+func ForwardSolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * v[k]
+		}
+		v[i] = sum / l[i][i]
+	}
+	return v
+}
+
+// BackSolve solves L^T x = b for lower-triangular L.
+func BackSolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k][i] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x
+}
+
+// CholSolve solves (L L^T) x = b.
+func CholSolve(l [][]float64, b []float64) []float64 {
+	return BackSolve(l, ForwardSolve(l, b))
+}
+
+// LogDetFromChol returns ln det(A) given A's Cholesky factor.
+func LogDetFromChol(l [][]float64) float64 {
+	sum := 0.0
+	for i := range l {
+		sum += math.Log(l[i][i])
+	}
+	return 2 * sum
+}
+
+// Dot returns the inner product of two vectors.
+func Dot(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}
+
+// QuadForm returns x^T A^{-1} x given A's Cholesky factor L: it solves
+// L v = x and returns v.v.
+func QuadForm(l [][]float64, x []float64) float64 {
+	v := ForwardSolve(l, x)
+	return Dot(v, v)
+}

@@ -1,0 +1,110 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"alic/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCholeskyKnown(t *testing.T) {
+	l, err := Cholesky([][]float64{{4, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(l[0][0], 2, 1e-12) || !almostEq(l[1][0], 1, 1e-12) ||
+		!almostEq(l[1][1], math.Sqrt(2), 1e-12) {
+		t.Fatalf("factor %v", l)
+	}
+	if _, err := Cholesky([][]float64{{1, 2}, {2, 1}}); err == nil {
+		t.Fatal("indefinite accepted")
+	}
+}
+
+func TestCholSolveRandomSPD(t *testing.T) {
+	r := rng.New(3)
+	if err := quick.Check(func(seed uint16) bool {
+		n := int(seed%5) + 2
+		// Build SPD A = B B^T + I.
+		b := make([][]float64, n)
+		for i := range b {
+			b[i] = make([]float64, n)
+			for j := range b[i] {
+				b[i][j] = r.NormMS(0, 1)
+			}
+		}
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				for k := 0; k < n; k++ {
+					a[i][j] += b[i][k] * b[j][k]
+				}
+				if i == j {
+					a[i][j]++
+				}
+			}
+		}
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = r.NormMS(0, 2)
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		x := CholSolve(l, rhs)
+		// Check A x = rhs.
+		for i := 0; i < n; i++ {
+			got := 0.0
+			for j := 0; j < n; j++ {
+				got += a[i][j] * x[j]
+			}
+			if !almostEq(got, rhs[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogDet(t *testing.T) {
+	// det([[4,2],[2,3]]) = 8.
+	l, _ := Cholesky([][]float64{{4, 2}, {2, 3}})
+	if got := LogDetFromChol(l); !almostEq(got, math.Log(8), 1e-12) {
+		t.Fatalf("log det %v, want %v", got, math.Log(8))
+	}
+}
+
+func TestQuadForm(t *testing.T) {
+	// A = 2I: x^T A^{-1} x = |x|^2 / 2.
+	l, _ := Cholesky([][]float64{{2, 0}, {0, 2}})
+	x := []float64{3, 4}
+	if got := QuadForm(l, x); !almostEq(got, 12.5, 1e-12) {
+		t.Fatalf("quad form %v, want 12.5", got)
+	}
+}
+
+func TestForwardBackSolve(t *testing.T) {
+	l := [][]float64{{2, 0}, {1, 3}}
+	v := ForwardSolve(l, []float64{4, 7})
+	if !almostEq(v[0], 2, 1e-12) || !almostEq(v[1], 5.0/3.0, 1e-12) {
+		t.Fatalf("forward %v", v)
+	}
+	x := BackSolve(l, []float64{4, 6})
+	// L^T x = b: [2 1; 0 3] x = [4 6] -> x1 = 2, x0 = (4-2)/2 = 1.
+	if !almostEq(x[1], 2, 1e-12) || !almostEq(x[0], 1, 1e-12) {
+		t.Fatalf("back %v", x)
+	}
+}
+
+func TestDot(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("dot wrong")
+	}
+}

@@ -1,0 +1,311 @@
+// Package loopnest defines a small loop-nest intermediate representation
+// together with the three code transformations the SPAPT search spaces
+// tune: loop unrolling, cache tiling, and register tiling (§4.1 of the
+// paper). The representation is deliberately analytic — nests are never
+// executed; they are consumed by internal/costmodel, which estimates the
+// runtime of a transformed nest on a machine model.
+//
+// A kernel (see internal/spapt) is a sequence of nests executed one
+// after another, mirroring how SPAPT kernels such as gemver and dgemv3
+// decompose into several BLAS-like operations.
+package loopnest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Loop is one level of a rectangular loop nest.
+type Loop struct {
+	// Name identifies the loop for transformations ("i", "j", "k1", ...).
+	Name string
+	// Trip is the iteration count.
+	Trip int
+}
+
+// Array describes a data array referenced by the nest.
+type Array struct {
+	Name string
+	// Dims are the extents, outermost dimension first (row-major).
+	Dims []int
+	// ElemBytes is the element size in bytes (8 for float64).
+	ElemBytes int
+}
+
+// Footprint returns the array's total size in bytes.
+func (a Array) Footprint() int64 {
+	total := int64(a.ElemBytes)
+	for _, d := range a.Dims {
+		total *= int64(d)
+	}
+	return total
+}
+
+// AffineExpr is an affine function of the loop indices:
+// Const + sum_i Coeffs[loop_i] * loop_i.
+type AffineExpr struct {
+	Coeffs map[string]int
+	Const  int
+}
+
+// Coeff returns the coefficient of the named loop (0 if absent).
+func (e AffineExpr) Coeff(loop string) int {
+	if e.Coeffs == nil {
+		return 0
+	}
+	return e.Coeffs[loop]
+}
+
+// Var returns an affine expression equal to a single loop index.
+func Var(loop string) AffineExpr {
+	return AffineExpr{Coeffs: map[string]int{loop: 1}}
+}
+
+// Ref is a read or write of one array element with affine indices, one
+// expression per array dimension.
+type Ref struct {
+	Array string
+	Index []AffineExpr
+}
+
+// R builds a Ref whose index expressions are single loop variables —
+// the common case, e.g. R("A", "i", "k") for A[i][k].
+func R(array string, loops ...string) Ref {
+	idx := make([]AffineExpr, len(loops))
+	for i, l := range loops {
+		idx[i] = Var(l)
+	}
+	return Ref{Array: array, Index: idx}
+}
+
+// DependsOn reports whether the reference's address varies with the
+// named loop.
+func (r Ref) DependsOn(loop string) bool {
+	for _, e := range r.Index {
+		if e.Coeff(loop) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Stmt is the body of the innermost loop: a set of reads, writes and
+// arithmetic operations per iteration.
+type Stmt struct {
+	Reads  []Ref
+	Writes []Ref
+	// Flops is the number of floating-point operations per iteration.
+	Flops int
+}
+
+// Nest is a perfect rectangular loop nest with a single statement
+// (sufficient for the SPAPT kernels, which are BLAS-like).
+type Nest struct {
+	Name   string
+	Loops  []Loop // outermost first
+	Arrays []Array
+	Body   Stmt
+}
+
+// Iterations returns the total number of innermost-body executions.
+func (n *Nest) Iterations() int64 {
+	total := int64(1)
+	for _, l := range n.Loops {
+		total *= int64(l.Trip)
+	}
+	return total
+}
+
+// Loop returns the loop with the given name, or an error.
+func (n *Nest) Loop(name string) (Loop, error) {
+	for _, l := range n.Loops {
+		if l.Name == name {
+			return l, nil
+		}
+	}
+	return Loop{}, fmt.Errorf("loopnest: nest %q has no loop %q", n.Name, name)
+}
+
+// Array returns the named array, or an error.
+func (n *Nest) Array(name string) (Array, error) {
+	for _, a := range n.Arrays {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return Array{}, fmt.Errorf("loopnest: nest %q has no array %q", n.Name, name)
+}
+
+// Validate checks internal consistency: positive trip counts, array
+// references that name declared arrays with matching dimensionality,
+// and positive element sizes.
+func (n *Nest) Validate() error {
+	if len(n.Loops) == 0 {
+		return fmt.Errorf("loopnest: nest %q has no loops", n.Name)
+	}
+	seen := make(map[string]bool)
+	for _, l := range n.Loops {
+		if l.Trip < 1 {
+			return fmt.Errorf("loopnest: loop %q has non-positive trip %d", l.Name, l.Trip)
+		}
+		if seen[l.Name] {
+			return fmt.Errorf("loopnest: duplicate loop name %q", l.Name)
+		}
+		seen[l.Name] = true
+	}
+	arrays := make(map[string]Array)
+	for _, a := range n.Arrays {
+		if a.ElemBytes < 1 {
+			return fmt.Errorf("loopnest: array %q has non-positive element size", a.Name)
+		}
+		if _, dup := arrays[a.Name]; dup {
+			return fmt.Errorf("loopnest: duplicate array name %q", a.Name)
+		}
+		arrays[a.Name] = a
+	}
+	check := func(refs []Ref, kind string) error {
+		for _, r := range refs {
+			a, ok := arrays[r.Array]
+			if !ok {
+				return fmt.Errorf("loopnest: %s ref to undeclared array %q", kind, r.Array)
+			}
+			if len(r.Index) != len(a.Dims) {
+				return fmt.Errorf("loopnest: %s ref to %q has %d indices, array has %d dims",
+					kind, r.Array, len(r.Index), len(a.Dims))
+			}
+			for _, e := range r.Index {
+				for loop := range e.Coeffs {
+					if !seen[loop] {
+						return fmt.Errorf("loopnest: ref to %q uses unknown loop %q", r.Array, loop)
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if err := check(n.Body.Reads, "read"); err != nil {
+		return err
+	}
+	if err := check(n.Body.Writes, "write"); err != nil {
+		return err
+	}
+	if n.Body.Flops < 0 {
+		return fmt.Errorf("loopnest: negative flops")
+	}
+	return nil
+}
+
+// Transform is a transformation recipe for one nest. Map keys are loop
+// names; absent entries mean "no transformation" for that loop.
+type Transform struct {
+	// Unroll replicates the loop body, reducing per-iteration loop
+	// overhead at the price of code growth and register pressure.
+	Unroll map[string]int
+	// CacheTile strip-mines the loop with the given tile size so the
+	// per-tile working set can fit in cache.
+	CacheTile map[string]int
+	// RegTile applies unroll-and-jam with the given factor: values of
+	// references invariant in the tiled loop are kept in registers.
+	RegTile map[string]int
+}
+
+// NewTransform returns an empty (identity) transform.
+func NewTransform() Transform {
+	return Transform{
+		Unroll:    make(map[string]int),
+		CacheTile: make(map[string]int),
+		RegTile:   make(map[string]int),
+	}
+}
+
+// UnrollOf returns the effective unroll factor for a loop (>= 1).
+func (t Transform) UnrollOf(loop string) int { return factorOf(t.Unroll, loop) }
+
+// CacheTileOf returns the effective cache-tile size for a loop
+// (0 means untiled).
+func (t Transform) CacheTileOf(loop string) int {
+	if t.CacheTile == nil {
+		return 0
+	}
+	return t.CacheTile[loop]
+}
+
+// RegTileOf returns the effective register-tile factor for a loop (>= 1).
+func (t Transform) RegTileOf(loop string) int { return factorOf(t.RegTile, loop) }
+
+func factorOf(m map[string]int, loop string) int {
+	if m == nil {
+		return 1
+	}
+	if f, ok := m[loop]; ok && f >= 1 {
+		return f
+	}
+	return 1
+}
+
+// Validate checks the transform against the nest: every named loop
+// must exist, unroll and register-tile factors must be >= 1, cache
+// tiles must be 0 (untiled) or >= 1. Factors larger than the trip
+// count are legal (the compiler would clamp them) but flagged here so
+// search spaces stay meaningful.
+func (t Transform) Validate(n *Nest) error {
+	checkLoops := func(m map[string]int, kind string, allowZero bool) error {
+		for name, f := range m {
+			if _, err := n.Loop(name); err != nil {
+				return fmt.Errorf("loopnest: %s names unknown loop %q in nest %q", kind, name, n.Name)
+			}
+			min := 1
+			if allowZero {
+				min = 0
+			}
+			if f < min {
+				return fmt.Errorf("loopnest: %s factor %d for loop %q out of range", kind, f, name)
+			}
+		}
+		return nil
+	}
+	if err := checkLoops(t.Unroll, "unroll", false); err != nil {
+		return err
+	}
+	if err := checkLoops(t.CacheTile, "cache tile", true); err != nil {
+		return err
+	}
+	return checkLoops(t.RegTile, "register tile", false)
+}
+
+// String renders the transform compactly for logs.
+func (t Transform) String() string {
+	var parts []string
+	for _, kv := range []struct {
+		tag string
+		m   map[string]int
+	}{{"u", t.Unroll}, {"ct", t.CacheTile}, {"rt", t.RegTile}} {
+		for name, f := range kv.m {
+			if f > 1 || (kv.tag == "ct" && f > 0) {
+				parts = append(parts, fmt.Sprintf("%s(%s)=%d", kv.tag, name, f))
+			}
+		}
+	}
+	if len(parts) == 0 {
+		return "identity"
+	}
+	return strings.Join(parts, " ")
+}
+
+// BodyBytesPerIter sums the bytes touched by one body execution.
+func (n *Nest) BodyBytesPerIter() int {
+	total := 0
+	count := func(refs []Ref) {
+		for _, r := range refs {
+			if a, err := n.Array(r.Array); err == nil {
+				total += a.ElemBytes
+			}
+		}
+	}
+	count(n.Body.Reads)
+	count(n.Body.Writes)
+	return total
+}
+
+// InnermostLoop returns the innermost loop.
+func (n *Nest) InnermostLoop() Loop { return n.Loops[len(n.Loops)-1] }

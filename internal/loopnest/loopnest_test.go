@@ -1,0 +1,182 @@
+package loopnest
+
+import (
+	"strings"
+	"testing"
+)
+
+// matmulNest returns a classic C[i][j] += A[i][k] * B[k][j] nest.
+func matmulNest(n int) *Nest {
+	return &Nest{
+		Name: "mm",
+		Loops: []Loop{
+			{Name: "i", Trip: n},
+			{Name: "j", Trip: n},
+			{Name: "k", Trip: n},
+		},
+		Arrays: []Array{
+			{Name: "A", Dims: []int{n, n}, ElemBytes: 8},
+			{Name: "B", Dims: []int{n, n}, ElemBytes: 8},
+			{Name: "C", Dims: []int{n, n}, ElemBytes: 8},
+		},
+		Body: Stmt{
+			Reads:  []Ref{R("A", "i", "k"), R("B", "k", "j"), R("C", "i", "j")},
+			Writes: []Ref{R("C", "i", "j")},
+			Flops:  2,
+		},
+	}
+}
+
+func TestValidateAcceptsMatmul(t *testing.T) {
+	if err := matmulNest(64).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadNests(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Nest)
+	}{
+		{"no loops", func(n *Nest) { n.Loops = nil }},
+		{"zero trip", func(n *Nest) { n.Loops[0].Trip = 0 }},
+		{"dup loop", func(n *Nest) { n.Loops[1].Name = "i" }},
+		{"dup array", func(n *Nest) { n.Arrays[1].Name = "A" }},
+		{"zero elem", func(n *Nest) { n.Arrays[0].ElemBytes = 0 }},
+		{"undeclared array", func(n *Nest) { n.Body.Reads[0].Array = "Z" }},
+		{"bad arity", func(n *Nest) { n.Body.Reads[0].Index = n.Body.Reads[0].Index[:1] }},
+		{"unknown loop in ref", func(n *Nest) {
+			n.Body.Reads[0].Index[0] = Var("q")
+		}},
+		{"negative flops", func(n *Nest) { n.Body.Flops = -1 }},
+	}
+	for _, c := range cases {
+		n := matmulNest(16)
+		c.mutate(n)
+		if err := n.Validate(); err == nil {
+			t.Fatalf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestIterations(t *testing.T) {
+	n := matmulNest(10)
+	if got := n.Iterations(); got != 1000 {
+		t.Fatalf("iterations = %d, want 1000", got)
+	}
+}
+
+func TestLoopAndArrayLookup(t *testing.T) {
+	n := matmulNest(8)
+	l, err := n.Loop("k")
+	if err != nil || l.Trip != 8 {
+		t.Fatalf("Loop(k): %v %v", l, err)
+	}
+	if _, err := n.Loop("zz"); err == nil {
+		t.Fatal("missing loop lookup should fail")
+	}
+	a, err := n.Array("B")
+	if err != nil || a.ElemBytes != 8 {
+		t.Fatalf("Array(B): %v %v", a, err)
+	}
+	if _, err := n.Array("zz"); err == nil {
+		t.Fatal("missing array lookup should fail")
+	}
+}
+
+func TestRefDependsOn(t *testing.T) {
+	r := R("A", "i", "k")
+	if !r.DependsOn("i") || !r.DependsOn("k") || r.DependsOn("j") {
+		t.Fatal("DependsOn wrong")
+	}
+}
+
+func TestArrayFootprint(t *testing.T) {
+	a := Array{Name: "A", Dims: []int{100, 50}, ElemBytes: 8}
+	if got := a.Footprint(); got != 100*50*8 {
+		t.Fatalf("footprint = %d", got)
+	}
+}
+
+func TestTransformAccessorsDefaults(t *testing.T) {
+	var tr Transform // zero value: identity
+	if tr.UnrollOf("i") != 1 || tr.RegTileOf("i") != 1 || tr.CacheTileOf("i") != 0 {
+		t.Fatal("zero-value transform is not the identity")
+	}
+	tr = NewTransform()
+	tr.Unroll["i"] = 4
+	tr.CacheTile["j"] = 32
+	tr.RegTile["k"] = 2
+	if tr.UnrollOf("i") != 4 || tr.CacheTileOf("j") != 32 || tr.RegTileOf("k") != 2 {
+		t.Fatal("accessors lost values")
+	}
+	if tr.UnrollOf("j") != 1 {
+		t.Fatal("absent unroll should default to 1")
+	}
+}
+
+func TestTransformValidate(t *testing.T) {
+	n := matmulNest(16)
+	tr := NewTransform()
+	tr.Unroll["i"] = 4
+	if err := tr.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	tr.Unroll["nope"] = 2
+	if err := tr.Validate(n); err == nil {
+		t.Fatal("unknown loop accepted")
+	}
+	tr2 := NewTransform()
+	tr2.Unroll["i"] = 0
+	if err := tr2.Validate(n); err == nil {
+		t.Fatal("zero unroll accepted")
+	}
+	tr3 := NewTransform()
+	tr3.CacheTile["i"] = 0 // explicit untiled is fine
+	if err := tr3.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	tr4 := NewTransform()
+	tr4.RegTile["i"] = -1
+	if err := tr4.Validate(n); err == nil {
+		t.Fatal("negative register tile accepted")
+	}
+}
+
+func TestTransformString(t *testing.T) {
+	var tr Transform
+	if tr.String() != "identity" {
+		t.Fatalf("identity transform renders as %q", tr.String())
+	}
+	tr = NewTransform()
+	tr.Unroll["i"] = 4
+	if s := tr.String(); !strings.Contains(s, "u(i)=4") {
+		t.Fatalf("transform string %q missing unroll", s)
+	}
+}
+
+func TestBodyBytesPerIter(t *testing.T) {
+	n := matmulNest(8)
+	// 3 reads + 1 write of float64.
+	if got := n.BodyBytesPerIter(); got != 32 {
+		t.Fatalf("bytes per iter = %d, want 32", got)
+	}
+}
+
+func TestInnermostLoop(t *testing.T) {
+	n := matmulNest(8)
+	if n.InnermostLoop().Name != "k" {
+		t.Fatal("innermost loop wrong")
+	}
+}
+
+func TestAffineExprCoeff(t *testing.T) {
+	e := AffineExpr{Coeffs: map[string]int{"i": 2}, Const: 1}
+	if e.Coeff("i") != 2 || e.Coeff("j") != 0 {
+		t.Fatal("Coeff wrong")
+	}
+	var zero AffineExpr
+	if zero.Coeff("i") != 0 {
+		t.Fatal("zero-value AffineExpr should have zero coeffs")
+	}
+}

@@ -1,0 +1,146 @@
+package loopnest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Print renders the nest as pseudo-C, applying the transform's loop
+// structure: cache-tiled loops appear as strip-mine pairs, unrolled and
+// register-tiled loops carry step and replication annotations. The
+// output is for humans (docs, debugging, golden tests) — it is never
+// executed.
+func (n *Nest) Print(t Transform) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// nest %s\n", n.Name)
+	for _, a := range n.Arrays {
+		dims := make([]string, len(a.Dims))
+		for i, d := range a.Dims {
+			dims[i] = fmt.Sprintf("[%d]", d)
+		}
+		fmt.Fprintf(&b, "double %s%s;\n", a.Name, strings.Join(dims, ""))
+	}
+
+	indent := 0
+	writeLine := func(format string, args ...interface{}) {
+		b.WriteString(strings.Repeat("  ", indent))
+		fmt.Fprintf(&b, format, args...)
+		b.WriteByte('\n')
+	}
+
+	// Tile loops first (outer strip loops), in nest order.
+	for _, l := range n.Loops {
+		if tile := t.CacheTileOf(l.Name); tile >= 1 && tile < l.Trip {
+			writeLine("for (%st = 0; %st < %d; %st += %d) {  // cache tile",
+				l.Name, l.Name, l.Trip, l.Name, tile)
+			indent++
+		}
+	}
+	// Point loops.
+	for _, l := range n.Loops {
+		step := t.UnrollOf(l.Name) * t.RegTileOf(l.Name)
+		if step > l.Trip {
+			step = l.Trip
+		}
+		lo, hi := "0", fmt.Sprintf("%d", l.Trip)
+		if tile := t.CacheTileOf(l.Name); tile >= 1 && tile < l.Trip {
+			lo = l.Name + "t"
+			hi = fmt.Sprintf("min(%st + %d, %d)", l.Name, tile, l.Trip)
+		}
+		annot := ""
+		if u := t.UnrollOf(l.Name); u > 1 {
+			annot += fmt.Sprintf("  // unroll %d", u)
+		}
+		if rt := t.RegTileOf(l.Name); rt > 1 {
+			annot += fmt.Sprintf("  // register tile %d", rt)
+		}
+		if step > 1 {
+			writeLine("for (%s = %s; %s < %s; %s += %d) {%s",
+				l.Name, lo, l.Name, hi, l.Name, step, annot)
+		} else {
+			writeLine("for (%s = %s; %s < %s; %s++) {%s",
+				l.Name, lo, l.Name, hi, l.Name, annot)
+		}
+		indent++
+	}
+
+	// Body: one statement per replication is implied; print the base
+	// statement once with a replication note.
+	copies := 1
+	for _, l := range n.Loops {
+		step := t.UnrollOf(l.Name) * t.RegTileOf(l.Name)
+		if step > l.Trip {
+			step = l.Trip
+		}
+		copies *= step
+	}
+	if copies > 1 {
+		writeLine("// body replicated %dx by unroll/register tiling", copies)
+	}
+	writeLine("%s", n.renderBody())
+
+	for indent > 0 {
+		indent--
+		writeLine("}")
+	}
+	return b.String()
+}
+
+// renderBody formats the statement as "writes = f(reads); // N flops".
+func (n *Nest) renderBody() string {
+	var writes, reads []string
+	for _, r := range n.Body.Writes {
+		writes = append(writes, renderRef(r))
+	}
+	for _, r := range n.Body.Reads {
+		reads = append(reads, renderRef(r))
+	}
+	lhs := strings.Join(writes, ", ")
+	if lhs == "" {
+		lhs = "_"
+	}
+	return fmt.Sprintf("%s = f(%s);  // %d flops",
+		lhs, strings.Join(reads, ", "), n.Body.Flops)
+}
+
+// renderRef formats A[i][k+1] style references.
+func renderRef(r Ref) string {
+	var b strings.Builder
+	b.WriteString(r.Array)
+	for _, e := range r.Index {
+		b.WriteByte('[')
+		b.WriteString(renderAffine(e))
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// renderAffine formats an affine expression with deterministic term
+// order.
+func renderAffine(e AffineExpr) string {
+	var loops []string
+	for l, c := range e.Coeffs {
+		if c != 0 {
+			loops = append(loops, l)
+		}
+	}
+	sort.Strings(loops)
+	var parts []string
+	for _, l := range loops {
+		c := e.Coeffs[l]
+		switch c {
+		case 1:
+			parts = append(parts, l)
+		case -1:
+			parts = append(parts, "-"+l)
+		default:
+			parts = append(parts, fmt.Sprintf("%d*%s", c, l))
+		}
+	}
+	if e.Const != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", e.Const))
+	}
+	out := strings.Join(parts, "+")
+	return strings.ReplaceAll(out, "+-", "-")
+}

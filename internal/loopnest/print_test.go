@@ -1,0 +1,113 @@
+package loopnest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrintIdentity(t *testing.T) {
+	n := matmulNest(64)
+	out := n.Print(Transform{})
+	for _, want := range []string{
+		"// nest mm",
+		"double A[64][64];",
+		"for (i = 0; i < 64; i++)",
+		"for (k = 0; k < 64; k++)",
+		"C[i][j] = f(A[i][k], B[k][j], C[i][j]);  // 2 flops",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("identity print missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "unroll") || strings.Contains(out, "cache tile") {
+		t.Fatalf("identity print mentions transformations:\n%s", out)
+	}
+}
+
+func TestPrintTransformed(t *testing.T) {
+	n := matmulNest(64)
+	tr := NewTransform()
+	tr.Unroll["k"] = 4
+	tr.CacheTile["j"] = 16
+	tr.RegTile["i"] = 2
+	out := n.Print(tr)
+	for _, want := range []string{
+		"for (jt = 0; jt < 64; jt += 16) {  // cache tile",
+		"for (j = jt; j < min(jt + 16, 64); j++)",
+		"for (k = 0; k < 64; k += 4) {  // unroll 4",
+		"for (i = 0; i < 64; i += 2) {  // register tile 2",
+		"// body replicated 8x",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("transformed print missing %q:\n%s", want, out)
+		}
+	}
+	// Braces balance.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Fatalf("unbalanced braces:\n%s", out)
+	}
+}
+
+func TestPrintStencilOffsets(t *testing.T) {
+	center := R("in", "i", "j")
+	up := Ref{Array: "in", Index: []AffineExpr{
+		{Coeffs: map[string]int{"i": 1}, Const: -1}, Var("j")}}
+	n := &Nest{
+		Name:  "stencil",
+		Loops: []Loop{{Name: "i", Trip: 10}, {Name: "j", Trip: 10}},
+		Arrays: []Array{
+			{Name: "in", Dims: []int{12, 12}, ElemBytes: 8},
+			{Name: "out", Dims: []int{10, 10}, ElemBytes: 8},
+		},
+		Body: Stmt{
+			Reads:  []Ref{center, up},
+			Writes: []Ref{R("out", "i", "j")},
+			Flops:  2,
+		},
+	}
+	out := n.Print(Transform{})
+	if !strings.Contains(out, "in[i-1][j]") {
+		t.Fatalf("offset reference not rendered:\n%s", out)
+	}
+}
+
+func TestRenderAffine(t *testing.T) {
+	cases := []struct {
+		expr AffineExpr
+		want string
+	}{
+		{Var("i"), "i"},
+		{AffineExpr{Coeffs: map[string]int{"i": 2}}, "2*i"},
+		{AffineExpr{Coeffs: map[string]int{"i": 1}, Const: 3}, "i+3"},
+		{AffineExpr{Coeffs: map[string]int{"i": 1}, Const: -1}, "i-1"},
+		{AffineExpr{Coeffs: map[string]int{"i": -1}}, "-i"},
+		{AffineExpr{Const: 7}, "7"},
+		{AffineExpr{}, "0"},
+		{AffineExpr{Coeffs: map[string]int{"j": 1, "i": 1}}, "i+j"}, // sorted
+	}
+	for _, c := range cases {
+		if got := renderAffine(c.expr); got != c.want {
+			t.Fatalf("renderAffine(%+v) = %q, want %q", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestPrintClampedStep(t *testing.T) {
+	// Unroll factor above the trip count must clamp.
+	n := &Nest{
+		Name:   "tiny",
+		Loops:  []Loop{{Name: "i", Trip: 3}},
+		Arrays: []Array{{Name: "v", Dims: []int{3}, ElemBytes: 8}},
+		Body: Stmt{
+			Reads:  []Ref{R("v", "i")},
+			Writes: []Ref{R("v", "i")},
+			Flops:  1,
+		},
+	}
+	tr := NewTransform()
+	tr.Unroll["i"] = 99
+	out := n.Print(tr)
+	if !strings.Contains(out, "i += 3") {
+		t.Fatalf("step not clamped to trip:\n%s", out)
+	}
+}

@@ -1,0 +1,129 @@
+// Package measure simulates the profiling environment of the paper's
+// experiments: compiling a kernel configuration and executing the
+// resulting binary to obtain one (noisy) runtime observation.
+//
+// A Session tracks the cumulative evaluation cost exactly as §4.3 of
+// the paper defines it — the sum of the compile time of every distinct
+// configuration compiled plus the wall-clock runtime of every profiling
+// run. Model-update overhead is excluded (it is small and near-constant
+// across the compared approaches). A configuration compiled once and
+// revisited later pays its compile time only once.
+package measure
+
+import (
+	"fmt"
+
+	"alic/internal/noise"
+	"alic/internal/spapt"
+)
+
+// Session is a simulated profiling session for one kernel. It is not
+// safe for concurrent use.
+type Session struct {
+	kernel  *spapt.Kernel
+	sampler *noise.Sampler
+
+	compiled map[uint64]bool
+	obsCount map[uint64]int
+	trueMean map[uint64]float64
+
+	cost     float64
+	runs     int
+	compiles int
+}
+
+// NewSession creates a profiling session. The seed determines the
+// measurement noise; sessions with equal seeds reproduce identical
+// observation sequences.
+func NewSession(k *spapt.Kernel, seed uint64) (*Session, error) {
+	if k == nil {
+		return nil, fmt.Errorf("measure: nil kernel")
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	sampler, err := noise.NewSampler(k.Noise, k.Dim(), seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		kernel:   k,
+		sampler:  sampler,
+		compiled: make(map[uint64]bool),
+		obsCount: make(map[uint64]int),
+		trueMean: make(map[uint64]float64),
+	}, nil
+}
+
+// Kernel returns the session's kernel.
+func (s *Session) Kernel() *spapt.Kernel { return s.kernel }
+
+// TrueMean returns the noise-free mean runtime of cfg (memoised).
+func (s *Session) TrueMean(cfg spapt.Config) (float64, error) {
+	key := s.kernel.Key(cfg)
+	if mu, ok := s.trueMean[key]; ok {
+		return mu, nil
+	}
+	mu, err := s.kernel.TrueRuntime(cfg)
+	if err != nil {
+		return 0, err
+	}
+	s.trueMean[key] = mu
+	return mu, nil
+}
+
+// Observe compiles cfg if needed, runs it once, and returns the
+// observed runtime. Compile time (first observation only) and the
+// observed runtime are added to the session cost.
+func (s *Session) Observe(cfg spapt.Config) (float64, error) {
+	key := s.kernel.Key(cfg)
+	if !s.compiled[key] {
+		ct, err := s.kernel.CompileTime(cfg)
+		if err != nil {
+			return 0, err
+		}
+		s.compiled[key] = true
+		s.compiles++
+		s.cost += ct
+	}
+	mu, err := s.TrueMean(cfg)
+	if err != nil {
+		return 0, err
+	}
+	idx := s.obsCount[key]
+	s.obsCount[key] = idx + 1
+	y := s.sampler.Sample(mu, s.kernel.Features(cfg), key, idx)
+	s.runs++
+	s.cost += y
+	return y, nil
+}
+
+// ObserveN takes n observations of cfg and returns them.
+func (s *Session) ObserveN(cfg spapt.Config, n int) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("measure: ObserveN with n=%d", n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		y, err := s.Observe(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = y
+	}
+	return out, nil
+}
+
+// Observations returns how many times cfg has been profiled.
+func (s *Session) Observations(cfg spapt.Config) int {
+	return s.obsCount[s.kernel.Key(cfg)]
+}
+
+// Cost returns the cumulative evaluation cost in simulated seconds.
+func (s *Session) Cost() float64 { return s.cost }
+
+// Runs returns the total number of profiling runs executed.
+func (s *Session) Runs() int { return s.runs }
+
+// Compiles returns the number of distinct configurations compiled.
+func (s *Session) Compiles() int { return s.compiles }

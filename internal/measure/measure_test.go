@@ -1,0 +1,166 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"alic/internal/spapt"
+	"alic/internal/stats"
+)
+
+func session(t *testing.T, kernel string, seed uint64) *Session {
+	t.Helper()
+	k, err := spapt.ByName(kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(k, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	if _, err := NewSession(nil, 1); err == nil {
+		t.Fatal("nil kernel accepted")
+	}
+	k, _ := spapt.ByName("mm")
+	k.Params = nil
+	if _, err := NewSession(k, 1); err == nil {
+		t.Fatal("invalid kernel accepted")
+	}
+}
+
+func TestObserveAccountsCompileOnce(t *testing.T) {
+	s := session(t, "mvt", 3)
+	cfg := s.Kernel().BaselineConfig()
+	ct, _ := s.Kernel().CompileTime(cfg)
+
+	y1, err := s.Observe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Compiles() != 1 || s.Runs() != 1 {
+		t.Fatalf("compiles=%d runs=%d after first observation", s.Compiles(), s.Runs())
+	}
+	wantCost := ct + y1
+	if math.Abs(s.Cost()-wantCost) > 1e-12 {
+		t.Fatalf("cost %v, want compile+runtime %v", s.Cost(), wantCost)
+	}
+
+	// Second observation of the same config: no recompile.
+	y2, _ := s.Observe(cfg)
+	if s.Compiles() != 1 {
+		t.Fatal("revisit recompiled the binary")
+	}
+	if s.Runs() != 2 {
+		t.Fatalf("runs=%d after two observations", s.Runs())
+	}
+	if math.Abs(s.Cost()-(wantCost+y2)) > 1e-12 {
+		t.Fatalf("cost %v after revisit, want %v", s.Cost(), wantCost+y2)
+	}
+	if s.Observations(cfg) != 2 {
+		t.Fatalf("observation count %d, want 2", s.Observations(cfg))
+	}
+}
+
+func TestDistinctConfigsEachCompile(t *testing.T) {
+	s := session(t, "mvt", 4)
+	a := s.Kernel().BaselineConfig()
+	b := s.Kernel().BaselineConfig()
+	b[0] = 5
+	if _, err := s.Observe(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Observe(b); err != nil {
+		t.Fatal(err)
+	}
+	if s.Compiles() != 2 {
+		t.Fatalf("compiles=%d, want 2", s.Compiles())
+	}
+}
+
+func TestObservationsAverageToTrueMean(t *testing.T) {
+	s := session(t, "lu", 5) // quiet kernel: tight averaging
+	cfg := s.Kernel().BaselineConfig()
+	mu, err := s.TrueMean(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w stats.Welford
+	for i := 0; i < 300; i++ {
+		y, err := s.Observe(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y <= 0 {
+			t.Fatalf("non-positive runtime %v", y)
+		}
+		w.Add(y)
+	}
+	if math.Abs(w.Mean()-mu)/mu > 0.05 {
+		t.Fatalf("observed mean %v too far from true mean %v", w.Mean(), mu)
+	}
+}
+
+func TestSessionsReproducible(t *testing.T) {
+	a := session(t, "gemver", 7)
+	b := session(t, "gemver", 7)
+	cfg := a.Kernel().BaselineConfig()
+	for i := 0; i < 10; i++ {
+		ya, _ := a.Observe(cfg)
+		yb, _ := b.Observe(cfg)
+		if ya != yb {
+			t.Fatalf("same seed diverged at observation %d", i)
+		}
+	}
+	c := session(t, "gemver", 8)
+	yc, _ := c.Observe(cfg)
+	ya, _ := a.Observe(cfg)
+	if yc == ya {
+		t.Fatal("different seeds produced identical observation")
+	}
+}
+
+func TestObserveN(t *testing.T) {
+	s := session(t, "mm", 9)
+	cfg := s.Kernel().BaselineConfig()
+	ys, err := s.ObserveN(cfg, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ys) != 35 || s.Runs() != 35 || s.Compiles() != 1 {
+		t.Fatalf("ObserveN bookkeeping wrong: len=%d runs=%d compiles=%d",
+			len(ys), s.Runs(), s.Compiles())
+	}
+	if _, err := s.ObserveN(cfg, 0); err == nil {
+		t.Fatal("ObserveN(0) accepted")
+	}
+}
+
+func TestObserveRejectsBadConfig(t *testing.T) {
+	s := session(t, "mm", 10)
+	if _, err := s.Observe(spapt.Config{1}); err == nil {
+		t.Fatal("short config accepted")
+	}
+	if s.Cost() != 0 {
+		t.Fatal("failed observation charged cost")
+	}
+}
+
+func TestCostMonotonic(t *testing.T) {
+	s := session(t, "atax", 11)
+	prev := 0.0
+	cfg := s.Kernel().BaselineConfig()
+	for i := 0; i < 20; i++ {
+		cfg[0] = (i % s.Kernel().Params[0].Max) + 1
+		if _, err := s.Observe(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if s.Cost() <= prev {
+			t.Fatalf("cost did not increase at step %d", i)
+		}
+		prev = s.Cost()
+	}
+}

@@ -1,0 +1,304 @@
+// Package report renders experiment results as aligned text tables,
+// CSV files, and ASCII plots (line charts for the learning curves of
+// Figure 6, bar charts for Figure 5, heat maps for Figure 1). It keeps
+// the cmd/ binaries free of formatting logic.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are rendered with %v unless they are
+// float64, which use compact scientific/fixed formatting.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = formatCell(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddStringRow appends a pre-formatted row.
+func (t *Table) AddStringRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func formatCell(c interface{}) string {
+	switch v := c.(type) {
+	case float64:
+		return FormatFloat(v)
+	case string:
+		return v
+	default:
+		return fmt.Sprintf("%v", c)
+	}
+}
+
+// FormatFloat renders a float compactly: scientific notation for very
+// large/small magnitudes, fixed point otherwise.
+func FormatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 0):
+		return "Inf"
+	case math.Abs(v) >= 1e5 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.3e", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as comma-separated values (RFC-4180 quoting for
+// cells containing commas or quotes).
+func (t *Table) CSV(w io.Writer) error {
+	writeLine := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			out[i] = c
+		}
+		_, err := io.WriteString(w, strings.Join(out, ",")+"\n")
+		return err
+	}
+	if err := writeLine(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one named line of a plot.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot renders an ASCII line chart of the series (Figure 6 style:
+// error vs cumulative cost). Each series uses its own marker.
+func Plot(w io.Writer, title, xlabel, ylabel string, series []Series, width, height int) error {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 0) || xmax == xmin {
+		xmax, xmin = 1, 0
+	}
+	if math.IsInf(ymin, 0) || ymax == ymin {
+		ymax, ymin = 1, 0
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@'}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, line := range grid {
+		label := "          "
+		if r == 0 {
+			label = padLabel(FormatFloat(ymax))
+		} else if r == height-1 {
+			label = padLabel(FormatFloat(ymin))
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", 10),
+		FormatFloat(xmin),
+		strings.Repeat(" ", max(1, width-len(FormatFloat(xmin))-len(FormatFloat(xmax)))),
+		FormatFloat(xmax))
+	fmt.Fprintf(&b, "%s  x: %s, y: %s\n", strings.Repeat(" ", 10), xlabel, ylabel)
+	for si, s := range series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", 10), markers[si%len(markers)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func padLabel(s string) string {
+	if len(s) >= 10 {
+		return s[:10]
+	}
+	return strings.Repeat(" ", 10-len(s)) + s
+}
+
+// Bars renders a horizontal ASCII bar chart (Figure 5 style).
+func Bars(w io.Writer, title string, labels []string, values []float64, maxWidth int) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("report: %d labels vs %d values", len(labels), len(values))
+	}
+	if maxWidth < 10 {
+		maxWidth = 10
+	}
+	vmax := 0.0
+	labelW := 0
+	for i, v := range values {
+		if v > vmax {
+			vmax = v
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	if vmax <= 0 {
+		vmax = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, v := range values {
+		n := int(v / vmax * float64(maxWidth))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s |%s %s\n", labelW, labels[i],
+			strings.Repeat("#", n), FormatFloat(v))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// HeatMap renders a 2D grid as ASCII shades (Figure 1 style). The
+// grid is indexed [row][col]; rows print top to bottom.
+func HeatMap(w io.Writer, title string, grid [][]float64) error {
+	shades := []byte(" .:-=+*#%@")
+	vmin, vmax := math.Inf(1), math.Inf(-1)
+	for _, row := range grid {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			vmin = math.Min(vmin, v)
+			vmax = math.Max(vmax, v)
+		}
+	}
+	if math.IsInf(vmin, 0) || vmax == vmin {
+		vmax = vmin + 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (min=%s max=%s)\n", title, FormatFloat(vmin), FormatFloat(vmax))
+	for _, row := range grid {
+		for _, v := range row {
+			idx := 0
+			if !math.IsNaN(v) {
+				idx = int((v - vmin) / (vmax - vmin) * float64(len(shades)-1))
+				if idx < 0 {
+					idx = 0
+				}
+				if idx >= len(shades) {
+					idx = len(shades) - 1
+				}
+			}
+			b.WriteByte(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

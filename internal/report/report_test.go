@@ -1,0 +1,144 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("My Title", "name", "value")
+	tab.AddRow("alpha", 3.14159)
+	tab.AddRow("beta", 1e-7)
+	tab.AddStringRow("gamma", "raw")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"My Title", "name", "alpha", "3.142", "1.000e-07", "gamma", "raw"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: the header separator line must exist.
+	if !strings.Contains(out, "----") {
+		t.Fatal("missing separator")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddStringRow("x,y", `quote"inside`)
+	tab.AddRow("plain", 2.0)
+	var buf bytes.Buffer
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3", len(lines))
+	}
+	if lines[0] != "a,b" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"x,y"`) || !strings.Contains(lines[1], `"quote""inside"`) {
+		t.Fatalf("quoting broken: %q", lines[1])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "Inf"},
+		{123456, "1.235e+05"},
+		{0.0001, "1.000e-04"},
+		{3.14159, "3.142"},
+		{250.5, "250.5"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Fatalf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPlot(t *testing.T) {
+	var buf bytes.Buffer
+	series := []Series{
+		{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0.5}},
+		{Name: "flat", X: []float64{0, 1, 2, 3}, Y: []float64{1, 1, 1, 1}},
+	}
+	if err := Plot(&buf, "test plot", "cost", "rmse", series, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"test plot", "down", "flat", "x: cost", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	// Single point and NaNs must not panic.
+	series := []Series{{Name: "dot", X: []float64{1, math.NaN()}, Y: []float64{2, math.NaN()}}}
+	if err := Plot(&buf, "p", "x", "y", series, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestBars(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Bars(&buf, "speedups", []string{"a", "bb"}, []float64{2, 4}, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "speedups") || !strings.Contains(out, "####") {
+		t.Fatalf("bars output wrong:\n%s", out)
+	}
+	// The larger value gets the longer bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "#") >= strings.Count(lines[2], "#") {
+		t.Fatalf("bar lengths not proportional:\n%s", out)
+	}
+	if err := Bars(&buf, "bad", []string{"a"}, []float64{1, 2}, 20); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestHeatMap(t *testing.T) {
+	var buf bytes.Buffer
+	grid := [][]float64{
+		{0, 0.5, 1},
+		{1, 0.5, 0},
+	}
+	if err := HeatMap(&buf, "heat", grid); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "heat") || !strings.Contains(out, "@") {
+		t.Fatalf("heatmap output wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("heatmap has %d lines, want 3", len(lines))
+	}
+}
+
+func TestHeatMapUniform(t *testing.T) {
+	var buf bytes.Buffer
+	if err := HeatMap(&buf, "flat", [][]float64{{2, 2}, {2, 2}}); err != nil {
+		t.Fatal(err)
+	}
+}

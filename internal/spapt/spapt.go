@@ -1,0 +1,838 @@
+// Package spapt defines the 11 kernels from the SPAPT automatic
+// performance tuning suite (Balaprakash, Wild & Norris, ICCS 2012) that
+// the paper evaluates on: adi, atax, bicgkernel, correlation, dgemv3,
+// gemver, hessian, jacobi, lu, mm, and mvt.
+//
+// Each kernel is described declaratively: a sequence of loop nests
+// (internal/loopnest), a list of tunable integer parameters (loop
+// unrolling, cache tiling and register tiling factors bound to specific
+// loops — §4.2 of the paper: binary flags and input size are excluded),
+// a measurement-noise profile calibrated against Table 2, and a runtime
+// calibration constant that lands the -O2 baseline runtime in the same
+// band as the paper's testbed.
+//
+// The tunable parameter ranges are chosen so that the search-space
+// cardinality of every kernel matches Table 1 of the paper to within
+// one percent (see TestSpaceSizesMatchTable1).
+package spapt
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"alic/internal/costmodel"
+	"alic/internal/loopnest"
+	"alic/internal/noise"
+	"alic/internal/rng"
+)
+
+// ParamKind distinguishes the three transformation families tuned by
+// the SPAPT search problems.
+type ParamKind int
+
+const (
+	// Unroll is a loop-unrolling factor (value used directly).
+	Unroll ParamKind = iota
+	// RegTile is a register-tiling (unroll-and-jam) factor.
+	RegTile
+	// CacheTile is a cache-tiling parameter; value v maps to a tile of
+	// Quantum*(v-1) elements, with v=1 meaning "untiled".
+	CacheTile
+)
+
+func (k ParamKind) String() string {
+	switch k {
+	case Unroll:
+		return "unroll"
+	case RegTile:
+		return "regtile"
+	case CacheTile:
+		return "cachetile"
+	default:
+		return fmt.Sprintf("ParamKind(%d)", int(k))
+	}
+}
+
+// Param is one tunable dimension of a kernel's search space. Values
+// range over [1, Max].
+type Param struct {
+	Name    string
+	Kind    ParamKind
+	Nest    int    // index into Kernel.Nests
+	Loop    string // loop the transformation applies to
+	Max     int    // inclusive upper bound of the parameter value
+	Quantum int    // CacheTile only: tile elements per parameter step
+}
+
+// Config is one point of a kernel's search space: a value in [1, Max]
+// for every parameter, in Kernel.Params order.
+type Config []int
+
+// Kernel is one SPAPT search problem.
+type Kernel struct {
+	Name string
+	// Doc is a one-line description of the computation.
+	Doc string
+	// Nests are executed sequentially per kernel invocation.
+	Nests []*loopnest.Nest
+	// Params define the search space.
+	Params []Param
+	// Noise is the kernel's measurement-noise profile.
+	Noise noise.Model
+	// BaselineTarget is the intended -O2 (identity transform) runtime
+	// in seconds; Calibration is derived from it at construction.
+	BaselineTarget float64
+	// Calibration scales the analytic cost-model estimate to seconds
+	// on the paper's testbed.
+	Calibration float64
+	// PaperSpaceSize is the search-space cardinality from Table 1.
+	PaperSpaceSize float64
+
+	machine costmodel.Machine
+}
+
+// Machine returns the machine model the kernel was calibrated for.
+func (k *Kernel) Machine() costmodel.Machine { return k.machine }
+
+// WithMachine returns a copy of the kernel retargeted to a different
+// machine model and recalibrated so its baseline configuration hits
+// BaselineTarget there. The copy shares the (immutable) nest and
+// parameter definitions with the original. Retargeting is how the
+// paper's opening claim — optimization decisions do not port between
+// platforms — is exercised in the simulator.
+func (k *Kernel) WithMachine(m costmodel.Machine) (*Kernel, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	cp := *k
+	cp.machine = m
+	cp.calibrate()
+	return &cp, nil
+}
+
+// Dim returns the number of tunable parameters.
+func (k *Kernel) Dim() int { return len(k.Params) }
+
+// SpaceSize returns the cardinality of the search space (the product
+// of parameter ranges), as a float64 since it overflows int64 for
+// dgemv3.
+func (k *Kernel) SpaceSize() float64 {
+	size := 1.0
+	for _, p := range k.Params {
+		size *= float64(p.Max)
+	}
+	return size
+}
+
+// Validate checks the kernel definition: valid nests, parameters bound
+// to existing loops, sane ranges.
+func (k *Kernel) Validate() error {
+	if len(k.Nests) == 0 {
+		return fmt.Errorf("spapt: kernel %q has no nests", k.Name)
+	}
+	for _, n := range k.Nests {
+		if err := n.Validate(); err != nil {
+			return fmt.Errorf("spapt: kernel %q: %w", k.Name, err)
+		}
+	}
+	if len(k.Params) == 0 {
+		return fmt.Errorf("spapt: kernel %q has no parameters", k.Name)
+	}
+	seen := make(map[string]bool)
+	for _, p := range k.Params {
+		if seen[p.Name] {
+			return fmt.Errorf("spapt: kernel %q: duplicate param %q", k.Name, p.Name)
+		}
+		seen[p.Name] = true
+		if p.Nest < 0 || p.Nest >= len(k.Nests) {
+			return fmt.Errorf("spapt: kernel %q: param %q references nest %d", k.Name, p.Name, p.Nest)
+		}
+		if _, err := k.Nests[p.Nest].Loop(p.Loop); err != nil {
+			return fmt.Errorf("spapt: kernel %q: param %q: %w", k.Name, p.Name, err)
+		}
+		if p.Max < 2 {
+			return fmt.Errorf("spapt: kernel %q: param %q has Max %d < 2", k.Name, p.Name, p.Max)
+		}
+		if p.Kind == CacheTile && p.Quantum < 1 {
+			return fmt.Errorf("spapt: kernel %q: cache-tile param %q needs Quantum >= 1", k.Name, p.Name)
+		}
+	}
+	if err := k.Noise.Validate(); err != nil {
+		return fmt.Errorf("spapt: kernel %q: %w", k.Name, err)
+	}
+	return nil
+}
+
+// CheckConfig verifies that cfg is a legal point of the search space.
+func (k *Kernel) CheckConfig(cfg Config) error {
+	if len(cfg) != len(k.Params) {
+		return fmt.Errorf("spapt: kernel %q: config has %d values, want %d",
+			k.Name, len(cfg), len(k.Params))
+	}
+	for i, v := range cfg {
+		if v < 1 || v > k.Params[i].Max {
+			return fmt.Errorf("spapt: kernel %q: param %q value %d outside [1, %d]",
+				k.Name, k.Params[i].Name, v, k.Params[i].Max)
+		}
+	}
+	return nil
+}
+
+// Transforms maps a configuration to one transformation recipe per
+// nest.
+func (k *Kernel) Transforms(cfg Config) ([]loopnest.Transform, error) {
+	if err := k.CheckConfig(cfg); err != nil {
+		return nil, err
+	}
+	ts := make([]loopnest.Transform, len(k.Nests))
+	for i := range ts {
+		ts[i] = loopnest.NewTransform()
+	}
+	for i, p := range k.Params {
+		v := cfg[i]
+		t := &ts[p.Nest]
+		switch p.Kind {
+		case Unroll:
+			t.Unroll[p.Loop] = v
+		case RegTile:
+			t.RegTile[p.Loop] = v
+		case CacheTile:
+			t.CacheTile[p.Loop] = p.Quantum * (v - 1) // v=1 means untiled
+		}
+	}
+	return ts, nil
+}
+
+// TrueRuntime returns the deterministic (noise-free) mean runtime of
+// the kernel under cfg, in seconds.
+func (k *Kernel) TrueRuntime(cfg Config) (float64, error) {
+	ts, err := k.Transforms(cfg)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for i, n := range k.Nests {
+		total += k.machine.Estimate(n, ts[i])
+	}
+	return total * k.Calibration, nil
+}
+
+// CompileTime returns the simulated compile time of cfg, in seconds.
+func (k *Kernel) CompileTime(cfg Config) (float64, error) {
+	ts, err := k.Transforms(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return k.machine.CompileTime(k.Nests, ts), nil
+}
+
+// Features maps a configuration to a feature vector with every
+// dimension scaled to [0, 1] — the raw encoding that internal/dataset
+// standardises (scaling and centring, §4.5 of the paper).
+func (k *Kernel) Features(cfg Config) []float64 {
+	out := make([]float64, len(cfg))
+	for i, v := range cfg {
+		out[i] = float64(v-1) / float64(k.Params[i].Max-1)
+	}
+	return out
+}
+
+// Key returns a stable hash of the configuration, used to key noise
+// streams and deduplicate configurations.
+func (k *Kernel) Key(cfg Config) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(k.Name))
+	var buf [8]byte
+	for _, v := range cfg {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(uint64(v) >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// RandomConfig samples a configuration uniformly from the space.
+func (k *Kernel) RandomConfig(r *rng.Stream) Config {
+	cfg := make(Config, len(k.Params))
+	for i, p := range k.Params {
+		cfg[i] = 1 + r.Intn(p.Max)
+	}
+	return cfg
+}
+
+// BaselineConfig returns the identity configuration (all parameters 1:
+// no unrolling, no tiling) — the plain -O2 binary.
+func (k *Kernel) BaselineConfig() Config {
+	cfg := make(Config, len(k.Params))
+	for i := range cfg {
+		cfg[i] = 1
+	}
+	return cfg
+}
+
+// calibrate sets Calibration so the baseline configuration hits
+// BaselineTarget seconds.
+func (k *Kernel) calibrate() {
+	k.Calibration = 1
+	base, err := k.TrueRuntime(k.BaselineConfig())
+	if err != nil || base <= 0 {
+		return
+	}
+	k.Calibration = k.BaselineTarget / base
+}
+
+// Describe renders a human-readable summary of the kernel under the
+// given configuration: the tunable parameters with their values and
+// the transformed loop nests as pseudo-C (via loopnest.Print).
+func (k *Kernel) Describe(cfg Config) (string, error) {
+	ts, err := k.Transforms(cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s: %s\n", k.Name, k.Doc)
+	fmt.Fprintf(&b, "search space: %.4g configurations, %d parameters\n", k.SpaceSize(), len(k.Params))
+	for i, p := range k.Params {
+		fmt.Fprintf(&b, "  %-10s %-9s nest %s loop %s  = %d (of 1..%d)\n",
+			p.Name, p.Kind, k.Nests[p.Nest].Name, p.Loop, cfg[i], p.Max)
+	}
+	for i, n := range k.Nests {
+		b.WriteByte('\n')
+		b.WriteString(n.Print(ts[i]))
+	}
+	return b.String(), nil
+}
+
+// ByName returns the kernel with the given name.
+func ByName(name string) (*Kernel, error) {
+	for _, k := range Kernels() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("spapt: unknown kernel %q (known: %v)", name, Names())
+}
+
+// Names lists the kernel names in Table 1 order.
+func Names() []string {
+	return []string{
+		"adi", "atax", "bicgkernel", "correlation", "dgemv3", "gemver",
+		"hessian", "jacobi", "lu", "mm", "mvt",
+	}
+}
+
+// PaperTable1 maps kernel name to the paper's reported search-space
+// size (Table 1, column 2).
+func PaperTable1() map[string]float64 {
+	return map[string]float64{
+		"adi":         3.78e14,
+		"atax":        2.57e12,
+		"bicgkernel":  5.83e8,
+		"correlation": 3.78e14,
+		"dgemv3":      1.33e27,
+		"gemver":      1.14e16,
+		"hessian":     1.95e7,
+		"jacobi":      1.95e7,
+		"lu":          5.83e8,
+		"mm":          3.18e9,
+		"mvt":         1.95e7,
+	}
+}
+
+// Kernels constructs the full 11-kernel suite. Each call returns fresh
+// kernel values so callers may not interfere with each other.
+func Kernels() []*Kernel {
+	ks := []*Kernel{
+		adi(), atax(), bicgkernel(), correlation(), dgemv3(), gemver(),
+		hessian(), jacobi(), lu(), mm(), mvt(),
+	}
+	for _, k := range ks {
+		k.machine = costmodel.DefaultMachine()
+		k.calibrate()
+	}
+	return ks
+}
+
+// --- helpers for kernel construction ------------------------------------
+
+func vec(name string, n int) loopnest.Array {
+	return loopnest.Array{Name: name, Dims: []int{n}, ElemBytes: 8}
+}
+
+func mat(name string, r, c int) loopnest.Array {
+	return loopnest.Array{Name: name, Dims: []int{r, c}, ElemBytes: 8}
+}
+
+// gemvNest builds a dense matrix-vector nest y[i] += A[i][j] * x[j]
+// (or the transposed access when transposed is true).
+func gemvNest(name string, n int, transposed bool) *loopnest.Nest {
+	aRef := loopnest.R("A"+name, "i", "j")
+	if transposed {
+		aRef = loopnest.R("A"+name, "j", "i")
+	}
+	return &loopnest.Nest{
+		Name: name,
+		Loops: []loopnest.Loop{
+			{Name: "i", Trip: n},
+			{Name: "j", Trip: n},
+		},
+		Arrays: []loopnest.Array{
+			mat("A"+name, n, n),
+			vec("x"+name, n),
+			vec("y"+name, n),
+		},
+		Body: loopnest.Stmt{
+			Reads:  []loopnest.Ref{aRef, loopnest.R("x"+name, "j"), loopnest.R("y"+name, "i")},
+			Writes: []loopnest.Ref{loopnest.R("y"+name, "i")},
+			Flops:  2,
+		},
+	}
+}
+
+// stencilNest builds a 2D 5-point stencil sweep.
+func stencilNest(name string, n int) *loopnest.Nest {
+	center := loopnest.R("in"+name, "i", "j")
+	up := loopnest.Ref{Array: "in" + name, Index: []loopnest.AffineExpr{
+		{Coeffs: map[string]int{"i": 1}, Const: -1}, loopnest.Var("j")}}
+	down := loopnest.Ref{Array: "in" + name, Index: []loopnest.AffineExpr{
+		{Coeffs: map[string]int{"i": 1}, Const: 1}, loopnest.Var("j")}}
+	left := loopnest.Ref{Array: "in" + name, Index: []loopnest.AffineExpr{
+		loopnest.Var("i"), {Coeffs: map[string]int{"j": 1}, Const: -1}}}
+	right := loopnest.Ref{Array: "in" + name, Index: []loopnest.AffineExpr{
+		loopnest.Var("i"), {Coeffs: map[string]int{"j": 1}, Const: 1}}}
+	return &loopnest.Nest{
+		Name: name,
+		Loops: []loopnest.Loop{
+			{Name: "i", Trip: n},
+			{Name: "j", Trip: n},
+		},
+		Arrays: []loopnest.Array{
+			mat("in"+name, n+2, n+2),
+			mat("out"+name, n, n),
+		},
+		Body: loopnest.Stmt{
+			Reads:  []loopnest.Ref{center, up, down, left, right},
+			Writes: []loopnest.Ref{loopnest.R("out"+name, "i", "j")},
+			Flops:  5,
+		},
+	}
+}
+
+// vecNest builds a 1D vector-update nest.
+func vecNest(name string, n, arity int) *loopnest.Nest {
+	arrays := []loopnest.Array{vec("dst"+name, n)}
+	reads := make([]loopnest.Ref, 0, arity)
+	for a := 0; a < arity; a++ {
+		src := fmt.Sprintf("src%d%s", a, name)
+		arrays = append(arrays, vec(src, n))
+		reads = append(reads, loopnest.R(src, "i"))
+	}
+	return &loopnest.Nest{
+		Name:   name,
+		Loops:  []loopnest.Loop{{Name: "i", Trip: n}},
+		Arrays: arrays,
+		Body: loopnest.Stmt{
+			Reads:  reads,
+			Writes: []loopnest.Ref{loopnest.R("dst"+name, "i")},
+			Flops:  arity,
+		},
+	}
+}
+
+func u(name string, nest int, loop string, max int) Param {
+	return Param{Name: name, Kind: Unroll, Nest: nest, Loop: loop, Max: max}
+}
+
+func rt(name string, nest int, loop string, max int) Param {
+	return Param{Name: name, Kind: RegTile, Nest: nest, Loop: loop, Max: max}
+}
+
+func ct(name string, nest int, loop string, max, quantum int) Param {
+	return Param{Name: name, Kind: CacheTile, Nest: nest, Loop: loop, Max: max, Quantum: quantum}
+}
+
+// --- the 11 kernels -------------------------------------------------------
+
+// adi: alternating-direction implicit integration — three 2D sweeps per
+// time step over 1024x1024 grids. Space 30^8 * 24^2 = 3.779e14.
+func adi() *Kernel {
+	const n = 1024
+	noiseModel := noise.Moderate()
+	// adi's space has structured noisy regions (the paper singles it
+	// out as the one kernel where the variable plan loses); give it a
+	// strong, high-frequency heteroskedastic field.
+	noiseModel.HeteroAmp = 9
+	noiseModel.HeteroFreq = 6
+	noiseModel.DriftRel = 0.008
+	return &Kernel{
+		Name: "adi",
+		Doc:  "alternating-direction implicit integration (2D sweeps)",
+		Nests: []*loopnest.Nest{
+			stencilNest("rowsweep", n),
+			stencilNest("colsweep", n),
+			stencilNest("update", n),
+		},
+		Params: []Param{
+			u("U_R_i", 0, "i", 30), u("U_R_j", 0, "j", 30), rt("RT_R_i", 0, "i", 30),
+			u("U_C_i", 1, "i", 30), u("U_C_j", 1, "j", 30), rt("RT_C_i", 1, "i", 30),
+			u("U_U_i", 2, "i", 30), u("U_U_j", 2, "j", 30),
+			ct("T_R_j", 0, "j", 24, 32), ct("T_C_j", 1, "j", 24, 32),
+		},
+		Noise:          noiseModel,
+		BaselineTarget: 2.10,
+		PaperSpaceSize: 3.78e14,
+	}
+}
+
+// atax: y = A^T (A x) — two GEMV passes. Space 32^7 * 75 = 2.577e12.
+func atax() *Kernel {
+	const n = 4000
+	return &Kernel{
+		Name: "atax",
+		Doc:  "matrix transpose times matrix-vector product",
+		Nests: []*loopnest.Nest{
+			gemvNest("ax", n, false),
+			gemvNest("aty", n, true),
+		},
+		Params: []Param{
+			u("U1_i", 0, "i", 32), u("U1_j", 0, "j", 32), rt("RT1_i", 0, "i", 32),
+			u("U2_i", 1, "i", 32), u("U2_j", 1, "j", 32), rt("RT2_i", 1, "i", 32),
+			rt("RT1_j", 0, "j", 32),
+			ct("T1_j", 0, "j", 75, 16),
+		},
+		Noise:          noise.Moderate(),
+		BaselineTarget: 1.40,
+		PaperSpaceSize: 2.57e12,
+	}
+}
+
+// bicgkernel: q = A p and s = A^T r. Space 30^5 * 24 = 5.832e8.
+func bicgkernel() *Kernel {
+	const n = 2600
+	return &Kernel{
+		Name: "bicgkernel",
+		Doc:  "BiCG sub-kernel of BiCGStab linear solver",
+		Nests: []*loopnest.Nest{
+			gemvNest("q", n, false),
+			gemvNest("s", n, true),
+		},
+		Params: []Param{
+			u("U1_i", 0, "i", 30), u("U1_j", 0, "j", 30),
+			u("U2_i", 1, "i", 30), u("U2_j", 1, "j", 30),
+			rt("RT1_i", 0, "i", 30),
+			ct("T1_j", 0, "j", 24, 32),
+		},
+		Noise:          noise.Moderate(),
+		BaselineTarget: 0.85,
+		PaperSpaceSize: 5.83e8,
+	}
+}
+
+// correlation: correlation matrix of an n x m data set — a mean/stddev
+// pass plus the triple-loop accumulation. Space 30^8 * 24^2 = 3.779e14.
+func correlation() *Kernel {
+	const m, n = 480, 480
+	stat := &loopnest.Nest{
+		Name: "stats",
+		Loops: []loopnest.Loop{
+			{Name: "i", Trip: m},
+			{Name: "j", Trip: n},
+		},
+		Arrays: []loopnest.Array{
+			mat("data", m, n),
+			vec("mean", n),
+		},
+		Body: loopnest.Stmt{
+			Reads:  []loopnest.Ref{loopnest.R("data", "i", "j"), loopnest.R("mean", "j")},
+			Writes: []loopnest.Ref{loopnest.R("mean", "j")},
+			Flops:  2,
+		},
+	}
+	corr := &loopnest.Nest{
+		Name: "corr",
+		Loops: []loopnest.Loop{
+			{Name: "i", Trip: n},
+			{Name: "j", Trip: n},
+			{Name: "k", Trip: m},
+		},
+		Arrays: []loopnest.Array{
+			mat("dataT", m, n),
+			mat("symmat", n, n),
+		},
+		Body: loopnest.Stmt{
+			Reads: []loopnest.Ref{
+				loopnest.R("dataT", "k", "i"),
+				loopnest.R("dataT", "k", "j"),
+				loopnest.R("symmat", "i", "j"),
+			},
+			Writes: []loopnest.Ref{loopnest.R("symmat", "i", "j")},
+			Flops:  2,
+		},
+	}
+	return &Kernel{
+		Name:  "correlation",
+		Doc:   "correlation matrix computation",
+		Nests: []*loopnest.Nest{stat, corr},
+		Params: []Param{
+			u("U_S_i", 0, "i", 30), u("U_S_j", 0, "j", 30), rt("RT_S_i", 0, "i", 30),
+			u("U_C_i", 1, "i", 30), u("U_C_j", 1, "j", 30), u("U_C_k", 1, "k", 30),
+			rt("RT_C_i", 1, "i", 30), rt("RT_C_j", 1, "j", 30),
+			ct("T_C_j", 1, "j", 24, 32), ct("T_C_k", 1, "k", 24, 16),
+		},
+		Noise:          noise.Loud(),
+		BaselineTarget: 3.80,
+		PaperSpaceSize: 3.78e14,
+	}
+}
+
+// dgemv3: three chained GEMVs plus a combining vector pass.
+// Space 30^17 * 103 = 1.3301e27.
+func dgemv3() *Kernel {
+	const n = 2800
+	params := []Param{
+		ct("T1_j", 0, "j", 103, 32),
+	}
+	for nest := 0; nest < 3; nest++ {
+		tag := fmt.Sprintf("%d", nest+1)
+		params = append(params,
+			u("U"+tag+"_i", nest, "i", 30),
+			u("U"+tag+"_j", nest, "j", 30),
+			rt("RT"+tag+"_i", nest, "i", 30),
+			rt("RT"+tag+"_j", nest, "j", 30),
+			ct("T"+tag+"_i", nest, "i", 30, 64),
+		)
+	}
+	params = append(params, u("U4_i", 3, "i", 30), rt("RT4_i", 3, "i", 30))
+	return &Kernel{
+		Name: "dgemv3",
+		Doc:  "three chained dense matrix-vector products",
+		Nests: []*loopnest.Nest{
+			gemvNest("g1", n, false),
+			gemvNest("g2", n, true),
+			gemvNest("g3", n, false),
+			vecNest("combine", n, 3),
+		},
+		Params:         params,
+		Noise:          noise.Moderate(),
+		BaselineTarget: 1.05,
+		PaperSpaceSize: 1.33e27,
+	}
+}
+
+// gemver: BLAS GEMVER composite (rank-2 update, two GEMVs, vector add).
+// Space 30^9 * 24^2 = 1.1337e16.
+func gemver() *Kernel {
+	const n = 3200
+	rank2 := &loopnest.Nest{
+		Name: "rank2",
+		Loops: []loopnest.Loop{
+			{Name: "i", Trip: n},
+			{Name: "j", Trip: n},
+		},
+		Arrays: []loopnest.Array{
+			mat("A", n, n),
+			vec("u1", n), vec("v1", n), vec("u2", n), vec("v2", n),
+		},
+		Body: loopnest.Stmt{
+			Reads: []loopnest.Ref{
+				loopnest.R("A", "i", "j"),
+				loopnest.R("u1", "i"), loopnest.R("v1", "j"),
+				loopnest.R("u2", "i"), loopnest.R("v2", "j"),
+			},
+			Writes: []loopnest.Ref{loopnest.R("A", "i", "j")},
+			Flops:  4,
+		},
+	}
+	gemverNoise := noise.Loud()
+	// Table 2: gemver is noisy but, unlike correlation, its noise stays
+	// within what 35 observations can average out.
+	gemverNoise.HeteroAmp = 7
+	gemverNoise.SpikeProb = 0.02
+	gemverNoise.SpikeRel = 0.5
+	return &Kernel{
+		Name: "gemver",
+		Doc:  "BLAS GEMVER: rank-2 update plus two matrix-vector products",
+		Nests: []*loopnest.Nest{
+			rank2,
+			gemvNest("bx", n, true),
+			vecNest("xz", n, 1),
+			gemvNest("aw", n, false),
+		},
+		Params: []Param{
+			u("U_R_i", 0, "i", 30), u("U_R_j", 0, "j", 30),
+			u("U_B_i", 1, "i", 30), u("U_B_j", 1, "j", 30), rt("RT_B_i", 1, "i", 30),
+			u("U_X_i", 2, "i", 30),
+			u("U_A_i", 3, "i", 30), u("U_A_j", 3, "j", 30), rt("RT_A_i", 3, "i", 30),
+			ct("T_R_j", 0, "j", 24, 32), ct("T_B_j", 1, "j", 24, 32),
+		},
+		Noise:          gemverNoise,
+		BaselineTarget: 1.90,
+		PaperSpaceSize: 1.14e16,
+	}
+}
+
+// hessian: 2D Hessian-filter stencil. Space 30^4 * 24 = 1.944e7.
+func hessian() *Kernel {
+	const n = 1200
+	return &Kernel{
+		Name:  "hessian",
+		Doc:   "Hessian-of-Gaussian 2D stencil",
+		Nests: []*loopnest.Nest{stencilNest("h", n)},
+		Params: []Param{
+			u("U_i", 0, "i", 30), u("U_j", 0, "j", 30),
+			rt("RT_i", 0, "i", 30), rt("RT_j", 0, "j", 30),
+			ct("T_j", 0, "j", 24, 32),
+		},
+		Noise:          noise.Quiet(),
+		BaselineTarget: 0.16,
+		PaperSpaceSize: 1.95e7,
+	}
+}
+
+// jacobi: 2D Jacobi relaxation sweep. Space 30^4 * 24 = 1.944e7.
+func jacobi() *Kernel {
+	const n = 3000
+	return &Kernel{
+		Name:  "jacobi",
+		Doc:   "2D Jacobi relaxation",
+		Nests: []*loopnest.Nest{stencilNest("j", n)},
+		Params: []Param{
+			u("U_i", 0, "i", 30), u("U_j", 0, "j", 30),
+			rt("RT_i", 0, "i", 30), rt("RT_j", 0, "j", 30),
+			ct("T_j", 0, "j", 24, 32),
+		},
+		Noise:          noise.Moderate(),
+		BaselineTarget: 1.05,
+		PaperSpaceSize: 1.95e7,
+	}
+}
+
+// lu: in-place LU decomposition triple loop. Space 30^5 * 24 = 5.832e8.
+func lu() *Kernel {
+	const n = 560
+	nest := &loopnest.Nest{
+		Name: "lu",
+		Loops: []loopnest.Loop{
+			{Name: "k", Trip: n},
+			{Name: "i", Trip: n},
+			{Name: "j", Trip: n},
+		},
+		Arrays: []loopnest.Array{mat("A", n, n)},
+		Body: loopnest.Stmt{
+			Reads: []loopnest.Ref{
+				loopnest.R("A", "i", "j"),
+				loopnest.R("A", "i", "k"),
+				loopnest.R("A", "k", "j"),
+			},
+			Writes: []loopnest.Ref{loopnest.R("A", "i", "j")},
+			Flops:  2,
+		},
+	}
+	return &Kernel{
+		Name:  "lu",
+		Doc:   "dense LU decomposition",
+		Nests: []*loopnest.Nest{nest},
+		Params: []Param{
+			u("U_k", 0, "k", 30), u("U_i", 0, "i", 30), u("U_j", 0, "j", 30),
+			rt("RT_i", 0, "i", 30), rt("RT_j", 0, "j", 30),
+			ct("T_j", 0, "j", 24, 16),
+		},
+		Noise:          noise.Quiet(),
+		BaselineTarget: 0.32,
+		PaperSpaceSize: 5.83e8,
+	}
+}
+
+// mm: dense matrix multiplication. Space 32^5 * 95 = 3.1877e9.
+//
+// mm's noise profile is bespoke: Figure 1 of the paper shows that most
+// of the unroll plane needs a single observation (MAE well below
+// 0.1 ms on an ~80 ms kernel) while localised pockets reach ~4 ms MAE
+// (5% of the mean). That requires a very low noise floor with a strong
+// heteroskedastic field on top.
+func mmNoise() noise.Model {
+	return noise.Model{
+		BaseRel:    0.0004,
+		LayoutRel:  0.0005,
+		HeteroAmp:  80,
+		HeteroFreq: 2.5,
+		SpikeProb:  0.002,
+		SpikeRel:   0.3,
+		DriftRel:   0.0003,
+		DriftRho:   0.6,
+	}
+}
+
+func mm() *Kernel {
+	const n = 384
+	nest := &loopnest.Nest{
+		Name: "mm",
+		Loops: []loopnest.Loop{
+			{Name: "i", Trip: n},
+			{Name: "j", Trip: n},
+			{Name: "k", Trip: n},
+		},
+		Arrays: []loopnest.Array{
+			mat("A", n, n), mat("B", n, n), mat("C", n, n),
+		},
+		Body: loopnest.Stmt{
+			Reads: []loopnest.Ref{
+				loopnest.R("A", "i", "k"),
+				loopnest.R("B", "k", "j"),
+				loopnest.R("C", "i", "j"),
+			},
+			Writes: []loopnest.Ref{loopnest.R("C", "i", "j")},
+			Flops:  2,
+		},
+	}
+	return &Kernel{
+		Name:  "mm",
+		Doc:   "dense matrix-matrix multiplication",
+		Nests: []*loopnest.Nest{nest},
+		Params: []Param{
+			u("U_i", 0, "i", 32), u("U_j", 0, "j", 32), u("U_k", 0, "k", 32),
+			rt("RT_i", 0, "i", 32), rt("RT_j", 0, "j", 32),
+			ct("T_k", 0, "k", 95, 4),
+		},
+		Noise:          mmNoise(),
+		BaselineTarget: 0.085,
+		PaperSpaceSize: 3.18e9,
+	}
+}
+
+// mvt: x1 = A y1 and x2 = A^T y2. Space 30^4 * 24 = 1.944e7.
+//
+// mvt's runtime is ~35 ms, so timer granularity and scheduling jitter
+// are proportionally larger than on the long-running kernels: its
+// relative noise floor is raised accordingly. Combined with the
+// per-example compile time this keeps the achievable speed-up low,
+// matching the paper's mvt row (1.18x).
+func mvtNoise() noise.Model {
+	m := noise.Quiet()
+	m.BaseRel = 0.010
+	m.LayoutRel = 0.012
+	m.HeteroAmp = 3
+	return m
+}
+
+func mvt() *Kernel {
+	const n = 1400
+	return &Kernel{
+		Name: "mvt",
+		Doc:  "matrix-vector product and transposed product",
+		Nests: []*loopnest.Nest{
+			gemvNest("x1", n, false),
+			gemvNest("x2", n, true),
+		},
+		Params: []Param{
+			u("U1_i", 0, "i", 30), u("U1_j", 0, "j", 30),
+			u("U2_i", 1, "i", 30), u("U2_j", 1, "j", 30),
+			ct("T1_j", 0, "j", 24, 32),
+		},
+		Noise:          mvtNoise(),
+		BaselineTarget: 0.035,
+		PaperSpaceSize: 1.95e7,
+	}
+}

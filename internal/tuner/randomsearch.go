@@ -1,0 +1,94 @@
+package tuner
+
+import (
+	"fmt"
+	"math"
+
+	"alic/internal/measure"
+	"alic/internal/rng"
+	"alic/internal/spapt"
+	"alic/internal/stats"
+)
+
+// RandomSearch is the classical iterative-compilation loop the paper's
+// introduction describes ([30]): compile and profile randomly chosen
+// configurations until the profiling budget is exhausted, and keep the
+// fastest. It serves as the budget-matched baseline for model-driven
+// Search: at equal simulated profiling seconds, the learned model
+// covers vastly more of the space than brute-force profiling can.
+type RandomSearchResult struct {
+	// Best is the fastest configuration profiled.
+	Best Candidate
+	// Baseline is the measured -O2 runtime.
+	Baseline float64
+	// Speedup is Baseline / Best.Measured.
+	Speedup float64
+	// Evaluated is the number of configurations profiled.
+	Evaluated int
+	// Cost is the profiling cost consumed, in simulated seconds.
+	Cost float64
+}
+
+// RandomSearch profiles random configurations (obs observations each)
+// until budget simulated seconds have been spent, then reports the
+// fastest configuration seen.
+func RandomSearch(sess *measure.Session, budget float64, obs int, seed uint64) (*RandomSearchResult, error) {
+	if sess == nil {
+		return nil, fmt.Errorf("tuner: nil session")
+	}
+	if budget <= 0 || obs < 1 {
+		return nil, fmt.Errorf("tuner: budget and obs must be positive")
+	}
+	k := sess.Kernel()
+	r := rng.NewStream(seed, 0x7a2d0)
+
+	start := sess.Cost()
+	best := Candidate{Measured: math.Inf(1)}
+	evaluated := 0
+	seen := make(map[uint64]bool)
+	for sess.Cost()-start < budget {
+		var cfg spapt.Config
+		for {
+			cfg = k.RandomConfig(r)
+			if key := k.Key(cfg); !seen[key] {
+				seen[key] = true
+				break
+			}
+		}
+		var w stats.Welford
+		for j := 0; j < obs; j++ {
+			y, err := sess.Observe(cfg)
+			if err != nil {
+				return nil, err
+			}
+			w.Add(y)
+		}
+		evaluated++
+		if w.Mean() < best.Measured {
+			best = Candidate{Config: cfg, Predicted: math.NaN(), Measured: w.Mean()}
+		}
+	}
+	if evaluated == 0 {
+		return nil, fmt.Errorf("tuner: budget %v too small for a single evaluation", budget)
+	}
+
+	var wb stats.Welford
+	base := k.BaselineConfig()
+	for j := 0; j < obs; j++ {
+		y, err := sess.Observe(base)
+		if err != nil {
+			return nil, err
+		}
+		wb.Add(y)
+	}
+	res := &RandomSearchResult{
+		Best:      best,
+		Baseline:  wb.Mean(),
+		Evaluated: evaluated,
+		Cost:      sess.Cost() - start,
+	}
+	if best.Measured > 0 {
+		res.Speedup = res.Baseline / best.Measured
+	}
+	return res, nil
+}

@@ -1,0 +1,144 @@
+// Package tuner closes the loop of §4.1 of the paper: once a
+// program-specific runtime model has been learned, it can be queried
+// for thousands of configurations per second, so the best optimization
+// settings are found by predicting over a large random sample of the
+// space and profiling only the most promising configurations — instead
+// of compiling and running every candidate.
+package tuner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"alic/internal/dynatree"
+	"alic/internal/measure"
+	"alic/internal/rng"
+	"alic/internal/spapt"
+	"alic/internal/stats"
+)
+
+// Options configures a model-driven search.
+type Options struct {
+	// Candidates is the number of random configurations to rank with
+	// the model.
+	Candidates int
+	// Verify is how many of the top-ranked configurations to actually
+	// profile (each once) before declaring a winner.
+	Verify int
+	// VerifyObs is the number of observations per verified config.
+	VerifyObs int
+	// Seed drives candidate sampling.
+	Seed uint64
+}
+
+// DefaultOptions returns a sensible search setup.
+func DefaultOptions() Options {
+	return Options{Candidates: 5000, Verify: 10, VerifyObs: 3, Seed: 1}
+}
+
+// Candidate is one ranked configuration.
+type Candidate struct {
+	Config    spapt.Config
+	Predicted float64
+	// Measured is the mean of VerifyObs observations, or NaN if the
+	// candidate was not in the verified top set.
+	Measured float64
+}
+
+// Result is the outcome of a model-driven search.
+type Result struct {
+	// Best is the verified winner (lowest measured runtime).
+	Best Candidate
+	// Baseline is the measured runtime of the untransformed (-O2)
+	// configuration, for speedup reporting.
+	Baseline float64
+	// Speedup is Baseline / Best.Measured.
+	Speedup float64
+	// Top holds the verified candidates, best first.
+	Top []Candidate
+	// VerifyCost is the profiling cost spent on verification, in
+	// simulated seconds.
+	VerifyCost float64
+}
+
+// Normalizer maps a raw configuration to model features.
+type Normalizer interface {
+	Transform(x []float64) []float64
+}
+
+// Search ranks random configurations with the model and verifies the
+// top few on the profiling session.
+func Search(model *dynatree.Forest, sess *measure.Session, norm Normalizer, opts Options) (*Result, error) {
+	if model == nil || sess == nil || norm == nil {
+		return nil, fmt.Errorf("tuner: nil model, session or normalizer")
+	}
+	if opts.Candidates < 1 || opts.Verify < 1 || opts.VerifyObs < 1 {
+		return nil, fmt.Errorf("tuner: Candidates, Verify and VerifyObs must be >= 1")
+	}
+	if opts.Verify > opts.Candidates {
+		opts.Verify = opts.Candidates
+	}
+	k := sess.Kernel()
+	r := rng.NewStream(opts.Seed, 0x7c7e12)
+
+	// Rank candidates by predicted runtime.
+	cands := make([]Candidate, opts.Candidates)
+	seen := make(map[uint64]bool, opts.Candidates)
+	for i := range cands {
+		var cfg spapt.Config
+		for {
+			cfg = k.RandomConfig(r)
+			key := k.Key(cfg)
+			if !seen[key] {
+				seen[key] = true
+				break
+			}
+		}
+		feats := norm.Transform(k.Features(cfg))
+		cands[i] = Candidate{
+			Config:    cfg,
+			Predicted: model.PredictMeanFast(feats),
+			Measured:  math.NaN(),
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Predicted < cands[j].Predicted })
+
+	// Verify the top slice with real (simulated) profiling.
+	costBefore := sess.Cost()
+	top := cands[:opts.Verify]
+	for i := range top {
+		var w stats.Welford
+		for j := 0; j < opts.VerifyObs; j++ {
+			y, err := sess.Observe(top[i].Config)
+			if err != nil {
+				return nil, err
+			}
+			w.Add(y)
+		}
+		top[i].Measured = w.Mean()
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].Measured < top[j].Measured })
+
+	// Baseline for speedup reporting.
+	var wb stats.Welford
+	base := k.BaselineConfig()
+	for j := 0; j < opts.VerifyObs; j++ {
+		y, err := sess.Observe(base)
+		if err != nil {
+			return nil, err
+		}
+		wb.Add(y)
+	}
+
+	res := &Result{
+		Best:       top[0],
+		Baseline:   wb.Mean(),
+		Top:        top,
+		VerifyCost: sess.Cost() - costBefore,
+	}
+	if res.Best.Measured > 0 {
+		res.Speedup = res.Baseline / res.Best.Measured
+	}
+	return res, nil
+}
