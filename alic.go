@@ -20,6 +20,17 @@
 //	res, _ := alic.Learn(k, alic.DefaultLearnOptions())
 //	fmt.Println("model RMSE:", res.FinalError)
 //
+// # Parallel scoring
+//
+// Candidate scoring — the hot path of the active-learning loop — runs
+// on a shared worker pool. LearnerOptions.Workers bounds the goroutines
+// used per iteration (0 = GOMAXPROCS, 1 = serial); the model's batched
+// entry points (Model.PredictBatch, Model.ALMBatch, Model.ALCScores)
+// shard candidates deterministically, so every worker count selects the
+// same configurations and produces bit-identical results. Workers
+// changes wall-clock time only. The same knob is exposed as the
+// -workers flag of cmd/alic.
+//
 // The packages behind this facade:
 //
 //   - internal/core      — Algorithm 1 (active learning + sequential analysis)
@@ -189,11 +200,7 @@ func RunOnDataset(ds *Dataset, opts LearnerOptions) (*LearnerResult, error) {
 	testX := ds.TestFeatures()
 	testY := ds.TestTargets()
 	eval := func(m *Model) float64 {
-		pred := make([]float64, len(testX))
-		for i, x := range testX {
-			pred[i] = m.PredictMeanFast(x)
-		}
-		return stats.RMSE(pred, testY)
+		return stats.RMSE(m.PredictMeanFastBatch(testX), testY)
 	}
 	learner, err := core.New(opts, pool, oracle, eval)
 	if err != nil {

@@ -444,3 +444,115 @@ func BenchmarkAblationLeafModel(b *testing.B) {
 		})
 	}
 }
+
+// --- Parallel scoring (the acquisition hot path) --------------------------
+
+// benchForest trains a forest sized like a mid-run learner model.
+func benchForest(b *testing.B, workers int) (*dynatree.Forest, [][]float64) {
+	b.Helper()
+	cfg := dynatree.DefaultConfig()
+	cfg.Particles = 300
+	cfg.ScoreParticles = 100
+	cfg.Workers = workers
+	f, err := dynatree.New(cfg, 4, rng.New(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(11)
+	xs := make([][]float64, 900)
+	for i := range xs {
+		x := []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+		xs[i] = x
+		if i < 300 {
+			f.Update(x, x[0]+2*x[1]*x[2]+x[3]*x[3]+r.NormMS(0, 0.05))
+		}
+	}
+	return f, xs
+}
+
+// BenchmarkALCScores measures the dominant per-iteration cost of the
+// learner (ALC over the whole candidate set, refs = cands) at several
+// worker counts. Scores are bit-identical across worker counts; only
+// wall-clock changes.
+func BenchmarkALCScores(b *testing.B) {
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			f, xs := benchForest(b, w)
+			cands := xs[300:800]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.ALCScores(cands, cands)
+			}
+		})
+	}
+}
+
+// BenchmarkALMBatch measures batched ALM scoring at several worker
+// counts.
+func BenchmarkALMBatch(b *testing.B) {
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			f, xs := benchForest(b, w)
+			cands := xs[300:800]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.ALMBatch(cands)
+			}
+		})
+	}
+}
+
+// BenchmarkSelectBatch measures one full acquisition-selection step of
+// the learner — candidate assembly plus ALC scoring — at several worker
+// counts.
+func BenchmarkSelectBatch(b *testing.B) {
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			r := rng.New(3)
+			pool := make(core.SlicePool, 2000)
+			for i := range pool {
+				pool[i] = []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+			}
+			opts := core.DefaultOptions()
+			opts.NInit = 5
+			opts.NMax = 5 // seed the model, then stop
+			opts.NCand = 500
+			opts.Workers = w
+			opts.Tree.Particles = 300
+			opts.Tree.ScoreParticles = 100
+			l, err := core.New(opts, pool, &benchOracle{pool: pool, r: rng.New(4)}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := l.Run(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.SelectBatch(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchOracle is a deterministic synthetic oracle for selection
+// benchmarks.
+type benchOracle struct {
+	pool core.SlicePool
+	r    *rng.Stream
+	cost float64
+}
+
+func (o *benchOracle) Observe(i int) (float64, error) {
+	x := o.pool[i]
+	y := x[0] + 2*x[1]*x[2] + x[3]*x[3] + o.r.NormMS(0, 0.05)
+	if y < 0.001 {
+		y = 0.001
+	}
+	o.cost += y
+	return y, nil
+}
+
+func (o *benchOracle) Cost() float64 { return o.cost }

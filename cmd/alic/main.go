@@ -38,6 +38,7 @@ func main() {
 		test      = flag.Int("test", 600, "test set size")
 		seed      = flag.Uint64("seed", 1, "experiment seed")
 		verify    = flag.Int("verify", 10, "configurations to verify during tuning")
+		workers   = flag.Int("workers", 0, "candidate-scoring goroutines (0 = all cores); results are identical for every value")
 	)
 	flag.Parse()
 
@@ -73,6 +74,7 @@ func main() {
 	opts.Learner.Seed = *seed
 	opts.Learner.Tree.Particles = *particles
 	opts.Learner.Tree.ScoreParticles = max(20, *particles/6)
+	opts.Learner.Workers = *workers
 
 	switch *plan {
 	case "variable":

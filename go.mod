@@ -1,0 +1,3 @@
+module alic
+
+go 1.22

@@ -134,6 +134,13 @@ type Options struct {
 	// StopWindow is the sliding-window size of the prequential
 	// estimator (default 50 when StopError is set).
 	StopWindow int
+	// Workers bounds the goroutines used to score candidates each
+	// iteration (0 = GOMAXPROCS, 1 = serial), mirroring the semantics
+	// of the experiment harness's run-level Workers knob. Scoring is
+	// sharded deterministically, so every worker count selects the
+	// same configurations and yields bit-identical results; Workers
+	// changes wall-clock time only.
+	Workers int
 }
 
 // DefaultOptions returns the paper's experiment parameters for the
@@ -172,6 +179,9 @@ func (o Options) validate(poolLen int) error {
 	}
 	if o.Plan == FixedPlan && o.PlanObs < 1 {
 		return fmt.Errorf("core: FixedPlan needs PlanObs >= 1, got %d", o.PlanObs)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: Workers %d < 0", o.Workers)
 	}
 	if poolLen < o.NInit {
 		return fmt.Errorf("core: pool of %d smaller than NInit %d", poolLen, o.NInit)
@@ -313,7 +323,7 @@ func (l *Learner) Run() (*Result, error) {
 		if rem := l.opts.NMax - l.acquired; batch > rem {
 			batch = rem
 		}
-		chosen, err := l.selectBatch(batch)
+		chosen, err := l.SelectBatch(batch)
 		if err != nil {
 			return nil, err
 		}
@@ -385,6 +395,7 @@ func (l *Learner) seed() error {
 
 	cfg := l.opts.Tree
 	cfg.CalibratePrior(all)
+	cfg.Workers = l.opts.Workers
 	dim := len(l.pool.Features(idxs[0]))
 	model, err := dynatree.New(cfg, dim, l.r.Split("dynatree"))
 	if err != nil {
@@ -399,11 +410,12 @@ func (l *Learner) seed() error {
 	return nil
 }
 
-// candidateSet assembles the candidate indices for one iteration: NCand
-// fresh unseen configurations plus — under the variable plan — every
-// seen configuration with fewer than NObs observations.
-func (l *Learner) candidateSet() []int {
-	cands := make([]int, 0, l.opts.NCand+16)
+// candidateSet assembles the candidate indices for one iteration — NCand
+// fresh unseen configurations plus, under the variable plan, every seen
+// configuration with fewer than NObs observations — together with their
+// feature vectors, gathered once for the batched scorers.
+func (l *Learner) candidateSet() (cands []int, feats [][]float64) {
+	cands = make([]int, 0, l.opts.NCand+16)
 	// Fresh candidates: rejection-sample unseen pool items.
 	seenTries := 0
 	for len(cands) < l.opts.NCand && seenTries < 20*l.opts.NCand {
@@ -421,13 +433,27 @@ func (l *Learner) candidateSet() []int {
 			}
 		}
 	}
-	return cands
+	feats = make([][]float64, len(cands))
+	for i, c := range cands {
+		feats[i] = l.pool.Features(c)
+	}
+	return cands, feats
 }
 
-// selectBatch scores the candidate set and returns the batch most worth
-// observing next.
-func (l *Learner) selectBatch(batch int) ([]int, error) {
-	cands := l.candidateSet()
+// SelectBatch scores the candidate set and returns the batch of pool
+// indices most worth observing next, without observing them. Run
+// normally drives it; it is exported for benchmarks and for external
+// acquisition schedulers that interleave their own observation logic.
+// It consumes learner randomness (candidate sampling), so interleaved
+// calls change the sequence a subsequent Run would take.
+func (l *Learner) SelectBatch(batch int) ([]int, error) {
+	if l.model == nil {
+		return nil, fmt.Errorf("core: SelectBatch before seeding (call Run)")
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("core: SelectBatch batch %d < 1", batch)
+	}
+	cands, feats := l.candidateSet()
 	if len(cands) == 0 {
 		return nil, nil
 	}
@@ -445,18 +471,11 @@ func (l *Learner) selectBatch(batch int) ([]int, error) {
 		return out, nil
 
 	case ALM:
-		scores := make([]float64, len(cands))
-		for i, c := range cands {
-			scores[i] = l.model.ALM(l.pool.Features(c))
-		}
 		// Highest predictive variance first.
+		scores := l.model.ALMBatch(feats)
 		return pickBest(cands, scores, batch, false), nil
 
 	case ALC:
-		feats := make([][]float64, len(cands))
-		for i, c := range cands {
-			feats[i] = l.pool.Features(c)
-		}
 		// predictAvgModelVariance of Algorithm 1: reference set = the
 		// candidate set itself; pick the minimum expected variance.
 		scores := l.model.ALCScores(feats, feats)

@@ -424,3 +424,48 @@ func TestALCOutperformsRandomOnHeteroskedastic(t *testing.T) {
 		t.Fatalf("ALC (%v) much worse than random (%v)", alc, random)
 	}
 }
+
+// TestWorkersDeterminism is the core-level analogue of the experiment
+// harness's TestRunCurvesParallelDeterminism: sharded candidate scoring
+// must not change results. Workers=1 and Workers=8 must produce
+// bit-identical learning curves and select the same configurations.
+func TestWorkersDeterminism(t *testing.T) {
+	for _, sc := range []Scorer{ALC, ALM} {
+		run := func(workers int) (*Result, map[int]int) {
+			pool := gridPool(300)
+			ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 10)
+			opts := smallOpts()
+			opts.Scorer = sc
+			opts.Workers = workers
+			l, _ := New(opts, pool, ora, testEval(stepFn))
+			res, err := l.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res, l.ObservationCounts()
+		}
+		a, aCounts := run(1)
+		b, bCounts := run(8)
+		if a.Acquired != b.Acquired || a.Observations != b.Observations ||
+			a.Unique != b.Unique || a.Revisits != b.Revisits || a.Cost != b.Cost {
+			t.Fatalf("%v: summary diverged: %+v vs %+v", sc, a, b)
+		}
+		if len(a.Curve) != len(b.Curve) {
+			t.Fatalf("%v: curve lengths differ: %d vs %d", sc, len(a.Curve), len(b.Curve))
+		}
+		for i := range a.Curve {
+			if a.Curve[i] != b.Curve[i] {
+				t.Fatalf("%v: curves diverged at point %d: %+v vs %+v",
+					sc, i, a.Curve[i], b.Curve[i])
+			}
+		}
+		if len(aCounts) != len(bCounts) {
+			t.Fatalf("%v: selected configuration sets differ", sc)
+		}
+		for k, v := range aCounts {
+			if bCounts[k] != v {
+				t.Fatalf("%v: config %d observed %d vs %d times", sc, k, v, bCounts[k])
+			}
+		}
+	}
+}

@@ -31,6 +31,14 @@ type Config struct {
 	// uses the constant-model closed form as a surrogate; ALM and
 	// prediction honour the configured model.
 	LeafModel LeafModel
+	// Workers bounds the goroutines used by the batched scoring entry
+	// points (PredictBatch, ALMBatch, ALCScores, AvgVariance) and the
+	// particle-reweighting step of Update. 0 means GOMAXPROCS; 1 runs
+	// everything inline. Scoring is read-only and consumes no
+	// randomness, and all cross-shard reductions happen in index
+	// order, so results are bit-identical for every worker count —
+	// Workers changes wall-clock time only.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used by the experiments:
@@ -90,12 +98,19 @@ func (c Config) validate() error {
 	if c.MinLeafForSplit < 2 {
 		return fmt.Errorf("dynatree: MinLeafForSplit must be >= 2, got %d", c.MinLeafForSplit)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("dynatree: Workers must be >= 0, got %d", c.Workers)
+	}
 	return nil
 }
 
 // Forest is a particle-filtered dynamic-tree regression model. It is
-// not safe for concurrent mutation; Predict and the scoring methods are
-// read-only and may be called concurrently with each other.
+// not safe for concurrent mutation. With constant leaves, Predict and
+// the scoring methods are read-only and may be called concurrently with
+// each other; with linear leaves, single-point predictions lazily cache
+// leaf posteriors, so use the batched entry points (PredictBatch,
+// ALMBatch, PredictMeanFastBatch, ALCScores), which pre-warm the caches
+// and shard safely across the package's scoring pool.
 type Forest struct {
 	cfg       Config
 	prior     nigPrior
@@ -185,6 +200,10 @@ func New(cfg Config, dim int, r *rng.Stream) (*Forest, error) {
 // N returns the number of observations absorbed so far.
 func (f *Forest) N() int { return len(f.points) }
 
+// workers resolves the configured scoring-worker count; parallelFor
+// maps 0 to GOMAXPROCS.
+func (f *Forest) workers() int { return f.cfg.Workers }
+
 // pSplit is the CGM split prior at the given depth.
 func (f *Forest) pSplit(depth int) float64 {
 	return f.cfg.Alpha * math.Pow(1+float64(depth), -f.cfg.Beta)
@@ -203,12 +222,15 @@ func (f *Forest) Update(x []float64, y float64) {
 	f.points = append(f.points, point{x: xcopy, y: y})
 
 	// Step 1: importance weights = posterior predictive density at the
-	// new observation.
+	// new observation. Each particle's weight is independent and
+	// read-only, so the loop shards across the scoring pool.
 	if len(f.points) > 1 { // with a single point all weights are equal
-		for i, p := range f.particles {
-			leaf := p.leafFor(xcopy)
-			f.logW[i] = f.nodeLogPredDensity(leaf, xcopy, y)
-		}
+		parallelFor(f.workers(), len(f.particles), func(start, end int) {
+			for i := start; i < end; i++ {
+				leaf := f.particles[i].leafFor(xcopy)
+				f.logW[i] = f.nodeLogPredDensity(leaf, xcopy, y)
+			}
+		})
 		f.resample()
 	}
 
@@ -474,7 +496,12 @@ func (f *Forest) PredictMean(x []float64) float64 {
 // accuracy for a large speedup when evaluating learning curves over
 // thousands of test points.
 func (f *Forest) PredictMeanFast(x []float64) float64 {
-	parts := f.scoringParticles()
+	return f.predictMeanParts(f.scoringParticles(), x)
+}
+
+// predictMeanParts averages the leaf predictions of x over the given
+// particles.
+func (f *Forest) predictMeanParts(parts []*node, x []float64) float64 {
 	sum := 0.0
 	for _, p := range parts {
 		leaf := p.leafFor(x)
@@ -482,6 +509,63 @@ func (f *Forest) PredictMeanFast(x []float64) float64 {
 		sum += loc
 	}
 	return sum / float64(len(parts))
+}
+
+// PredictBatch returns the posterior-predictive mean and variance at
+// every row of xs, sharding the rows across the scoring pool. Each
+// entry is bit-identical to the corresponding Predict call.
+func (f *Forest) PredictBatch(xs [][]float64) (means, variances []float64) {
+	f.warmLinLeaves(f.particles)
+	means = make([]float64, len(xs))
+	variances = make([]float64, len(xs))
+	parallelFor(f.workers(), len(xs), func(start, end int) {
+		for i := start; i < end; i++ {
+			means[i], variances[i] = f.Predict(xs[i])
+		}
+	})
+	return means, variances
+}
+
+// PredictMeanFastBatch is the batched, parallel counterpart of
+// PredictMeanFast: entry i is bit-identical to PredictMeanFast(xs[i]).
+func (f *Forest) PredictMeanFastBatch(xs [][]float64) []float64 {
+	parts := f.scoringParticles()
+	f.warmLinLeaves(parts)
+	out := make([]float64, len(xs))
+	parallelFor(f.workers(), len(xs), func(start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = f.predictMeanParts(parts, xs[i])
+		}
+	})
+	return out
+}
+
+// warmLinLeaves pre-computes the lazily-cached linear-leaf posteriors
+// (Cholesky factor, posterior mean) of every leaf reachable from parts,
+// so that the subsequent sharded prediction passes are genuinely
+// read-only. Particles own disjoint trees, so the walk itself shards
+// safely across particles. Constant leaves keep no cache; the call is
+// a no-op for them.
+func (f *Forest) warmLinLeaves(parts []*node) {
+	if f.cfg.LeafModel != LinearLeaf {
+		return
+	}
+	parallelFor(f.workers(), len(parts), func(start, end int) {
+		for pi := start; pi < end; pi++ {
+			warmNode(parts[pi], f.lprior)
+		}
+	})
+}
+
+func warmNode(nd *node, p linPrior) {
+	if nd.leaf {
+		if nd.lin != nil {
+			p.ensure(nd.lin)
+		}
+		return
+	}
+	warmNode(nd.left, p)
+	warmNode(nd.right, p)
 }
 
 // scoringParticles returns the subset of particles used for
@@ -502,7 +586,11 @@ func (f *Forest) scoringParticles() []*node {
 // ALM returns MacKay's active-learning score at x: the posterior
 // predictive variance. Higher is more informative.
 func (f *Forest) ALM(x []float64) float64 {
-	parts := f.scoringParticles()
+	return f.almParts(f.scoringParticles(), x)
+}
+
+// almParts computes the ALM score of x over the given particles.
+func (f *Forest) almParts(parts []*node, x []float64) float64 {
 	sumM, sumV, sumM2 := 0.0, 0.0, 0.0
 	for _, p := range parts {
 		leaf := p.leafFor(x)
@@ -520,6 +608,21 @@ func (f *Forest) ALM(x []float64) float64 {
 	return variance
 }
 
+// ALMBatch scores every row of xs with the ALM heuristic, sharding the
+// candidates across the scoring pool. Entry i is bit-identical to
+// ALM(xs[i]) for every worker count.
+func (f *Forest) ALMBatch(xs [][]float64) []float64 {
+	parts := f.scoringParticles()
+	f.warmLinLeaves(parts)
+	scores := make([]float64, len(xs))
+	parallelFor(f.workers(), len(xs), func(start, end int) {
+		for i := start; i < end; i++ {
+			scores[i] = f.almParts(parts, xs[i])
+		}
+	})
+	return scores
+}
+
 // ALCScores implements Cohn's heuristic as used by Algorithm 1 of the
 // paper (predictAvgModelVariance): for every candidate c it returns the
 // expected average posterior-predictive variance over the reference set
@@ -531,6 +634,11 @@ func (f *Forest) ALM(x []float64) float64 {
 // leaf); the implementation groups references by leaf so the cost is
 // O(particles * (|refs| + |cands|) * depth) rather than
 // O(particles * |refs| * |cands|).
+// Both passes shard across the scoring pool: the reference-grouping
+// pass over particles, and the candidate-scoring pass over candidates.
+// Each shard writes only its own indices and every cross-shard
+// reduction runs in index order, so the scores are bit-identical for
+// every worker count.
 func (f *Forest) ALCScores(cands, refs [][]float64) []float64 {
 	parts := f.scoringParticles()
 	nRefs := float64(len(refs))
@@ -538,69 +646,78 @@ func (f *Forest) ALCScores(cands, refs [][]float64) []float64 {
 		return make([]float64, len(cands))
 	}
 
-	// Current total average variance over refs, and per-particle
-	// per-leaf reference counts.
-	type leafInfo struct {
-		refCount int
-	}
-	baseAvgVar := 0.0
-	perParticle := make([]map[*node]*leafInfo, len(parts))
-	for pi, p := range parts {
-		m := make(map[*node]*leafInfo)
-		for _, r := range refs {
-			leaf := p.leafFor(r)
-			info := m[leaf]
-			if info == nil {
-				info = &leafInfo{}
-				m[leaf] = info
+	// Pass 1 (parallel over particles): per-particle per-leaf reference
+	// counts, plus each particle's contribution to the current total
+	// average variance over refs.
+	perParticle := make([]map[*node]int, len(parts))
+	partials := make([]float64, len(parts))
+	parallelFor(f.workers(), len(parts), func(start, end int) {
+		for pi := start; pi < end; pi++ {
+			p := parts[pi]
+			m := make(map[*node]int)
+			sum := 0.0
+			for _, r := range refs {
+				leaf := p.leafFor(r)
+				m[leaf]++
+				sum += f.prior.predVariance(leaf.s)
 			}
-			info.refCount++
-			baseAvgVar += f.prior.predVariance(leaf.s)
+			perParticle[pi] = m
+			partials[pi] = sum
 		}
-		perParticle[pi] = m
-	}
+	})
 	nParts := float64(len(parts))
-	baseAvgVar /= nParts * nRefs
+	baseAvgVar := reduceInOrder(partials) / (nParts * nRefs)
 
+	// Pass 2 (parallel over candidates): each candidate's expected
+	// variance reduction folds over the particles in index order.
 	scores := make([]float64, len(cands))
-	for ci, c := range cands {
-		reduction := 0.0
-		for pi, p := range parts {
-			leaf := p.leafFor(c)
-			info := perParticle[pi][leaf]
-			if info == nil || info.refCount == 0 {
-				continue
+	parallelFor(f.workers(), len(cands), func(start, end int) {
+		for ci := start; ci < end; ci++ {
+			c := cands[ci]
+			reduction := 0.0
+			for pi, p := range parts {
+				leaf := p.leafFor(c)
+				refCount := perParticle[pi][leaf]
+				if refCount == 0 {
+					continue
+				}
+				vNow := f.prior.predVariance(leaf.s)
+				vAfter := f.prior.expectedPostVariance(leaf.s)
+				if math.IsInf(vNow, 0) || math.IsInf(vAfter, 0) {
+					continue
+				}
+				delta := vNow - vAfter
+				if delta > 0 {
+					reduction += delta * float64(refCount)
+				}
 			}
-			vNow := f.prior.predVariance(leaf.s)
-			vAfter := f.prior.expectedPostVariance(leaf.s)
-			if math.IsInf(vNow, 0) || math.IsInf(vAfter, 0) {
-				continue
-			}
-			delta := vNow - vAfter
-			if delta > 0 {
-				reduction += delta * float64(info.refCount)
-			}
+			scores[ci] = baseAvgVar - reduction/(nParts*nRefs)
 		}
-		scores[ci] = baseAvgVar - reduction/(nParts*nRefs)
-	}
+	})
 	return scores
 }
 
 // AvgVariance returns the current average posterior-predictive variance
-// over the reference set, using the scoring subsample.
+// over the reference set, using the scoring subsample. The fold over
+// particles shards across the scoring pool with an in-order reduction,
+// so the result is bit-identical for every worker count.
 func (f *Forest) AvgVariance(refs [][]float64) float64 {
 	if len(refs) == 0 {
 		return 0
 	}
 	parts := f.scoringParticles()
-	total := 0.0
-	for _, p := range parts {
-		for _, r := range refs {
-			leaf := p.leafFor(r)
-			total += f.prior.predVariance(leaf.s)
+	partials := make([]float64, len(parts))
+	parallelFor(f.workers(), len(parts), func(start, end int) {
+		for pi := start; pi < end; pi++ {
+			sum := 0.0
+			for _, r := range refs {
+				leaf := parts[pi].leafFor(r)
+				sum += f.prior.predVariance(leaf.s)
+			}
+			partials[pi] = sum
 		}
-	}
-	return total / (float64(len(parts)) * float64(len(refs)))
+	})
+	return reduceInOrder(partials) / (float64(len(parts)) * float64(len(refs)))
 }
 
 // Stats reports diagnostic aggregates over the particle cloud.

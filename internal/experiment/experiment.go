@@ -50,6 +50,11 @@ type Settings struct {
 	// Workers bounds the number of concurrent learning runs
 	// (0 = GOMAXPROCS). Runs are independent and deterministic per
 	// (strategy, repetition), so parallelism does not change results.
+	// The same value is threaded into each learner's candidate-scoring
+	// pool (core.Options.Workers), whose sharding is likewise
+	// bit-deterministic; the scoring pool is shared process-wide and
+	// capped at GOMAXPROCS, so the two levels of parallelism cannot
+	// oversubscribe the machine.
 	Workers int
 }
 
@@ -138,6 +143,7 @@ func (s Settings) learnerOptions(strat Strategy, rep int) core.Options {
 		Tree:      tree,
 		EvalEvery: s.EvalEvery,
 		Seed:      s.Seed + uint64(rep)*1000003,
+		Workers:   s.Workers,
 	}
 	switch strat {
 	case AllObservations:
@@ -241,11 +247,7 @@ func RunCurves(k *spapt.Kernel, s Settings, progress func(string)) (*BenchmarkCu
 	testX := ds.TestFeatures()
 	testY := ds.TestTargets()
 	eval := func(m *dynatree.Forest) float64 {
-		pred := make([]float64, len(testX))
-		for i, x := range testX {
-			pred[i] = m.PredictMeanFast(x)
-		}
-		return stats.RMSE(pred, testY)
+		return stats.RMSE(m.PredictMeanFastBatch(testX), testY)
 	}
 
 	// Every (strategy, repetition) run is independent and seeded

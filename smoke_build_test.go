@@ -1,0 +1,41 @@
+package alic
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+// TestBinariesBuild smoke-tests that every command and example binary
+// compiles; none of them have test files of their own, so without this
+// a broken main package only surfaces in tier-1 `go build ./...` runs.
+func TestBinariesBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping build smoke test in -short mode")
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	pkgs := []string{
+		"./cmd/alic",
+		"./cmd/repro",
+		"./cmd/spapt-dataset",
+		"./examples/autotuning",
+		"./examples/batch-parallel",
+		"./examples/cross-platform",
+		"./examples/noise-robustness",
+		"./examples/quickstart",
+	}
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			t.Parallel()
+			// -o os.DevNull: build for errors only, keep the tree clean.
+			cmd := exec.Command(gobin, "build", "-o", os.DevNull, pkg)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				t.Fatalf("go build %s failed: %v\n%s", pkg, err, out)
+			}
+		})
+	}
+}
