@@ -7,12 +7,12 @@
 //
 // The library builds program-specific models that predict the runtime
 // of a kernel under a given set of compiler optimization parameters
-// (loop unrolling, cache tiling, register tiling), using dynamic-tree
-// regression driven by an active learner. Its contribution — combining
-// active learning with sequential analysis so that each configuration
-// is profiled only as many times as the noise actually warrants — cuts
-// model-training cost by a geometric-mean ~4x (up to 26x) versus the
-// classic fixed 35-observation sampling plan.
+// (loop unrolling, cache tiling, register tiling), driven by an active
+// learner. Its contribution — combining active learning with
+// sequential analysis so that each configuration is profiled only as
+// many times as the noise actually warrants — cuts model-training cost
+// by a geometric-mean ~4x (up to 26x) versus the classic fixed
+// 35-observation sampling plan.
 //
 // # Quick start
 //
@@ -20,21 +20,55 @@
 //	res, _ := alic.Learn(k, alic.DefaultLearnOptions())
 //	fmt.Println("model RMSE:", res.FinalError)
 //
+// # Pluggable backends
+//
+// The learner is assembled from three interfaces, each with a name
+// registry and swappable without touching the loop:
+//
+//   - Model (the regression backend): "dynatree" — the paper's
+//     particle-filtered dynamic trees — or "gp", an exact Gaussian
+//     process kept loop-usable by subset-of-data training and periodic
+//     refits. Select by name via LearnOptions.Model, or implement
+//     ModelBuilder and RegisterModel.
+//   - Acquisition (the §3.3 heuristic): ALC, ALM, RandomScore, or a
+//     custom implementation via RegisterAcquisition.
+//   - SamplingPlan (the §4.3 observation schedule): VariablePlan,
+//     FixedPlan, or a custom implementation via RegisterPlan.
+//
+// # Step-wise execution
+//
+// Learn owns the whole loop; long-running services instead construct a
+// step-wise engine with NewLearner and drive it one acquisition round
+// at a time:
+//
+//	l, _ := alic.NewLearner(ds, opts.Learner)
+//	for {
+//		more, err := l.Step() // one acquisition round
+//		if err != nil || !more {
+//			break
+//		}
+//	}
+//	res := l.Result()
+//
+// Learner.Run accepts a context.Context for cancellation and reports
+// progress through LearnerOptions.Progress.
+//
 // # Parallel scoring
 //
 // Candidate scoring — the hot path of the active-learning loop — runs
 // on a shared worker pool. LearnerOptions.Workers bounds the goroutines
-// used per iteration (0 = GOMAXPROCS, 1 = serial); the model's batched
-// entry points (Model.PredictBatch, Model.ALMBatch, Model.ALCScores)
-// shard candidates deterministically, so every worker count selects the
-// same configurations and produces bit-identical results. Workers
-// changes wall-clock time only. The same knob is exposed as the
-// -workers flag of cmd/alic.
+// used per iteration (0 = GOMAXPROCS, 1 = serial); backends shard
+// candidates deterministically, so every worker count selects the same
+// configurations and produces bit-identical results. Workers changes
+// wall-clock time only. The same knob is exposed as the -workers flag
+// of cmd/alic.
 //
 // The packages behind this facade:
 //
 //   - internal/core      — Algorithm 1 (active learning + sequential analysis)
+//   - internal/model     — the backend registry (Model interface)
 //   - internal/dynatree  — particle-filtered dynamic-tree regression
+//   - internal/gp        — the exact-GP backend (§3.2's O(n^3) alternative)
 //   - internal/spapt     — the 11 SPAPT kernels with Table 1 search spaces
 //   - internal/loopnest, internal/costmodel — the compilation substrate
 //   - internal/noise, internal/measure — the simulated profiling environment
@@ -43,15 +77,40 @@
 package alic
 
 import (
+	"errors"
 	"fmt"
 
 	"alic/internal/core"
 	"alic/internal/dataset"
 	"alic/internal/dynatree"
 	"alic/internal/measure"
+	"alic/internal/model"
 	"alic/internal/spapt"
 	"alic/internal/stats"
 	"alic/internal/tuner"
+)
+
+// Sentinel errors returned (wrapped) by the facade; assert with
+// errors.Is.
+var (
+	// ErrNilKernel reports a nil *Kernel argument.
+	ErrNilKernel = errors.New("alic: nil kernel")
+	// ErrNilDataset reports a nil *Dataset argument.
+	ErrNilDataset = errors.New("alic: nil dataset")
+	// ErrPoolTooSmall reports a training pool smaller than the
+	// learner's seed requirement.
+	ErrPoolTooSmall = errors.New("alic: pool smaller than NInit")
+	// ErrBadTestSize reports a non-positive held-out test-set size.
+	ErrBadTestSize = errors.New("alic: test size must be >= 1")
+	// ErrUnknownModel reports a LearnOptions.Model name with no
+	// registered backend.
+	ErrUnknownModel = model.ErrUnknownModel
+	// ErrUnknownAcquisition reports an acquisition name with no
+	// registration.
+	ErrUnknownAcquisition = core.ErrUnknownAcquisition
+	// ErrUnknownPlan reports a sampling-plan name with no
+	// registration.
+	ErrUnknownPlan = core.ErrUnknownPlan
 )
 
 // Re-exported core types. Downstream code uses these names; the
@@ -61,14 +120,40 @@ type (
 	Kernel = spapt.Kernel
 	// Config is a point of a kernel's optimization space.
 	Config = spapt.Config
-	// Model is a trained dynamic-tree runtime predictor.
-	Model = dynatree.Forest
-	// ModelConfig parameterises the dynamic-tree model.
+	// Model is the pluggable regression-backend interface every
+	// learner trains (see internal/model for the contract).
+	Model = model.Model
+	// ModelBuilder constructs a backend Model for a learning run.
+	ModelBuilder = model.Builder
+	// ModelParams is what a ModelBuilder receives at seeding time.
+	ModelParams = model.Params
+	// FeatureImportancer is the optional backend interface exposing
+	// per-dimension relevance scores (the dynatree backend has it).
+	FeatureImportancer = model.Importancer
+	// TreeModel is the concrete dynamic-tree backend, for callers that
+	// need forest-specific inspection beyond the Model interface.
+	TreeModel = dynatree.Forest
+	// ModelConfig parameterises the dynamic-tree backend.
 	ModelConfig = dynatree.Config
+	// Acquisition is the pluggable acquisition heuristic (§3.3).
+	Acquisition = core.Acquisition
+	// SamplingPlan is the pluggable observation schedule (§4.3).
+	SamplingPlan = core.SamplingPlan
+	// Rand is the deterministic randomness slice handed to
+	// acquisitions.
+	Rand = core.Rand
+	// Learner is the step-wise active-learning engine; construct one
+	// with NewLearner.
+	Learner = core.Learner
 	// LearnerOptions configures the active-learning loop.
 	LearnerOptions = core.Options
 	// LearnerResult reports a learning run.
 	LearnerResult = core.Result
+	// LearnerProgress is handed to LearnerOptions.Progress after every
+	// step of a run.
+	LearnerProgress = core.Progress
+	// StopReason identifies the completion criterion that ended a run.
+	StopReason = core.StopReason
 	// CurvePoint is one (acquisitions, cost, error) learning-curve sample.
 	CurvePoint = core.CurvePoint
 	// Session is a cost-accounted simulated profiling session.
@@ -83,8 +168,10 @@ type (
 	TunerResult = tuner.Result
 )
 
-// Sampling plans and acquisition heuristics.
-const (
+// Built-in sampling plans and acquisition heuristics. These are the
+// registry defaults; RegisterAcquisition / RegisterPlan add custom
+// ones.
+var (
 	// VariablePlan is the paper's sequential-analysis plan.
 	VariablePlan = core.VariablePlan
 	// FixedPlan is the classic constant sampling plan.
@@ -96,6 +183,58 @@ const (
 	// RandomScore disables active selection.
 	RandomScore = core.RandomScore
 )
+
+// Completion criteria reported in LearnerResult.StoppedBy.
+const (
+	// StopNone means the run has not completed yet.
+	StopNone = core.StopNone
+	// StopBudget means the NMax acquisition budget was exhausted.
+	StopBudget = core.StopBudget
+	// StopByCost means the StopCost wall-clock criterion fired.
+	StopByCost = core.StopByCost
+	// StopByError means the StopError prequential criterion fired.
+	StopByError = core.StopByError
+	// StopExhausted means the candidate pool ran dry.
+	StopExhausted = core.StopExhausted
+	// StopCancelled means the run's context was cancelled.
+	StopCancelled = core.StopCancelled
+)
+
+// RegisterModel makes a backend selectable by name through
+// LearnOptions.Model and the -model flag of cmd/alic.
+func RegisterModel(b ModelBuilder) { model.Register(b) }
+
+// ModelByName returns a registered backend builder.
+func ModelByName(name string) (ModelBuilder, error) { return model.ByName(name) }
+
+// ModelNames lists the registered backends.
+func ModelNames() []string { return model.Names() }
+
+// PickBest returns the positions of the batch lowest (minimise) or
+// highest scores, best first — the ranking helper custom Acquisition
+// implementations share with the built-ins.
+func PickBest(scores []float64, batch int, minimise bool) []int {
+	return core.PickBest(scores, batch, minimise)
+}
+
+// RegisterAcquisition makes an acquisition heuristic selectable by
+// name.
+func RegisterAcquisition(a Acquisition) { core.RegisterAcquisition(a) }
+
+// AcquisitionByName returns a registered acquisition heuristic.
+func AcquisitionByName(name string) (Acquisition, error) { return core.AcquisitionByName(name) }
+
+// AcquisitionNames lists the registered acquisition heuristics.
+func AcquisitionNames() []string { return core.AcquisitionNames() }
+
+// RegisterPlan makes a sampling plan selectable by name.
+func RegisterPlan(p SamplingPlan) { core.RegisterPlan(p) }
+
+// PlanByName returns a registered sampling plan.
+func PlanByName(name string) (SamplingPlan, error) { return core.PlanByName(name) }
+
+// PlanNames lists the registered sampling plans.
+func PlanNames() []string { return core.PlanNames() }
 
 // Kernels returns the 11-kernel SPAPT suite used in the paper's
 // evaluation.
@@ -123,8 +262,8 @@ func GenerateDataset(k *Kernel, opts DatasetOptions) (*Dataset, error) {
 func DefaultDatasetOptions() DatasetOptions { return dataset.DefaultOptions() }
 
 // DefaultLearnOptions returns the paper's learning parameters
-// (ninit=5, nobs=35, nc=500, nmax=2500, ALC scoring, variable plan)
-// with a model sized for interactive use.
+// (ninit=5, nobs=35, nc=500, nmax=2500, ALC scoring, variable plan,
+// dynatree backend) with a model sized for interactive use.
 func DefaultLearnOptions() LearnOptions {
 	return LearnOptions{
 		Learner:     core.DefaultOptions(),
@@ -138,6 +277,12 @@ func DefaultLearnOptions() LearnOptions {
 type LearnOptions struct {
 	// Learner configures Algorithm 1 (plan, scorer, budgets, model).
 	Learner LearnerOptions
+	// Model selects the regression backend by registry name
+	// ("dynatree", "gp", or a RegisterModel'd custom backend),
+	// overriding any Learner.Model builder. Empty leaves Learner.Model
+	// in charge: a set builder wins, nil selects dynatree. Either way
+	// the dynatree backend is configured by Learner.Tree.
+	Model string
 	// PoolSize is the number of candidate configurations made
 	// available for training.
 	PoolSize int
@@ -156,24 +301,36 @@ type LearnResult struct {
 }
 
 // Learn builds a runtime model for the kernel with the configured
-// sampling plan, profiling (simulated) binaries on demand and charging
-// their cost as the paper does. The returned curve tracks test RMSE
-// against cumulative profiling seconds.
+// sampling plan and backend, profiling (simulated) binaries on demand
+// and charging their cost as the paper does. The returned curve tracks
+// test RMSE against cumulative profiling seconds.
 func Learn(k *Kernel, opts LearnOptions) (*LearnResult, error) {
 	if k == nil {
-		return nil, fmt.Errorf("alic: nil kernel")
+		return nil, ErrNilKernel
 	}
 	if opts.PoolSize < opts.Learner.NInit {
-		return nil, fmt.Errorf("alic: PoolSize %d below NInit %d", opts.PoolSize, opts.Learner.NInit)
+		return nil, fmt.Errorf("%w: PoolSize %d below NInit %d",
+			ErrPoolTooSmall, opts.PoolSize, opts.Learner.NInit)
 	}
 	if opts.TestSize < 1 {
-		return nil, fmt.Errorf("alic: TestSize %d < 1", opts.TestSize)
+		return nil, fmt.Errorf("%w: got %d", ErrBadTestSize, opts.TestSize)
+	}
+	if opts.Model != "" {
+		// Non-empty names override any Learner.Model builder. The
+		// registry's config-less "dynatree" entry adopts Learner.Tree
+		// inside the learner, so name-based selection keeps honouring
+		// the tree configuration.
+		b, err := model.ByName(opts.Model)
+		if err != nil {
+			return nil, err
+		}
+		opts.Learner.Model = b
 	}
 	ds, err := dataset.Generate(k, dataset.Options{
-		NConfigs:  opts.PoolSize + opts.TestSize,
-		NObs:      opts.Learner.NObs,
-		TrainFrac: float64(opts.PoolSize) / float64(opts.PoolSize+opts.TestSize),
-		Seed:      opts.DatasetSeed,
+		NConfigs:   opts.PoolSize + opts.TestSize,
+		NObs:       opts.Learner.NObs,
+		TrainCount: opts.PoolSize,
+		Seed:       opts.DatasetSeed,
 	})
 	if err != nil {
 		return nil, err
@@ -185,12 +342,14 @@ func Learn(k *Kernel, opts LearnOptions) (*LearnResult, error) {
 	return &LearnResult{LearnerResult: res, Dataset: ds}, nil
 }
 
-// RunOnDataset runs the configured learner over a pre-generated
+// NewLearner constructs a step-wise learner over a pre-generated
 // dataset: the training pool supplies candidates, the test split
-// supplies the RMSE curve, and observation costs follow §4.3.
-func RunOnDataset(ds *Dataset, opts LearnerOptions) (*LearnerResult, error) {
+// supplies the RMSE curve, and observation costs follow §4.3. Drive it
+// with Learner.Step (one acquisition round per call) or Learner.Run
+// (whole loop under a context).
+func NewLearner(ds *Dataset, opts LearnerOptions) (*Learner, error) {
 	if ds == nil {
-		return nil, fmt.Errorf("alic: nil dataset")
+		return nil, ErrNilDataset
 	}
 	pool := make(core.SlicePool, len(ds.TrainIdx))
 	for i, idx := range ds.TrainIdx {
@@ -199,14 +358,20 @@ func RunOnDataset(ds *Dataset, opts LearnerOptions) (*LearnerResult, error) {
 	oracle := newDatasetOracle(ds)
 	testX := ds.TestFeatures()
 	testY := ds.TestTargets()
-	eval := func(m *Model) float64 {
+	eval := func(m Model) float64 {
 		return stats.RMSE(m.PredictMeanFastBatch(testX), testY)
 	}
-	learner, err := core.New(opts, pool, oracle, eval)
+	return core.New(opts, pool, oracle, eval)
+}
+
+// RunOnDataset runs the configured learner over a pre-generated
+// dataset to completion (see NewLearner for the wiring).
+func RunOnDataset(ds *Dataset, opts LearnerOptions) (*LearnerResult, error) {
+	learner, err := NewLearner(ds, opts)
 	if err != nil {
 		return nil, err
 	}
-	return learner.Run()
+	return learner.Run(nil)
 }
 
 // datasetOracle adapts a Dataset to the core.Oracle interface with
@@ -239,9 +404,9 @@ func (o *datasetOracle) Cost() float64 { return o.cost }
 // Tune performs model-driven configuration search (§4.1): rank random
 // configurations with a trained model, verify the best few by
 // profiling, and report the winner with its speedup over -O2.
-func Tune(model *Model, sess *Session, ds *Dataset, opts TunerOptions) (*TunerResult, error) {
+func Tune(m Model, sess *Session, ds *Dataset, opts TunerOptions) (*TunerResult, error) {
 	if ds == nil {
-		return nil, fmt.Errorf("alic: nil dataset")
+		return nil, ErrNilDataset
 	}
-	return tuner.Search(model, sess, ds.Normalizer, opts)
+	return tuner.Search(m, sess, ds.Normalizer, opts)
 }

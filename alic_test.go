@@ -1,6 +1,7 @@
 package alic
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -56,19 +57,141 @@ func TestLearnEndToEnd(t *testing.T) {
 }
 
 func TestLearnValidation(t *testing.T) {
-	if _, err := Learn(nil, quickLearnOptions()); err == nil {
-		t.Fatal("nil kernel accepted")
+	if _, err := Learn(nil, quickLearnOptions()); !errors.Is(err, ErrNilKernel) {
+		t.Fatalf("nil kernel error = %v, want ErrNilKernel", err)
 	}
 	k, _ := KernelByName("mvt")
 	bad := quickLearnOptions()
 	bad.PoolSize = 1
-	if _, err := Learn(k, bad); err == nil {
-		t.Fatal("tiny pool accepted")
+	if _, err := Learn(k, bad); !errors.Is(err, ErrPoolTooSmall) {
+		t.Fatalf("tiny pool error = %v, want ErrPoolTooSmall", err)
 	}
 	bad2 := quickLearnOptions()
 	bad2.TestSize = 0
-	if _, err := Learn(k, bad2); err == nil {
-		t.Fatal("zero test size accepted")
+	if _, err := Learn(k, bad2); !errors.Is(err, ErrBadTestSize) {
+		t.Fatalf("zero test size error = %v, want ErrBadTestSize", err)
+	}
+	bad3 := quickLearnOptions()
+	bad3.Model = "no-such-backend"
+	if _, err := Learn(k, bad3); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("bogus backend error = %v, want ErrUnknownModel", err)
+	}
+	if _, err := RunOnDataset(nil, quickLearnOptions().Learner); !errors.Is(err, ErrNilDataset) {
+		t.Fatalf("nil dataset error = %v, want ErrNilDataset", err)
+	}
+	if _, err := Tune(nil, nil, nil, TunerOptions{}); !errors.Is(err, ErrNilDataset) {
+		t.Fatalf("Tune nil dataset error = %v, want ErrNilDataset", err)
+	}
+}
+
+// TestCrossBackendSmoke runs the same learning problem through every
+// registered backend and checks the invariants any healthy run obeys:
+// a finite final RMSE and a strictly cost-increasing learning curve.
+func TestCrossBackendSmoke(t *testing.T) {
+	k, _ := KernelByName("mvt")
+	for _, backend := range ModelNames() {
+		t.Run(backend, func(t *testing.T) {
+			opts := quickLearnOptions()
+			opts.Model = backend
+			opts.Learner.NMax = 40
+			opts.Learner.NCand = 30
+			res, err := Learn(k, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsNaN(res.FinalError) || math.IsInf(res.FinalError, 0) || res.FinalError <= 0 {
+				t.Fatalf("%s: final RMSE %v not finite positive", backend, res.FinalError)
+			}
+			if len(res.Curve) == 0 {
+				t.Fatalf("%s: no learning curve", backend)
+			}
+			prev := -1.0
+			for _, p := range res.Curve {
+				if p.Cost <= prev {
+					t.Fatalf("%s: curve cost not increasing: %v after %v", backend, p.Cost, prev)
+				}
+				prev = p.Cost
+			}
+			if res.Acquired != opts.Learner.NMax {
+				t.Fatalf("%s: acquired %d, want %d", backend, res.Acquired, opts.Learner.NMax)
+			}
+		})
+	}
+}
+
+// exploitAcq is a facade-level custom acquisition: pure exploitation
+// of the model's mean prediction.
+type exploitAcq struct{}
+
+func (exploitAcq) Name() string { return "exploit" }
+
+func (exploitAcq) Select(m Model, feats [][]float64, batch int, _ Rand) ([]int, error) {
+	return PickBest(m.PredictMeanFastBatch(feats), batch, true), nil
+}
+
+// TestStepWiseCustomAcquisition drives the step-wise engine through
+// the facade with a registered custom heuristic — the public plug-in
+// path that needs no access to internal/core.
+func TestStepWiseCustomAcquisition(t *testing.T) {
+	RegisterAcquisition(exploitAcq{})
+	k, _ := KernelByName("lu")
+	ds, err := GenerateDataset(k, DatasetOptions{
+		NConfigs: 500, NObs: 8, TrainCount: 400, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := quickLearnOptions().Learner
+	opts.NObs = 8
+	opts.NMax = 30
+	opts.Scorer, err = AcquisitionByName("exploit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLearner(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		more, err := l.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+	}
+	res := l.Result()
+	if res.StoppedBy != StopBudget || res.Acquired != 30 {
+		t.Fatalf("step-wise run ended %v after %d acquisitions", res.StoppedBy, res.Acquired)
+	}
+	if math.IsNaN(res.FinalError) || res.FinalError <= 0 {
+		t.Fatalf("final RMSE %v", res.FinalError)
+	}
+}
+
+// TestLearnExactSplit is the regression test for the train/test split
+// rounding bug: Learn used to derive the split from the fraction
+// PoolSize/(PoolSize+TestSize), whose float truncation loses a
+// configuration for pairs like 15/7 (int(22 * (15.0/22.0)) == 14).
+func TestLearnExactSplit(t *testing.T) {
+	k, _ := KernelByName("mvt")
+	opts := quickLearnOptions()
+	opts.PoolSize = 15
+	opts.TestSize = 7
+	opts.Learner.NInit = 3
+	opts.Learner.NObs = 4
+	opts.Learner.NMax = 10
+	opts.Learner.NCand = 10
+	res, err := Learn(k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Dataset.TrainIdx); got != opts.PoolSize {
+		t.Fatalf("train pool %d, want exactly PoolSize %d", got, opts.PoolSize)
+	}
+	if got := len(res.Dataset.TestIdx); got != opts.TestSize {
+		t.Fatalf("test set %d, want exactly TestSize %d", got, opts.TestSize)
 	}
 }
 
@@ -153,7 +276,11 @@ func TestModelImportanceThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	imp := res.Model.Importance(k.Dim())
+	fi, ok := res.Model.(FeatureImportancer)
+	if !ok {
+		t.Fatalf("dynatree backend %T lost feature importance", res.Model)
+	}
+	imp := fi.Importance(k.Dim())
 	if len(imp) != k.Dim() {
 		t.Fatalf("importance dims %d, want %d", len(imp), k.Dim())
 	}

@@ -180,7 +180,7 @@ func learnOnce(b *testing.B, mutate func(*LearnOptions)) float64 {
 func BenchmarkAblationScorer(b *testing.B) {
 	for _, sc := range []struct {
 		name   string
-		scorer core.Scorer
+		scorer core.Acquisition
 	}{{"alc", ALC}, {"alm", ALM}, {"random", RandomScore}} {
 		b.Run(sc.name, func(b *testing.B) {
 			var rmse float64
@@ -524,7 +524,7 @@ func BenchmarkSelectBatch(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := l.Run(); err != nil {
+			if _, err := l.Run(nil); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()

@@ -1,14 +1,15 @@
 // Command alic tunes a SPAPT kernel end-to-end: it learns a runtime
-// model with the chosen sampling plan (the paper's variable-observation
-// plan by default), then runs model-driven configuration search (§4.1)
-// and reports the best configuration found together with its speedup
-// over the -O2 baseline.
+// model with the chosen backend and sampling plan (the paper's
+// dynamic-tree model and variable-observation plan by default), then
+// runs model-driven configuration search (§4.1) and reports the best
+// configuration found together with its speedup over the -O2 baseline.
 //
 // Usage:
 //
 //	alic -kernel mm
 //	alic -kernel gemver -plan fixed -planobs 35
 //	alic -kernel atax -scorer alm -nmax 600 -seed 3
+//	alic -kernel mvt -model gp -nmax 200 -ncand 60
 //	alic -list
 package main
 
@@ -16,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"alic"
 	"alic/internal/report"
@@ -26,9 +28,10 @@ func main() {
 		kernel    = flag.String("kernel", "mm", "kernel to tune")
 		list      = flag.Bool("list", false, "list available kernels and exit")
 		describe  = flag.Bool("describe", false, "print the kernel's parameters and loop nests, then exit")
-		plan      = flag.String("plan", "variable", "sampling plan: variable|fixed")
+		modelName = flag.String("model", "dynatree", "model backend: "+strings.Join(alic.ModelNames(), "|"))
+		plan      = flag.String("plan", "variable", "sampling plan: "+strings.Join(alic.PlanNames(), "|"))
 		planObs   = flag.Int("planobs", 35, "observations per example for the fixed plan")
-		scorer    = flag.String("scorer", "alc", "acquisition heuristic: alc|alm|random")
+		scorer    = flag.String("scorer", "alc", "acquisition heuristic: "+strings.Join(alic.AcquisitionNames(), "|"))
 		nmax      = flag.Int("nmax", 400, "acquisition budget")
 		ninit     = flag.Int("ninit", 5, "seed examples")
 		nobs      = flag.Int("nobs", 35, "seed observations / revisit cap")
@@ -39,6 +42,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "experiment seed")
 		verify    = flag.Int("verify", 10, "configurations to verify during tuning")
 		workers   = flag.Int("workers", 0, "candidate-scoring goroutines (0 = all cores); results are identical for every value")
+		progress  = flag.Bool("progress", false, "print acquisition progress while learning")
 	)
 	flag.Parse()
 
@@ -64,6 +68,7 @@ func main() {
 	}
 
 	opts := alic.DefaultLearnOptions()
+	opts.Model = *modelName
 	opts.PoolSize = *pool
 	opts.TestSize = *test
 	opts.DatasetSeed = *seed
@@ -75,29 +80,23 @@ func main() {
 	opts.Learner.Tree.Particles = *particles
 	opts.Learner.Tree.ScoreParticles = max(20, *particles/6)
 	opts.Learner.Workers = *workers
+	opts.Learner.PlanObs = *planObs
 
-	switch *plan {
-	case "variable":
-		opts.Learner.Plan = alic.VariablePlan
-	case "fixed":
-		opts.Learner.Plan = alic.FixedPlan
-		opts.Learner.PlanObs = *planObs
-	default:
-		fatal(fmt.Errorf("unknown plan %q", *plan))
+	if opts.Learner.Plan, err = alic.PlanByName(*plan); err != nil {
+		fatal(err)
 	}
-	switch *scorer {
-	case "alc":
-		opts.Learner.Scorer = alic.ALC
-	case "alm":
-		opts.Learner.Scorer = alic.ALM
-	case "random":
-		opts.Learner.Scorer = alic.RandomScore
-	default:
-		fatal(fmt.Errorf("unknown scorer %q", *scorer))
+	if opts.Learner.Scorer, err = alic.AcquisitionByName(*scorer); err != nil {
+		fatal(err)
+	}
+	if *progress {
+		opts.Learner.Progress = func(p alic.LearnerProgress) {
+			fmt.Fprintf(os.Stderr, "  acquired %4d (%d runs, %.0f s cost)\n",
+				p.Acquired, p.Observations, p.Cost)
+		}
 	}
 
-	fmt.Printf("learning %s: plan=%s scorer=%s nmax=%d (space %.3g)\n",
-		k.Name, *plan, *scorer, *nmax, k.SpaceSize())
+	fmt.Printf("learning %s: model=%s plan=%s scorer=%s nmax=%d (space %.3g)\n",
+		k.Name, *modelName, *plan, *scorer, *nmax, k.SpaceSize())
 	res, err := alic.Learn(k, opts)
 	if err != nil {
 		fatal(err)
@@ -105,7 +104,8 @@ func main() {
 	fmt.Printf("model: RMSE %s s after %d acquisitions (%d runs, %d unique configs, %d revisits)\n",
 		report.FormatFloat(res.FinalError), res.Acquired, res.Observations,
 		res.Unique, res.Revisits)
-	fmt.Printf("training cost: %s simulated seconds\n", report.FormatFloat(res.Cost))
+	fmt.Printf("training cost: %s simulated seconds (stopped by %s)\n",
+		report.FormatFloat(res.Cost), res.StoppedBy)
 
 	sess, err := alic.NewSession(k, *seed+1)
 	if err != nil {

@@ -53,8 +53,14 @@ func main() {
 		fmt.Printf("%s: best config %v -> %.2fx over -O2 (model RMSE %.4f)\n",
 			label, tres.Best.Config, tres.Speedup, res.FinalError)
 
-		// Which parameters did the model find relevant?
-		imp := res.Model.Importance(k.Dim())
+		// Which parameters did the model find relevant? Importance is a
+		// backend-optional capability; the dynatree backend has it.
+		fi, ok := res.Model.(alic.FeatureImportancer)
+		if !ok {
+			fmt.Printf("%s: backend %T reports no feature importance\n", label, res.Model)
+			return tres.Best.Config
+		}
+		imp := fi.Importance(k.Dim())
 		top, second := 0, 0
 		for i := range imp {
 			if imp[i] > imp[top] {

@@ -8,17 +8,23 @@
 // observation of it more informative than a fresh configuration — the
 // multi-armed-bandit flavour described in §3.1.
 //
-// The package also provides the two baselines of §4.3 (a classic
-// active learner with a constant sampling plan of 35 observations, and
-// one with a single observation), plus a passive random-sampling
-// baseline and a batch-acquisition extension.
+// The loop is assembled from three pluggable interfaces: the regression
+// backend behind it (model.Model, selected via Options.Model), the
+// acquisition heuristic (Acquisition — alc, alm, random, or a custom
+// registration), and the observation schedule (SamplingPlan — variable,
+// fixed, or custom). Execution is step-wise: Step advances one
+// acquisition round, and Run drives Step to completion under a
+// context.Context with an optional progress callback — the shape a
+// long-running tuning service needs.
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"alic/internal/dynatree"
+	"alic/internal/model"
 	"alic/internal/rng"
 	"alic/internal/stats"
 )
@@ -42,66 +48,18 @@ type Pool interface {
 	Features(i int) []float64
 }
 
-// Plan selects the sampling plan.
-type Plan int
-
-const (
-	// VariablePlan is the paper's contribution: one observation per
-	// acquisition with model-driven revisits (Algorithm 1).
-	VariablePlan Plan = iota
-	// FixedPlan is the classic approach: every selected configuration
-	// is profiled Options.PlanObs times and never revisited.
-	FixedPlan
-)
-
-func (p Plan) String() string {
-	switch p {
-	case VariablePlan:
-		return "variable"
-	case FixedPlan:
-		return "fixed"
-	default:
-		return fmt.Sprintf("Plan(%d)", int(p))
-	}
-}
-
-// Scorer selects the acquisition heuristic (§3.3).
-type Scorer int
-
-const (
-	// ALC is Cohn's heuristic: choose the candidate minimising the
-	// expected average predictive variance over the candidate set.
-	// O(|C|^2) but robust to heteroskedasticity — the paper's choice.
-	ALC Scorer = iota
-	// ALM is MacKay's heuristic: choose the candidate with maximum
-	// predictive variance. O(|C|).
-	ALM
-	// RandomScore disables active learning: candidates are chosen
-	// uniformly (the passive baseline of prior work).
-	RandomScore
-)
-
-func (s Scorer) String() string {
-	switch s {
-	case ALC:
-		return "alc"
-	case ALM:
-		return "alm"
-	case RandomScore:
-		return "random"
-	default:
-		return fmt.Sprintf("Scorer(%d)", int(s))
-	}
-}
-
 // Options configures a learning run. The defaults mirror §4.4 of the
 // paper: ninit=5, nobs=35, nc=500, nmax=2500.
 type Options struct {
-	// Plan selects variable (sequential analysis) or fixed sampling.
-	Plan Plan
+	// Plan selects the sampling plan (nil = VariablePlan, the paper's
+	// sequential-analysis schedule).
+	Plan SamplingPlan
 	// PlanObs is the constant sample size for FixedPlan (35 or 1 in
 	// the paper's comparison).
 	PlanObs int
+	// Model selects the regression backend (nil = the dynatree backend
+	// configured by Options.Tree).
+	Model model.Builder
 	// NInit seeds the model with this many random configurations.
 	NInit int
 	// NObs is the number of observations for each seed configuration
@@ -114,9 +72,10 @@ type Options struct {
 	// Batch acquires this many configurations per iteration (>= 1),
 	// the parallel extension noted in §3.1.
 	Batch int
-	// Scorer is the acquisition heuristic.
-	Scorer Scorer
-	// Tree configures the dynamic-tree model.
+	// Scorer selects the acquisition heuristic (nil = ALC, the paper's
+	// choice).
+	Scorer Acquisition
+	// Tree configures the dynamic-tree model used when Model is nil.
 	Tree dynatree.Config
 	// EvalEvery evaluates the model (via the Evaluator) after every
 	// EvalEvery acquisitions; 0 disables curve recording.
@@ -141,6 +100,21 @@ type Options struct {
 	// same configurations and yields bit-identical results; Workers
 	// changes wall-clock time only.
 	Workers int
+	// Progress, when non-nil, is invoked by Run after every step.
+	Progress func(Progress)
+}
+
+// Progress is the lightweight snapshot handed to Options.Progress
+// after each step of Run.
+type Progress struct {
+	// Acquired counts acquisitions so far.
+	Acquired int
+	// Observations counts profiling runs so far.
+	Observations int
+	// Cost is the oracle's cumulative evaluation cost in seconds.
+	Cost float64
+	// Done reports whether a completion criterion has fired.
+	Done bool
 }
 
 // DefaultOptions returns the paper's experiment parameters for the
@@ -161,7 +135,7 @@ func DefaultOptions() Options {
 	}
 }
 
-func (o Options) validate(poolLen int) error {
+func (o Options) validate(poolLen int, plan SamplingPlan) error {
 	if o.NInit < 1 {
 		return fmt.Errorf("core: NInit %d < 1", o.NInit)
 	}
@@ -177,8 +151,11 @@ func (o Options) validate(poolLen int) error {
 	if o.Batch < 1 {
 		return fmt.Errorf("core: Batch %d < 1", o.Batch)
 	}
-	if o.Plan == FixedPlan && o.PlanObs < 1 {
-		return fmt.Errorf("core: FixedPlan needs PlanObs >= 1, got %d", o.PlanObs)
+	if n := plan.SeedObservations(o); n < 1 {
+		return fmt.Errorf("core: plan %q needs >= 1 seed observations, got %d", plan.Name(), n)
+	}
+	if n := plan.AcquireObservations(o); n < 1 {
+		return fmt.Errorf("core: plan %q needs >= 1 observations per acquisition, got %d", plan.Name(), n)
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("core: Workers %d < 0", o.Workers)
@@ -190,7 +167,7 @@ func (o Options) validate(poolLen int) error {
 }
 
 // Evaluator measures model quality (e.g. RMSE on a held-out test set).
-type Evaluator func(m *dynatree.Forest) float64
+type Evaluator func(m model.Model) float64
 
 // CurvePoint is one sample of the learning curve.
 type CurvePoint struct {
@@ -204,8 +181,8 @@ type CurvePoint struct {
 
 // Result summarises a learning run.
 type Result struct {
-	// Model is the final dynamic-tree model.
-	Model *dynatree.Forest
+	// Model is the trained regression backend.
+	Model model.Model
 	// Curve is the recorded learning curve (empty if EvalEvery == 0 or
 	// no evaluator was supplied).
 	Curve []CurvePoint
@@ -225,7 +202,8 @@ type Result struct {
 	// PrequentialError is the final sliding-window one-step-ahead RMSE
 	// (NaN until the window fills).
 	PrequentialError float64
-	// StoppedBy reports which completion criterion ended the run.
+	// StoppedBy reports which completion criterion ended the run
+	// (StopNone while the run is still in progress).
 	StoppedBy StopReason
 }
 
@@ -233,18 +211,24 @@ type Result struct {
 type StopReason int
 
 const (
+	// StopNone means no completion criterion has fired yet.
+	StopNone StopReason = iota
 	// StopBudget means the NMax acquisition budget was exhausted.
-	StopBudget StopReason = iota
+	StopBudget
 	// StopByCost means the StopCost wall-clock criterion fired.
 	StopByCost
 	// StopByError means the StopError prequential criterion fired.
 	StopByError
 	// StopExhausted means the candidate pool ran dry.
 	StopExhausted
+	// StopCancelled means Run's context was cancelled.
+	StopCancelled
 )
 
 func (r StopReason) String() string {
 	switch r {
+	case StopNone:
+		return "running"
 	case StopBudget:
 		return "budget"
 	case StopByCost:
@@ -253,20 +237,27 @@ func (r StopReason) String() string {
 		return "error"
 	case StopExhausted:
 		return "exhausted"
+	case StopCancelled:
+		return "cancelled"
 	default:
 		return fmt.Sprintf("StopReason(%d)", int(r))
 	}
 }
 
-// Learner runs active learning over a pool.
+// Learner runs active learning over a pool. Drive it either with Run
+// (which owns the whole loop) or one acquisition round at a time with
+// Step.
 type Learner struct {
-	opts Options
-	pool Pool
-	ora  Oracle
-	eval Evaluator
-	r    *rng.Stream
+	opts    Options
+	plan    SamplingPlan
+	acq     Acquisition
+	builder model.Builder
+	pool    Pool
+	ora     Oracle
+	eval    Evaluator
+	r       *rng.Stream
 
-	model *dynatree.Forest
+	model model.Model
 	// obsCount[i] is D in Algorithm 1: observations taken per pool item.
 	obsCount map[int]int
 	// order keeps seen pool items in first-seen order for determinism.
@@ -285,7 +276,24 @@ func New(opts Options, pool Pool, oracle Oracle, eval Evaluator) (*Learner, erro
 	if pool == nil || oracle == nil {
 		return nil, fmt.Errorf("core: nil pool or oracle")
 	}
-	if err := opts.validate(pool.Len()); err != nil {
+	plan := opts.Plan
+	if plan == nil {
+		plan = VariablePlan
+	}
+	acq := opts.Scorer
+	if acq == nil {
+		acq = ALC
+	}
+	builder := opts.Model
+	if builder == nil {
+		builder = model.DynatreeBuilder{Config: opts.Tree}
+	} else if db, ok := builder.(model.DynatreeBuilder); ok && db.Config == (dynatree.Config{}) {
+		// A config-less dynatree builder (e.g. straight from the
+		// registry) adopts Options.Tree, so name-based selection and
+		// the nil default behave identically.
+		builder = model.DynatreeBuilder{Config: opts.Tree}
+	}
+	if err := opts.validate(pool.Len(), plan); err != nil {
 		return nil, err
 	}
 	window := opts.StopWindow
@@ -294,6 +302,9 @@ func New(opts Options, pool Pool, oracle Oracle, eval Evaluator) (*Learner, erro
 	}
 	return &Learner{
 		opts:     opts,
+		plan:     plan,
+		acq:      acq,
+		builder:  builder,
 		pool:     pool,
 		ora:      oracle,
 		eval:     eval,
@@ -303,43 +314,120 @@ func New(opts Options, pool Pool, oracle Oracle, eval Evaluator) (*Learner, erro
 	}, nil
 }
 
-// Run executes the learning loop to completion and returns the result.
-func (l *Learner) Run() (*Result, error) {
-	if err := l.seed(); err != nil {
-		return nil, err
+// Done reports whether a completion criterion has fired.
+func (l *Learner) Done() bool { return l.stoppedBy != StopNone }
+
+// Acquired returns the number of acquisitions performed so far.
+func (l *Learner) Acquired() int { return l.acquired }
+
+// Model returns the backend model (nil before the first Step).
+func (l *Learner) Model() model.Model { return l.model }
+
+// Step advances the learner by one acquisition round: the first call
+// seeds the model with NInit random configurations; each later call
+// selects one batch with the acquisition heuristic and observes it per
+// the sampling plan. It returns false once a completion criterion has
+// fired (inspect Result().StoppedBy for which), after which further
+// calls are no-ops.
+func (l *Learner) Step() (more bool, err error) {
+	if l.Done() {
+		return false, nil
 	}
-	for l.acquired < l.opts.NMax {
-		if l.opts.StopCost > 0 && l.ora.Cost() >= l.opts.StopCost {
-			l.stoppedBy = StopByCost
+	if l.model == nil {
+		if err := l.seed(); err != nil {
+			return false, err
+		}
+		l.checkStop()
+		return !l.Done(), nil
+	}
+	batch := l.opts.Batch
+	if rem := l.opts.NMax - l.acquired; batch > rem {
+		batch = rem
+	}
+	chosen, err := l.SelectBatch(batch)
+	if err != nil {
+		return false, err
+	}
+	if len(chosen) == 0 {
+		l.stoppedBy = StopExhausted
+		return false, nil
+	}
+	for _, idx := range chosen {
+		if err := l.acquire(idx); err != nil {
+			return false, err
+		}
+	}
+	l.checkStop()
+	return !l.Done(), nil
+}
+
+// checkStop fires the completion criteria in priority order: budget,
+// wall-clock cost, prequential error.
+func (l *Learner) checkStop() {
+	switch {
+	case l.acquired >= l.opts.NMax:
+		l.stoppedBy = StopBudget
+	case l.opts.StopCost > 0 && l.ora.Cost() >= l.opts.StopCost:
+		l.stoppedBy = StopByCost
+	case l.opts.StopError > 0:
+		if pe := l.preq.rmse(); !math.IsNaN(pe) && pe <= l.opts.StopError {
+			l.stoppedBy = StopByError
+		}
+	}
+}
+
+// Run drives Step until a completion criterion fires or ctx is
+// cancelled (a nil ctx means context.Background). Cancellation is
+// graceful and non-destructive: the returned snapshot reports
+// StoppedBy == StopCancelled with a nil error, while the learner
+// itself stays resumable — call Run or Step again to continue the same
+// run. Options.Progress, when set, is invoked after every step.
+func (l *Learner) Run(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancelled := false
+	for {
+		if l.Done() {
 			break
 		}
-		if l.opts.StopError > 0 {
-			if pe := l.preq.rmse(); !math.IsNaN(pe) && pe <= l.opts.StopError {
-				l.stoppedBy = StopByError
-				break
-			}
+		if ctx.Err() != nil {
+			cancelled = true
+			break
 		}
-		batch := l.opts.Batch
-		if rem := l.opts.NMax - l.acquired; batch > rem {
-			batch = rem
-		}
-		chosen, err := l.SelectBatch(batch)
+		more, err := l.Step()
 		if err != nil {
 			return nil, err
 		}
-		if len(chosen) == 0 {
-			l.stoppedBy = StopExhausted
+		if l.opts.Progress != nil {
+			l.opts.Progress(Progress{
+				Acquired:     l.acquired,
+				Observations: l.observations,
+				Cost:         l.ora.Cost(),
+				Done:         l.Done(),
+			})
+		}
+		if !more {
 			break
 		}
-		for _, idx := range chosen {
-			if err := l.acquire(idx); err != nil {
-				return nil, err
-			}
-		}
 	}
+	res := l.Result()
+	if cancelled {
+		res.StoppedBy = StopCancelled
+	}
+	return res, nil
+}
+
+// Result snapshots the run. After Run (or once Step has returned
+// false) it is the final report; mid-run it reflects progress so far
+// with StoppedBy == StopNone. When an evaluator is present the final
+// snapshot appends the closing curve point, so Result is cheap only
+// for evaluator-free learners.
+func (l *Learner) Result() *Result {
 	res := &Result{
-		Model:            l.model,
-		Curve:            l.curve,
+		Model: l.model,
+		// Snapshots own their curve: the learner's slice keeps growing.
+		Curve:            append([]CurvePoint(nil), l.curve...),
 		FinalError:       math.NaN(),
 		Cost:             l.ora.Cost(),
 		Acquired:         l.acquired,
@@ -349,32 +437,36 @@ func (l *Learner) Run() (*Result, error) {
 		PrequentialError: l.preq.rmse(),
 		StoppedBy:        l.stoppedBy,
 	}
-	if l.eval != nil {
+	// Close the curve only when the recorded one is stale; when the last
+	// point already covers the current acquisition count, reuse it
+	// instead of paying another full evaluation (Result may be called
+	// per Step).
+	if l.eval != nil && l.model != nil &&
+		(len(res.Curve) == 0 || res.Curve[len(res.Curve)-1].Acquired != l.acquired) {
 		res.FinalError = l.eval(l.model)
-		if len(l.curve) == 0 || l.curve[len(l.curve)-1].Acquired != l.acquired {
-			res.Curve = append(res.Curve, CurvePoint{
-				Acquired: l.acquired, Cost: res.Cost, Error: res.FinalError,
-			})
-		}
+		res.Curve = append(res.Curve, CurvePoint{
+			Acquired: l.acquired, Cost: res.Cost, Error: res.FinalError,
+		})
 	}
 	if len(res.Curve) > 0 {
 		res.FinalError = res.Curve[len(res.Curve)-1].Error
 	}
-	return res, nil
+	return res
 }
 
-// seed draws NInit random configurations, observes each one NObs times
-// (PlanObs for fixed plans), and fits the initial model — the "initial
+// seed draws NInit random configurations, observes each one per the
+// plan's seed schedule, and fits the initial model — the "initial
 // training points" of Figure 3.
 func (l *Learner) seed() error {
-	seedObs := l.opts.NObs
-	if l.opts.Plan == FixedPlan {
-		seedObs = l.opts.PlanObs
-	}
+	seedObs := l.plan.SeedObservations(l.opts)
 	idxs := l.r.Sample(l.pool.Len(), l.opts.NInit)
 
-	// First pass: gather seed observations so the prior can be
-	// calibrated on them before the model absorbs anything.
+	// First pass: gather seed observations so the backend's prior can
+	// be calibrated on them before the model absorbs anything. Nothing
+	// is committed to the learner until the whole pass and the model
+	// build succeed, so a failed Step can be retried without
+	// double-counting or duplicating seen-order entries (the oracle's
+	// already-charged cost is the only trace of the failed attempt).
 	means := make([]float64, len(idxs))
 	var all []float64
 	for i, idx := range idxs {
@@ -386,23 +478,28 @@ func (l *Learner) seed() error {
 			}
 			w.Add(y)
 			all = append(all, y)
-			l.observations++
 		}
 		means[i] = w.Mean()
-		l.obsCount[idx] = seedObs
-		l.order = append(l.order, idx)
 	}
 
-	cfg := l.opts.Tree
-	cfg.CalibratePrior(all)
-	cfg.Workers = l.opts.Workers
 	dim := len(l.pool.Features(idxs[0]))
-	model, err := dynatree.New(cfg, dim, l.r.Split("dynatree"))
+	m, err := l.builder.New(model.Params{
+		Dim:         dim,
+		SeedTargets: all,
+		Workers:     l.opts.Workers,
+		RNG:         l.r.Split(l.builder.Name()),
+	})
 	if err != nil {
 		return err
 	}
-	l.model = model
+	if model.IsNil(m) {
+		return fmt.Errorf("core: model builder %q returned a nil model", l.builder.Name())
+	}
+	l.model = m
+	l.observations += len(all)
 	for i, idx := range idxs {
+		l.obsCount[idx] = seedObs
+		l.order = append(l.order, idx)
 		l.model.Update(l.pool.Features(idx), means[i])
 		l.acquired++
 		l.maybeEval()
@@ -411,26 +508,27 @@ func (l *Learner) seed() error {
 }
 
 // candidateSet assembles the candidate indices for one iteration — NCand
-// fresh unseen configurations plus, under the variable plan, every seen
-// configuration with fewer than NObs observations — together with their
-// feature vectors, gathered once for the batched scorers.
+// fresh unseen configurations plus every seen configuration the plan
+// still considers revisitable — together with their feature vectors,
+// gathered once for the batched scorers.
 func (l *Learner) candidateSet() (cands []int, feats [][]float64) {
 	cands = make([]int, 0, l.opts.NCand+16)
-	// Fresh candidates: rejection-sample unseen pool items.
-	seenTries := 0
-	for len(cands) < l.opts.NCand && seenTries < 20*l.opts.NCand {
+	// Fresh candidates: rejection-sample distinct unseen pool items, so
+	// one batch can never acquire the same configuration twice.
+	drawn := make(map[int]bool, l.opts.NCand)
+	rejected := 0
+	for len(cands) < l.opts.NCand && rejected < 20*l.opts.NCand {
 		i := l.r.Intn(l.pool.Len())
-		if _, seen := l.obsCount[i]; seen {
-			seenTries++
+		if _, seen := l.obsCount[i]; seen || drawn[i] {
+			rejected++
 			continue
 		}
+		drawn[i] = true
 		cands = append(cands, i)
 	}
-	if l.opts.Plan == VariablePlan {
-		for _, i := range l.order {
-			if l.obsCount[i] < l.opts.NObs {
-				cands = append(cands, i)
-			}
+	for _, i := range l.order {
+		if l.plan.Revisitable(l.opts, l.obsCount[i]) {
+			cands = append(cands, i)
 		}
 	}
 	feats = make([][]float64, len(cands))
@@ -440,15 +538,16 @@ func (l *Learner) candidateSet() (cands []int, feats [][]float64) {
 	return cands, feats
 }
 
-// SelectBatch scores the candidate set and returns the batch of pool
-// indices most worth observing next, without observing them. Run
-// normally drives it; it is exported for benchmarks and for external
-// acquisition schedulers that interleave their own observation logic.
-// It consumes learner randomness (candidate sampling), so interleaved
-// calls change the sequence a subsequent Run would take.
+// SelectBatch scores the candidate set with the acquisition heuristic
+// and returns the batch of pool indices most worth observing next,
+// without observing them. Step normally drives it; it is exported for
+// benchmarks and for external acquisition schedulers that interleave
+// their own observation logic. It consumes learner randomness
+// (candidate sampling), so interleaved calls change the sequence a
+// subsequent Run would take.
 func (l *Learner) SelectBatch(batch int) ([]int, error) {
 	if l.model == nil {
-		return nil, fmt.Errorf("core: SelectBatch before seeding (call Run)")
+		return nil, fmt.Errorf("core: SelectBatch before seeding (call Step or Run)")
 	}
 	if batch < 1 {
 		return nil, fmt.Errorf("core: SelectBatch batch %d < 1", batch)
@@ -460,71 +559,41 @@ func (l *Learner) SelectBatch(batch int) ([]int, error) {
 	if batch > len(cands) {
 		batch = len(cands)
 	}
-
-	switch l.opts.Scorer {
-	case RandomScore:
-		perm := l.r.Perm(len(cands))
-		out := make([]int, batch)
-		for i := 0; i < batch; i++ {
-			out[i] = cands[perm[i]]
+	picks, err := l.acq.Select(l.model, feats, batch, l.r)
+	if err != nil {
+		return nil, fmt.Errorf("core: acquisition %q: %w", l.acq.Name(), err)
+	}
+	if len(picks) == 0 {
+		// An empty SelectBatch result means "pool exhausted" to Step,
+		// so an acquisition declining a non-empty candidate set is a
+		// contract violation, not a stop condition.
+		return nil, fmt.Errorf("core: acquisition %q returned no picks from %d candidates",
+			l.acq.Name(), len(cands))
+	}
+	if len(picks) > batch {
+		return nil, fmt.Errorf("core: acquisition %q returned %d picks for a batch of %d",
+			l.acq.Name(), len(picks), batch)
+	}
+	out := make([]int, len(picks))
+	seen := make(map[int]bool, len(picks))
+	for i, p := range picks {
+		if p < 0 || p >= len(cands) {
+			return nil, fmt.Errorf("core: acquisition %q selected position %d outside candidate set of %d",
+				l.acq.Name(), p, len(cands))
 		}
-		return out, nil
-
-	case ALM:
-		// Highest predictive variance first.
-		scores := l.model.ALMBatch(feats)
-		return pickBest(cands, scores, batch, false), nil
-
-	case ALC:
-		// predictAvgModelVariance of Algorithm 1: reference set = the
-		// candidate set itself; pick the minimum expected variance.
-		scores := l.model.ALCScores(feats, feats)
-		return pickBest(cands, scores, batch, true), nil
-
-	default:
-		return nil, fmt.Errorf("core: unknown scorer %v", l.opts.Scorer)
-	}
-}
-
-// pickBest returns the batch candidates with the lowest (minimise) or
-// highest scores.
-func pickBest(cands []int, scores []float64, batch int, minimise bool) []int {
-	type pair struct {
-		idx   int
-		score float64
-	}
-	ps := make([]pair, len(cands))
-	for i := range cands {
-		ps[i] = pair{cands[i], scores[i]}
-	}
-	// Partial selection sort: batch is small.
-	for i := 0; i < batch; i++ {
-		best := i
-		for j := i + 1; j < len(ps); j++ {
-			better := ps[j].score < ps[best].score
-			if !minimise {
-				better = ps[j].score > ps[best].score
-			}
-			if better {
-				best = j
-			}
+		if seen[p] {
+			return nil, fmt.Errorf("core: acquisition %q selected position %d twice", l.acq.Name(), p)
 		}
-		ps[i], ps[best] = ps[best], ps[i]
+		seen[p] = true
+		out[i] = cands[p]
 	}
-	out := make([]int, batch)
-	for i := 0; i < batch; i++ {
-		out[i] = ps[i].idx
-	}
-	return out
+	return out, nil
 }
 
 // acquire takes observations of pool item idx per the plan and updates
 // the model.
 func (l *Learner) acquire(idx int) error {
-	n := 1
-	if l.opts.Plan == FixedPlan {
-		n = l.opts.PlanObs
-	}
+	n := l.plan.AcquireObservations(l.opts)
 	var w stats.Welford
 	for j := 0; j < n; j++ {
 		y, err := l.ora.Observe(idx)

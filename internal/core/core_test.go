@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
-	"alic/internal/dynatree"
+	"alic/internal/model"
 	"alic/internal/rng"
 	"alic/internal/stats"
 )
@@ -88,7 +90,7 @@ func testEval(fn func([]float64) float64) Evaluator {
 	for i, x := range probes {
 		want[i] = fn(x)
 	}
-	return func(m *dynatree.Forest) float64 {
+	return func(m model.Model) float64 {
 		pred := make([]float64, len(probes))
 		for i, x := range probes {
 			pred[i] = m.PredictMeanFast(x)
@@ -132,7 +134,7 @@ func TestLearnsStep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := l.Run()
+	res, err := l.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +158,7 @@ func TestCurveCostMonotone(t *testing.T) {
 	pool := gridPool(300)
 	ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 3)
 	l, _ := New(smallOpts(), pool, ora, testEval(stepFn))
-	res, err := l.Run()
+	res, err := l.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +189,7 @@ func TestVariablePlanRevisitsNoisyRegions(t *testing.T) {
 	opts := smallOpts()
 	opts.NMax = 200
 	l, _ := New(opts, pool, ora, nil)
-	res, err := l.Run()
+	res, err := l.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +228,7 @@ func TestFixedPlanBookkeeping(t *testing.T) {
 	opts.PlanObs = 7
 	opts.NMax = 40
 	l, _ := New(opts, pool, ora, nil)
-	res, err := l.Run()
+	res, err := l.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,14 +248,14 @@ func TestFixedPlanBookkeeping(t *testing.T) {
 func TestVariableCheaperThanFixedAtSameAcquisitions(t *testing.T) {
 	fn := func(x []float64) float64 { return 1 + math.Sin(3*x[0]) }
 	sigma := func(x []float64) float64 { return 0.02 }
-	run := func(plan Plan, planObs int) float64 {
+	run := func(plan SamplingPlan, planObs int) float64 {
 		pool := gridPool(400)
 		ora := newFuncOracle(pool, fn, sigma, 0.05, 6)
 		opts := smallOpts()
 		opts.Plan = plan
 		opts.PlanObs = planObs
 		l, _ := New(opts, pool, ora, nil)
-		res, err := l.Run()
+		res, err := l.Run(nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -273,7 +275,7 @@ func TestStopCost(t *testing.T) {
 	opts.NMax = 10000
 	opts.StopCost = 50
 	l, _ := New(opts, pool, ora, nil)
-	res, err := l.Run()
+	res, err := l.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +295,7 @@ func TestBatchAcquisition(t *testing.T) {
 	opts.Batch = 5
 	opts.NMax = 64
 	l, _ := New(opts, pool, ora, testEval(stepFn))
-	res, err := l.Run()
+	res, err := l.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,19 +308,19 @@ func TestBatchAcquisition(t *testing.T) {
 }
 
 func TestScorers(t *testing.T) {
-	for _, sc := range []Scorer{ALC, ALM, RandomScore} {
+	for _, sc := range []Acquisition{ALC, ALM, RandomScore} {
 		pool := gridPool(300)
 		ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 9)
 		opts := smallOpts()
 		opts.Scorer = sc
 		opts.NMax = 60
 		l, _ := New(opts, pool, ora, testEval(stepFn))
-		res, err := l.Run()
+		res, err := l.Run(nil)
 		if err != nil {
-			t.Fatalf("%v: %v", sc, err)
+			t.Fatalf("%s: %v", sc.Name(), err)
 		}
 		if res.FinalError > 1.0 {
-			t.Fatalf("%v: RMSE %v implausibly high", sc, res.FinalError)
+			t.Fatalf("%s: RMSE %v implausibly high", sc.Name(), res.FinalError)
 		}
 	}
 }
@@ -328,7 +330,7 @@ func TestDeterministicGivenSeed(t *testing.T) {
 		pool := gridPool(300)
 		ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 10)
 		l, _ := New(smallOpts(), pool, ora, testEval(stepFn))
-		res, err := l.Run()
+		res, err := l.Run(nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -336,6 +338,35 @@ func TestDeterministicGivenSeed(t *testing.T) {
 	}
 	if run() != run() {
 		t.Fatal("same seed produced different results")
+	}
+}
+
+func TestCandidateSetDistinct(t *testing.T) {
+	// A pool much smaller than NCand forces the rejection sampler to
+	// redraw constantly; every candidate must still be distinct, or a
+	// batch could acquire the same configuration twice.
+	pool := gridPool(12)
+	ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 21)
+	opts := smallOpts()
+	opts.NInit = 3
+	opts.NCand = 40
+	l, err := New(opts, pool, ora, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Step(); err != nil { // seeding
+		t.Fatal(err)
+	}
+	cands, feats := l.candidateSet()
+	if len(cands) != len(feats) {
+		t.Fatalf("cands/feats length mismatch: %d vs %d", len(cands), len(feats))
+	}
+	seen := make(map[int]bool, len(cands))
+	for _, c := range cands {
+		if seen[c] {
+			t.Fatalf("candidate %d appears twice in %v", c, cands)
+		}
+		seen[c] = true
 	}
 }
 
@@ -350,7 +381,7 @@ func TestSmallPoolExhaustion(t *testing.T) {
 	opts.NCand = 10
 	opts.NMax = 1000
 	l, _ := New(opts, pool, ora, nil)
-	res, err := l.Run()
+	res, err := l.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,30 +397,369 @@ func TestSmallPoolExhaustion(t *testing.T) {
 }
 
 func TestPickBest(t *testing.T) {
-	cands := []int{10, 20, 30, 40}
 	scores := []float64{3, 1, 4, 2}
-	got := pickBest(cands, scores, 2, true)
-	if got[0] != 20 || got[1] != 40 {
+	got := PickBest(scores, 2, true)
+	if got[0] != 1 || got[1] != 3 {
 		t.Fatalf("minimise pick = %v", got)
 	}
-	got = pickBest(cands, scores, 2, false)
-	if got[0] != 30 || got[1] != 10 {
+	got = PickBest(scores, 2, false)
+	if got[0] != 2 || got[1] != 0 {
 		t.Fatalf("maximise pick = %v", got)
 	}
-	if got := pickBest(cands, scores, 4, true); len(got) != 4 {
-		t.Fatalf("full pick length %d", len(got))
+	if got := PickBest(scores, 9, true); len(got) != 4 {
+		t.Fatalf("over-long pick length %d", len(got))
 	}
 }
 
-func TestPlanAndScorerStrings(t *testing.T) {
-	if VariablePlan.String() != "variable" || FixedPlan.String() != "fixed" {
-		t.Fatal("plan strings wrong")
+func TestNamesAndRegistries(t *testing.T) {
+	if VariablePlan.Name() != "variable" || FixedPlan.Name() != "fixed" {
+		t.Fatal("plan names wrong")
 	}
-	if ALC.String() != "alc" || ALM.String() != "alm" || RandomScore.String() != "random" {
-		t.Fatal("scorer strings wrong")
+	if ALC.Name() != "alc" || ALM.Name() != "alm" || RandomScore.Name() != "random" {
+		t.Fatal("acquisition names wrong")
 	}
-	if Plan(9).String() == "" || Scorer(9).String() == "" {
-		t.Fatal("unknown values should render")
+	for _, name := range []string{"alc", "alm", "random"} {
+		a, err := AcquisitionByName(name)
+		if err != nil || a.Name() != name {
+			t.Fatalf("AcquisitionByName(%q) = %v, %v", name, a, err)
+		}
+	}
+	if _, err := AcquisitionByName("bogus"); !errors.Is(err, ErrUnknownAcquisition) {
+		t.Fatalf("bogus acquisition error = %v", err)
+	}
+	for _, name := range []string{"variable", "fixed"} {
+		p, err := PlanByName(name)
+		if err != nil || p.Name() != name {
+			t.Fatalf("PlanByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := PlanByName("bogus"); !errors.Is(err, ErrUnknownPlan) {
+		t.Fatalf("bogus plan error = %v", err)
+	}
+	if got := AcquisitionNames(); len(got) < 3 {
+		t.Fatalf("acquisition names = %v", got)
+	}
+	if got := PlanNames(); len(got) < 2 {
+		t.Fatalf("plan names = %v", got)
+	}
+	if StopNone.String() != "running" || StopCancelled.String() != "cancelled" ||
+		StopBudget.String() != "budget" || StopReason(99).String() == "" {
+		t.Fatal("stop reason strings wrong")
+	}
+}
+
+// greedyMean is a custom acquisition exercising the plug-in path: it
+// picks the candidates with the lowest predicted mean runtime (pure
+// exploitation), something the built-ins deliberately do not offer.
+type greedyMean struct{}
+
+func (greedyMean) Name() string { return "greedy-mean" }
+
+func (greedyMean) Select(m model.Model, feats [][]float64, batch int, _ Rand) ([]int, error) {
+	return PickBest(m.PredictMeanFastBatch(feats), batch, true), nil
+}
+
+func TestStepWithCustomAcquisition(t *testing.T) {
+	RegisterAcquisition(greedyMean{})
+	acq, err := AcquisitionByName("greedy-mean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := gridPool(300)
+	ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 13)
+	opts := smallOpts()
+	opts.Scorer = acq
+	opts.NMax = 40
+	l, err := New(opts, pool, ora, testEval(stepFn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Model() != nil || l.Done() {
+		t.Fatal("learner started pre-seeded or done")
+	}
+	steps := 0
+	for {
+		more, err := l.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if steps == 1 && l.Acquired() != opts.NInit {
+			t.Fatalf("first step acquired %d, want the %d seeds", l.Acquired(), opts.NInit)
+		}
+		if !more {
+			break
+		}
+	}
+	res := l.Result()
+	if res.Acquired != 40 {
+		t.Fatalf("acquired %d, want 40", res.Acquired)
+	}
+	if res.StoppedBy != StopBudget {
+		t.Fatalf("stopped by %v, want budget", res.StoppedBy)
+	}
+	// Each post-seed step acquires one batch; further steps are no-ops.
+	if more, err := l.Step(); more || err != nil {
+		t.Fatalf("Step after completion = %v, %v", more, err)
+	}
+	// Exploitation-only selection still yields a usable model here.
+	if res.FinalError > 1.0 {
+		t.Fatalf("custom acquisition RMSE %v implausibly high", res.FinalError)
+	}
+}
+
+// dupAcq misbehaves on purpose: it returns the same position twice.
+type dupAcq struct{}
+
+func (dupAcq) Name() string { return "dup" }
+
+func (dupAcq) Select(_ model.Model, feats [][]float64, batch int, _ Rand) ([]int, error) {
+	out := make([]int, batch)
+	return out, nil // every entry is position 0
+}
+
+// nilBuilder misbehaves by returning neither a model nor an error.
+type nilBuilder struct{}
+
+func (nilBuilder) Name() string                          { return "nil-builder" }
+func (nilBuilder) New(model.Params) (model.Model, error) { return nil, nil }
+
+func TestSeedRejectsNilModel(t *testing.T) {
+	pool := gridPool(100)
+	ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 22)
+	opts := smallOpts()
+	opts.Model = nilBuilder{}
+	l, err := New(opts, pool, ora, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Step(); err == nil {
+		t.Fatal("nil model from builder accepted")
+	}
+}
+
+// flakyOracle fails its first nth observation, then recovers.
+type flakyOracle struct {
+	*funcOracle
+	failAt int
+	calls  int
+}
+
+func (o *flakyOracle) Observe(i int) (float64, error) {
+	o.calls++
+	if o.calls == o.failAt {
+		return 0, errTransient
+	}
+	return o.funcOracle.Observe(i)
+}
+
+var errTransient = errors.New("transient profiling failure")
+
+func TestSeedFailureIsRetryable(t *testing.T) {
+	pool := gridPool(200)
+	ora := &flakyOracle{
+		funcOracle: newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 20),
+		failAt:     3, // mid-seed
+	}
+	opts := smallOpts()
+	opts.NMax = 20
+	l, err := New(opts, pool, ora, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Step(); !errors.Is(err, errTransient) {
+		t.Fatalf("first step error = %v, want the oracle failure", err)
+	}
+	// The failed attempt must not have committed any bookkeeping.
+	if got := len(l.ObservationCounts()); got != 0 {
+		t.Fatalf("failed seed committed %d observation counts", got)
+	}
+	res, err := l.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Acquired != 20 {
+		t.Fatalf("retried run acquired %d, want 20", res.Acquired)
+	}
+	// Each seen configuration observed at most the cap: no
+	// double-seeded duplicates inflating the counts.
+	for idx, n := range l.ObservationCounts() {
+		if n > opts.NObs {
+			t.Fatalf("item %d observed %d > cap %d after retry", idx, n, opts.NObs)
+		}
+	}
+	// NInit seeds take NObs observations each; every later acquisition
+	// takes one. A leak from the failed attempt would inflate this.
+	want := opts.NInit*opts.NObs + (res.Acquired - opts.NInit)
+	if res.Observations != want {
+		t.Fatalf("observations %d, want %d (failed attempt leaked into the count)", res.Observations, want)
+	}
+}
+
+// emptyAcq misbehaves by declining every non-empty candidate set.
+type emptyAcq struct{}
+
+func (emptyAcq) Name() string { return "empty" }
+
+func (emptyAcq) Select(model.Model, [][]float64, int, Rand) ([]int, error) {
+	return nil, nil
+}
+
+func TestSelectBatchRejectsEmptyPicks(t *testing.T) {
+	pool := gridPool(100)
+	ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 19)
+	opts := smallOpts()
+	opts.Scorer = emptyAcq{}
+	l, err := New(opts, pool, ora, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Step(); err != nil { // seeding
+		t.Fatal(err)
+	}
+	if _, err := l.Step(); err == nil {
+		t.Fatal("empty pick from a non-empty candidate set accepted")
+	}
+	if l.Result().StoppedBy == StopExhausted {
+		t.Fatal("contract violation mislabelled as pool exhaustion")
+	}
+}
+
+func TestSelectBatchRejectsDuplicatePositions(t *testing.T) {
+	pool := gridPool(100)
+	ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 16)
+	opts := smallOpts()
+	opts.Scorer = dupAcq{}
+	opts.Batch = 3
+	l, err := New(opts, pool, ora, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Step(); err != nil { // seeding
+		t.Fatal(err)
+	}
+	if _, err := l.Step(); err == nil {
+		t.Fatal("duplicate positions accepted")
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	pool := gridPool(300)
+	ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 14)
+	opts := smallOpts()
+	opts.NMax = 5000
+	opts.NObs = 2
+	var calls int
+	ctx, cancel := context.WithCancel(context.Background())
+	opts.Progress = func(p Progress) {
+		calls++
+		if p.Acquired >= 30 {
+			cancel()
+		}
+	}
+	l, err := New(opts, pool, ora, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := l.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StoppedBy != StopCancelled {
+		t.Fatalf("stopped by %v, want cancelled", res.StoppedBy)
+	}
+	if res.Acquired >= 5000 || res.Acquired < 30 {
+		t.Fatalf("cancelled run acquired %d", res.Acquired)
+	}
+	if calls == 0 {
+		t.Fatal("progress callback never fired")
+	}
+	// Cancellation pauses, it does not destroy: the learner resumes.
+	if l.Done() {
+		t.Fatal("cancelled learner marked done")
+	}
+	before := l.Acquired()
+	if more, err := l.Step(); err != nil || !more {
+		t.Fatalf("resume step = %v, %v", more, err)
+	}
+	if l.Acquired() <= before {
+		t.Fatal("resumed step did not advance")
+	}
+}
+
+func TestRunAfterDoneKeepsStopReason(t *testing.T) {
+	pool := gridPool(200)
+	ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 17)
+	opts := smallOpts()
+	opts.NMax = 20
+	l, err := New(opts, pool, ora, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Finalising a completed run with an expired context must not
+	// rewrite the true stop reason.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := l.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StoppedBy != StopBudget {
+		t.Fatalf("completed run reported %v after cancelled finalise, want budget", res.StoppedBy)
+	}
+}
+
+// TestRegistryDynatreeMatchesDefault pins the backend-resolution rule:
+// a config-less dynatree builder (what the registry hands out) must
+// adopt Options.Tree and behave bit-identically to the nil default.
+func TestRegistryDynatreeMatchesDefault(t *testing.T) {
+	run := func(b model.Builder) float64 {
+		pool := gridPool(300)
+		ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 18)
+		opts := smallOpts()
+		opts.NMax = 40
+		opts.Model = b
+		l, err := New(opts, pool, ora, testEval(stepFn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := l.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalError
+	}
+	if def, reg := run(nil), run(model.DynatreeBuilder{}); def != reg {
+		t.Fatalf("registry dynatree diverged from default: %v vs %v", reg, def)
+	}
+}
+
+func TestGPBackendThroughLoop(t *testing.T) {
+	pool := gridPool(200)
+	ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 15)
+	opts := smallOpts()
+	opts.NMax = 40
+	opts.NCand = 25
+	opts.Model = model.GPBuilder{MaxPoints: 60, RefitEvery: 4}
+	l, err := New(opts, pool, ora, testEval(stepFn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := l.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Acquired != 40 {
+		t.Fatalf("gp run acquired %d, want 40", res.Acquired)
+	}
+	if math.IsNaN(res.FinalError) || res.FinalError > 0.6 {
+		t.Fatalf("gp backend RMSE %v on a clean step", res.FinalError)
+	}
+	if res.Model.N() != 40 {
+		t.Fatalf("gp model absorbed %d observations, want 40", res.Model.N())
 	}
 }
 
@@ -405,14 +775,14 @@ func TestALCOutperformsRandomOnHeteroskedastic(t *testing.T) {
 		return 2
 	}
 	sigma := func(x []float64) float64 { return 0.03 }
-	run := func(sc Scorer) float64 {
+	run := func(sc Acquisition) float64 {
 		pool := gridPool(600)
 		ora := newFuncOracle(pool, fn, sigma, 0.02, 12)
 		opts := smallOpts()
 		opts.Scorer = sc
 		opts.NMax = 150
 		l, _ := New(opts, pool, ora, testEval(fn))
-		res, err := l.Run()
+		res, err := l.Run(nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -430,7 +800,7 @@ func TestALCOutperformsRandomOnHeteroskedastic(t *testing.T) {
 // must not change results. Workers=1 and Workers=8 must produce
 // bit-identical learning curves and select the same configurations.
 func TestWorkersDeterminism(t *testing.T) {
-	for _, sc := range []Scorer{ALC, ALM} {
+	for _, sc := range []Acquisition{ALC, ALM} {
 		run := func(workers int) (*Result, map[int]int) {
 			pool := gridPool(300)
 			ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 10)
@@ -438,7 +808,7 @@ func TestWorkersDeterminism(t *testing.T) {
 			opts.Scorer = sc
 			opts.Workers = workers
 			l, _ := New(opts, pool, ora, testEval(stepFn))
-			res, err := l.Run()
+			res, err := l.Run(nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -448,23 +818,23 @@ func TestWorkersDeterminism(t *testing.T) {
 		b, bCounts := run(8)
 		if a.Acquired != b.Acquired || a.Observations != b.Observations ||
 			a.Unique != b.Unique || a.Revisits != b.Revisits || a.Cost != b.Cost {
-			t.Fatalf("%v: summary diverged: %+v vs %+v", sc, a, b)
+			t.Fatalf("%s: summary diverged: %+v vs %+v", sc.Name(), a, b)
 		}
 		if len(a.Curve) != len(b.Curve) {
-			t.Fatalf("%v: curve lengths differ: %d vs %d", sc, len(a.Curve), len(b.Curve))
+			t.Fatalf("%s: curve lengths differ: %d vs %d", sc.Name(), len(a.Curve), len(b.Curve))
 		}
 		for i := range a.Curve {
 			if a.Curve[i] != b.Curve[i] {
-				t.Fatalf("%v: curves diverged at point %d: %+v vs %+v",
-					sc, i, a.Curve[i], b.Curve[i])
+				t.Fatalf("%s: curves diverged at point %d: %+v vs %+v",
+					sc.Name(), i, a.Curve[i], b.Curve[i])
 			}
 		}
 		if len(aCounts) != len(bCounts) {
-			t.Fatalf("%v: selected configuration sets differ", sc)
+			t.Fatalf("%s: selected configuration sets differ", sc.Name())
 		}
 		for k, v := range aCounts {
 			if bCounts[k] != v {
-				t.Fatalf("%v: config %d observed %d vs %d times", sc, k, v, bCounts[k])
+				t.Fatalf("%s: config %d observed %d vs %d times", sc.Name(), k, v, bCounts[k])
 			}
 		}
 	}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"errors"
+
+	"alic/internal/registry"
+)
+
+// SamplingPlan decides how many observations each configuration
+// receives and whether seen configurations stay in the candidate set —
+// the axis §4.3 of the paper compares (fixed 35, fixed 1, variable).
+// Implementations must be stateless values.
+type SamplingPlan interface {
+	// Name identifies the plan in the registry and in reports.
+	Name() string
+	// SeedObservations is the number of observations each of the NInit
+	// seed configurations receives. Must be >= 1.
+	SeedObservations(o Options) int
+	// AcquireObservations is the number of observations an acquired
+	// configuration receives. Must be >= 1.
+	AcquireObservations(o Options) int
+	// Revisitable reports whether a configuration already observed n
+	// times stays in the candidate set for another acquisition.
+	Revisitable(o Options, n int) bool
+}
+
+// Built-in plans. The values double as registry entries and as
+// ready-to-use Options.Plan settings.
+var (
+	// VariablePlan is the paper's contribution: one observation per
+	// acquisition with model-driven revisits capped at NObs
+	// (Algorithm 1).
+	VariablePlan SamplingPlan = variablePlan{}
+	// FixedPlan is the classic approach: every selected configuration
+	// is profiled Options.PlanObs times and never revisited.
+	FixedPlan SamplingPlan = fixedPlan{}
+)
+
+type variablePlan struct{}
+
+func (variablePlan) Name() string                      { return "variable" }
+func (variablePlan) SeedObservations(o Options) int    { return o.NObs }
+func (variablePlan) AcquireObservations(Options) int   { return 1 }
+func (variablePlan) Revisitable(o Options, n int) bool { return n < o.NObs }
+
+type fixedPlan struct{}
+
+func (fixedPlan) Name() string                      { return "fixed" }
+func (fixedPlan) SeedObservations(o Options) int    { return o.PlanObs }
+func (fixedPlan) AcquireObservations(o Options) int { return o.PlanObs }
+func (fixedPlan) Revisitable(Options, int) bool     { return false }
+
+// ErrUnknownPlan reports a sampling-plan name with no registration.
+var ErrUnknownPlan = errors.New("unknown sampling plan")
+
+var planReg = registry.New[SamplingPlan]("core", ErrUnknownPlan)
+
+// RegisterPlan makes a sampling plan selectable by name, replacing any
+// existing registration under the same name. It panics on a nil value
+// or empty name.
+func RegisterPlan(p SamplingPlan) {
+	if p == nil {
+		panic("core: RegisterPlan with nil value")
+	}
+	planReg.Register(p.Name(), p)
+}
+
+// PlanByName returns the registered plan, or an error wrapping
+// ErrUnknownPlan.
+func PlanByName(name string) (SamplingPlan, error) { return planReg.Lookup(name) }
+
+// PlanNames lists the registered plans in sorted order.
+func PlanNames() []string { return planReg.Names() }
+
+func init() {
+	RegisterPlan(VariablePlan)
+	RegisterPlan(FixedPlan)
+}

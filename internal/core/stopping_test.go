@@ -50,7 +50,7 @@ func TestStopErrorEndsRunEarly(t *testing.T) {
 	opts.StopError = 0.05
 	opts.StopWindow = 20
 	l, _ := New(opts, pool, ora, nil)
-	res, err := l.Run()
+	res, err := l.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestStopErrorIgnoredWhenHard(t *testing.T) {
 	opts.StopError = 1e-6
 	opts.StopWindow = 10
 	l, _ := New(opts, pool, ora, nil)
-	res, err := l.Run()
+	res, err := l.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestStopCostSetsReason(t *testing.T) {
 	opts.NMax = 10000
 	opts.StopCost = 30
 	l, _ := New(opts, pool, ora, nil)
-	res, err := l.Run()
+	res, err := l.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestPoolExhaustionSetsReason(t *testing.T) {
 	opts.NCand = 5
 	opts.NMax = 500
 	l, _ := New(opts, pool, ora, nil)
-	res, err := l.Run()
+	res, err := l.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestOracleFailureDuringSeeding(t *testing.T) {
 	inner := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.02 }, 0.02, 35)
 	ora := &failingOracle{inner: inner, budget: 3}
 	l, _ := New(smallOpts(), pool, ora, nil)
-	if _, err := l.Run(); err == nil {
+	if _, err := l.Run(nil); err == nil {
 		t.Fatal("seeding failure not propagated")
 	}
 }
@@ -178,7 +178,7 @@ func TestOracleFailureDuringLoop(t *testing.T) {
 	// few loop acquisitions.
 	ora := &failingOracle{inner: inner, budget: opts.NInit*opts.NObs + 5}
 	l, _ := New(opts, pool, ora, nil)
-	if _, err := l.Run(); err == nil {
+	if _, err := l.Run(nil); err == nil {
 		t.Fatal("loop failure not propagated")
 	}
 }

@@ -23,6 +23,11 @@ type Options struct {
 	// TrainFrac is the fraction marked available for training
 	// (paper: 0.75).
 	TrainFrac float64
+	// TrainCount, when positive, pins the exact training-pool size
+	// instead of deriving it from TrainFrac — float truncation of
+	// NConfigs*TrainFrac can come up one configuration short, which
+	// matters to callers that promise a precise pool size.
+	TrainCount int
 	// Seed drives config selection, noise, and the split.
 	Seed uint64
 }
@@ -80,7 +85,12 @@ func Generate(k *spapt.Kernel, opts Options) (*Dataset, error) {
 	if opts.NObs < 1 {
 		return nil, fmt.Errorf("dataset: NObs %d < 1", opts.NObs)
 	}
-	if opts.TrainFrac <= 0 || opts.TrainFrac >= 1 {
+	if opts.TrainCount > 0 {
+		if opts.TrainCount >= opts.NConfigs {
+			return nil, fmt.Errorf("dataset: TrainCount %d leaves no test set of NConfigs %d",
+				opts.TrainCount, opts.NConfigs)
+		}
+	} else if opts.TrainFrac <= 0 || opts.TrainFrac >= 1 {
 		return nil, fmt.Errorf("dataset: TrainFrac %v outside (0, 1)", opts.TrainFrac)
 	}
 	if float64(opts.NConfigs) > k.SpaceSize()/2 {
@@ -138,7 +148,10 @@ func Generate(k *spapt.Kernel, opts Options) (*Dataset, error) {
 
 	// Random train/test split.
 	perm := r.Perm(n)
-	nTrain := int(float64(n) * opts.TrainFrac)
+	nTrain := opts.TrainCount
+	if nTrain <= 0 {
+		nTrain = int(float64(n) * opts.TrainFrac)
+	}
 	if nTrain < 1 {
 		nTrain = 1
 	}

@@ -41,6 +41,32 @@ func TestGenerateValidation(t *testing.T) {
 	if _, err := Generate(nil, smallOpts()); err == nil {
 		t.Fatal("nil kernel accepted")
 	}
+	if _, err := Generate(k, Options{NConfigs: 100, NObs: 5, TrainCount: 100}); err == nil {
+		t.Fatal("TrainCount leaving no test set accepted")
+	}
+}
+
+// TestTrainCountExactSplit is the regression test for the rounding
+// bug: deriving the split from TrainFrac = 15/22 truncates
+// (int(22 * (15.0/22.0)) == 14) to a pool one configuration short of
+// what the caller asked for.
+func TestTrainCountExactSplit(t *testing.T) {
+	frac := gen(t, "mm", Options{NConfigs: 22, NObs: 3, TrainFrac: 15.0 / 22.0, Seed: 9})
+	if got := len(frac.TrainIdx); got != 14 {
+		t.Fatalf("truncation premise changed: TrainFrac split gave %d configs", got)
+	}
+	exact := gen(t, "mm", Options{NConfigs: 22, NObs: 3, TrainCount: 15, Seed: 9})
+	if got := len(exact.TrainIdx); got != 15 {
+		t.Fatalf("TrainCount split gave %d training configs, want 15", got)
+	}
+	if got := len(exact.TestIdx); got != 7 {
+		t.Fatalf("TrainCount split gave %d test configs, want 7", got)
+	}
+	// TrainCount must win over a conflicting TrainFrac.
+	both := gen(t, "mm", Options{NConfigs: 22, NObs: 3, TrainFrac: 0.2, TrainCount: 15, Seed: 9})
+	if got := len(both.TrainIdx); got != 15 {
+		t.Fatalf("TrainCount did not override TrainFrac: %d training configs", got)
+	}
 }
 
 func TestGenerateShapes(t *testing.T) {

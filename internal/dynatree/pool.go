@@ -1,105 +1,22 @@
 package dynatree
 
 import (
-	"runtime"
-	"sync"
+	"alic/internal/workpool"
 )
 
 // The scoring hot path (ALM/ALC over hundreds of candidates every
-// acquisition) is embarrassingly parallel: every candidate score is a
-// read-only fold over the particle cloud. A single process-wide worker
-// pool serves all forests so that nested parallelism (e.g. the
-// experiment harness running many learners, each scoring concurrently)
-// cannot oversubscribe the machine: total pool workers never exceed
-// GOMAXPROCS, and submissions that find no idle worker run inline on
-// the caller.
+// acquisition) runs on the process-wide deterministic pool of
+// internal/workpool, shared with the other model backends; these thin
+// wrappers keep the package-local call sites short.
 
-// workerPool is a lazily-started, fixed-size pool of goroutines fed
-// through a GOMAXPROCS-buffered channel.
-type workerPool struct {
-	once  sync.Once
-	tasks chan func()
-}
-
-// sharedPool is the process-wide scoring pool shared by every Forest.
-var sharedPool workerPool
-
-func (p *workerPool) start() {
-	p.once.Do(func() {
-		// Buffered to GOMAXPROCS so submissions right after start still
-		// reach the pool even before the worker goroutines are first
-		// scheduled into their receive.
-		p.tasks = make(chan func(), runtime.GOMAXPROCS(0))
-		for i := 0; i < runtime.GOMAXPROCS(0); i++ {
-			go func() {
-				for task := range p.tasks {
-					task()
-				}
-			}()
-		}
-	})
-}
-
-// submit hands the task to an idle pool worker, or runs it inline when
-// every worker is busy. The inline fallback makes submission
-// deadlock-free under arbitrary nesting.
-func (p *workerPool) submit(task func()) {
-	select {
-	case p.tasks <- task:
-	default:
-		task()
-	}
-}
-
-// parallelFor splits [0, n) into at most `workers` contiguous shards
-// and runs body on each shard concurrently, returning when all shards
-// are done. workers <= 0 means GOMAXPROCS.
-//
-// Determinism contract: body must write only to index-addressed
-// locations disjoint across shards (no shared accumulators). Shard
-// boundaries never reorder arithmetic *within* an index, so any
-// per-index result is bit-identical for every worker count; reductions
-// across indices must be performed by the caller in index order (see
-// reduceInOrder).
+// parallelFor shards [0, n) across the shared pool; see
+// workpool.ParallelFor for the determinism contract.
 func parallelFor(workers, n int, body func(start, end int)) {
-	if n <= 0 {
-		return
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		body(0, n)
-		return
-	}
-	sharedPool.start()
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for start := 0; start < n; start += chunk {
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		s, e := start, end
-		sharedPool.submit(func() {
-			defer wg.Done()
-			body(s, e)
-		})
-	}
-	wg.Wait()
+	workpool.ParallelFor(workers, n, body)
 }
 
 // reduceInOrder sums per-index partial results in ascending index
-// order, so the floating-point accumulation order is independent of how
-// parallelFor sharded the work.
+// order, independent of sharding.
 func reduceInOrder(partials []float64) float64 {
-	total := 0.0
-	for _, v := range partials {
-		total += v
-	}
-	return total
+	return workpool.ReduceInOrder(partials)
 }

@@ -19,6 +19,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -27,6 +28,7 @@ import (
 	"alic/internal/core"
 	"alic/internal/dataset"
 	"alic/internal/dynatree"
+	"alic/internal/model"
 	"alic/internal/spapt"
 	"alic/internal/stats"
 )
@@ -223,10 +225,10 @@ func (o *datasetOracle) Cost() float64 { return o.cost }
 func buildDataset(k *spapt.Kernel, s Settings) (*dataset.Dataset, error) {
 	total := s.PoolConfigs + s.TestConfigs
 	return dataset.Generate(k, dataset.Options{
-		NConfigs:  total,
-		NObs:      s.NObs,
-		TrainFrac: float64(s.PoolConfigs) / float64(total),
-		Seed:      s.Seed,
+		NConfigs:   total,
+		NObs:       s.NObs,
+		TrainCount: s.PoolConfigs,
+		Seed:       s.Seed,
 	})
 }
 
@@ -246,7 +248,7 @@ func RunCurves(k *spapt.Kernel, s Settings, progress func(string)) (*BenchmarkCu
 	}
 	testX := ds.TestFeatures()
 	testY := ds.TestTargets()
-	eval := func(m *dynatree.Forest) float64 {
+	eval := func(m model.Model) float64 {
 		return stats.RMSE(m.PredictMeanFastBatch(testX), testY)
 	}
 
@@ -300,7 +302,7 @@ func RunCurves(k *spapt.Kernel, s Settings, progress func(string)) (*BenchmarkCu
 					outCh <- outcome{job: j, err: err}
 					continue
 				}
-				res, err := learner.Run()
+				res, err := learner.Run(context.Background())
 				if err != nil {
 					outCh <- outcome{job: j, err: err}
 					continue

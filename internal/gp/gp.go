@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"alic/internal/linalg"
+	"alic/internal/workpool"
 )
 
 // Config holds the GP hyperparameters.
@@ -42,12 +43,23 @@ func (c Config) validate() error {
 // model must be refit from scratch whenever data are added (the cost
 // the paper's dynamic trees avoid).
 type GP struct {
-	cfg   Config
-	xs    [][]float64
-	ys    []float64
-	chol  [][]float64 // Cholesky factor of K + noise*I
-	alpha []float64   // (K + noise*I)^-1 y
-	meanY float64
+	cfg     Config
+	workers int // batched-scoring parallelism (0 = GOMAXPROCS)
+	xs      [][]float64
+	ys      []float64
+	chol    [][]float64 // Cholesky factor of K + noise*I
+	alpha   []float64   // (K + noise*I)^-1 y
+	meanY   float64
+}
+
+// SetWorkers bounds the goroutines the batched entry points
+// (PredictBatch, ALCScores) use (0 = GOMAXPROCS, 1 = serial). Results
+// are bit-identical for every value; only wall-clock time changes.
+func (g *GP) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	g.workers = n
 }
 
 // New returns an unfitted GP.
@@ -76,44 +88,58 @@ func (g *GP) Fit(xs [][]float64, ys []float64) error {
 	if len(xs) == 0 {
 		return fmt.Errorf("gp: empty training set")
 	}
+	// Work on locals throughout: on any failure the previous fit must
+	// survive intact (callers may fall back to the stale posterior).
 	n := len(xs)
-	g.xs = make([][]float64, n)
-	g.ys = make([]float64, n)
+	nxs := make([][]float64, n)
+	nys := make([]float64, n)
 	for i := range xs {
-		g.xs[i] = append([]float64(nil), xs[i]...)
+		nxs[i] = append([]float64(nil), xs[i]...)
 	}
-	copy(g.ys, ys)
+	copy(nys, ys)
 
 	// Centre targets for a zero-mean prior.
-	g.meanY = 0
-	for _, y := range ys {
-		g.meanY += y
+	meanY := 0.0
+	for _, y := range nys {
+		meanY += y
 	}
-	g.meanY /= float64(n)
+	meanY /= float64(n)
 
 	// Build K + noise I.
 	k := make([][]float64, n)
 	for i := range k {
 		k[i] = make([]float64, n)
 		for j := 0; j <= i; j++ {
-			v := g.kernel(g.xs[i], g.xs[j])
+			v := g.kernel(nxs[i], nxs[j])
 			k[i][j] = v
 			k[j][i] = v
 		}
 		k[i][i] += g.cfg.NoiseVar
 	}
 
+	// Jitter escalation: with a tiny NoiseVar and duplicated rows
+	// (variable-plan revisits) the matrix can be numerically non-PD.
+	// Lifting the diagonal by growing multiples of the noise almost
+	// always restores factorability; the fit only fails once even
+	// 10^6 x noise cannot.
 	chol, err := linalg.Cholesky(k)
+	for jitter := g.cfg.NoiseVar; err != nil && jitter <= 1e6*g.cfg.NoiseVar; jitter *= 10 {
+		for i := range k {
+			k[i][i] += jitter
+		}
+		chol, err = linalg.Cholesky(k)
+	}
 	if err != nil {
 		return err
 	}
-	g.chol = chol
 
 	// alpha = K^-1 (y - mean): solve L L^T alpha = r.
 	r := make([]float64, n)
 	for i := range r {
-		r[i] = g.ys[i] - g.meanY
+		r[i] = nys[i] - meanY
 	}
+	g.xs, g.ys, g.meanY = nxs, nys, meanY
+	g.chol = chol
 	g.alpha = linalg.CholSolve(chol, r)
 	return nil
 }
@@ -121,12 +147,26 @@ func (g *GP) Fit(xs [][]float64, ys []float64) error {
 // N returns the number of training points.
 func (g *GP) N() int { return len(g.xs) }
 
+// Fitted reports whether the GP has absorbed a training set.
+func (g *GP) Fitted() bool { return g.chol != nil }
+
+// NoiseVar returns the configured observation-noise variance.
+func (g *GP) NoiseVar() float64 { return g.cfg.NoiseVar }
+
 // Predict returns the posterior mean and variance at x. It panics if
 // the GP has not been fitted.
 func (g *GP) Predict(x []float64) (mean, variance float64) {
 	if g.chol == nil {
 		panic("gp: Predict before Fit")
 	}
+	_, mean, variance = g.project(x)
+	return mean, variance
+}
+
+// project computes the whitened cross-covariance v = L^-1 k(x, X)
+// together with the posterior mean and variance at x — the shared
+// sub-expression of Predict, PredictBatch and ALCScores.
+func (g *GP) project(x []float64) (v []float64, mean, variance float64) {
 	n := len(g.xs)
 	kstar := make([]float64, n)
 	for i := range kstar {
@@ -136,8 +176,7 @@ func (g *GP) Predict(x []float64) (mean, variance float64) {
 	for i := range kstar {
 		mean += kstar[i] * g.alpha[i]
 	}
-	// v = L^-1 kstar; variance = k(x,x) - v.v
-	v := linalg.ForwardSolve(g.chol, kstar)
+	v = linalg.ForwardSolve(g.chol, kstar)
 	variance = g.kernel(x, x) + g.cfg.NoiseVar
 	for i := range v {
 		variance -= v[i] * v[i]
@@ -145,5 +184,119 @@ func (g *GP) Predict(x []float64) (mean, variance float64) {
 	if variance < 0 {
 		variance = 0
 	}
-	return mean, variance
+	return v, mean, variance
+}
+
+// PredictMean returns only the posterior mean at x — O(n) against
+// Predict's O(n^2), since the variance's triangular solve is skipped.
+// It panics if the GP has not been fitted.
+func (g *GP) PredictMean(x []float64) float64 {
+	if g.chol == nil {
+		panic("gp: PredictMean before Fit")
+	}
+	mean := g.meanY
+	for i := range g.xs {
+		mean += g.kernel(x, g.xs[i]) * g.alpha[i]
+	}
+	return mean
+}
+
+// PredictMeanBatch returns only the posterior means for every row of
+// xs, sharded over the shared scoring pool. It panics if the GP has
+// not been fitted.
+func (g *GP) PredictMeanBatch(xs [][]float64) []float64 {
+	if g.chol == nil {
+		panic("gp: PredictMeanBatch before Fit")
+	}
+	out := make([]float64, len(xs))
+	workpool.ParallelFor(g.workers, len(xs), func(start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = g.PredictMean(xs[i])
+		}
+	})
+	return out
+}
+
+// PredictBatch returns the posterior mean and variance for every row
+// of xs, sharded over the shared scoring pool (per-index writes only,
+// so results are bit-identical for every worker count). It panics if
+// the GP has not been fitted.
+func (g *GP) PredictBatch(xs [][]float64) (means, variances []float64) {
+	if g.chol == nil {
+		panic("gp: PredictBatch before Fit")
+	}
+	means = make([]float64, len(xs))
+	variances = make([]float64, len(xs))
+	workpool.ParallelFor(g.workers, len(xs), func(start, end int) {
+		for i := start; i < end; i++ {
+			_, means[i], variances[i] = g.project(xs[i])
+		}
+	})
+	return means, variances
+}
+
+// ALCScores returns Cohn's active-learning score for every candidate:
+// the expected average posterior variance over refs after observing the
+// candidate once. For a GP the reduction is exact — adding x shrinks
+// the variance at r by cov(r,x)^2 / (var(x) + noise), where cov is the
+// posterior covariance cov(r,x) = k(r,x) - v_r . v_x. Lower scores are
+// more informative. It panics if the GP has not been fitted.
+func (g *GP) ALCScores(cands, refs [][]float64) []float64 {
+	if g.chol == nil {
+		panic("gp: ALCScores before Fit")
+	}
+	scores := make([]float64, len(cands))
+	if len(refs) == 0 {
+		// No reference set, no variance to reduce: every candidate is
+		// equally (un)informative.
+		return scores
+	}
+	// Project every reference once: O(|R| n^2), per-index writes only.
+	vr := make([][]float64, len(refs))
+	varR := make([]float64, len(refs))
+	workpool.ParallelFor(g.workers, len(refs), func(start, end int) {
+		for i := start; i < end; i++ {
+			vr[i], _, varR[i] = g.project(refs[i])
+		}
+	})
+	sumVarR := workpool.ReduceInOrder(varR)
+	// The learner's ALC path passes the candidate set as its own
+	// reference set; reuse the projections instead of redoing the
+	// forward solves.
+	shared := len(cands) == len(refs) && len(cands) > 0 && &cands[0] == &refs[0]
+	workpool.ParallelFor(g.workers, len(cands), func(start, end int) {
+		for c := start; c < end; c++ {
+			x := cands[c]
+			var vx []float64
+			var varX float64
+			if shared {
+				vx, varX = vr[c], varR[c]
+			} else {
+				vx, _, varX = g.project(x)
+			}
+			// varX is the predictive variance, latent + noise — already
+			// the denominator of the exact reduction formula. In exact
+			// arithmetic it is >= NoiseVar; project's clamp can leave 0,
+			// so restore the floor to keep the division finite.
+			denom := varX
+			if denom < g.cfg.NoiseVar {
+				denom = g.cfg.NoiseVar
+			}
+			reduction := 0.0
+			for i, r := range refs {
+				cov := g.kernel(r, x)
+				for k := range vx {
+					cov -= vr[i][k] * vx[k]
+				}
+				d := cov * cov / denom
+				// The reduction at one point cannot exceed its variance.
+				if d > varR[i] {
+					d = varR[i]
+				}
+				reduction += d
+			}
+			scores[c] = (sumVarR - reduction) / float64(len(refs))
+		}
+	})
+	return scores
 }

@@ -99,6 +99,106 @@ func TestLearnsSmoothFunction(t *testing.T) {
 	}
 }
 
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	g, _ := New(DefaultConfig())
+	r := rng.New(7)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 30; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, x[0]+2*x[1])
+	}
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	means, variances := g.PredictBatch(xs[:8])
+	for i, x := range xs[:8] {
+		m, v := g.Predict(x)
+		if m != means[i] || v != variances[i] {
+			t.Fatalf("batch mismatch at %d: (%v,%v) vs (%v,%v)", i, means[i], variances[i], m, v)
+		}
+	}
+}
+
+// TestALCScoresPrefersInformativeCandidates checks the GP's ALC
+// scoring against its defining property: observing a candidate in a
+// data gap must lower the expected average variance more than
+// re-observing a well-covered point, and every score must stay within
+// [0, current average variance].
+func TestALCScoresPrefersInformativeCandidates(t *testing.T) {
+	g, _ := New(Config{LengthScale: 0.2, SignalVar: 1, NoiseVar: 1e-3})
+	// Dense data on [0, 0.4]; nothing beyond.
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i <= 8; i++ {
+		x := float64(i) * 0.05
+		xs = append(xs, []float64{x})
+		ys = append(ys, math.Sin(3*x))
+	}
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	refs := [][]float64{{0.1}, {0.3}, {0.5}, {0.7}, {0.9}}
+	cands := [][]float64{{0.2}, {0.8}} // covered vs gap
+	scores := g.ALCScores(cands, refs)
+	if scores[1] >= scores[0] {
+		t.Fatalf("gap candidate scored %v, covered %v; expected gap to win (lower)", scores[1], scores[0])
+	}
+	avgVar := 0.0
+	for _, r := range refs {
+		_, v := g.Predict(r)
+		avgVar += v
+	}
+	avgVar /= float64(len(refs))
+	for i, s := range scores {
+		if s < 0 || s > avgVar+1e-12 {
+			t.Fatalf("score %d = %v outside [0, avg var %v]", i, s, avgVar)
+		}
+	}
+}
+
+// TestWorkersDeterminism mirrors the dynatree batch determinism test:
+// sharded GP scoring must be bit-identical for every worker count.
+func TestWorkersDeterminism(t *testing.T) {
+	r := rng.New(13)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 60; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, x[0]+2*x[1])
+	}
+	run := func(workers int) ([]float64, []float64, []float64) {
+		g, _ := New(DefaultConfig())
+		g.SetWorkers(workers)
+		if err := g.Fit(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+		means, variances := g.PredictBatch(xs)
+		return means, variances, g.ALCScores(xs, xs)
+	}
+	m1, v1, s1 := run(1)
+	m8, v8, s8 := run(8)
+	for i := range m1 {
+		if m1[i] != m8[i] || v1[i] != v8[i] || s1[i] != s8[i] {
+			t.Fatalf("workers changed results at %d: (%v,%v,%v) vs (%v,%v,%v)",
+				i, m1[i], v1[i], s1[i], m8[i], v8[i], s8[i])
+		}
+	}
+}
+
+func TestALCScoresEmptyRefs(t *testing.T) {
+	g, _ := New(DefaultConfig())
+	if err := g.Fit([][]float64{{0.1}, {0.9}}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	scores := g.ALCScores([][]float64{{0.2}, {0.5}}, nil)
+	if len(scores) != 2 || scores[0] != 0 || scores[1] != 0 {
+		t.Fatalf("empty-refs scores = %v, want zeros", scores)
+	}
+}
+
 func TestFitCopiesInputs(t *testing.T) {
 	g, _ := New(DefaultConfig())
 	xs := [][]float64{{0.1}, {0.9}}
@@ -115,5 +215,73 @@ func TestFitCopiesInputs(t *testing.T) {
 	}
 	if g.N() != 2 {
 		t.Fatalf("N = %d", g.N())
+	}
+}
+
+// TestALCScoresMatchesBruteForce pins the exact rank-one formula:
+// the expected average variance after observing candidate x must equal
+// a brute-force refit with (x, posterior-mean(x)) appended, for both
+// the distinct-slices path and the shared cands==refs fast path.
+func TestALCScoresMatchesBruteForce(t *testing.T) {
+	cfg := Config{LengthScale: 0.3, SignalVar: 1, NoiseVar: 0.05}
+	g, _ := New(cfg)
+	r := rng.New(21)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 20; i++ {
+		x := r.Float64()
+		xs = append(xs, []float64{x})
+		ys = append(ys, math.Sin(3*x))
+	}
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	refs := [][]float64{{0.05}, {0.35}, {0.65}, {0.95}}
+	cands := [][]float64{{0.2}, {0.5}, {0.8}}
+
+	bruteForce := func(cand []float64) float64 {
+		mean, _ := g.Predict(cand)
+		g2, _ := New(cfg)
+		if err := g2.Fit(append(append([][]float64{}, xs...), cand),
+			append(append([]float64{}, ys...), mean)); err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, ref := range refs {
+			_, v := g2.Predict(ref)
+			sum += v
+		}
+		return sum / float64(len(refs))
+	}
+	scores := g.ALCScores(cands, refs)
+	for i, cand := range cands {
+		if want := bruteForce(cand); math.Abs(scores[i]-want) > 1e-6 {
+			t.Fatalf("candidate %v: ALC score %v, brute force %v", cand, scores[i], want)
+		}
+	}
+	// Shared fast path must agree with the general path.
+	general := g.ALCScores(append([][]float64{}, refs...), refs)
+	shared := g.ALCScores(refs, refs)
+	for i := range shared {
+		if shared[i] != general[i] {
+			t.Fatalf("shared fast path diverged at %d: %v vs %v", i, shared[i], general[i])
+		}
+	}
+}
+
+// TestFitJitterEscalation: duplicated training rows with a tiny noise
+// variance make the kernel matrix numerically non-PD; Fit must recover
+// by lifting the diagonal rather than failing (and leaving callers on
+// a stale or never-fitted posterior).
+func TestFitJitterEscalation(t *testing.T) {
+	g, _ := New(Config{LengthScale: 0.5, SignalVar: 1, NoiseVar: 1e-15})
+	xs := [][]float64{{0.3}, {0.3}, {0.3}, {0.3}, {0.7}}
+	ys := []float64{1, 1, 1, 1, 2}
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatalf("Fit failed despite jitter escalation: %v", err)
+	}
+	m, v := g.Predict([]float64{0.3})
+	if math.IsNaN(m) || math.IsNaN(v) || math.Abs(m-1) > 0.2 {
+		t.Fatalf("degenerate posterior after escalated fit: mean %v var %v", m, v)
 	}
 }

@@ -1,0 +1,105 @@
+// Package model defines the pluggable regression-backend API of the
+// active learner. Section 3.2 of the paper frames the model choice as
+// open — any incrementally-updatable regressor with calibrated
+// predictive uncertainty fits Algorithm 1 — and this package encodes
+// that contract as the Model interface, together with a name registry
+// of backends.
+//
+// Two backends ship with the library:
+//
+//   - "dynatree" — the particle-filtered dynamic-tree forest of
+//     internal/dynatree, the paper's choice (O(1) incremental updates).
+//   - "gp" — an exact Gaussian process (internal/gp) kept usable inside
+//     the loop by subset-of-data training and periodic refits, the
+//     O(n^3) alternative §3.2 rejects; having it behind the same facade
+//     makes the comparison runnable end to end.
+//
+// Custom backends implement Builder and register with Register; the
+// learner then selects them by name.
+package model
+
+import (
+	"reflect"
+
+	"alic/internal/rng"
+)
+
+// Predictor yields posterior-mean runtime predictions. It is the
+// minimal surface consumers such as the tuner need.
+type Predictor interface {
+	// PredictMeanFast returns a cheap posterior-mean estimate at x.
+	PredictMeanFast(x []float64) float64
+	// PredictMeanFastBatch returns cheap posterior-mean estimates for
+	// every row of xs.
+	PredictMeanFastBatch(xs [][]float64) []float64
+}
+
+// Model is the uncertainty-aware regressor Algorithm 1 requires: it
+// absorbs observations one at a time and exposes the batched
+// mean+variance predictions and acquisition hooks (ALM, ALC) the
+// learner's scoring loop is built on.
+//
+// Batched entry points must be deterministic: given the same model
+// state and inputs they return bit-identical results regardless of any
+// internal parallelism.
+type Model interface {
+	Predictor
+	// Update absorbs one observation (x, y).
+	Update(x []float64, y float64)
+	// PredictBatch returns the posterior mean and variance for every
+	// row of xs.
+	PredictBatch(xs [][]float64) (means, variances []float64)
+	// ALMBatch returns MacKay's active-learning score — the predictive
+	// variance — for every row of xs. Higher is more informative.
+	ALMBatch(xs [][]float64) []float64
+	// ALCScores returns Cohn's active-learning score for every
+	// candidate: the expected average predictive variance over refs
+	// after hypothetically observing the candidate. Lower is more
+	// informative.
+	ALCScores(cands, refs [][]float64) []float64
+	// N returns the number of absorbed observations.
+	N() int
+}
+
+// Importancer is an optional interface for backends that can attribute
+// predictive relevance to input dimensions.
+type Importancer interface {
+	// Importance returns a per-dimension relevance score summing to 1.
+	Importance(dim int) []float64
+}
+
+// Params carries everything a Builder receives at seeding time, after
+// the learner has taken its initial observations.
+type Params struct {
+	// Dim is the feature-vector dimensionality.
+	Dim int
+	// SeedTargets are the observations gathered during seeding, for
+	// empirical-Bayes prior calibration.
+	SeedTargets []float64
+	// Workers bounds the backend's scoring parallelism (0 = all cores,
+	// 1 = serial). Backends must produce bit-identical results for
+	// every value.
+	Workers int
+	// RNG is the backend's private deterministic randomness stream.
+	RNG *rng.Stream
+}
+
+// Builder constructs a Model. Implementations are value-like configs;
+// the same Builder may build models for many concurrent learners.
+type Builder interface {
+	// Name identifies the backend in the registry and in reports.
+	Name() string
+	// New builds a fresh model for one learning run.
+	New(p Params) (Model, error)
+}
+
+// IsNil reports whether p is nil or a typed-nil pointer wrapped in the
+// interface (e.g. a nil *dynatree.Forest), which passes a plain nil
+// check and panics on first method call.
+func IsNil(p Predictor) bool {
+	if p == nil {
+		return true
+	}
+	v := reflect.ValueOf(p)
+	return v.Kind() == reflect.Pointer && v.IsNil()
+}

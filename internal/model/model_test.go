@@ -1,0 +1,208 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"alic/internal/dynatree"
+	"alic/internal/gp"
+	"alic/internal/rng"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := Names()
+	want := map[string]bool{"dynatree": false, "gp": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("builtin backend %q not registered (have %v)", n, names)
+		}
+	}
+	for _, n := range []string{"dynatree", "gp"} {
+		b, err := ByName(n)
+		if err != nil || b.Name() != n {
+			t.Fatalf("ByName(%q) = %v, %v", n, b, err)
+		}
+	}
+	if _, err := ByName("bogus"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("bogus backend error = %v", err)
+	}
+}
+
+// trainBackend feeds n samples of a noisy linear surface to a fresh
+// model from the builder.
+func trainBackend(t *testing.T, b Builder, n int) (Model, [][]float64) {
+	t.Helper()
+	r := rng.New(3)
+	seed := []float64{1, 1.2, 0.8, 1.1}
+	m, err := b.New(Params{Dim: 2, SeedTargets: seed, Workers: 1, RNG: r.Split(b.Name())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([][]float64, n)
+	for i := range xs {
+		x := []float64{r.Float64(), r.Float64()}
+		xs[i] = x
+		m.Update(x, 1+2*x[0]-x[1]+r.NormMS(0, 0.02))
+	}
+	return m, xs
+}
+
+func TestBackendsLearnLinearSurface(t *testing.T) {
+	for _, b := range []Builder{DynatreeBuilder{}, GPBuilder{RefitEvery: 4}} {
+		t.Run(b.Name(), func(t *testing.T) {
+			m, xs := trainBackend(t, b, 120)
+			if m.N() != 120 {
+				t.Fatalf("N = %d, want 120", m.N())
+			}
+			// The batched and single-point means must agree.
+			batch := m.PredictMeanFastBatch(xs[:10])
+			sse := 0.0
+			for i, x := range xs[:10] {
+				single := m.PredictMeanFast(x)
+				if single != batch[i] {
+					t.Fatalf("batch/single mean mismatch at %d: %v vs %v", i, batch[i], single)
+				}
+				want := 1 + 2*x[0] - x[1]
+				sse += (single - want) * (single - want)
+			}
+			if rmse := math.Sqrt(sse / 10); rmse > 0.4 {
+				t.Fatalf("RMSE %v on an easy linear surface", rmse)
+			}
+			means, variances := m.PredictBatch(xs[:10])
+			for i := range means {
+				if math.IsNaN(means[i]) || variances[i] < 0 {
+					t.Fatalf("bad posterior at %d: mean %v var %v", i, means[i], variances[i])
+				}
+			}
+			// Acquisition hooks return one finite score per candidate.
+			alm := m.ALMBatch(xs[:10])
+			alc := m.ALCScores(xs[:10], xs[:10])
+			if len(alm) != 10 || len(alc) != 10 {
+				t.Fatalf("score lengths %d/%d", len(alm), len(alc))
+			}
+			for i := range alm {
+				if math.IsNaN(alm[i]) || math.IsNaN(alc[i]) || alm[i] < 0 || alc[i] < 0 {
+					t.Fatalf("bad scores at %d: alm %v alc %v", i, alm[i], alc[i])
+				}
+			}
+		})
+	}
+}
+
+func TestGPSubsetOfData(t *testing.T) {
+	b := GPBuilder{MaxPoints: 32, RefitEvery: 4}
+	m, _ := trainBackend(t, b, 100)
+	g := m.(*gpModel)
+	if g.g.N() > 32 {
+		t.Fatalf("fitted subset %d exceeds MaxPoints 32", g.g.N())
+	}
+	if g.N() != 100 {
+		t.Fatalf("history %d, want 100", g.N())
+	}
+}
+
+func TestGPMaxPointsOneDoesNotPanic(t *testing.T) {
+	m, err := GPBuilder{MaxPoints: 1, RefitEvery: 1}.New(Params{Dim: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		m.Update([]float64{float64(i) / 5}, float64(i))
+	}
+	if g := m.(*gpModel); g.g.N() > 2 {
+		t.Fatalf("fitted %d points with MaxPoints clamped to 2", g.g.N())
+	}
+}
+
+func TestGPPeriodicRefit(t *testing.T) {
+	b := GPBuilder{RefitEvery: 10}
+	m, err := b.New(Params{Dim: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.(*gpModel)
+	// While the history fits within RefitEvery, every update refits so
+	// seed observations are absorbed immediately.
+	for i := 0; i < 10; i++ {
+		m.Update([]float64{float64(i) / 10}, 1)
+		if g.g.N() != i+1 {
+			t.Fatalf("after update %d fitted %d points, want %d", i+1, g.g.N(), i+1)
+		}
+	}
+	// Beyond that the posterior goes stale between periodic refits.
+	for i := 0; i < 5; i++ {
+		m.Update([]float64{float64(i) / 5}, 1)
+	}
+	if g.g.N() != 10 {
+		t.Fatalf("refit fired early: fitted %d points with pending < RefitEvery", g.g.N())
+	}
+	for i := 0; i < 5; i++ {
+		m.Update([]float64{0.5 + float64(i)/10}, 1)
+	}
+	if g.g.N() != 20 {
+		t.Fatalf("refit missed: fitted %d points, want 20", g.g.N())
+	}
+}
+
+func TestGPUnfittedIsSafe(t *testing.T) {
+	m, err := GPBuilder{}.New(Params{Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := [][]float64{{0.1, 0.2}, {0.3, 0.4}}
+	if got := m.PredictMeanFast(xs[0]); got != 0 {
+		t.Fatalf("unfitted mean %v", got)
+	}
+	means, variances := m.PredictBatch(xs)
+	if len(means) != 2 || len(variances) != 2 {
+		t.Fatal("unfitted PredictBatch shape")
+	}
+	if got := m.ALMBatch(xs); len(got) != 2 {
+		t.Fatal("unfitted ALMBatch shape")
+	}
+	if got := m.ALCScores(xs, xs); len(got) != 2 {
+		t.Fatal("unfitted ALCScores shape")
+	}
+}
+
+func TestDynatreeBuilderNeedsRNG(t *testing.T) {
+	if _, err := (DynatreeBuilder{}).New(Params{Dim: 1}); err == nil {
+		t.Fatal("nil RNG accepted")
+	}
+}
+
+func TestDynatreePartialConfigFailsLoudly(t *testing.T) {
+	// A partially-filled config (Particles left at 0) must surface
+	// dynatree's validation error, not be silently replaced by the
+	// defaults.
+	b := DynatreeBuilder{Config: dynatree.Config{ScoreParticles: 500}}
+	if _, err := b.New(Params{Dim: 1, RNG: rng.New(1)}); err == nil {
+		t.Fatal("partial config silently accepted")
+	}
+}
+
+func TestGPPriorCalibratedFromSeeds(t *testing.T) {
+	// Large-scale targets must scale the default prior (empirical
+	// Bayes); an explicit Config must be respected untouched.
+	m, err := GPBuilder{}.New(Params{Dim: 1, SeedTargets: []float64{100, 150, 120, 180}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv := m.(*gpModel).g.NoiseVar(); nv <= 0.01 {
+		t.Fatalf("noise variance %v not calibrated to the seed scale", nv)
+	}
+	explicit, err := GPBuilder{Config: gp.Config{LengthScale: 1, SignalVar: 2, NoiseVar: 0.5}}.
+		New(Params{Dim: 1, SeedTargets: []float64{100, 150, 120, 180}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv := explicit.(*gpModel).g.NoiseVar(); nv != 0.5 {
+		t.Fatalf("explicit noise variance overridden: %v", nv)
+	}
+}

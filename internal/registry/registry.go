@@ -1,0 +1,64 @@
+// Package registry provides the generic name registry behind the
+// pluggable learner pieces — model backends, acquisition heuristics,
+// and sampling plans all share this one implementation.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is a concurrency-safe name → value table.
+type Registry[T any] struct {
+	prefix   string // package prefix for error text, e.g. "core"
+	sentinel error  // wrapped into lookup failures for errors.Is
+	mu       sync.RWMutex
+	entries  map[string]T
+}
+
+// New returns an empty registry whose lookup failures read
+// "<prefix>: <sentinel> <name> (have [...])" and match sentinel with
+// errors.Is.
+func New[T any](prefix string, sentinel error) *Registry[T] {
+	return &Registry[T]{prefix: prefix, sentinel: sentinel, entries: make(map[string]T)}
+}
+
+// Register stores v under name, replacing any existing entry. It
+// panics on an empty name or nil value.
+func (r *Registry[T]) Register(name string, v T) {
+	if name == "" || any(v) == nil {
+		panic(r.prefix + ": Register with nil value or empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[name] = v
+}
+
+// Lookup returns the entry for name, or an error wrapping the
+// registry's sentinel and listing the available names.
+func (r *Registry[T]) Lookup(name string) (T, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.entries[name]
+	if !ok {
+		return v, fmt.Errorf("%s: %w %q (have %v)", r.prefix, r.sentinel, name, r.namesLocked())
+	}
+	return v, nil
+}
+
+// Names lists the registered names in sorted order.
+func (r *Registry[T]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.namesLocked()
+}
+
+func (r *Registry[T]) namesLocked() []string {
+	out := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

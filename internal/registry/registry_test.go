@@ -1,0 +1,40 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	sentinel := errors.New("unknown widget")
+	r := New[int]("widgets", sentinel)
+	if got := r.Names(); len(got) != 0 {
+		t.Fatalf("fresh registry has names %v", got)
+	}
+	r.Register("b", 2)
+	r.Register("a", 1)
+	if got := r.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("names = %v, want sorted [a b]", got)
+	}
+	v, err := r.Lookup("a")
+	if err != nil || v != 1 {
+		t.Fatalf("Lookup(a) = %v, %v", v, err)
+	}
+	r.Register("a", 3) // replacement wins
+	if v, _ := r.Lookup("a"); v != 3 {
+		t.Fatalf("replacement lookup = %v, want 3", v)
+	}
+	_, err = r.Lookup("zzz")
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("missing lookup error = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestRegisterEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New[int]("widgets", errors.New("x")).Register("", 1)
+}

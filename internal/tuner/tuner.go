@@ -11,8 +11,8 @@ import (
 	"math"
 	"sort"
 
-	"alic/internal/dynatree"
 	"alic/internal/measure"
+	"alic/internal/model"
 	"alic/internal/rng"
 	"alic/internal/spapt"
 	"alic/internal/stats"
@@ -67,10 +67,11 @@ type Normalizer interface {
 	Transform(x []float64) []float64
 }
 
-// Search ranks random configurations with the model and verifies the
-// top few on the profiling session.
-func Search(model *dynatree.Forest, sess *measure.Session, norm Normalizer, opts Options) (*Result, error) {
-	if model == nil || sess == nil || norm == nil {
+// Search ranks random configurations with any trained predictor (a
+// model.Model from a learning run, or anything else implementing
+// model.Predictor) and verifies the top few on the profiling session.
+func Search(m model.Predictor, sess *measure.Session, norm Normalizer, opts Options) (*Result, error) {
+	if model.IsNil(m) || sess == nil || norm == nil {
 		return nil, fmt.Errorf("tuner: nil model, session or normalizer")
 	}
 	if opts.Candidates < 1 || opts.Verify < 1 || opts.VerifyObs < 1 {
@@ -98,7 +99,7 @@ func Search(model *dynatree.Forest, sess *measure.Session, norm Normalizer, opts
 		feats := norm.Transform(k.Features(cfg))
 		cands[i] = Candidate{
 			Config:    cfg,
-			Predicted: model.PredictMeanFast(feats),
+			Predicted: m.PredictMeanFast(feats),
 			Measured:  math.NaN(),
 		}
 	}

@@ -1,0 +1,14 @@
+package tuner
+
+import (
+	"testing"
+
+	"alic/internal/dynatree"
+)
+
+func TestSearchRejectsTypedNilModel(t *testing.T) {
+	var f *dynatree.Forest // typed nil wrapped into the interface
+	if _, err := Search(f, nil, nil, DefaultOptions()); err == nil {
+		t.Fatal("typed-nil model accepted")
+	}
+}

@@ -1,0 +1,108 @@
+// Package workpool provides the process-wide deterministic scoring
+// pool shared by every model backend. Candidate scoring (ALM/ALC over
+// hundreds of candidates every acquisition) is embarrassingly
+// parallel: every score is a read-only computation written to its own
+// index. A single shared pool keeps nested parallelism (e.g. the
+// experiment harness running many learners, each scoring concurrently)
+// from oversubscribing the machine: total pool workers never exceed
+// GOMAXPROCS, and submissions that find no idle worker run inline on
+// the caller.
+package workpool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// pool is a lazily-started, fixed-size set of goroutines fed through
+// an unbuffered channel.
+type pool struct {
+	once  sync.Once
+	tasks chan func()
+}
+
+// shared is the process-wide pool.
+var shared pool
+
+func (p *pool) start() {
+	p.once.Do(func() {
+		// Unbuffered on purpose: a send succeeds only when a worker is
+		// actually idle in its receive. A buffer would absorb
+		// submissions while every worker is blocked waiting on nested
+		// sub-shards, deadlocking nested ParallelFor calls; with no
+		// buffer those submissions fall through to the inline path
+		// instead.
+		p.tasks = make(chan func())
+		for i := 0; i < runtime.GOMAXPROCS(0); i++ {
+			go func() {
+				for task := range p.tasks {
+					task()
+				}
+			}()
+		}
+	})
+}
+
+// submit hands the task to an idle pool worker, or runs it inline when
+// every worker is busy. The inline fallback (plus the unbuffered
+// channel) makes submission deadlock-free under arbitrary nesting.
+func (p *pool) submit(task func()) {
+	select {
+	case p.tasks <- task:
+	default:
+		task()
+	}
+}
+
+// ParallelFor splits [0, n) into at most `workers` contiguous shards
+// and runs body on each shard concurrently, returning when all shards
+// are done. workers <= 0 means GOMAXPROCS.
+//
+// Determinism contract: body must write only to index-addressed
+// locations disjoint across shards (no shared accumulators). Shard
+// boundaries never reorder arithmetic *within* an index, so any
+// per-index result is bit-identical for every worker count; reductions
+// across indices must be performed by the caller in index order (see
+// ReduceInOrder).
+func ParallelFor(workers, n int, body func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	shared.start()
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		s, e := start, end
+		shared.submit(func() {
+			defer wg.Done()
+			body(s, e)
+		})
+	}
+	wg.Wait()
+}
+
+// ReduceInOrder sums per-index partial results in ascending index
+// order, so the floating-point accumulation order is independent of
+// how ParallelFor sharded the work.
+func ReduceInOrder(partials []float64) float64 {
+	total := 0.0
+	for _, v := range partials {
+		total += v
+	}
+	return total
+}

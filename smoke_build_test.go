@@ -24,6 +24,7 @@ func TestBinariesBuild(t *testing.T) {
 		"./examples/autotuning",
 		"./examples/batch-parallel",
 		"./examples/cross-platform",
+		"./examples/custom-acquisition",
 		"./examples/noise-robustness",
 		"./examples/quickstart",
 	}
