@@ -63,6 +63,21 @@
 // wall-clock time only. The same knob is exposed as the -workers flag
 // of cmd/alic.
 //
+// # Batched, asynchronous evaluation
+//
+// Measurement — the §4.3 compile+run cost that dominates real
+// deployments — flows through the evaluator engine
+// (internal/evaluator): each acquisition batch is dispatched whole and
+// measured with up to LearnerOptions.EvalWorkers concurrent workers
+// (-eval-workers in cmd/alic). Synchronous mode is bit-identical to
+// the serial loop at every worker count. LearnerOptions.Async
+// (-async) additionally overlaps each round's measurement with the
+// next round's candidate scoring; async results differ from sync (the
+// selection model lags one round) but remain bit-deterministic across
+// worker counts, with order-free §4.3 cost accounting. See
+// examples/batch-parallel for the pipeline in the measurement-bound
+// regime.
+//
 // The packages behind this facade:
 //
 //   - internal/core      — Algorithm 1 (active learning + sequential analysis)
@@ -72,6 +87,7 @@
 //   - internal/spapt     — the 11 SPAPT kernels with Table 1 search spaces
 //   - internal/loopnest, internal/costmodel — the compilation substrate
 //   - internal/noise, internal/measure — the simulated profiling environment
+//   - internal/evaluator — the concurrent batched evaluation engine
 //   - internal/dataset   — §4.5 datasets (10,000 configs x 35 observations)
 //   - internal/experiment — regenerators for every table and figure
 package alic
@@ -83,6 +99,7 @@ import (
 	"alic/internal/core"
 	"alic/internal/dataset"
 	"alic/internal/dynatree"
+	"alic/internal/evaluator"
 	"alic/internal/measure"
 	"alic/internal/model"
 	"alic/internal/spapt"
@@ -344,9 +361,13 @@ func Learn(k *Kernel, opts LearnOptions) (*LearnResult, error) {
 
 // NewLearner constructs a step-wise learner over a pre-generated
 // dataset: the training pool supplies candidates, the test split
-// supplies the RMSE curve, and observation costs follow §4.3. Drive it
-// with Learner.Step (one acquisition round per call) or Learner.Run
-// (whole loop under a context).
+// supplies the RMSE curve, and observation costs follow §4.3 through
+// the evaluator engine (internal/evaluator), which measures each
+// acquisition batch with up to LearnerOptions.EvalWorkers concurrent
+// workers — or pipelines rounds entirely when LearnerOptions.Async is
+// set. Drive it with Learner.Step (one acquisition round per call) or
+// Learner.Run (whole loop under a context). Call Learner.Close when
+// abandoning an asynchronous run mid-flight.
 func NewLearner(ds *Dataset, opts LearnerOptions) (*Learner, error) {
 	if ds == nil {
 		return nil, ErrNilDataset
@@ -355,13 +376,39 @@ func NewLearner(ds *Dataset, opts LearnerOptions) (*Learner, error) {
 	for i, idx := range ds.TrainIdx {
 		pool[i] = ds.Features[idx]
 	}
-	oracle := newDatasetOracle(ds)
+	src, err := evaluator.NewDatasetSource(ds)
+	if err != nil {
+		return nil, err
+	}
+	eng := evaluator.New(src, evaluator.Options{
+		Workers: opts.EvalWorkers,
+		Window:  learnerWindow(opts),
+		Latency: opts.EvalLatency,
+	})
 	testX := ds.TestFeatures()
 	testY := ds.TestTargets()
 	eval := func(m Model) float64 {
 		return stats.RMSE(m.PredictMeanFastBatch(testX), testY)
 	}
-	return core.New(opts, pool, oracle, eval)
+	return core.NewWithEvaluator(opts, pool, eng, eval)
+}
+
+// learnerWindow sizes the engine's in-flight window so one whole
+// asynchronous acquisition round fits without back-pressure.
+func learnerWindow(opts LearnerOptions) int {
+	plan := opts.Plan
+	if plan == nil {
+		plan = VariablePlan
+	}
+	batch := opts.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	round := batch * plan.AcquireObservations(opts)
+	if round < 32 {
+		round = 32
+	}
+	return 2 * round
 }
 
 // RunOnDataset runs the configured learner over a pre-generated
@@ -371,35 +418,9 @@ func RunOnDataset(ds *Dataset, opts LearnerOptions) (*LearnerResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer learner.Close()
 	return learner.Run(nil)
 }
-
-// datasetOracle adapts a Dataset to the core.Oracle interface with
-// §4.3 cost accounting (compile once per distinct config, pay every
-// observed runtime).
-type datasetOracle struct {
-	ds   *dataset.Dataset
-	obs  map[int]int
-	cost float64
-}
-
-func newDatasetOracle(ds *dataset.Dataset) *datasetOracle {
-	return &datasetOracle{ds: ds, obs: make(map[int]int)}
-}
-
-func (o *datasetOracle) Observe(i int) (float64, error) {
-	idx := o.ds.TrainIdx[i]
-	n := o.obs[idx]
-	if n == 0 {
-		o.cost += o.ds.CompileTime[idx]
-	}
-	y := o.ds.Observe(idx, n)
-	o.obs[idx] = n + 1
-	o.cost += y
-	return y, nil
-}
-
-func (o *datasetOracle) Cost() float64 { return o.cost }
 
 // Tune performs model-driven configuration search (§4.1): rank random
 // configurations with a trained model, verify the best few by

@@ -42,6 +42,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "experiment seed")
 		verify    = flag.Int("verify", 10, "configurations to verify during tuning")
 		workers   = flag.Int("workers", 0, "candidate-scoring goroutines (0 = all cores); results are identical for every value")
+		evalWork  = flag.Int("eval-workers", 0, "concurrent profiling measurements (0 = all cores); results are identical for every value")
+		async     = flag.Bool("async", false, "pipeline evaluation: overlap each round's measurement with the next round's scoring (results stay deterministic, but differ from sync: selection uses a one-round-stale model)")
 		progress  = flag.Bool("progress", false, "print acquisition progress while learning")
 	)
 	flag.Parse()
@@ -80,6 +82,8 @@ func main() {
 	opts.Learner.Tree.Particles = *particles
 	opts.Learner.Tree.ScoreParticles = max(20, *particles/6)
 	opts.Learner.Workers = *workers
+	opts.Learner.EvalWorkers = *evalWork
+	opts.Learner.Async = *async
 	opts.Learner.PlanObs = *planObs
 
 	if opts.Learner.Plan, err = alic.PlanByName(*plan); err != nil {
@@ -95,8 +99,12 @@ func main() {
 		}
 	}
 
-	fmt.Printf("learning %s: model=%s plan=%s scorer=%s nmax=%d (space %.3g)\n",
-		k.Name, *modelName, *plan, *scorer, *nmax, k.SpaceSize())
+	mode := "sync"
+	if *async {
+		mode = "async"
+	}
+	fmt.Printf("learning %s: model=%s plan=%s scorer=%s nmax=%d mode=%s (space %.3g)\n",
+		k.Name, *modelName, *plan, *scorer, *nmax, mode, k.SpaceSize())
 	res, err := alic.Learn(k, opts)
 	if err != nil {
 		fatal(err)
@@ -113,6 +121,7 @@ func main() {
 	}
 	tres, err := alic.Tune(res.Model, sess, res.Dataset, alic.TunerOptions{
 		Candidates: 4000, Verify: *verify, VerifyObs: 3, Seed: *seed + 2,
+		Workers: *evalWork,
 	})
 	if err != nil {
 		fatal(err)

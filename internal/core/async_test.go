@@ -1,0 +1,379 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"alic/internal/evaluator"
+	"alic/internal/rng"
+	"alic/internal/workpool"
+)
+
+// pureSource is a concurrency-safe evaluator source over a feature
+// pool: observation (i, ord) is a deterministic draw of its own noise
+// stream, like the dataset and session sources.
+type pureSource struct {
+	pool        SlicePool
+	fn          func(x []float64) float64
+	sigma       float64
+	compileCost float64
+	seed        uint64
+	latency     time.Duration
+}
+
+func (s *pureSource) Measure(i, ord int) (evaluator.Sample, error) {
+	if s.latency > 0 {
+		time.Sleep(s.latency)
+	}
+	r := rng.NewStream(s.seed^uint64(i)*0x9e3779b97f4a7c15, uint64(ord)+1)
+	y := s.fn(s.pool[i]) + r.Norm()*s.sigma
+	if y < 0.001 {
+		y = 0.001
+	}
+	out := evaluator.Sample{Value: y}
+	if ord == 0 {
+		out.Compile = s.compileCost
+	}
+	return out, nil
+}
+
+func engineLearner(t *testing.T, opts Options, pool SlicePool, src evaluator.Source, eng *evaluator.Engine) *Learner {
+	t.Helper()
+	l, err := NewWithEvaluator(opts, pool, eng, testEval(stepFn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func asyncOpts() Options {
+	opts := smallOpts()
+	opts.NMax = 40
+	opts.Batch = 4
+	opts.EvalEvery = 10
+	return opts
+}
+
+// resultKey compares everything deterministic about a run. Floats are
+// compared by bit pattern (NaN == NaN, and equality means identical,
+// not approximately equal).
+func resultKey(res *Result) []interface{} {
+	return []interface{}{
+		math.Float64bits(res.Cost), math.Float64bits(res.FinalError),
+		res.Acquired, res.Observations,
+		res.Unique, res.Revisits, math.Float64bits(res.PrequentialError),
+		res.StoppedBy, res.Curve,
+	}
+}
+
+// TestSyncEngineBitIdenticalAcrossEvalWorkers pins the tentpole's
+// determinism contract: the synchronous mode produces byte-identical
+// results at every evaluator worker count, because values are pure in
+// (item, ordinal) and the cost ledger folds in scheduling order.
+func TestSyncEngineBitIdenticalAcrossEvalWorkers(t *testing.T) {
+	pool := gridPool(300)
+	var base []interface{}
+	for _, workers := range []int{1, 2, 8} {
+		src := &pureSource{pool: pool, fn: stepFn, sigma: 0.05, compileCost: 0.05, seed: 7}
+		eng := evaluator.New(src, evaluator.Options{Workers: workers})
+		l := engineLearner(t, asyncOpts(), pool, src, eng)
+		res, err := l.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Acquired != 40 {
+			t.Fatalf("workers=%d acquired %d", workers, res.Acquired)
+		}
+		key := resultKey(res)
+		if base == nil {
+			base = key
+			continue
+		}
+		if !reflect.DeepEqual(key, base) {
+			t.Fatalf("workers=%d diverged from workers=1:\n%v\nvs\n%v", workers, key, base)
+		}
+	}
+}
+
+// TestAsyncDeterministicAcrossEvalWorkers pins the async half of the
+// contract: the pipelined mode selects the same configuration
+// multiset, folds the same values, and accounts the same cost at
+// every worker count — completion order never leaks into the run.
+func TestAsyncDeterministicAcrossEvalWorkers(t *testing.T) {
+	pool := gridPool(300)
+	run := func(workers int, latency time.Duration) (*Result, map[int]int) {
+		opts := asyncOpts()
+		opts.Async = true
+		src := &pureSource{pool: pool, fn: stepFn, sigma: 0.05, compileCost: 0.05, seed: 9, latency: latency}
+		eng := evaluator.New(src, evaluator.Options{Workers: workers, Window: 64})
+		l := engineLearner(t, opts, pool, src, eng)
+		defer l.Close()
+		res, err := l.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, l.ObservationCounts()
+	}
+	base, baseCounts := run(1, 0)
+	if base.StoppedBy != StopBudget || base.Acquired != 40 {
+		t.Fatalf("async run did not complete: %+v", base)
+	}
+	for _, workers := range []int{4, 8} {
+		// A dash of latency shuffles completion order for real.
+		res, counts := run(workers, 200*time.Microsecond)
+		if !reflect.DeepEqual(resultKey(res), resultKey(base)) {
+			t.Fatalf("async workers=%d diverged:\n%v\nvs\n%v", workers, resultKey(res), resultKey(base))
+		}
+		if !reflect.DeepEqual(counts, baseCounts) {
+			t.Fatalf("async workers=%d observed a different configuration multiset", workers)
+		}
+	}
+}
+
+// TestAsyncOverlapsMeasurementWithScoring pins the wall-clock point
+// of the pipeline: with measurement latency dominating, the async
+// learner at 8 evaluation workers must finish well over 2x faster
+// than the serial synchronous learner.
+func TestAsyncOverlapsMeasurementWithScoring(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock comparison")
+	}
+	pool := gridPool(300)
+	run := func(async bool, workers int) time.Duration {
+		opts := asyncOpts()
+		opts.Async = async
+		src := &pureSource{pool: pool, fn: stepFn, sigma: 0.05, compileCost: 0.05, seed: 5,
+			latency: 5 * time.Millisecond}
+		eng := evaluator.New(src, evaluator.Options{Workers: workers, Window: 64})
+		l := engineLearner(t, opts, pool, src, eng)
+		defer l.Close()
+		start := time.Now()
+		if _, err := l.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	serial := run(false, 1)
+	fast := run(true, 8)
+	if fast >= serial/2 {
+		t.Fatalf("async/8 workers took %v, serial took %v: want >= 2x speedup", fast, serial)
+	}
+}
+
+// TestAsyncCancelMidFlight pins the cancellation satellite: cancel
+// Run while a round's observations are in flight, assert the snapshot
+// is usable (StoppedBy == StopCancelled), the learner resumes to
+// completion, and no goroutines leak once the engine is closed.
+func TestAsyncCancelMidFlight(t *testing.T) {
+	// Warm the shared scoring pool (forcing workers > 1 so it actually
+	// starts even on one CPU) so its persistent workers don't count as
+	// "leaked" goroutines below.
+	workpool.ParallelFor(4, 4, func(lo, hi int) {})
+	time.Sleep(20 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	pool := gridPool(300)
+	opts := asyncOpts()
+	opts.Async = true
+	src := &pureSource{pool: pool, fn: stepFn, sigma: 0.05, compileCost: 0.05, seed: 11,
+		latency: 2 * time.Millisecond}
+	eng := evaluator.New(src, evaluator.Options{Workers: 4, Window: 64})
+	l := engineLearner(t, opts, pool, src, eng)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Cancel while acquisition rounds are measuring.
+		time.Sleep(15 * time.Millisecond)
+		cancel()
+	}()
+	res, err := l.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StoppedBy != StopCancelled {
+		t.Fatalf("StoppedBy = %v, want StopCancelled", res.StoppedBy)
+	}
+	// The snapshot is a usable mid-run report.
+	if res.Model == nil || res.Acquired < opts.NInit || math.IsNaN(res.Cost) || res.Cost <= 0 {
+		t.Fatalf("unusable cancelled snapshot: %+v", res)
+	}
+	if res.Acquired >= opts.NMax {
+		t.Fatalf("cancellation landed after completion (acquired %d); tune the test timing", res.Acquired)
+	}
+
+	// The learner is resumable: the pending round folds and the run
+	// completes.
+	res2, err := l.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.StoppedBy != StopBudget || res2.Acquired != opts.NMax {
+		t.Fatalf("resumed run ended %v after %d acquisitions", res2.StoppedBy, res2.Acquired)
+	}
+
+	// Finisher check: with the engine closed, every measurement
+	// goroutine must drain.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak: %d running, baseline %d\n%s", runtime.NumGoroutine(), baseline, buf[:n])
+}
+
+// TestAsyncDrainsPendingOnCostStop pins the stop-criterion
+// interaction: when StopCost fires with a round still in flight, the
+// round is folded (its cost was charged) before the run reports done.
+func TestAsyncDrainsPendingOnCostStop(t *testing.T) {
+	pool := gridPool(300)
+	opts := asyncOpts()
+	opts.Async = true
+	opts.NMax = 200
+	opts.StopCost = 3.0
+	src := &pureSource{pool: pool, fn: stepFn, sigma: 0.05, compileCost: 0.05, seed: 13}
+	eng := evaluator.New(src, evaluator.Options{Workers: 4, Window: 64})
+	l := engineLearner(t, opts, pool, src, eng)
+	defer l.Close()
+	res, err := l.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StoppedBy != StopByCost {
+		t.Fatalf("StoppedBy = %v, want StopByCost", res.StoppedBy)
+	}
+	if eng.InFlight() != 0 {
+		t.Fatalf("%d observations left in flight after a cost stop", eng.InFlight())
+	}
+	// Everything scheduled was folded: observation bookkeeping matches
+	// the engine ledger.
+	total := 0
+	for _, n := range l.ObservationCounts() {
+		total += n
+	}
+	if total != res.Observations {
+		t.Fatalf("folded %d observations but counted %d", total, res.Observations)
+	}
+}
+
+// TestAsyncViaFacadeOptionsValidation covers the new knobs' guard
+// rails.
+func TestEvalWorkersValidation(t *testing.T) {
+	pool := gridPool(50)
+	opts := smallOpts()
+	opts.EvalWorkers = -1
+	ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 40)
+	if _, err := New(opts, pool, ora, nil); err == nil {
+		t.Fatal("negative EvalWorkers accepted")
+	}
+}
+
+// TestAsyncStepAfterCloseFailsInsteadOfHanging pins the closed-engine
+// path: closing the learner with a round in flight must make the next
+// step fail with ErrClosed (results dropped after Close never arrive)
+// rather than wedge the collection loop.
+func TestAsyncStepAfterCloseFailsInsteadOfHanging(t *testing.T) {
+	pool := gridPool(300)
+	opts := asyncOpts()
+	opts.Async = true
+	src := &pureSource{pool: pool, fn: stepFn, sigma: 0.05, compileCost: 0.05, seed: 15,
+		latency: 5 * time.Millisecond}
+	eng := evaluator.New(src, evaluator.Options{Workers: 2, Window: 64})
+	l := engineLearner(t, opts, pool, src, eng)
+
+	// Seed, then submit one round.
+	if _, err := l.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Step()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("step on a closed engine succeeded")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("step on a closed engine hung instead of failing")
+	}
+}
+
+// failOnceSource fails exactly one global Measure call, then recovers.
+type failOnceSource struct {
+	*pureSource
+	failAt int64
+	calls  atomic.Int64
+}
+
+func (s *failOnceSource) Measure(i, ord int) (evaluator.Sample, error) {
+	if s.calls.Add(1) == s.failAt {
+		return evaluator.Sample{}, errTransient
+	}
+	return s.pureSource.Measure(i, ord)
+}
+
+// TestAsyncFailedRoundFreesItsBudget pins the resume-after-failure
+// path: a round lost to a measurement error must hand its slice of
+// the acquisition budget back, so a resumed run re-acquires it and
+// completes instead of spinning with scheduled pinned at NMax while
+// acquired never reaches it.
+func TestAsyncFailedRoundFreesItsBudget(t *testing.T) {
+	pool := gridPool(300)
+	opts := asyncOpts()
+	opts.Async = true
+	src := &failOnceSource{
+		pureSource: &pureSource{pool: pool, fn: stepFn, sigma: 0.05, compileCost: 0.05, seed: 17},
+		// Fail mid-loop, after seeding (NInit * NObs seed observations).
+		failAt: int64(opts.NInit*opts.NObs + 7),
+	}
+	eng := evaluator.New(src, evaluator.Options{Workers: 2, Window: 64})
+	l := engineLearner(t, opts, pool, src, eng)
+	defer l.Close()
+
+	if _, err := l.Run(nil); !errors.Is(err, errTransient) {
+		t.Fatalf("run error = %v, want the transient measurement failure", err)
+	}
+	// Resume: the run must complete the full budget within a bounded
+	// number of steps (a leaked scheduled count would spin forever).
+	done := make(chan *Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := l.Run(nil)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		done <- res
+	}()
+	select {
+	case res := <-done:
+		if res.StoppedBy != StopBudget || res.Acquired != opts.NMax {
+			t.Fatalf("resumed run ended %v after %d acquisitions, want budget/%d",
+				res.StoppedBy, res.Acquired, opts.NMax)
+		}
+	case err := <-errCh:
+		t.Fatalf("resumed run failed: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("resumed run did not terminate: failed round's budget never freed")
+	}
+}

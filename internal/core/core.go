@@ -16,29 +16,36 @@
 // acquisition round, and Run drives Step to completion under a
 // context.Context with an optional progress callback — the shape a
 // long-running tuning service needs.
+//
+// Measurement flows through the evaluator engine
+// (internal/evaluator): each round's whole acquisition batch is
+// dispatched as one ObserveBatch (or one asynchronous Submit) and the
+// results are folded into the model in scheduling order. Synchronous
+// mode is bit-identical to the historical serial loop at every
+// evaluator worker count; Options.Async additionally overlaps round
+// t's measurement with round t+1's candidate scoring, trading
+// one-round model staleness for wall-clock — results then differ from
+// synchronous mode but remain bit-deterministic across worker counts.
 package core
 
 import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
+	"time"
 
 	"alic/internal/dynatree"
+	"alic/internal/evaluator"
 	"alic/internal/model"
 	"alic/internal/rng"
 	"alic/internal/stats"
 )
 
-// Oracle supplies observations for pool items and accounts their cost.
-// Implementations wrap either a live profiling session or a
-// pre-generated dataset.
-type Oracle interface {
-	// Observe returns one noisy runtime observation of pool item i,
-	// charging its cost (including one-time compilation).
-	Observe(i int) (float64, error)
-	// Cost returns the cumulative evaluation cost in seconds.
-	Cost() float64
-}
+// Oracle is the legacy per-observation measurement interface, kept as
+// an alias of the evaluator package's definition so synthetic oracles
+// plug straight into New.
+type Oracle = evaluator.Oracle
 
 // Pool is the set F of all configurations the learner may sample.
 type Pool interface {
@@ -77,12 +84,12 @@ type Options struct {
 	Scorer Acquisition
 	// Tree configures the dynamic-tree model used when Model is nil.
 	Tree dynatree.Config
-	// EvalEvery evaluates the model (via the Evaluator) after every
-	// EvalEvery acquisitions; 0 disables curve recording.
+	// EvalEvery evaluates the model (via the ModelEvaluator) after
+	// every EvalEvery acquisitions; 0 disables curve recording.
 	EvalEvery int
 	// Seed drives all learner randomness.
 	Seed uint64
-	// StopCost, when positive, ends the run once the oracle cost
+	// StopCost, when positive, ends the run once the evaluation cost
 	// exceeds it (the wall-clock completion criterion of §3.1).
 	StopCost float64
 	// StopError, when positive, ends the run once the prequential
@@ -100,6 +107,28 @@ type Options struct {
 	// same configurations and yields bit-identical results; Workers
 	// changes wall-clock time only.
 	Workers int
+	// Async pipelines evaluation: round t's batch measures on the
+	// evaluator engine while round t+1's candidates are scored with
+	// the current (one round stale) model, and results are folded in
+	// scheduling order once scoring completes. Results differ from
+	// synchronous mode (the selection model lags one round) but are
+	// bit-deterministic across evaluator worker counts. An async
+	// round may re-select a configuration whose measurements are
+	// still in flight; the engine's scheduling-time ordinal ledger
+	// guarantees its compile cost is still charged only once.
+	Async bool
+	// EvalWorkers bounds concurrent measurements inside the evaluator
+	// engine (0 = GOMAXPROCS, 1 = serial). It is consumed by whoever
+	// constructs the engine (the alic facade, the experiment harness);
+	// results are bit-identical for every value in both sync and
+	// async modes.
+	EvalWorkers int
+	// EvalLatency simulates per-measurement profiling latency in the
+	// evaluator engine — the knob that reproduces the
+	// measurement-bound regime of a real deployment on top of the
+	// microsecond-scale simulator. Consumed at engine construction,
+	// like EvalWorkers.
+	EvalLatency time.Duration
 	// Progress, when non-nil, is invoked by Run after every step.
 	Progress func(Progress)
 }
@@ -111,8 +140,11 @@ type Progress struct {
 	Acquired int
 	// Observations counts profiling runs so far.
 	Observations int
-	// Cost is the oracle's cumulative evaluation cost in seconds.
+	// Cost is the cumulative evaluation cost in seconds.
 	Cost float64
+	// InFlight counts acquisitions submitted to the evaluator but not
+	// yet folded into the model (asynchronous mode only).
+	InFlight int
 	// Done reports whether a completion criterion has fired.
 	Done bool
 }
@@ -160,22 +192,26 @@ func (o Options) validate(poolLen int, plan SamplingPlan) error {
 	if o.Workers < 0 {
 		return fmt.Errorf("core: Workers %d < 0", o.Workers)
 	}
+	if o.EvalWorkers < 0 {
+		return fmt.Errorf("core: EvalWorkers %d < 0", o.EvalWorkers)
+	}
 	if poolLen < o.NInit {
 		return fmt.Errorf("core: pool of %d smaller than NInit %d", poolLen, o.NInit)
 	}
 	return nil
 }
 
-// Evaluator measures model quality (e.g. RMSE on a held-out test set).
-type Evaluator func(m model.Model) float64
+// ModelEvaluator measures model quality (e.g. RMSE on a held-out test
+// set). Distinct from evaluator.Evaluator, the measurement engine.
+type ModelEvaluator func(m model.Model) float64
 
 // CurvePoint is one sample of the learning curve.
 type CurvePoint struct {
 	// Acquired counts acquisitions (loop iterations) so far.
 	Acquired int
-	// Cost is the oracle's cumulative evaluation cost in seconds.
+	// Cost is the cumulative evaluation cost in seconds.
 	Cost float64
-	// Error is the Evaluator's result (NaN if no evaluator).
+	// Error is the ModelEvaluator's result (NaN if no evaluator).
 	Error float64
 }
 
@@ -244,6 +280,12 @@ func (r StopReason) String() string {
 	}
 }
 
+// inflight is one submitted-but-unfolded asynchronous round.
+type inflight struct {
+	chosen []int
+	n      int // observations per acquisition
+}
+
 // Learner runs active learning over a pool. Drive it either with Run
 // (which owns the whole loop) or one acquisition round at a time with
 // Step.
@@ -253,8 +295,8 @@ type Learner struct {
 	acq     Acquisition
 	builder model.Builder
 	pool    Pool
-	ora     Oracle
-	eval    Evaluator
+	ev      evaluator.Evaluator
+	eval    ModelEvaluator
 	r       *rng.Stream
 
 	model model.Model
@@ -266,15 +308,46 @@ type Learner struct {
 	acquired     int
 	observations int
 	revisits     int
-	curve        []CurvePoint
-	preq         *prequential
-	stoppedBy    StopReason
+	// scheduled counts acquisitions handed to the evaluator, including
+	// the in-flight round of asynchronous mode (== acquired in sync).
+	scheduled int
+	pending   *inflight
+	// lastSeq is the evaluator sequence number of the last folded
+	// observation; cost checkpoints are read through it so they are
+	// bit-identical to the serial accumulator (and deterministic while
+	// an async round is still completing).
+	lastSeq   int
+	curve     []CurvePoint
+	preq      *prequential
+	stoppedBy StopReason
 }
 
-// New constructs a learner. The evaluator may be nil.
-func New(opts Options, pool Pool, oracle Oracle, eval Evaluator) (*Learner, error) {
-	if pool == nil || oracle == nil {
-		return nil, fmt.Errorf("core: nil pool or oracle")
+// New constructs a learner over a legacy per-observation oracle,
+// wrapping it in a strictly serial evaluator engine that reproduces
+// the historical call sequence exactly. The evaluator may be nil.
+func New(opts Options, pool Pool, oracle Oracle, eval ModelEvaluator) (*Learner, error) {
+	if oracle == nil {
+		return nil, fmt.Errorf("core: nil oracle")
+	}
+	if opts.Async {
+		// A legacy oracle accounts its own cost with no per-observation
+		// ledger, so the async mode's cost checkpoints (stop criteria
+		// and curve points read through the last folded observation)
+		// cannot be honoured: the oracle's total would already include
+		// the in-flight round. Async needs an engine over a Source.
+		return nil, fmt.Errorf("core: Async requires an evaluator engine with per-observation cost accounting (use NewWithEvaluator); legacy oracles are serial-only")
+	}
+	return NewWithEvaluator(opts, pool, evaluator.FromOracle(oracle, evaluator.Options{
+		Latency: opts.EvalLatency,
+	}), eval)
+}
+
+// NewWithEvaluator constructs a learner over an evaluation engine —
+// the path that unlocks parallel and asynchronous measurement (see
+// internal/evaluator). The model evaluator may be nil.
+func NewWithEvaluator(opts Options, pool Pool, ev evaluator.Evaluator, eval ModelEvaluator) (*Learner, error) {
+	if pool == nil || ev == nil {
+		return nil, fmt.Errorf("core: nil pool or evaluator")
 	}
 	plan := opts.Plan
 	if plan == nil {
@@ -306,10 +379,11 @@ func New(opts Options, pool Pool, oracle Oracle, eval Evaluator) (*Learner, erro
 		acq:      acq,
 		builder:  builder,
 		pool:     pool,
-		ora:      oracle,
+		ev:       ev,
 		eval:     eval,
 		r:        rng.NewStream(opts.Seed, 0xac71ea12),
 		obsCount: make(map[int]int),
+		lastSeq:  -1,
 		preq:     newPrequential(window),
 	}, nil
 }
@@ -323,12 +397,38 @@ func (l *Learner) Acquired() int { return l.acquired }
 // Model returns the backend model (nil before the first Step).
 func (l *Learner) Model() model.Model { return l.model }
 
+// Evaluator returns the measurement engine the learner drives.
+func (l *Learner) Evaluator() evaluator.Evaluator { return l.ev }
+
+// costNow returns the evaluation cost through the last folded
+// observation — the serial accumulator's value at this point of the
+// run. Engines expose the checkpoint via CostThrough; other
+// evaluators fall back to their running total.
+func (l *Learner) costNow() float64 {
+	if ct, ok := l.ev.(interface{ CostThrough(seq int) float64 }); ok && l.lastSeq >= 0 {
+		return ct.CostThrough(l.lastSeq)
+	}
+	return l.ev.Cost()
+}
+
+// Close releases the learner's evaluator engine, if it is closeable.
+// In-flight asynchronous measurements are unblocked and discarded; a
+// closed learner cannot continue a run. Close is idempotent.
+func (l *Learner) Close() error {
+	if c, ok := l.ev.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
+
 // Step advances the learner by one acquisition round: the first call
 // seeds the model with NInit random configurations; each later call
-// selects one batch with the acquisition heuristic and observes it per
-// the sampling plan. It returns false once a completion criterion has
-// fired (inspect Result().StoppedBy for which), after which further
-// calls are no-ops.
+// selects one batch with the acquisition heuristic and dispatches it
+// to the evaluator per the sampling plan (in asynchronous mode the
+// previous round's results are folded while the new one measures).
+// It returns false once a completion criterion has fired (inspect
+// Result().StoppedBy for which), after which further calls are
+// no-ops.
 func (l *Learner) Step() (more bool, err error) {
 	if l.Done() {
 		return false, nil
@@ -337,8 +437,12 @@ func (l *Learner) Step() (more bool, err error) {
 		if err := l.seed(); err != nil {
 			return false, err
 		}
+		l.scheduled = l.acquired
 		l.checkStop()
 		return !l.Done(), nil
+	}
+	if l.opts.Async {
+		return l.stepAsync()
 	}
 	batch := l.opts.Batch
 	if rem := l.opts.NMax - l.acquired; batch > rem {
@@ -352,13 +456,184 @@ func (l *Learner) Step() (more bool, err error) {
 		l.stoppedBy = StopExhausted
 		return false, nil
 	}
-	for _, idx := range chosen {
-		if err := l.acquire(idx); err != nil {
+	if err := l.observeSync(chosen); err != nil {
+		return false, err
+	}
+	l.scheduled = l.acquired
+	l.checkStop()
+	return !l.Done(), nil
+}
+
+// stepAsync advances one pipelined round: score the next batch with
+// the current (one round stale) model while the previous batch
+// measures, fold the previous batch in scheduling order, then submit
+// the new one.
+func (l *Learner) stepAsync() (bool, error) {
+	hadInflight := l.pending != nil
+	var next []int
+	if l.scheduled < l.opts.NMax {
+		batch := l.opts.Batch
+		if rem := l.opts.NMax - l.scheduled; batch > rem {
+			batch = rem
+		}
+		var err error
+		next, err = l.SelectBatch(batch)
+		if err != nil {
 			return false, err
 		}
 	}
+	if l.pending != nil {
+		if err := l.collectRound(); err != nil {
+			return false, err
+		}
+	}
+	if len(next) > 0 {
+		if err := l.submitRound(next); err != nil {
+			return false, err
+		}
+	} else if !hadInflight && l.scheduled < l.opts.NMax {
+		// The candidate pool was already dry with nothing in flight
+		// that folding could have made revisitable.
+		l.stoppedBy = StopExhausted
+		return false, nil
+	}
 	l.checkStop()
+	if l.Done() && l.pending != nil {
+		// A cost/error criterion fired with a round still measuring:
+		// drain it so the snapshot stays consistent with the charges.
+		if err := l.collectRound(); err != nil {
+			return false, err
+		}
+	}
 	return !l.Done(), nil
+}
+
+// submitRound hands one acquisition batch to the evaluator without
+// waiting for results.
+func (l *Learner) submitRound(chosen []int) error {
+	n := l.plan.AcquireObservations(l.opts)
+	if err := l.ev.Submit(nil, evaluator.Repeat(chosen, n)); err != nil {
+		return err
+	}
+	l.pending = &inflight{chosen: chosen, n: n}
+	l.scheduled += len(chosen)
+	return nil
+}
+
+// collectRound blocks until the in-flight round's observations arrive,
+// reorders them into scheduling order, and folds them into the model —
+// so the learner state after a fold is independent of completion order.
+// A closed engine fails the collection (results dropped after Close
+// never arrive) instead of wedging it.
+func (l *Learner) collectRound() error {
+	rd := l.pending
+	l.pending = nil
+	err := l.collect(rd)
+	if err != nil {
+		// The round is lost (nothing was folded): free its slice of
+		// the acquisition budget so a resumed run can re-acquire it
+		// instead of spinning with scheduled pinned at NMax while
+		// acquired never reaches it.
+		l.scheduled -= len(rd.chosen)
+	}
+	return err
+}
+
+// collect gathers and folds one round's observations.
+func (l *Learner) collect(rd *inflight) error {
+	total := len(rd.chosen) * rd.n
+	got := make([]evaluator.Observation, 0, total)
+	var closed <-chan struct{}
+	if d, ok := l.ev.(interface{ Done() <-chan struct{} }); ok {
+		closed = d.Done()
+	}
+	var firstErr error
+	for len(got) < total {
+		select {
+		case o, ok := <-l.ev.Results():
+			if !ok {
+				return fmt.Errorf("core: evaluator results channel closed mid-round")
+			}
+			if o.Err != nil && firstErr == nil {
+				firstErr = o.Err
+			}
+			got = append(got, o)
+		case <-closed:
+			// Drain whatever reached the buffer before the engine shut
+			// down; anything still missing was dropped and will never
+			// arrive.
+			for len(got) < total {
+				select {
+				case o := <-l.ev.Results():
+					if o.Err != nil && firstErr == nil {
+						firstErr = o.Err
+					}
+					got = append(got, o)
+				default:
+					return fmt.Errorf("core: collect %d of %d observations: %w",
+						len(got), total, evaluator.ErrClosed)
+				}
+			}
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].Seq < got[j].Seq })
+	pos := 0
+	for _, idx := range rd.chosen {
+		l.fold(idx, got[pos:pos+rd.n])
+		pos += rd.n
+	}
+	return nil
+}
+
+// observeSync dispatches one acquisition batch synchronously and folds
+// the results — the mode that is bit-identical to the historical
+// serial loop.
+func (l *Learner) observeSync(chosen []int) error {
+	n := l.plan.AcquireObservations(l.opts)
+	obs, err := l.ev.ObserveBatch(evaluator.Repeat(chosen, n))
+	if err != nil {
+		return err
+	}
+	pos := 0
+	for _, idx := range chosen {
+		l.fold(idx, obs[pos:pos+n])
+		pos += n
+	}
+	return nil
+}
+
+// fold absorbs the observations of one acquisition into the learner:
+// prequential estimate, model update, and bookkeeping — the order the
+// serial loop used.
+func (l *Learner) fold(idx int, obs []evaluator.Observation) {
+	l.lastSeq = obs[len(obs)-1].Seq
+	var w stats.Welford
+	for _, o := range obs {
+		w.Add(o.Value)
+		l.observations++
+	}
+	n := len(obs)
+	if prev, seen := l.obsCount[idx]; seen {
+		l.revisits++
+		l.obsCount[idx] = prev + n
+	} else {
+		l.obsCount[idx] = n
+		l.order = append(l.order, idx)
+	}
+	// Prequential estimate: test on the new target before training on
+	// it.
+	feats := l.pool.Features(idx)
+	resid := l.model.PredictMeanFast(feats) - w.Mean()
+	l.preq.add(resid * resid)
+
+	// Fixed plans learn the averaged runtime; the variable plan feeds
+	// the single (noisy) observation to the model.
+	l.model.Update(feats, w.Mean())
+	l.acquired++
+	l.maybeEval()
 }
 
 // checkStop fires the completion criteria in priority order: budget,
@@ -367,7 +642,7 @@ func (l *Learner) checkStop() {
 	switch {
 	case l.acquired >= l.opts.NMax:
 		l.stoppedBy = StopBudget
-	case l.opts.StopCost > 0 && l.ora.Cost() >= l.opts.StopCost:
+	case l.opts.StopCost > 0 && l.costNow() >= l.opts.StopCost:
 		l.stoppedBy = StopByCost
 	case l.opts.StopError > 0:
 		if pe := l.preq.rmse(); !math.IsNaN(pe) && pe <= l.opts.StopError {
@@ -381,7 +656,9 @@ func (l *Learner) checkStop() {
 // graceful and non-destructive: the returned snapshot reports
 // StoppedBy == StopCancelled with a nil error, while the learner
 // itself stays resumable — call Run or Step again to continue the same
-// run. Options.Progress, when set, is invoked after every step.
+// run (an asynchronous round in flight at cancellation is folded by
+// the resuming step). Options.Progress, when set, is invoked after
+// every step.
 func (l *Learner) Run(ctx context.Context) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -403,7 +680,8 @@ func (l *Learner) Run(ctx context.Context) (*Result, error) {
 			l.opts.Progress(Progress{
 				Acquired:     l.acquired,
 				Observations: l.observations,
-				Cost:         l.ora.Cost(),
+				Cost:         l.costNow(),
+				InFlight:     l.scheduled - l.acquired,
 				Done:         l.Done(),
 			})
 		}
@@ -429,7 +707,7 @@ func (l *Learner) Result() *Result {
 		// Snapshots own their curve: the learner's slice keeps growing.
 		Curve:            append([]CurvePoint(nil), l.curve...),
 		FinalError:       math.NaN(),
-		Cost:             l.ora.Cost(),
+		Cost:             l.costNow(),
 		Acquired:         l.acquired,
 		Observations:     l.observations,
 		Unique:           len(l.obsCount),
@@ -455,29 +733,31 @@ func (l *Learner) Result() *Result {
 }
 
 // seed draws NInit random configurations, observes each one per the
-// plan's seed schedule, and fits the initial model — the "initial
-// training points" of Figure 3.
+// plan's seed schedule in one evaluator batch, and fits the initial
+// model — the "initial training points" of Figure 3.
 func (l *Learner) seed() error {
 	seedObs := l.plan.SeedObservations(l.opts)
 	idxs := l.r.Sample(l.pool.Len(), l.opts.NInit)
 
 	// First pass: gather seed observations so the backend's prior can
 	// be calibrated on them before the model absorbs anything. Nothing
-	// is committed to the learner until the whole pass and the model
+	// is committed to the learner until the whole batch and the model
 	// build succeed, so a failed Step can be retried without
-	// double-counting or duplicating seen-order entries (the oracle's
-	// already-charged cost is the only trace of the failed attempt).
+	// double-counting or duplicating seen-order entries (the
+	// evaluator's already-charged cost is the only trace of the failed
+	// attempt).
+	obs, err := l.ev.ObserveBatch(evaluator.Repeat(idxs, seedObs))
+	if err != nil {
+		return err
+	}
+	l.lastSeq = obs[len(obs)-1].Seq
 	means := make([]float64, len(idxs))
-	var all []float64
-	for i, idx := range idxs {
+	all := make([]float64, 0, len(obs))
+	for i := range idxs {
 		var w stats.Welford
-		for j := 0; j < seedObs; j++ {
-			y, err := l.ora.Observe(idx)
-			if err != nil {
-				return err
-			}
-			w.Add(y)
-			all = append(all, y)
+		for _, o := range obs[i*seedObs : (i+1)*seedObs] {
+			w.Add(o.Value)
+			all = append(all, o.Value)
 		}
 		means[i] = w.Mean()
 	}
@@ -590,40 +870,6 @@ func (l *Learner) SelectBatch(batch int) ([]int, error) {
 	return out, nil
 }
 
-// acquire takes observations of pool item idx per the plan and updates
-// the model.
-func (l *Learner) acquire(idx int) error {
-	n := l.plan.AcquireObservations(l.opts)
-	var w stats.Welford
-	for j := 0; j < n; j++ {
-		y, err := l.ora.Observe(idx)
-		if err != nil {
-			return err
-		}
-		w.Add(y)
-		l.observations++
-	}
-	if prev, seen := l.obsCount[idx]; seen {
-		l.revisits++
-		l.obsCount[idx] = prev + n
-	} else {
-		l.obsCount[idx] = n
-		l.order = append(l.order, idx)
-	}
-	// Prequential estimate: test on the new target before training on
-	// it.
-	feats := l.pool.Features(idx)
-	resid := l.model.PredictMeanFast(feats) - w.Mean()
-	l.preq.add(resid * resid)
-
-	// Fixed plans learn the averaged runtime; the variable plan feeds
-	// the single (noisy) observation to the model.
-	l.model.Update(feats, w.Mean())
-	l.acquired++
-	l.maybeEval()
-	return nil
-}
-
 func (l *Learner) maybeEval() {
 	if l.eval == nil || l.opts.EvalEvery <= 0 {
 		return
@@ -633,7 +879,7 @@ func (l *Learner) maybeEval() {
 	}
 	l.curve = append(l.curve, CurvePoint{
 		Acquired: l.acquired,
-		Cost:     l.ora.Cost(),
+		Cost:     l.costNow(),
 		Error:    l.eval(l.model),
 	})
 }

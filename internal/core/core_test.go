@@ -84,7 +84,7 @@ func smallOpts() Options {
 
 // testEval builds an evaluator measuring RMSE against the true function
 // over a probe grid.
-func testEval(fn func([]float64) float64) Evaluator {
+func testEval(fn func([]float64) float64) ModelEvaluator {
 	probes := gridPool(101)
 	want := make([]float64, len(probes))
 	for i, x := range probes {

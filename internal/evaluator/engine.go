@@ -1,0 +1,432 @@
+package evaluator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alic/internal/workpool"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds concurrent measurements (0 = GOMAXPROCS,
+	// 1 = serial). Results are bit-identical for every value; Workers
+	// changes wall-clock time only.
+	Workers int
+	// Window bounds the number of scheduled-but-unmeasured
+	// observations an asynchronous Submit may have outstanding; a
+	// full window blocks Submit until measurements complete
+	// (0 = max(64, 4*Workers)). Synchronous ObserveBatch ignores it.
+	Window int
+	// Latency simulates per-measurement profiling latency by sleeping
+	// before each Measure call — the simulator measures in
+	// microseconds where real compile+run cycles take seconds, so
+	// benchmarks and demos use this to reproduce the measurement-bound
+	// regime the engine is built for.
+	Latency time.Duration
+	// Cost, when non-nil, overrides the engine's internal cost ledger
+	// — used by the legacy-oracle adapter, whose oracle accounts its
+	// own cost.
+	Cost func() float64
+	// Serial marks the source as not safe for concurrent use: the
+	// engine measures strictly one observation at a time, in
+	// scheduling order, even on the asynchronous path.
+	Serial bool
+}
+
+// request is one scheduled observation.
+type request struct {
+	seq   int
+	index int
+	ord   int
+}
+
+// charge is the cost ledger entry of one scheduled observation.
+type charge struct {
+	compile float64
+	run     float64
+	done    bool
+}
+
+// Engine implements Evaluator over a Source. The zero value is not
+// usable; construct with New. An Engine has no persistent goroutines:
+// asynchronous measurements run on per-observation goroutines that
+// exit once their result is delivered (or the engine is closed).
+type Engine struct {
+	src     Source
+	opts    Options
+	workers int
+
+	window  chan struct{} // in-flight slots for the async path
+	workSem chan struct{} // concurrent-measurement cap for the async path
+	results chan Observation
+	done    chan struct{}
+	close   sync.Once
+
+	mu        sync.Mutex
+	next      map[int]int // next ordinal per item (scheduled count)
+	base      int         // seq of charges[0]: folded entries are compacted away
+	charges   []charge    // indexed by seq - base
+	cum       []float64   // cum[seq] = ledger through seq (valid below prefix)
+	prefix    int         // first seq whose charge is not yet folded
+	prefixSum float64     // ledger folded in seq order up to prefix
+}
+
+// compactChunk is how many folded ledger entries accumulate before
+// charges below the prefix are released; long-running learners then
+// hold only the in-flight tail (plus the 8-byte cum checkpoint per
+// observation) instead of a full charge record per observation ever
+// scheduled.
+const compactChunk = 4096
+
+// New constructs an engine over the source.
+func New(src Source, opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Serial {
+		workers = 1
+	}
+	window := opts.Window
+	if window <= 0 {
+		window = 4 * workers
+		if window < 64 {
+			window = 64
+		}
+	}
+	return &Engine{
+		src:     src,
+		opts:    opts,
+		workers: workers,
+		window:  make(chan struct{}, window),
+		workSem: make(chan struct{}, workers),
+		results: make(chan Observation, window),
+		done:    make(chan struct{}),
+		next:    make(map[int]int),
+	}
+}
+
+// Workers returns the engine's effective measurement concurrency.
+func (e *Engine) Workers() int { return e.workers }
+
+// Close releases any goroutine blocked on an undelivered result or a
+// full window. Observations already measuring complete and are
+// accounted; undelivered results are dropped. Close is idempotent.
+func (e *Engine) Close() error {
+	e.close.Do(func() { close(e.done) })
+	return nil
+}
+
+// Done returns a channel closed by Close. Consumers collecting from
+// Results select on it so a closed engine fails their collection loop
+// instead of wedging it (results dropped after Close never arrive).
+func (e *Engine) Done() <-chan struct{} { return e.done }
+
+// schedule assigns each index a global sequence number, its per-item
+// ordinal, and a ledger slot, all under one lock — the step that
+// makes results independent of completion order and dedupes compile
+// charges across overlapping in-flight batches.
+func (e *Engine) schedule(indices []int) ([]request, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	reqs := make([]request, len(indices))
+	for j, idx := range indices {
+		if idx < 0 {
+			return nil, fmt.Errorf("evaluator: negative pool index %d", idx)
+		}
+		ord := e.next[idx]
+		e.next[idx] = ord + 1
+		reqs[j] = request{seq: e.base + len(e.charges), index: idx, ord: ord}
+		e.charges = append(e.charges, charge{})
+		e.cum = append(e.cum, 0)
+	}
+	return reqs, nil
+}
+
+// Scheduled returns how many observations of item i have been
+// scheduled (measured or in flight).
+func (e *Engine) Scheduled(i int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.next[i]
+}
+
+// InFlight returns the number of scheduled observations that have not
+// completed yet.
+func (e *Engine) InFlight() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for i := e.prefix; i < e.base+len(e.charges); i++ {
+		if !e.charges[i-e.base].done {
+			n++
+		}
+	}
+	return n
+}
+
+// measure performs one scheduled observation and records its charge.
+func (e *Engine) measure(rq request) Observation {
+	if e.opts.Latency > 0 {
+		time.Sleep(e.opts.Latency)
+	}
+	s, err := e.src.Measure(rq.index, rq.ord)
+	if err != nil {
+		s = Sample{}
+	}
+	e.record(rq.seq, s)
+	return Observation{
+		Seq: rq.seq, Index: rq.index, Ord: rq.ord,
+		Value: s.Value, Compile: s.Compile, Err: err,
+	}
+}
+
+// skip abandons a scheduled observation (zero charge) so the ledger
+// prefix can keep advancing past it.
+func (e *Engine) skip(rq request) Observation {
+	e.record(rq.seq, Sample{})
+	return Observation{Seq: rq.seq, Index: rq.index, Ord: rq.ord, Err: ErrSkipped}
+}
+
+// record completes seq's ledger entry and folds every newly
+// contiguous entry into the prefix sum — strictly in seq order, so
+// the accumulated cost never depends on completion order. Each entry
+// adds compile before run, reproducing the serial oracle's exact
+// float-addition chain (a zero compile add is a bitwise no-op).
+func (e *Engine) record(seq int, s Sample) {
+	e.mu.Lock()
+	c := &e.charges[seq-e.base]
+	c.compile, c.run, c.done = s.Compile, s.Value, true
+	for e.prefix < e.base+len(e.charges) && e.charges[e.prefix-e.base].done {
+		e.prefixSum += e.charges[e.prefix-e.base].compile
+		e.prefixSum += e.charges[e.prefix-e.base].run
+		e.cum[e.prefix] = e.prefixSum
+		e.prefix++
+	}
+	// Folded entries are only ever read back through cum; release them
+	// once a chunk has accumulated.
+	if e.prefix-e.base >= compactChunk {
+		e.charges = append(e.charges[:0:0], e.charges[e.prefix-e.base:]...)
+		e.base = e.prefix
+	}
+	e.mu.Unlock()
+}
+
+// CostThrough returns the cost ledger folded through sequence number
+// seq only — the accumulator value the serial loop had right after
+// seq's observation. It lets a consumer folding results in scheduling
+// order report cost checkpoints that are bit-identical to the serial
+// chain (and deterministic in async mode, where Cost alone could race
+// with still-completing later observations). A seq at or beyond the
+// ledger's end yields the full deterministic total.
+func (e *Engine) CostThrough(seq int) float64 {
+	if e.opts.Cost != nil {
+		return e.opts.Cost()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	scheduled := e.base + len(e.charges)
+	if seq < 0 || scheduled == 0 {
+		return 0
+	}
+	if seq >= scheduled {
+		seq = scheduled - 1
+	}
+	if seq < e.prefix {
+		return e.cum[seq]
+	}
+	total := e.prefixSum
+	for i := e.prefix; i <= seq; i++ {
+		if c := &e.charges[i-e.base]; c.done {
+			total += c.compile
+			total += c.run
+		}
+	}
+	return total
+}
+
+// Cost implements Evaluator. Completed charges beyond the contiguous
+// prefix (possible only while observations are in flight) are summed
+// in seq order on top of the prefix, so the value is deterministic
+// whenever the caller has collected everything it submitted.
+func (e *Engine) Cost() float64 {
+	if e.opts.Cost != nil {
+		return e.opts.Cost()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	total := e.prefixSum
+	for i := e.prefix; i < e.base+len(e.charges); i++ {
+		if c := &e.charges[i-e.base]; c.done {
+			total += c.compile
+			total += c.run
+		}
+	}
+	return total
+}
+
+// ObserveBatch implements Evaluator. CPU-bound measurement (no
+// simulated latency) is sharded over the shared scoring pool (capped
+// process-wide at GOMAXPROCS, inline fallback under nesting), so many
+// engines — e.g. one per experiment repetition — share one bounded
+// pool instead of oversubscribing the machine. Latency-bound
+// measurement instead runs on dedicated goroutines gated by the
+// Workers cap: the sleeps are not CPU work, so they must neither be
+// clamped to the core count nor occupy scoring-pool workers.
+func (e *Engine) ObserveBatch(indices []int) ([]Observation, error) {
+	select {
+	case <-e.done:
+		return nil, ErrClosed
+	default:
+	}
+	reqs, err := e.schedule(indices)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Observation, len(reqs))
+	var failed atomic.Bool
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if failed.Load() {
+				out[i] = e.skip(reqs[i])
+				continue
+			}
+			out[i] = e.measure(reqs[i])
+			if out[i].Err != nil {
+				failed.Store(true)
+			}
+		}
+	}
+	if e.opts.Latency > 0 && e.workers > 1 {
+		workpool.DynamicFor(e.workers, len(reqs), func(i int) { body(i, i+1) })
+	} else {
+		workpool.ParallelFor(e.workers, len(reqs), body)
+	}
+	// Report the first *real* failure in submission order: a slower
+	// shard may have skipped an earlier index after a later one
+	// failed, and ErrSkipped must not mask the actual cause.
+	var firstErr error
+	for i := range out {
+		if out[i].Err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = out[i].Err
+		}
+		if !errors.Is(out[i].Err, ErrSkipped) {
+			return out, out[i].Err
+		}
+	}
+	return out, firstErr
+}
+
+// Submit implements Evaluator. Each observation measures on its own
+// goroutine, gated by the Workers cap and the in-flight Window;
+// results are delivered to Results in completion order. A Serial
+// engine instead measures inline in scheduling order and hands the
+// ordered results to a single delivery goroutine.
+func (e *Engine) Submit(ctx context.Context, indices []int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	reqs, err := e.schedule(indices)
+	if err != nil {
+		return err
+	}
+	if e.opts.Serial {
+		return e.submitSerial(ctx, reqs)
+	}
+	for i, rq := range reqs {
+		select {
+		case e.window <- struct{}{}:
+		case <-ctx.Done():
+			e.abandon(reqs[i:])
+			return ctx.Err()
+		case <-e.done:
+			e.abandon(reqs[i:])
+			return ErrClosed
+		}
+		go func(rq request) {
+			select {
+			case e.workSem <- struct{}{}:
+			case <-e.done:
+				// Closed while queued: abandon instead of measuring,
+				// so Close releases queued work and stops the ledger
+				// (only observations already measuring complete).
+				e.record(rq.seq, Sample{})
+				<-e.window
+				return
+			}
+			obs := e.measure(rq)
+			<-e.workSem
+			// The window slot frees when the measurement completes —
+			// delivery is decoupled, so a slow consumer can never
+			// deadlock a submitter.
+			<-e.window
+			e.deliver(obs)
+		}(rq)
+	}
+	return nil
+}
+
+// submitSerial measures the batch inline, one observation at a time
+// in scheduling order (the contract of a non-concurrency-safe
+// source), and delivers the ordered results from one goroutine.
+func (e *Engine) submitSerial(ctx context.Context, reqs []request) error {
+	out := make([]Observation, 0, len(reqs))
+	for i, rq := range reqs {
+		select {
+		case <-ctx.Done():
+			e.abandon(reqs[i:])
+			err := ctx.Err()
+			go e.deliverAll(out)
+			return err
+		case <-e.done:
+			e.abandon(reqs[i:])
+			return ErrClosed
+		default:
+		}
+		out = append(out, e.measure(rq))
+	}
+	go e.deliverAll(out)
+	return nil
+}
+
+func (e *Engine) deliver(obs Observation) {
+	select {
+	case e.results <- obs:
+	case <-e.done:
+	}
+}
+
+func (e *Engine) deliverAll(obs []Observation) {
+	for _, o := range obs {
+		select {
+		case e.results <- o:
+		case <-e.done:
+			return
+		}
+	}
+}
+
+// abandon marks never-measured requests done with zero charge so the
+// ledger prefix is not wedged by a cancelled Submit.
+func (e *Engine) abandon(reqs []request) {
+	for _, rq := range reqs {
+		e.record(rq.seq, Sample{})
+	}
+}
+
+// Results implements Evaluator.
+func (e *Engine) Results() <-chan Observation { return e.results }

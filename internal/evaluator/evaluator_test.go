@@ -1,0 +1,479 @@
+package evaluator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"alic/internal/dataset"
+	"alic/internal/measure"
+	"alic/internal/rng"
+	"alic/internal/spapt"
+)
+
+// synthSource is a pure synthetic source: value and compile cost are
+// deterministic functions of (item, ordinal).
+type synthSource struct {
+	compile float64
+	// fail, when non-nil, makes the matching measurement error.
+	fail func(i, ord int) bool
+	// calls counts Measure invocations (atomic not needed under the
+	// mutex).
+	mu    sync.Mutex
+	calls int
+}
+
+func (s *synthSource) Measure(i, ord int) (Sample, error) {
+	s.mu.Lock()
+	s.calls++
+	s.mu.Unlock()
+	if s.fail != nil && s.fail(i, ord) {
+		return Sample{}, fmt.Errorf("synthetic failure at (%d,%d)", i, ord)
+	}
+	out := Sample{Value: 1 + float64(i)*0.25 + float64(ord)*0.0625}
+	if ord == 0 {
+		out.Compile = s.compile
+	}
+	return out, nil
+}
+
+func indicesOf(items ...int) []int { return items }
+
+// serialExpectation replays the batch the way the historical serial
+// oracle would have, returning the expected values and the expected
+// cost chain.
+func serialExpectation(src *synthSource, indices []int) (vals []float64, cost float64) {
+	next := map[int]int{}
+	for _, i := range indices {
+		ord := next[i]
+		next[i] = ord + 1
+		s, _ := (&synthSource{compile: src.compile}).Measure(i, ord)
+		cost += s.Compile
+		cost += s.Value
+		vals = append(vals, s.Value)
+	}
+	return vals, cost
+}
+
+func TestObserveBatchMatchesSerialAtEveryWorkerCount(t *testing.T) {
+	indices := []int{3, 3, 7, 0, 3, 7, 1, 1, 1, 5, 0, 2}
+	wantVals, wantCost := serialExpectation(&synthSource{compile: 2.5}, indices)
+	for _, workers := range []int{1, 2, 4, 8} {
+		e := New(&synthSource{compile: 2.5}, Options{Workers: workers})
+		obs, err := e.ObserveBatch(indices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(obs) != len(indices) {
+			t.Fatalf("workers=%d: %d observations, want %d", workers, len(obs), len(indices))
+		}
+		for j, o := range obs {
+			if o.Index != indices[j] {
+				t.Fatalf("workers=%d: obs %d is item %d, want %d", workers, j, o.Index, indices[j])
+			}
+			if o.Value != wantVals[j] {
+				t.Fatalf("workers=%d: obs %d value %v, want %v (not bit-identical)",
+					workers, j, o.Value, wantVals[j])
+			}
+			if o.Seq != j {
+				t.Fatalf("workers=%d: obs %d has seq %d", workers, j, o.Seq)
+			}
+		}
+		if got := e.Cost(); got != wantCost {
+			t.Fatalf("workers=%d: cost %v, want %v (not bit-identical)", workers, got, wantCost)
+		}
+	}
+}
+
+func TestOrdinalsAdvanceAcrossBatches(t *testing.T) {
+	e := New(&synthSource{}, Options{Workers: 2})
+	if _, err := e.ObserveBatch(indicesOf(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	obs, err := e.ObserveBatch(indicesOf(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs[0].Ord != 2 {
+		t.Fatalf("third observation of item 4 has ordinal %d, want 2", obs[0].Ord)
+	}
+	if got := e.Scheduled(4); got != 3 {
+		t.Fatalf("Scheduled(4) = %d, want 3", got)
+	}
+}
+
+// TestInFlightCompileDedup pins the satellite requirement: a second
+// asynchronous batch touching a configuration whose first batch is
+// still in flight must not charge its compile cost again — the
+// ordinal is assigned at scheduling time, so only the very first
+// scheduled observation carries the compile charge.
+func TestInFlightCompileDedup(t *testing.T) {
+	const compile = 100.0
+	src := &synthSource{compile: compile}
+	e := New(src, Options{Workers: 4, Latency: 5 * time.Millisecond})
+	defer e.Close()
+
+	// Two overlapping batches of the same item, submitted back to back
+	// while the first is still measuring.
+	if err := e.Submit(nil, indicesOf(9, 9, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Submit(nil, indicesOf(9, 9)); err != nil {
+		t.Fatal(err)
+	}
+	var got []Observation
+	for len(got) < 5 {
+		got = append(got, <-e.Results())
+	}
+	compiles := 0
+	for _, o := range got {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+		if o.Compile > 0 {
+			compiles++
+		}
+	}
+	if compiles != 1 {
+		t.Fatalf("compile charged %d times across overlapping in-flight batches, want exactly once", compiles)
+	}
+	// The ledger agrees: one compile plus five runs.
+	wantCost := compile
+	for ord := 0; ord < 5; ord++ {
+		s, _ := (&synthSource{compile: compile}).Measure(9, ord)
+		wantCost += s.Value
+	}
+	if got := e.Cost(); math.Abs(got-wantCost) > 1e-12 {
+		t.Fatalf("ledger %v, want %v", got, wantCost)
+	}
+}
+
+func TestAsyncResultsSortToSubmissionOrder(t *testing.T) {
+	indices := []int{2, 0, 2, 5, 1, 5, 2}
+	wantVals, wantCost := serialExpectation(&synthSource{compile: 3}, indices)
+	e := New(&synthSource{compile: 3}, Options{Workers: 8, Latency: time.Millisecond})
+	defer e.Close()
+	if err := e.Submit(context.Background(), indices); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]Observation, 0, len(indices))
+	for len(got) < len(indices) {
+		got = append(got, <-e.Results())
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].Seq < got[j].Seq })
+	for j, o := range got {
+		if o.Value != wantVals[j] {
+			t.Fatalf("obs %d value %v, want %v: async completion order leaked into values", j, o.Value, wantVals[j])
+		}
+	}
+	if e.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after collecting everything", e.InFlight())
+	}
+	if got := e.Cost(); got != wantCost {
+		t.Fatalf("async cost %v, want %v (must be order-free)", got, wantCost)
+	}
+}
+
+func TestCostThroughCheckpoints(t *testing.T) {
+	indices := []int{0, 1, 0, 2}
+	e := New(&synthSource{compile: 10}, Options{Workers: 4})
+	obs, err := e.ObserveBatch(indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint at seq k must equal the serial accumulator after
+	// k's observation.
+	var chain float64
+	for k, o := range obs {
+		chain += o.Compile
+		chain += o.Value
+		if got := e.CostThrough(k); got != chain {
+			t.Fatalf("CostThrough(%d) = %v, want %v", k, got, chain)
+		}
+	}
+	if got := e.CostThrough(-1); got != 0 {
+		t.Fatalf("CostThrough(-1) = %v", got)
+	}
+	if got := e.CostThrough(99); got != e.Cost() {
+		t.Fatalf("CostThrough past end = %v, want total %v", got, e.Cost())
+	}
+}
+
+func TestObserveBatchStopsAfterFailure(t *testing.T) {
+	src := &synthSource{fail: func(i, ord int) bool { return i == 6 }}
+	e := New(src, Options{Workers: 1})
+	obs, err := e.ObserveBatch(indicesOf(1, 6, 3, 4))
+	if err == nil {
+		t.Fatal("no error from failing batch")
+	}
+	if obs[0].Err != nil || obs[1].Err == nil {
+		t.Fatalf("unexpected error layout: %v / %v", obs[0].Err, obs[1].Err)
+	}
+	// Serial engines stop scheduling at the first failure, preserving
+	// the legacy oracle call sequence; later entries are skipped.
+	for _, o := range obs[2:] {
+		if !errors.Is(o.Err, ErrSkipped) {
+			t.Fatalf("post-failure observation not skipped: %+v", o)
+		}
+	}
+	if src.calls != 2 {
+		t.Fatalf("source measured %d times after failure, want 2", src.calls)
+	}
+	// The ledger still advances past the failed entries (zero charge).
+	s0, _ := (&synthSource{}).Measure(1, 0)
+	if got := e.Cost(); got != s0.Value {
+		t.Fatalf("cost %v, want only the successful observation %v", got, s0.Value)
+	}
+}
+
+func TestSubmitHonoursContext(t *testing.T) {
+	// A window of 1 with slow measurements forces Submit to block;
+	// cancelling the context must release it.
+	e := New(&synthSource{}, Options{Workers: 1, Window: 1, Latency: 50 * time.Millisecond})
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- e.Submit(ctx, indicesOf(0, 0, 0, 0, 0, 0, 0, 0))
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Submit returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Submit did not honour cancellation")
+	}
+}
+
+func TestEngineClosedErrors(t *testing.T) {
+	e := New(&synthSource{}, Options{})
+	e.Close()
+	if _, err := e.ObserveBatch(indicesOf(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ObserveBatch after Close: %v", err)
+	}
+	if err := e.Submit(nil, indicesOf(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestNegativeIndexRejected(t *testing.T) {
+	e := New(&synthSource{}, Options{})
+	if _, err := e.ObserveBatch(indicesOf(0, -1)); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+// legacyOracle is a stateful serial oracle whose values depend on its
+// call sequence.
+type legacyOracle struct {
+	calls int
+	cost  float64
+}
+
+func (o *legacyOracle) Observe(i int) (float64, error) {
+	o.calls++
+	y := float64(i) + float64(o.calls)*0.001
+	o.cost += y
+	return y, nil
+}
+
+func (o *legacyOracle) Cost() float64 { return o.cost }
+
+func TestFromOraclePreservesCallOrder(t *testing.T) {
+	indices := []int{5, 2, 5, 9}
+	want := &legacyOracle{}
+	var wantVals []float64
+	for _, i := range indices {
+		y, _ := want.Observe(i)
+		wantVals = append(wantVals, y)
+	}
+
+	o := &legacyOracle{}
+	e := FromOracle(o, Options{})
+	obs, err := e.ObserveBatch(indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, ob := range obs {
+		if ob.Value != wantVals[j] {
+			t.Fatalf("obs %d = %v, want %v (oracle call order changed)", j, ob.Value, wantVals[j])
+		}
+	}
+	if e.Cost() != want.Cost() {
+		t.Fatalf("cost %v, want the oracle's own accounting %v", e.Cost(), want.Cost())
+	}
+
+	// The async path measures inline in scheduling order and delivers
+	// ordered results.
+	o2 := &legacyOracle{}
+	e2 := FromOracle(o2, Options{})
+	defer e2.Close()
+	if err := e2.Submit(nil, indices); err != nil {
+		t.Fatal(err)
+	}
+	for j := range indices {
+		ob := <-e2.Results()
+		if ob.Seq != j || ob.Value != wantVals[j] {
+			t.Fatalf("async obs %d: seq %d value %v, want seq %d value %v",
+				j, ob.Seq, ob.Value, j, wantVals[j])
+		}
+	}
+}
+
+func TestDatasetSourceAgainstDirectObserve(t *testing.T) {
+	k, err := spapt.ByName("mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.Generate(k, dataset.Options{NConfigs: 60, NObs: 3, TrainCount: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewDatasetSource(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, item := range []int{0, 7, 39} {
+		idx := ds.TrainIdx[item]
+		for ord := 0; ord < 3; ord++ {
+			s, err := src.Measure(item, ord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := ds.Observe(idx, ord); s.Value != want {
+				t.Fatalf("item %d ord %d: %v, want dataset draw %v", item, ord, s.Value, want)
+			}
+			if ord == 0 && s.Compile != ds.CompileTime[idx] {
+				t.Fatalf("item %d: compile %v, want %v", item, s.Compile, ds.CompileTime[idx])
+			}
+			if ord > 0 && s.Compile != 0 {
+				t.Fatalf("item %d ord %d: repeat observation carries compile %v", item, ord, s.Compile)
+			}
+		}
+	}
+	if _, err := src.Measure(40, 0); err == nil {
+		t.Fatal("out-of-pool index accepted")
+	}
+	if _, err := NewDatasetSource(nil); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+}
+
+func TestSessionSourceContinuesSessionHistory(t *testing.T) {
+	k, err := spapt.ByName("mvt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := measure.NewSession(k, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(29)
+	warm := k.RandomConfig(r)
+	cold := k.RandomConfig(r)
+	// Two serial observations put warm into the session's history; an
+	// engine-driven sequence must continue at ordinal 2 and charge no
+	// compile for it.
+	want, err := sess.ObserveN(warm, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := sess.At(warm, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSessionSource(sess, []spapt.Config{warm, cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := src.Measure(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value != next || s.Value == want[0] {
+		t.Fatalf("warm config restarted its noise stream: got %v", s.Value)
+	}
+	if s.Compile != 0 {
+		t.Fatalf("already-compiled config charged compile %v", s.Compile)
+	}
+	cs, err := src.Measure(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Compile <= 0 {
+		t.Fatal("fresh config carried no compile charge")
+	}
+	if _, err := NewSessionSource(sess, []spapt.Config{warm, warm}); err == nil {
+		t.Fatal("duplicate configurations accepted")
+	}
+	if _, err := NewSessionSource(nil, []spapt.Config{warm}); err == nil {
+		t.Fatal("nil session accepted")
+	}
+}
+
+// TestLedgerCompaction drives the engine past compactChunk folded
+// entries and checks every ledger contract across the compaction
+// boundary: Cost and CostThrough stay bit-identical to the serial
+// chain, checkpoints below the released region read from cum, and
+// scheduling/ordinals keep advancing.
+func TestLedgerCompaction(t *testing.T) {
+	const total = 3*compactChunk + 157
+	indices := make([]int, total)
+	for i := range indices {
+		indices[i] = i % 37
+	}
+	wantVals, wantCost := serialExpectation(&synthSource{compile: 1.5}, indices)
+	e := New(&synthSource{compile: 1.5}, Options{Workers: 4})
+
+	// Several batches so compaction interleaves with scheduling.
+	chunk := compactChunk/2 + 11
+	var chain float64
+	seq := 0
+	for start := 0; start < total; start += chunk {
+		end := start + chunk
+		if end > total {
+			end = total
+		}
+		obs, err := e.ObserveBatch(indices[start:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range obs {
+			if o.Value != wantVals[seq] {
+				t.Fatalf("seq %d value %v, want %v", seq, o.Value, wantVals[seq])
+			}
+			chain += o.Compile
+			chain += o.Value
+			seq++
+		}
+		if got := e.CostThrough(seq - 1); got != chain {
+			t.Fatalf("CostThrough(%d) = %v, want chain %v", seq-1, got, chain)
+		}
+	}
+	if got := e.Cost(); got != wantCost {
+		t.Fatalf("cost %v after compaction, want %v", got, wantCost)
+	}
+	// Checkpoints deep inside the released region still resolve.
+	probe := compactChunk + 3
+	_, cost := serialExpectation(&synthSource{compile: 1.5}, indices[:probe+1])
+	if got := e.CostThrough(probe); got != cost {
+		t.Fatalf("CostThrough(%d) in released region = %v, want %v", probe, got, cost)
+	}
+	if e.InFlight() != 0 {
+		t.Fatalf("InFlight = %d", e.InFlight())
+	}
+	if got := e.Scheduled(0); got != (total+36)/37 {
+		t.Fatalf("Scheduled(0) = %d", got)
+	}
+}

@@ -1,0 +1,144 @@
+package evaluator
+
+import (
+	"fmt"
+
+	"alic/internal/dataset"
+	"alic/internal/measure"
+	"alic/internal/spapt"
+)
+
+// Oracle is the legacy per-observation measurement interface the
+// engine superseded: stateful, serial, accounting its own cost. It is
+// kept so synthetic test oracles and external integrations keep
+// working; wrap one with FromOracle.
+type Oracle interface {
+	// Observe returns one noisy runtime observation of pool item i,
+	// charging its cost (including one-time compilation).
+	Observe(i int) (float64, error)
+	// Cost returns the cumulative evaluation cost in seconds.
+	Cost() float64
+}
+
+// oracleSource adapts an Oracle to the Source interface. The oracle
+// assigns its own ordinals and accounts its own cost, so the engine's
+// ordinal is ignored and the samples carry no charges.
+type oracleSource struct{ o Oracle }
+
+func (s oracleSource) Measure(i, _ int) (Sample, error) {
+	y, err := s.o.Observe(i)
+	return Sample{Value: y}, err
+}
+
+// FromOracle wraps a legacy Oracle in a strictly serial engine:
+// observations happen one at a time in scheduling order — exactly the
+// call sequence the serial loop produced — and Cost delegates to the
+// oracle's own accounting. Latency is the only Options field honoured.
+func FromOracle(o Oracle, opts Options) *Engine {
+	return New(oracleSource{o: o}, Options{
+		Serial:  true,
+		Cost:    o.Cost,
+		Latency: opts.Latency,
+		Window:  opts.Window,
+	})
+}
+
+// DatasetSource measures a pre-generated §4.5 dataset's training
+// pool: item i is the i-th training configuration, and observation
+// (i, ord) regenerates the dataset's ord-th noise draw for it — a
+// pure function, safe for any concurrency. The compile cost rides on
+// each item's ordinal-zero sample, charged by the engine ledger once
+// per item.
+type DatasetSource struct {
+	ds *dataset.Dataset
+}
+
+// NewDatasetSource adapts a dataset to the Source interface.
+func NewDatasetSource(ds *dataset.Dataset) (*DatasetSource, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("evaluator: nil dataset")
+	}
+	return &DatasetSource{ds: ds}, nil
+}
+
+// Measure implements Source over the training pool.
+func (s *DatasetSource) Measure(i, ord int) (Sample, error) {
+	if i >= len(s.ds.TrainIdx) {
+		return Sample{}, fmt.Errorf("evaluator: pool index %d outside training pool of %d", i, len(s.ds.TrainIdx))
+	}
+	idx := s.ds.TrainIdx[i]
+	out := Sample{Value: s.ds.Observe(idx, ord)}
+	if ord == 0 {
+		out.Compile = s.ds.CompileTime[idx]
+	}
+	return out, nil
+}
+
+// SessionSource measures a fixed set of configurations through a
+// profiling session: item i is cfgs[i], and observation (i, ord)
+// draws the session's deterministic noise stream at the ordinal the
+// session had reached when the source was built, plus ord — so an
+// engine-driven measurement sequence continues a session's serial
+// history exactly. Compile cost rides on ordinal zero unless the
+// session had already compiled the configuration. Measurement is pure
+// (the session's own counters and cost are not touched); the engine
+// ledger owns the accounting.
+type SessionSource struct {
+	sess *measure.Session
+	cfgs []spapt.Config
+	base []int     // session observation count at construction
+	ct   []float64 // compile cost to charge at ordinal zero (0 if compiled)
+}
+
+// NewSessionSource adapts a session and a candidate set to the Source
+// interface. The configurations must be distinct (the engine keys its
+// ordinal streams by item index, so duplicates would replay the same
+// noise draws and double-charge compilation).
+func NewSessionSource(sess *measure.Session, cfgs []spapt.Config) (*SessionSource, error) {
+	if sess == nil {
+		return nil, fmt.Errorf("evaluator: nil session")
+	}
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("evaluator: empty configuration set")
+	}
+	k := sess.Kernel()
+	src := &SessionSource{
+		sess: sess,
+		cfgs: cfgs,
+		base: make([]int, len(cfgs)),
+		ct:   make([]float64, len(cfgs)),
+	}
+	seen := make(map[uint64]bool, len(cfgs))
+	for i, cfg := range cfgs {
+		key := k.Key(cfg)
+		if seen[key] {
+			return nil, fmt.Errorf("evaluator: duplicate configuration at item %d", i)
+		}
+		seen[key] = true
+		src.base[i] = sess.Observations(cfg)
+		if !sess.Compiled(cfg) {
+			ct, err := k.CompileTime(cfg)
+			if err != nil {
+				return nil, err
+			}
+			src.ct[i] = ct
+		}
+	}
+	return src, nil
+}
+
+// Measure implements Source over the candidate set.
+func (s *SessionSource) Measure(i, ord int) (Sample, error) {
+	if i >= len(s.cfgs) {
+		return Sample{}, fmt.Errorf("evaluator: item %d outside candidate set of %d", i, len(s.cfgs))
+	}
+	y, err := s.sess.At(s.cfgs[i], s.base[i]+ord)
+	if err != nil {
+		return Sample{}, err
+	}
+	out := Sample{Value: y}
+	if ord == 0 {
+		out.Compile = s.ct[i]
+	}
+	return out, nil
+}

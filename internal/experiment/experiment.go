@@ -28,9 +28,11 @@ import (
 	"alic/internal/core"
 	"alic/internal/dataset"
 	"alic/internal/dynatree"
+	"alic/internal/evaluator"
 	"alic/internal/model"
 	"alic/internal/spapt"
 	"alic/internal/stats"
+	"alic/internal/workpool"
 )
 
 // Settings scales the experiments. PaperSettings reproduces §4.4/§4.5
@@ -199,28 +201,6 @@ type BenchmarkCurves struct {
 	Curves map[Strategy]Curve
 }
 
-// datasetOracle adapts a dataset's training pool to core.Oracle with
-// §4.3 cost accounting.
-type datasetOracle struct {
-	ds   *dataset.Dataset
-	obs  map[int]int
-	cost float64
-}
-
-func (o *datasetOracle) Observe(i int) (float64, error) {
-	idx := o.ds.TrainIdx[i]
-	n := o.obs[idx]
-	if n == 0 {
-		o.cost += o.ds.CompileTime[idx]
-	}
-	y := o.ds.Observe(idx, n)
-	o.obs[idx] = n + 1
-	o.cost += y
-	return y, nil
-}
-
-func (o *datasetOracle) Cost() float64 { return o.cost }
-
 // buildDataset generates the kernel's corpus under the settings.
 func buildDataset(k *spapt.Kernel, s Settings) (*dataset.Dataset, error) {
 	total := s.PoolConfigs + s.TestConfigs
@@ -253,15 +233,18 @@ func RunCurves(k *spapt.Kernel, s Settings, progress func(string)) (*BenchmarkCu
 	}
 
 	// Every (strategy, repetition) run is independent and seeded
-	// deterministically, so they execute concurrently.
+	// deterministically, so they execute concurrently — sharded over
+	// the same process-wide bounded pool the evaluator engines and the
+	// candidate scorers use (workpool caps total workers at GOMAXPROCS
+	// with an inline fallback, so the three layers of parallelism
+	// cannot oversubscribe the machine or deadlock under nesting).
+	// Each run drives measurement through its own evaluator engine
+	// over the shared dataset source: values and §4.3 cost accounting
+	// are pure in (config, ordinal), so runs share the corpus without
+	// any cross-run state.
 	type job struct {
 		strat Strategy
 		rep   int
-	}
-	type outcome struct {
-		job   job
-		curve []core.CurvePoint
-		err   error
 	}
 	var jobs []job
 	for _, strat := range Strategies() {
@@ -272,9 +255,6 @@ func RunCurves(k *spapt.Kernel, s Settings, progress func(string)) (*BenchmarkCu
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
 	}
 
 	var mu sync.Mutex
@@ -287,49 +267,42 @@ func RunCurves(k *spapt.Kernel, s Settings, progress func(string)) (*BenchmarkCu
 		mu.Unlock()
 	}
 
-	jobCh := make(chan job)
-	outCh := make(chan outcome, len(jobs))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobCh {
-				report(fmt.Sprintf("%s: %v rep %d/%d", k.Name, j.strat, j.rep+1, s.Reps))
-				oracle := &datasetOracle{ds: ds, obs: make(map[int]int)}
-				learner, err := core.New(s.learnerOptions(j.strat, j.rep), pool, oracle, eval)
-				if err != nil {
-					outCh <- outcome{job: j, err: err}
-					continue
-				}
-				res, err := learner.Run(context.Background())
-				if err != nil {
-					outCh <- outcome{job: j, err: err}
-					continue
-				}
-				if len(res.Curve) == 0 {
-					outCh <- outcome{job: j, err: fmt.Errorf("experiment: empty curve for %s/%v", k.Name, j.strat)}
-					continue
-				}
-				outCh <- outcome{job: j, curve: res.Curve}
-			}
-		}()
+	src, err := evaluator.NewDatasetSource(ds)
+	if err != nil {
+		return nil, err
 	}
-	go func() {
-		for _, j := range jobs {
-			jobCh <- j
+	curves := make([][]core.CurvePoint, len(jobs))
+	errs := make([]error, len(jobs))
+	// Jobs are pulled dynamically (runs differ widely in duration
+	// across strategies, so static contiguous shards would leave
+	// stragglers).
+	workpool.DynamicFor(workers, len(jobs), func(ji int) {
+		j := jobs[ji]
+		report(fmt.Sprintf("%s: %v rep %d/%d", k.Name, j.strat, j.rep+1, s.Reps))
+		eng := evaluator.New(src, evaluator.Options{Workers: 1})
+		learner, err := core.NewWithEvaluator(s.learnerOptions(j.strat, j.rep), pool, eng, eval)
+		if err != nil {
+			errs[ji] = err
+			return
 		}
-		close(jobCh)
-		wg.Wait()
-		close(outCh)
-	}()
+		res, err := learner.Run(context.Background())
+		if err != nil {
+			errs[ji] = err
+			return
+		}
+		if len(res.Curve) == 0 {
+			errs[ji] = fmt.Errorf("experiment: empty curve for %s/%v", k.Name, j.strat)
+			return
+		}
+		curves[ji] = res.Curve
+	})
 
 	curvesByStrat := make(map[Strategy][][]core.CurvePoint)
-	for o := range outCh {
-		if o.err != nil {
-			return nil, o.err
+	for ji := range jobs {
+		if errs[ji] != nil {
+			return nil, errs[ji]
 		}
-		curvesByStrat[o.job.strat] = append(curvesByStrat[o.job.strat], o.curve)
+		curvesByStrat[jobs[ji].strat] = append(curvesByStrat[jobs[ji].strat], curves[ji])
 	}
 
 	out := &BenchmarkCurves{Kernel: k, Curves: make(map[Strategy]Curve)}

@@ -12,17 +12,26 @@ package measure
 
 import (
 	"fmt"
+	"sync"
 
 	"alic/internal/noise"
 	"alic/internal/spapt"
 )
 
-// Session is a simulated profiling session for one kernel. It is not
-// safe for concurrent use.
+// Session is a simulated profiling session for one kernel. It is safe
+// for concurrent use: compile charges and observation ordinals are
+// reserved under a lock, so parallel observers of overlapping
+// configurations charge each compile exactly once and draw distinct
+// noise-stream ordinals. Note that the noise draw a concurrent
+// Observe returns depends on which ordinal the caller wins; for
+// measurements that must be deterministic regardless of completion
+// order, address the ordinal explicitly with At (the evaluator
+// engine's path).
 type Session struct {
 	kernel  *spapt.Kernel
 	sampler *noise.Sampler
 
+	mu       sync.Mutex
 	compiled map[uint64]bool
 	obsCount map[uint64]int
 	trueMean map[uint64]float64
@@ -61,15 +70,40 @@ func (s *Session) Kernel() *spapt.Kernel { return s.kernel }
 // TrueMean returns the noise-free mean runtime of cfg (memoised).
 func (s *Session) TrueMean(cfg spapt.Config) (float64, error) {
 	key := s.kernel.Key(cfg)
-	if mu, ok := s.trueMean[key]; ok {
+	s.mu.Lock()
+	mu, ok := s.trueMean[key]
+	s.mu.Unlock()
+	if ok {
 		return mu, nil
 	}
+	// Compute outside the lock (the cost model walks the loop nests);
+	// racing computers store the same deterministic value.
 	mu, err := s.kernel.TrueRuntime(cfg)
 	if err != nil {
 		return 0, err
 	}
+	s.mu.Lock()
 	s.trueMean[key] = mu
+	s.mu.Unlock()
 	return mu, nil
+}
+
+// At returns observation obsIdx of cfg — the value the obsIdx-th
+// serial Observe of cfg returns — without charging cost or advancing
+// the session's counters. Each (cfg, obsIdx) pair addresses its own
+// deterministic noise draw, so At is pure, safe for any concurrency,
+// and independent of evaluation order: it is the measurement
+// primitive behind the evaluator engine's session adapter, which owns
+// the cost accounting instead.
+func (s *Session) At(cfg spapt.Config, obsIdx int) (float64, error) {
+	if obsIdx < 0 {
+		return 0, fmt.Errorf("measure: At with negative observation index %d", obsIdx)
+	}
+	mu, err := s.TrueMean(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return s.sampler.Sample(mu, s.kernel.Features(cfg), s.kernel.Key(cfg), obsIdx), nil
 }
 
 // Observe compiles cfg if needed, runs it once, and returns the
@@ -77,24 +111,52 @@ func (s *Session) TrueMean(cfg spapt.Config) (float64, error) {
 // observed runtime are added to the session cost.
 func (s *Session) Observe(cfg spapt.Config) (float64, error) {
 	key := s.kernel.Key(cfg)
-	if !s.compiled[key] {
-		ct, err := s.kernel.CompileTime(cfg)
-		if err != nil {
-			return 0, err
-		}
+
+	// Reserve the compile charge and the observation ordinal under the
+	// lock: exactly one concurrent observer wins the compile, and each
+	// draws a distinct ordinal of the config's noise stream.
+	s.mu.Lock()
+	first := !s.compiled[key]
+	if first {
 		s.compiled[key] = true
-		s.compiles++
-		s.cost += ct
-	}
-	mu, err := s.TrueMean(cfg)
-	if err != nil {
-		return 0, err
 	}
 	idx := s.obsCount[key]
 	s.obsCount[key] = idx + 1
+	s.mu.Unlock()
+
+	rollback := func() {
+		s.mu.Lock()
+		if first {
+			delete(s.compiled, key)
+		}
+		s.obsCount[key]--
+		s.mu.Unlock()
+	}
+
+	var ct float64
+	if first {
+		var err error
+		ct, err = s.kernel.CompileTime(cfg)
+		if err != nil {
+			rollback()
+			return 0, err
+		}
+	}
+	mu, err := s.TrueMean(cfg)
+	if err != nil {
+		rollback()
+		return 0, err
+	}
 	y := s.sampler.Sample(mu, s.kernel.Features(cfg), key, idx)
+
+	s.mu.Lock()
+	if first {
+		s.compiles++
+		s.cost += ct
+	}
 	s.runs++
 	s.cost += y
+	s.mu.Unlock()
 	return y, nil
 }
 
@@ -114,16 +176,61 @@ func (s *Session) ObserveN(cfg spapt.Config, n int) ([]float64, error) {
 	return out, nil
 }
 
+// RecordExternal folds n measurements of cfg taken outside the
+// session's own Observe path — e.g. by an evaluator engine driving At
+// with its own cost ledger — back into the session's history: cfg's
+// observation ordinal advances by n (so later observers continue the
+// noise stream instead of replaying it), the configuration is marked
+// compiled, and cost (the caller's compile + run charges for these
+// measurements) lands in the session total. Safe for concurrent use.
+func (s *Session) RecordExternal(cfg spapt.Config, n int, cost float64) {
+	if n < 1 {
+		return
+	}
+	key := s.kernel.Key(cfg)
+	s.mu.Lock()
+	if !s.compiled[key] {
+		s.compiled[key] = true
+		s.compiles++
+	}
+	s.obsCount[key] += n
+	s.runs += n
+	s.cost += cost
+	s.mu.Unlock()
+}
+
 // Observations returns how many times cfg has been profiled.
 func (s *Session) Observations(cfg spapt.Config) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.obsCount[s.kernel.Key(cfg)]
 }
 
+// Compiled reports whether cfg's binary has been built (and its
+// compile time charged) in this session.
+func (s *Session) Compiled(cfg spapt.Config) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compiled[s.kernel.Key(cfg)]
+}
+
 // Cost returns the cumulative evaluation cost in simulated seconds.
-func (s *Session) Cost() float64 { return s.cost }
+func (s *Session) Cost() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cost
+}
 
 // Runs returns the total number of profiling runs executed.
-func (s *Session) Runs() int { return s.runs }
+func (s *Session) Runs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs
+}
 
 // Compiles returns the number of distinct configurations compiled.
-func (s *Session) Compiles() int { return s.compiles }
+func (s *Session) Compiles() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compiles
+}

@@ -2,8 +2,10 @@ package measure
 
 import (
 	"math"
+	"sync"
 	"testing"
 
+	"alic/internal/rng"
 	"alic/internal/spapt"
 	"alic/internal/stats"
 )
@@ -162,5 +164,96 @@ func TestCostMonotonic(t *testing.T) {
 			t.Fatalf("cost did not increase at step %d", i)
 		}
 		prev = s.Cost()
+	}
+}
+
+// TestConcurrentObserveStress pins the session's concurrency
+// contract: many goroutines observing an overlapping configuration
+// set must charge each compile exactly once, count every run, and
+// accumulate exactly the cost a serial session accumulates for the
+// same observation multiset (the sum order differs, so the comparison
+// allows float reassociation slack only).
+func TestConcurrentObserveStress(t *testing.T) {
+	s := session(t, "gemver", 12)
+	k := s.Kernel()
+	r := rng.New(41)
+	const nConfigs, goroutines, perG = 6, 8, 40
+	cfgs := make([]spapt.Config, nConfigs)
+	for i := range cfgs {
+		cfgs[i] = k.RandomConfig(r)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				if _, err := s.Observe(cfgs[(g+j)%nConfigs]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	const totalRuns = goroutines * perG
+	if s.Runs() != totalRuns {
+		t.Fatalf("runs = %d, want %d", s.Runs(), totalRuns)
+	}
+	if s.Compiles() != nConfigs {
+		t.Fatalf("compiles = %d, want exactly %d (no double-charging)", s.Compiles(), nConfigs)
+	}
+	perCfg := make(map[int]int, nConfigs)
+	for g := 0; g < goroutines; g++ {
+		for j := 0; j < perG; j++ {
+			perCfg[(g+j)%nConfigs]++
+		}
+	}
+	// Serial replay of the same multiset: every config took its first
+	// perCfg observations, so the charge multiset is identical.
+	serial := session(t, "gemver", 12)
+	for i, cfg := range cfgs {
+		if got := s.Observations(cfg); got != perCfg[i] {
+			t.Fatalf("config %d observed %d times, want %d", i, got, perCfg[i])
+		}
+		if _, err := serial.ObserveN(cfg, perCfg[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if diff := math.Abs(s.Cost() - serial.Cost()); diff > 1e-9*serial.Cost() {
+		t.Fatalf("concurrent cost %v vs serial %v (diff %v): accounting not exact", s.Cost(), serial.Cost(), diff)
+	}
+}
+
+// TestAtMatchesSerialObserve pins the pure observation primitive: At
+// (cfg, i) returns exactly what the i-th serial Observe returned,
+// without touching cost or counters.
+func TestAtMatchesSerialObserve(t *testing.T) {
+	s := session(t, "atax", 13)
+	cfg := s.Kernel().BaselineConfig()
+	want, err := s.ObserveN(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costBefore, runsBefore := s.Cost(), s.Runs()
+	for i, w := range want {
+		y, err := s.At(cfg, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y != w {
+			t.Fatalf("At(cfg, %d) = %v, want the serial draw %v", i, y, w)
+		}
+	}
+	if s.Cost() != costBefore || s.Runs() != runsBefore {
+		t.Fatal("At charged cost or advanced counters")
+	}
+	if _, err := s.At(cfg, -1); err == nil {
+		t.Fatal("negative observation index accepted")
+	}
+	if !s.Compiled(cfg) {
+		t.Fatal("Compiled lost track of an observed config")
 	}
 }

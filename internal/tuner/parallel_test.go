@@ -1,0 +1,162 @@
+package tuner
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"alic/internal/measure"
+	"alic/internal/spapt"
+	"alic/internal/stats"
+)
+
+// TestParallelVerificationMatchesSerial pins the evaluator-pool
+// rework: verification at any worker count must select the same
+// winner as serial verification, with bit-identical measured runtimes
+// and verification cost (every observation addresses its own
+// deterministic noise draw, and the engine folds the cost ledger in
+// scheduling order).
+func TestParallelVerificationMatchesSerial(t *testing.T) {
+	run := func(workers int) *Result {
+		k, err := spapt.ByName("gemver")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := measure.NewSession(k, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm := &stats.Normalizer{Means: make([]float64, k.Dim()), Stddevs: onesVec(k.Dim())}
+		model := trainModel(t, sess, norm, 120)
+		res, err := Search(model, sess, norm, Options{
+			Candidates: 600, Verify: 12, VerifyObs: 3, Seed: 11, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	serial := run(1)
+	for _, workers := range []int{4, 8} {
+		par := run(workers)
+		if !reflect.DeepEqual(par.Best.Config, serial.Best.Config) {
+			t.Fatalf("workers=%d selected winner %v, serial selected %v",
+				workers, par.Best.Config, serial.Best.Config)
+		}
+		if par.Best.Measured != serial.Best.Measured {
+			t.Fatalf("workers=%d measured winner at %v, serial at %v (not bit-identical)",
+				workers, par.Best.Measured, serial.Best.Measured)
+		}
+		if len(par.Top) != len(serial.Top) {
+			t.Fatalf("workers=%d verified %d, serial %d", workers, len(par.Top), len(serial.Top))
+		}
+		for i := range par.Top {
+			if par.Top[i].Measured != serial.Top[i].Measured {
+				t.Fatalf("workers=%d: top[%d] measured %v, serial %v",
+					workers, i, par.Top[i].Measured, serial.Top[i].Measured)
+			}
+		}
+		if par.VerifyCost != serial.VerifyCost {
+			t.Fatalf("workers=%d verification cost %v, serial %v (ledger not order-free)",
+				workers, par.VerifyCost, serial.VerifyCost)
+		}
+		if par.Baseline != serial.Baseline {
+			t.Fatalf("workers=%d baseline %v, serial %v", workers, par.Baseline, serial.Baseline)
+		}
+	}
+}
+
+// TestBaselineInTopSetReusesVerifiedMean covers the corner where the
+// model ranks the -O2 baseline itself into the verified top set: its
+// verified mean then doubles as the baseline measurement and the
+// speedup of a baseline winner is exactly 1.
+func TestBaselineInTopSetReusesVerifiedMean(t *testing.T) {
+	k, err := spapt.ByName("mvt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := measure.NewSession(k, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := &stats.Normalizer{Means: make([]float64, k.Dim()), Stddevs: onesVec(k.Dim())}
+	model := trainModel(t, sess, norm, 60)
+	// Verify == Candidates forces every sampled candidate (possibly
+	// including the baseline) into the verified set; the test mainly
+	// asserts the search stays consistent rather than a specific draw.
+	res, err := Search(model, sess, norm, Options{
+		Candidates: 40, Verify: 40, VerifyObs: 2, Seed: 13, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Baseline) || res.Baseline <= 0 {
+		t.Fatalf("baseline not measured: %v", res.Baseline)
+	}
+	for i := range res.Top {
+		if reflect.DeepEqual(res.Top[i].Config, k.BaselineConfig()) {
+			if res.Top[i].Measured != res.Baseline {
+				t.Fatalf("baseline in top set measured %v but reported baseline %v",
+					res.Top[i].Measured, res.Baseline)
+			}
+		}
+	}
+}
+
+// TestRepeatedSearchContinuesSessionHistory pins the session-commit
+// behaviour: a second Search on the same session must continue each
+// verified config's noise stream (fresh draws, not a replay), never
+// re-charge compile time, and keep sess.Cost() covering verification
+// spend.
+func TestRepeatedSearchContinuesSessionHistory(t *testing.T) {
+	k, err := spapt.ByName("mvt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := measure.NewSession(k, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := &stats.Normalizer{Means: make([]float64, k.Dim()), Stddevs: onesVec(k.Dim())}
+	model := trainModel(t, sess, norm, 80)
+	opts := Options{Candidates: 300, Verify: 6, VerifyObs: 2, Seed: 19, Workers: 4}
+
+	costBefore := sess.Cost()
+	first, err := Search(model, sess, norm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := sess.Cost()
+	if got := afterFirst - costBefore; math.Abs(got-first.VerifyCost) > 1e-9*first.VerifyCost {
+		t.Fatalf("session cost grew by %v, want the verification cost %v", got, first.VerifyCost)
+	}
+	second, err := Search(model, sess, norm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, same model: the same top set is verified — but the
+	// measurements must be fresh draws, not a replay of the first call.
+	if !reflect.DeepEqual(first.Best.Config, second.Best.Config) &&
+		first.Top[0].Measured == second.Top[0].Measured {
+		t.Fatal("second search replayed the first search's draws")
+	}
+	replayed := 0
+	for i := range second.Top {
+		for j := range first.Top {
+			if reflect.DeepEqual(second.Top[i].Config, first.Top[j].Config) &&
+				second.Top[i].Measured == first.Top[j].Measured {
+				replayed++
+			}
+		}
+	}
+	if replayed == len(second.Top) {
+		t.Fatal("every verified mean was replayed identically: session history not advancing")
+	}
+	// The second pass re-verifies already-compiled configs: its cost
+	// must be cheaper than the first by exactly the compile charges.
+	if second.VerifyCost >= first.VerifyCost {
+		t.Fatalf("second verification cost %v >= first %v: compile time re-charged",
+			second.VerifyCost, first.VerifyCost)
+	}
+}

@@ -4,6 +4,13 @@
 // settings are found by predicting over a large random sample of the
 // space and profiling only the most promising configurations — instead
 // of compiling and running every candidate.
+//
+// Verification — the only part that pays real profiling cost — runs
+// through the evaluator engine (internal/evaluator): the top-ranked
+// candidates measure in parallel across Options.Workers, and because
+// every observation addresses its own deterministic noise draw, the
+// measured runtimes, the winner, and the verification cost are
+// bit-identical at every worker count.
 package tuner
 
 import (
@@ -11,6 +18,7 @@ import (
 	"math"
 	"sort"
 
+	"alic/internal/evaluator"
 	"alic/internal/measure"
 	"alic/internal/model"
 	"alic/internal/rng"
@@ -30,6 +38,10 @@ type Options struct {
 	VerifyObs int
 	// Seed drives candidate sampling.
 	Seed uint64
+	// Workers bounds concurrent verification measurements
+	// (0 = GOMAXPROCS, 1 = serial). The verified runtimes and the
+	// winner are bit-identical for every value.
+	Workers int
 }
 
 // DefaultOptions returns a sensible search setup.
@@ -57,8 +69,8 @@ type Result struct {
 	Speedup float64
 	// Top holds the verified candidates, best first.
 	Top []Candidate
-	// VerifyCost is the profiling cost spent on verification, in
-	// simulated seconds.
+	// VerifyCost is the profiling cost spent on verification
+	// (including the baseline measurement), in simulated seconds.
 	VerifyCost float64
 }
 
@@ -69,7 +81,8 @@ type Normalizer interface {
 
 // Search ranks random configurations with any trained predictor (a
 // model.Model from a learning run, or anything else implementing
-// model.Predictor) and verifies the top few on the profiling session.
+// model.Predictor) and verifies the top few on the profiling session
+// through a parallel evaluator engine.
 func Search(m model.Predictor, sess *measure.Session, norm Normalizer, opts Options) (*Result, error) {
 	if model.IsNil(m) || sess == nil || norm == nil {
 		return nil, fmt.Errorf("tuner: nil model, session or normalizer")
@@ -105,38 +118,70 @@ func Search(m model.Predictor, sess *measure.Session, norm Normalizer, opts Opti
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].Predicted < cands[j].Predicted })
 
-	// Verify the top slice with real (simulated) profiling.
-	costBefore := sess.Cost()
+	// Verify the top slice plus the -O2 baseline through one engine:
+	// every item takes VerifyObs observations, measured with up to
+	// Workers goroutines; the engine's ledger is the verification
+	// cost. The candidate set is already key-deduplicated; the
+	// baseline joins it as an extra item unless the model happened to
+	// rank it into the top set, in which case its verified mean
+	// doubles as the baseline measurement.
 	top := cands[:opts.Verify]
+	cfgs := make([]spapt.Config, 0, len(top)+1)
 	for i := range top {
-		var w stats.Welford
-		for j := 0; j < opts.VerifyObs; j++ {
-			y, err := sess.Observe(top[i].Config)
-			if err != nil {
-				return nil, err
-			}
-			w.Add(y)
+		cfgs = append(cfgs, top[i].Config)
+	}
+	base := k.BaselineConfig()
+	baseItem := -1
+	baseKey := k.Key(base)
+	for i := range top {
+		if k.Key(top[i].Config) == baseKey {
+			baseItem = i
 		}
-		top[i].Measured = w.Mean()
+	}
+	if baseItem < 0 {
+		baseItem = len(cfgs)
+		cfgs = append(cfgs, base)
+	}
+	src, err := evaluator.NewSessionSource(sess, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	eng := evaluator.New(src, evaluator.Options{Workers: opts.Workers})
+	items := make([]int, len(cfgs))
+	for item := range cfgs {
+		items[item] = item
+	}
+	obs, err := eng.ObserveBatch(evaluator.Repeat(items, opts.VerifyObs))
+	if err != nil {
+		return nil, err
+	}
+	means := make([]float64, len(cfgs))
+	for item := range cfgs {
+		var w stats.Welford
+		var charged float64
+		for _, o := range obs[item*opts.VerifyObs : (item+1)*opts.VerifyObs] {
+			w.Add(o.Value)
+			charged += o.Compile
+			charged += o.Value
+		}
+		means[item] = w.Mean()
+		// Commit the engine-driven measurements back into the session's
+		// history, so a later Search (or Observe) on the same session
+		// continues each config's noise stream instead of replaying it,
+		// compiles are never re-charged, and sess.Cost() keeps covering
+		// verification spend as it always did.
+		sess.RecordExternal(cfgs[item], opts.VerifyObs, charged)
+	}
+	for i := range top {
+		top[i].Measured = means[i]
 	}
 	sort.Slice(top, func(i, j int) bool { return top[i].Measured < top[j].Measured })
 
-	// Baseline for speedup reporting.
-	var wb stats.Welford
-	base := k.BaselineConfig()
-	for j := 0; j < opts.VerifyObs; j++ {
-		y, err := sess.Observe(base)
-		if err != nil {
-			return nil, err
-		}
-		wb.Add(y)
-	}
-
 	res := &Result{
 		Best:       top[0],
-		Baseline:   wb.Mean(),
+		Baseline:   means[baseItem],
 		Top:        top,
-		VerifyCost: sess.Cost() - costBefore,
+		VerifyCost: eng.Cost(),
 	}
 	if res.Best.Measured > 0 {
 		res.Speedup = res.Baseline / res.Best.Measured

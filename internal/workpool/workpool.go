@@ -12,6 +12,7 @@ package workpool
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // pool is a lazily-started, fixed-size set of goroutines fed through
@@ -92,6 +93,48 @@ func ParallelFor(workers, n int, body func(start, end int)) {
 			defer wg.Done()
 			body(s, e)
 		})
+	}
+	wg.Wait()
+}
+
+// DynamicFor runs body(i) for every i in [0, n) on up to `workers`
+// dedicated goroutines that pull the next index dynamically — the
+// balancing ParallelFor's static contiguous shards cannot give when
+// per-index durations vary widely, or when the work is latency-bound
+// (sleeps, I/O) and must not be clamped to the CPU-sized shared pool.
+// workers <= 0 means GOMAXPROCS. The same determinism contract as
+// ParallelFor applies: body must write only to index-addressed
+// locations.
+func DynamicFor(workers, n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
 	}
 	wg.Wait()
 }
