@@ -1,0 +1,233 @@
+package alic
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"alic/internal/core"
+	"alic/internal/model"
+	"alic/internal/rng"
+)
+
+// The model-scoring benchmarks measure the pool-interned scoring
+// engine against the historical row-gathering path on the same model
+// state. "path=indexed" is the production configuration: the dynatree
+// backend interns the candidate pool at seeding time and the learner
+// scores by stable pool index, reusing cached particle routes across
+// rounds. "path=row" hides the backend's PoolBinder extension, forcing
+// the learner to gather feature rows and re-route the full candidate
+// set through every scoring particle on every call — the pre-PR cost
+// profile. Both paths select identical configurations (the PoolBinder
+// contract, enforced by core's TestIndexedPathMatchesRowPath); only
+// wall-clock differs.
+
+// rowOnlyModel hides the backend's PoolBinder extension.
+type rowOnlyModel struct{ model.Model }
+
+type rowOnlyBuilder struct{ inner model.Builder }
+
+func (b rowOnlyBuilder) Name() string { return b.inner.Name() }
+func (b rowOnlyBuilder) New(p model.Params) (model.Model, error) {
+	m, err := b.inner.New(p)
+	if err != nil {
+		return nil, err
+	}
+	return rowOnlyModel{m}, nil
+}
+
+// benchModelOptions is the default learner config at benchmark scale:
+// ALC acquisition (the paper's choice), variable plan, a 2000-config
+// pool scored 500 fresh candidates at a time.
+func benchModelOptions(workers int, rowOnly bool) core.Options {
+	opts := core.DefaultOptions()
+	opts.NInit = 5
+	opts.NObs = 10
+	opts.NCand = 500
+	opts.NMax = 90
+	opts.Batch = 8
+	opts.EvalEvery = 0
+	opts.Workers = workers
+	opts.Tree.Particles = 300
+	opts.Tree.ScoreParticles = 100
+	if rowOnly {
+		opts.Model = rowOnlyBuilder{inner: model.DynatreeBuilder{Config: opts.Tree}}
+	}
+	return opts
+}
+
+func benchModelPool() core.SlicePool {
+	r := rng.New(3)
+	pool := make(core.SlicePool, 2000)
+	for i := range pool {
+		pool[i] = []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+	}
+	return pool
+}
+
+// newTrainedModelLearner runs one full learning session, leaving a
+// mid-run model whose trees have realistic depth for steady-state
+// scoring.
+func newTrainedModelLearner(tb testing.TB, workers int, rowOnly bool) *core.Learner {
+	tb.Helper()
+	pool := benchModelPool()
+	l, err := core.New(benchModelOptions(workers, rowOnly), pool, &benchOracle{pool: pool, r: rng.New(4)}, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := l.Run(nil); err != nil {
+		tb.Fatal(err)
+	}
+	return l
+}
+
+func benchSelectSteady(b *testing.B, workers int, rowOnly bool) {
+	l := newTrainedModelLearner(b, workers, rowOnly)
+	// Warm outside the timer: the first indexed call routes the pool
+	// and populates the slabs; steady state is every call after it.
+	if _, err := l.SelectBatch(8); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.SelectBatch(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchPaths = []struct {
+	name    string
+	rowOnly bool
+}{{"indexed", false}, {"row", true}}
+
+// BenchmarkSelectBatchSteady measures one steady-state acquisition
+// selection — candidate assembly plus ALC scoring over ~500 candidates
+// against a trained 300-particle forest — through both scoring paths.
+func BenchmarkSelectBatchSteady(b *testing.B) {
+	for _, path := range benchPaths {
+		for _, w := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("path=%s/workers=%d", path.name, w), func(b *testing.B) {
+				benchSelectSteady(b, w, path.rowOnly)
+			})
+		}
+	}
+}
+
+func benchLearnRounds(b *testing.B, workers int, rowOnly bool) {
+	opts := benchModelOptions(workers, rowOnly)
+	pool := benchModelPool()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := core.New(opts, pool, &benchOracle{pool: pool, r: rng.New(4)}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := l.Run(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Acquired != opts.NMax {
+			b.Fatalf("acquired %d", res.Acquired)
+		}
+	}
+}
+
+// BenchmarkLearnRounds measures a full multi-round learning session —
+// seeding, then ~11 rounds of batch-8 selection interleaved with model
+// updates — through both scoring paths. Unlike the steady-state
+// selection benchmark this includes the cache invalidation each
+// round's updates cause, so it is the honest end-to-end speedup of the
+// routing cache in Algorithm 1's loop.
+func BenchmarkLearnRounds(b *testing.B) {
+	for _, path := range benchPaths {
+		for _, w := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("path=%s/workers=%d", path.name, w), func(b *testing.B) {
+				benchLearnRounds(b, w, path.rowOnly)
+			})
+		}
+	}
+}
+
+// modelBenchRecord is one row of BENCH_model.json.
+type modelBenchRecord struct {
+	Benchmark    string  `json:"benchmark"`
+	Path         string  `json:"path"`
+	Workers      int     `json:"workers"`
+	MsPerOp      float64 `json:"ms_per_op"`
+	SpeedupVsRow float64 `json:"speedup_vs_row"`
+}
+
+type modelBenchReport struct {
+	Name              string             `json:"name"`
+	PoolSize          int                `json:"pool_size"`
+	Candidates        int                `json:"candidates"`
+	Particles         int                `json:"particles"`
+	ScoreParticles    int                `json:"score_particles"`
+	Acquisitions      int                `json:"acquisitions"`
+	BatchWidth        int                `json:"batch_width"`
+	Results           []modelBenchRecord `json:"results"`
+	SelectSerial      float64            `json:"select_steady_indexed_vs_row_serial"`
+	MeetsSpeedupFloor bool               `json:"meets_2x_select_speedup_floor"`
+}
+
+// TestRecordModelBenchmark regenerates BENCH_model.json — the
+// indexed-vs-row scoring trajectory at 1/4/8 workers — and enforces
+// the ≥2x steady-state SelectBatch floor for the pool-interned path
+// over the row path at workers=1 (serial, so the ratio is purely
+// algorithmic: cached routes vs full re-descent). It only runs when
+// ALIC_RECORD_MODEL_BENCH is set (CI's model-bench job, or locally:
+//
+//	ALIC_RECORD_MODEL_BENCH=BENCH_model.json go test -run TestRecordModelBenchmark .
+func TestRecordModelBenchmark(t *testing.T) {
+	out := os.Getenv("ALIC_RECORD_MODEL_BENCH")
+	if out == "" {
+		t.Skip("set ALIC_RECORD_MODEL_BENCH=<path> to record the model-scoring benchmark")
+	}
+	opts := benchModelOptions(1, false)
+	rep := modelBenchReport{
+		Name:           "model-scoring",
+		PoolSize:       len(benchModelPool()),
+		Candidates:     opts.NCand,
+		Particles:      opts.Tree.Particles,
+		ScoreParticles: opts.Tree.ScoreParticles,
+		Acquisitions:   opts.NMax,
+		BatchWidth:     opts.Batch,
+	}
+	bench := func(name string, workers int, rowOnly bool) float64 {
+		var fn func(b *testing.B, workers int, rowOnly bool)
+		switch name {
+		case "SelectBatchSteady":
+			fn = benchSelectSteady
+		case "LearnRounds":
+			fn = benchLearnRounds
+		}
+		res := testing.Benchmark(func(b *testing.B) { fn(b, workers, rowOnly) })
+		return float64(res.NsPerOp()) / 1e6
+	}
+	for _, name := range []string{"SelectBatchSteady", "LearnRounds"} {
+		for _, w := range []int{1, 4, 8} {
+			rowMs := bench(name, w, true)
+			idxMs := bench(name, w, false)
+			rep.Results = append(rep.Results,
+				modelBenchRecord{Benchmark: name, Path: "row", Workers: w, MsPerOp: rowMs, SpeedupVsRow: 1},
+				modelBenchRecord{Benchmark: name, Path: "indexed", Workers: w, MsPerOp: idxMs, SpeedupVsRow: rowMs / idxMs})
+			if name == "SelectBatchSteady" && w == 1 {
+				rep.SelectSerial = rowMs / idxMs
+			}
+			t.Logf("%s/workers=%d: row %.2f ms/op, indexed %.2f ms/op (%.2fx)", name, w, rowMs, idxMs, rowMs/idxMs)
+		}
+	}
+	rep.MeetsSpeedupFloor = rep.SelectSerial >= 2
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.MeetsSpeedupFloor {
+		t.Fatalf("steady-state indexed SelectBatch is %.2fx over the row path at workers=1, want >= 2x", rep.SelectSerial)
+	}
+}

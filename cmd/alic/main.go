@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"alic"
@@ -45,6 +47,8 @@ func main() {
 		evalWork  = flag.Int("eval-workers", 0, "concurrent profiling measurements (0 = all cores); results are identical for every value")
 		async     = flag.Bool("async", false, "pipeline evaluation: overlap each round's measurement with the next round's scoring (results stay deterministic, but differ from sync: selection uses a one-round-stale model)")
 		progress  = flag.Bool("progress", false, "print acquisition progress while learning")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the learn loop to this file")
+		memprof   = flag.String("memprofile", "", "write a pprof heap profile taken after the learn loop to this file")
 	)
 	flag.Parse()
 
@@ -105,9 +109,36 @@ func main() {
 	}
 	fmt.Printf("learning %s: model=%s plan=%s scorer=%s nmax=%d mode=%s (space %.3g)\n",
 		k.Name, *modelName, *plan, *scorer, *nmax, mode, k.SpaceSize())
+	// Profile the learn loop only: model updates plus candidate
+	// scoring, the hot paths BENCH_model.json tracks. See the README's
+	// "Profiling the scoring hot path" section for the workflow.
+	if *cpuprof != "" {
+		pf, err := os.Create(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fatal(err)
+		}
+		defer pf.Close()
+	}
 	res, err := alic.Learn(k, opts)
+	if *cpuprof != "" {
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if *memprof != "" {
+		mf, err := os.Create(*memprof)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // surface only live steady-state allocations
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			fatal(err)
+		}
+		mf.Close()
 	}
 	fmt.Printf("model: RMSE %s s after %d acquisitions (%d runs, %d unique configs, %d revisits)\n",
 		report.FormatFloat(res.FinalError), res.Acquired, res.Observations,

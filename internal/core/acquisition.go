@@ -32,6 +32,21 @@ type Acquisition interface {
 	Select(m model.Model, feats [][]float64, batch int, r Rand) ([]int, error)
 }
 
+// IndexedAcquisition is an optional Acquisition extension. When the
+// learner's backend has interned the candidate pool (model.PoolBinder)
+// the learner hands the heuristic stable pool indices instead of
+// gathered feature rows, which unlocks the backend's cross-round
+// scoring caches. Returned positions index ids exactly as Select's
+// positions index feats, and implementations must make bit-identical
+// selections through both entry points — SelectIndexed is a fast
+// path, never a different heuristic. Acquisitions that do not
+// implement it keep receiving gathered rows via Select.
+type IndexedAcquisition interface {
+	// SelectIndexed is Select with candidates addressed as pool
+	// indices into pb's bound rows.
+	SelectIndexed(m model.Model, pb model.PoolBinder, ids []int, batch int, r Rand) ([]int, error)
+}
+
 // Built-in acquisitions. The values double as registry entries and as
 // ready-to-use Options.Scorer settings.
 var (
@@ -57,6 +72,10 @@ func (alcAcquisition) Select(m model.Model, feats [][]float64, batch int, _ Rand
 	return PickBest(m.ALCScores(feats, feats), batch, true), nil
 }
 
+func (alcAcquisition) SelectIndexed(_ model.Model, pb model.PoolBinder, ids []int, batch int, _ Rand) ([]int, error) {
+	return PickBest(pb.ALCIndexed(ids, ids), batch, true), nil
+}
+
 type almAcquisition struct{}
 
 func (almAcquisition) Name() string { return "alm" }
@@ -64,6 +83,10 @@ func (almAcquisition) Name() string { return "alm" }
 func (almAcquisition) Select(m model.Model, feats [][]float64, batch int, _ Rand) ([]int, error) {
 	// Highest predictive variance first.
 	return PickBest(m.ALMBatch(feats), batch, false), nil
+}
+
+func (almAcquisition) SelectIndexed(_ model.Model, pb model.PoolBinder, ids []int, batch int, _ Rand) ([]int, error) {
+	return PickBest(pb.ALMIndexed(ids), batch, false), nil
 }
 
 type randomAcquisition struct{}
@@ -75,6 +98,14 @@ func (randomAcquisition) Select(_ model.Model, feats [][]float64, batch int, r R
 		batch = len(feats)
 	}
 	return r.Perm(len(feats))[:batch], nil
+}
+
+func (randomAcquisition) SelectIndexed(_ model.Model, _ model.PoolBinder, ids []int, batch int, r Rand) ([]int, error) {
+	// No scoring at all — the indexed path just skips the row gather.
+	if batch > len(ids) {
+		batch = len(ids)
+	}
+	return r.Perm(len(ids))[:batch], nil
 }
 
 // PickBest returns the positions of the batch lowest (minimise) or

@@ -300,6 +300,11 @@ type Learner struct {
 	r       *rng.Stream
 
 	model model.Model
+	// binder is non-nil when the backend interned the pool at seeding
+	// time (model.PoolBinder): the scoring loop then hands stable pool
+	// indices to indexed-capable acquisitions instead of gathering
+	// feature rows, unlocking the backend's cross-round caches.
+	binder model.PoolBinder
 	// obsCount[i] is D in Algorithm 1: observations taken per pool item.
 	obsCount map[int]int
 	// order keeps seen pool items in first-seen order for determinism.
@@ -776,6 +781,17 @@ func (l *Learner) seed() error {
 		return fmt.Errorf("core: model builder %q returned a nil model", l.builder.Name())
 	}
 	l.model = m
+	// Intern the pool once: backends that implement PoolBinder score
+	// candidates by stable index from here on (bit-identical to the
+	// row path, but able to reuse per-candidate work across rounds).
+	if pb, ok := m.(model.PoolBinder); ok {
+		rows := make([][]float64, l.pool.Len())
+		for i := range rows {
+			rows[i] = l.pool.Features(i)
+		}
+		pb.BindPool(rows)
+		l.binder = pb
+	}
 	l.observations += len(all)
 	for i, idx := range idxs {
 		l.obsCount[idx] = seedObs
@@ -787,11 +803,12 @@ func (l *Learner) seed() error {
 	return nil
 }
 
-// candidateSet assembles the candidate indices for one iteration — NCand
-// fresh unseen configurations plus every seen configuration the plan
-// still considers revisitable — together with their feature vectors,
-// gathered once for the batched scorers.
-func (l *Learner) candidateSet() (cands []int, feats [][]float64) {
+// candidateSet assembles the candidate indices for one iteration —
+// NCand fresh unseen configurations plus every seen configuration the
+// plan still considers revisitable. Feature rows are not gathered
+// here: indexed-capable backends score straight from the pool indices
+// (see SelectBatch), and only the row-based fallback pays the gather.
+func (l *Learner) candidateSet() (cands []int) {
 	cands = make([]int, 0, l.opts.NCand+16)
 	// Fresh candidates: rejection-sample distinct unseen pool items, so
 	// one batch can never acquire the same configuration twice.
@@ -811,11 +828,17 @@ func (l *Learner) candidateSet() (cands []int, feats [][]float64) {
 			cands = append(cands, i)
 		}
 	}
-	feats = make([][]float64, len(cands))
+	return cands
+}
+
+// gatherFeatures materialises the feature rows of the candidate set
+// for acquisitions on the row-based path.
+func (l *Learner) gatherFeatures(cands []int) [][]float64 {
+	feats := make([][]float64, len(cands))
 	for i, c := range cands {
 		feats[i] = l.pool.Features(c)
 	}
-	return cands, feats
+	return feats
 }
 
 // SelectBatch scores the candidate set with the acquisition heuristic
@@ -832,14 +855,24 @@ func (l *Learner) SelectBatch(batch int) ([]int, error) {
 	if batch < 1 {
 		return nil, fmt.Errorf("core: SelectBatch batch %d < 1", batch)
 	}
-	cands, feats := l.candidateSet()
+	cands := l.candidateSet()
 	if len(cands) == 0 {
 		return nil, nil
 	}
 	if batch > len(cands) {
 		batch = len(cands)
 	}
-	picks, err := l.acq.Select(l.model, feats, batch, l.r)
+	// The indexed fast path: pool interned by the backend and the
+	// acquisition can consume pool indices. Selections are
+	// bit-identical to the row-based path (the PoolBinder contract);
+	// only the per-round scoring cost changes.
+	var picks []int
+	var err error
+	if ia, ok := l.acq.(IndexedAcquisition); ok && l.binder != nil {
+		picks, err = ia.SelectIndexed(l.model, l.binder, cands, batch, l.r)
+	} else {
+		picks, err = l.acq.Select(l.model, l.gatherFeatures(cands), batch, l.r)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: acquisition %q: %w", l.acq.Name(), err)
 	}

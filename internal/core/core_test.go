@@ -357,8 +357,8 @@ func TestCandidateSetDistinct(t *testing.T) {
 	if _, err := l.Step(); err != nil { // seeding
 		t.Fatal(err)
 	}
-	cands, feats := l.candidateSet()
-	if len(cands) != len(feats) {
+	cands := l.candidateSet()
+	if feats := l.gatherFeatures(cands); len(cands) != len(feats) {
 		t.Fatalf("cands/feats length mismatch: %d vs %d", len(cands), len(feats))
 	}
 	seen := make(map[int]bool, len(cands))
@@ -835,6 +835,76 @@ func TestWorkersDeterminism(t *testing.T) {
 		for k, v := range aCounts {
 			if bCounts[k] != v {
 				t.Fatalf("%s: config %d observed %d vs %d times", sc.Name(), k, v, bCounts[k])
+			}
+		}
+	}
+}
+
+// rowOnlyModel hides the backend's PoolBinder extension, forcing the
+// learner onto the historical row-gathering path.
+type rowOnlyModel struct{ model.Model }
+
+type rowOnlyBuilder struct{ inner model.Builder }
+
+func (b rowOnlyBuilder) Name() string { return b.inner.Name() }
+func (b rowOnlyBuilder) New(p model.Params) (model.Model, error) {
+	m, err := b.inner.New(p)
+	if err != nil {
+		return nil, err
+	}
+	return rowOnlyModel{m}, nil
+}
+
+// TestIndexedPathMatchesRowPath is the cross-layer contract of the
+// pool-interned scoring engine: a learner whose backend interns the
+// pool (dynatree's PoolBinder) must reproduce, bit for bit, the run
+// of an identical learner forced onto the row-gathering path — same
+// curve, same selections, same costs — for both built-in scoring
+// heuristics.
+func TestIndexedPathMatchesRowPath(t *testing.T) {
+	for _, sc := range []Acquisition{ALC, ALM} {
+		run := func(rowOnly bool) (*Result, map[int]int) {
+			pool := gridPool(300)
+			ora := newFuncOracle(pool, stepFn, func([]float64) float64 { return 0.05 }, 0.05, 10)
+			opts := smallOpts()
+			opts.Scorer = sc
+			if rowOnly {
+				opts.Model = rowOnlyBuilder{inner: model.DynatreeBuilder{Config: opts.Tree}}
+			}
+			l, err := New(opts, pool, ora, testEval(stepFn))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := l.Run(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rowOnly && l.binder != nil {
+				t.Fatal("row-only wrapper still bound the pool")
+			}
+			if !rowOnly && l.binder == nil {
+				t.Fatal("dynatree backend did not bind the pool")
+			}
+			return res, l.ObservationCounts()
+		}
+		idx, idxCounts := run(false)
+		row, rowCounts := run(true)
+		if idx.Acquired != row.Acquired || idx.Observations != row.Observations ||
+			idx.Unique != row.Unique || idx.Revisits != row.Revisits || idx.Cost != row.Cost ||
+			idx.FinalError != row.FinalError {
+			t.Fatalf("%s: indexed and row paths diverged: %+v vs %+v", sc.Name(), idx, row)
+		}
+		if len(idx.Curve) != len(row.Curve) {
+			t.Fatalf("%s: curve lengths differ: %d vs %d", sc.Name(), len(idx.Curve), len(row.Curve))
+		}
+		for i := range idx.Curve {
+			if idx.Curve[i] != row.Curve[i] {
+				t.Fatalf("%s: curves diverged at %d: %+v vs %+v", sc.Name(), i, idx.Curve[i], row.Curve[i])
+			}
+		}
+		for k, v := range idxCounts {
+			if rowCounts[k] != v {
+				t.Fatalf("%s: config %d observed %d (indexed) vs %d (row)", sc.Name(), k, v, rowCounts[k])
 			}
 		}
 	}

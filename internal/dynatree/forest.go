@@ -27,17 +27,17 @@ type Config struct {
 	// needs before grow moves are proposed.
 	MinLeafForSplit int
 	// LeafModel selects constant (default) or linear leaves, matching
-	// the two models of the R dynaTree package. ALC scoring always
-	// uses the constant-model closed form as a surrogate; ALM and
-	// prediction honour the configured model.
+	// the two models of the R dynaTree package. ALM, ALC and
+	// prediction all honour the configured model.
 	LeafModel LeafModel
 	// Workers bounds the goroutines used by the batched scoring entry
-	// points (PredictBatch, ALMBatch, ALCScores, AvgVariance) and the
-	// particle-reweighting step of Update. 0 means GOMAXPROCS; 1 runs
-	// everything inline. Scoring is read-only and consumes no
-	// randomness, and all cross-shard reductions happen in index
-	// order, so results are bit-identical for every worker count —
-	// Workers changes wall-clock time only.
+	// points (PredictBatch, ALMBatch, ALCScores, AvgVariance, the
+	// *Indexed pool-interned variants) and the particle-reweighting
+	// step of Update. 0 means GOMAXPROCS; 1 runs everything inline.
+	// Scoring is read-only and consumes no randomness, and all
+	// cross-shard reductions happen in index order, so results are
+	// bit-identical for every worker count — Workers changes
+	// wall-clock time only.
 	Workers int
 }
 
@@ -104,25 +104,55 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Forest is a particle-filtered dynamic-tree regression model. It is
-// not safe for concurrent mutation. With constant leaves, Predict and
-// the scoring methods are read-only and may be called concurrently with
-// each other; with linear leaves, single-point predictions lazily cache
-// leaf posteriors, so use the batched entry points (PredictBatch,
-// ALMBatch, PredictMeanFastBatch, ALCScores), which pre-warm the caches
-// and shard safely across the package's scoring pool.
+// Forest is a particle-filtered dynamic-tree regression model over a
+// flat copy-on-write node arena: particles are root ids into one
+// shared struct-of-arrays node store, resampling duplicates particles
+// by sharing structure, and updates clone only the root-to-leaf path
+// they rewrite. It is not safe for concurrent mutation. The batched
+// and indexed scoring entry points (PredictBatch, ALMBatch,
+// PredictMeanFastBatch, ALCScores, AvgVariance, ALMIndexed,
+// ALCIndexed, PredictMeanFastIndexed) pre-warm any lazily-cached
+// linear-leaf posteriors and are then read-only, sharding safely
+// across the package's scoring pool; with linear leaves, prefer them
+// over the single-point entry points when calling concurrently.
 type Forest struct {
-	cfg       Config
-	prior     nigPrior
-	lprior    linPrior
-	dim       int
-	points    []point
-	particles []*node
-	r         *rng.Stream
+	cfg    Config
+	prior  nigPrior
+	lprior linPrior
+	dim    int
+	points []point
+	ar     nodes
+	roots  []int32
+	r      *rng.Stream
 
-	// Scratch buffers reused across updates.
-	logW []float64
-	idx  []int
+	// scoreSlots is the precomputed strided scoring subsample: the
+	// particle slots every acquisition-scoring entry point folds over,
+	// in slot order.
+	scoreSlots []int32
+
+	// lastLive is the arena size right after the last compaction; the
+	// arena compacts when garbage (superseded path copies, dead
+	// particles) outgrows live nodes.
+	lastLive int
+
+	cache *routeCache // nil until BindPool
+	clock uint32      // routing-cache event clock
+
+	// Scratch reused across updates and scoring calls.
+	logW      []float64
+	wBuf      []float64
+	countsBuf []int
+	outBuf    []int32
+	srcBuf    []int32
+	pathBuf   []int32
+	ptsBuf    []int
+	logwBuf   []float64
+	movesBuf  []int
+	linBuf    []*linSuff
+	growL     childScratch
+	growR     childScratch
+	augBuf    []float64
+	sc        scoreScratch
 }
 
 // --- leaf-model dispatch --------------------------------------------------
@@ -136,34 +166,37 @@ func (f *Forest) nodeML(s suff, lin *linSuff) float64 {
 	return f.prior.logMarginal(s)
 }
 
-// nodePredict returns the posterior-predictive location and variance
-// at x for a leaf.
-func (f *Forest) nodePredict(nd *node, x []float64) (loc, variance float64) {
+// leafPredict returns the posterior-predictive location and variance
+// at x for leaf id. xa is caller-owned scratch of length dim+1 for the
+// linear model's augmented input (may be nil with constant leaves).
+func (f *Forest) leafPredict(id int32, x, xa []float64) (loc, variance float64) {
 	if f.cfg.LeafModel == LinearLeaf {
-		_, loc, _ = f.lprior.predictive(nd.lin, x)
-		return loc, f.lprior.predVariance(nd.lin, x)
+		lin := f.ar.lin[id]
+		_, loc, _ = f.lprior.predictive(lin, x, xa)
+		return loc, f.lprior.predVariance(lin, x, xa)
 	}
-	_, loc, _ = f.prior.predictive(nd.s)
-	return loc, f.prior.predVariance(nd.s)
+	s := f.ar.s[id]
+	_, loc, _ = f.prior.predictive(s)
+	return loc, f.prior.predVariance(s)
 }
 
-// nodeLogPredDensity returns the log predictive density of (x, y) in a
-// leaf.
-func (f *Forest) nodeLogPredDensity(nd *node, x []float64, y float64) float64 {
+// leafLogPredDensity returns the log predictive density of (x, y) in
+// leaf id; xa as for leafPredict.
+func (f *Forest) leafLogPredDensity(id int32, x []float64, y float64, xa []float64) float64 {
 	if f.cfg.LeafModel == LinearLeaf {
-		return f.lprior.logPredictiveDensity(nd.lin, x, y)
+		return f.lprior.logPredictiveDensity(f.ar.lin[id], x, y, xa)
 	}
-	return f.prior.logPredictiveDensity(nd.s, y)
+	return f.prior.logPredictiveDensity(f.ar.s[id], y)
 }
 
-// attachLin (re)builds the linear sufficient statistics of a leaf from
-// its point set.
-func (f *Forest) attachLin(nd *node) {
+// attachLin builds the linear sufficient statistics of a proposed grow
+// child from its point set.
+func (f *Forest) attachLin(c *childScratch) {
 	lin := newLinSuff(f.dim)
-	for _, idx := range nd.pts {
+	for _, idx := range c.pts {
 		lin.add(f.points[idx].x, f.points[idx].y)
 	}
-	nd.lin = lin
+	c.lin = lin
 }
 
 // New creates a forest over inputs of the given dimension. The stream
@@ -179,23 +212,47 @@ func New(cfg Config, dim int, r *rng.Stream) (*Forest, error) {
 		return nil, fmt.Errorf("dynatree: nil rng stream")
 	}
 	f := &Forest{
-		cfg:       cfg,
-		prior:     nigPrior{m0: cfg.M0, kappa0: cfg.Kappa0, a0: cfg.A0, b0: cfg.B0},
-		lprior:    linPrior{m0: cfg.M0, kappa0: cfg.Kappa0, a0: cfg.A0, b0: cfg.B0},
-		dim:       dim,
-		particles: make([]*node, cfg.Particles),
-		r:         r,
-		logW:      make([]float64, cfg.Particles),
-		idx:       make([]int, cfg.Particles),
+		cfg:    cfg,
+		prior:  nigPrior{m0: cfg.M0, kappa0: cfg.Kappa0, a0: cfg.A0, b0: cfg.B0},
+		lprior: linPrior{m0: cfg.M0, kappa0: cfg.Kappa0, a0: cfg.A0, b0: cfg.B0},
+		dim:    dim,
+		roots:  make([]int32, cfg.Particles),
+		r:      r,
+		logW:   make([]float64, cfg.Particles),
+		augBuf: make([]float64, linScratchLen(dim)),
 	}
-	for i := range f.particles {
-		f.particles[i] = newLeaf(0)
+	for i := range f.roots {
+		f.roots[i] = f.ar.newLeaf(0)
 		if cfg.LeafModel == LinearLeaf {
-			f.particles[i].lin = newLinSuff(dim)
+			f.ar.lin[f.roots[i]] = newLinSuff(dim)
 		}
 	}
+	f.scoreSlots = scoreSlotsFor(cfg.Particles, cfg.ScoreParticles)
+	f.lastLive = f.ar.len()
 	return f, nil
 }
+
+// scoreSlotsFor returns the strided scoring-subsample slot indices
+// (all slots when k is 0 or at least the particle count).
+func scoreSlotsFor(particles, k int) []int32 {
+	if k <= 0 || k >= particles {
+		out := make([]int32, particles)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	out := make([]int32, 0, k)
+	stride := float64(particles) / float64(k)
+	for i := 0; i < k; i++ {
+		out = append(out, int32(int(float64(i)*stride)))
+	}
+	return out
+}
+
+// scoringParticles returns the particle slots used for acquisition
+// scoring (a strided subsample when ScoreParticles < Particles).
+func (f *Forest) scoringParticles() []int32 { return f.scoreSlots }
 
 // N returns the number of observations absorbed so far.
 func (f *Forest) N() int { return len(f.points) }
@@ -209,6 +266,21 @@ func (f *Forest) pSplit(depth int) float64 {
 	return f.cfg.Alpha * math.Pow(1+float64(depth), -f.cfg.Beta)
 }
 
+// leafOf descends from root (any node id, in fact — descents may
+// resume from a cached interior node) to the leaf containing x.
+func (f *Forest) leafOf(root int32, x []float64) int32 {
+	dim, cut, left, right := f.ar.dim, f.ar.cut, f.ar.left, f.ar.right
+	cur := root
+	for left[cur] >= 0 {
+		if x[dim[cur]] < cut[cur] {
+			cur = left[cur]
+		} else {
+			cur = right[cur]
+		}
+	}
+	return cur
+}
+
 // Update absorbs one observation: resample particles by the predictive
 // density of (x, y), then apply a stochastic stay/prune/grow move to
 // the leaf containing x in each particle and insert the point.
@@ -220,15 +292,25 @@ func (f *Forest) Update(x []float64, y float64) {
 	copy(xcopy, x)
 	idx := len(f.points)
 	f.points = append(f.points, point{x: xcopy, y: y})
+	if f.cache != nil {
+		f.clock++
+	}
 
 	// Step 1: importance weights = posterior predictive density at the
-	// new observation. Each particle's weight is independent and
-	// read-only, so the loop shards across the scoring pool.
+	// new observation. Each particle's weight is independent and —
+	// after pre-warming any lazily-cached linear-leaf posteriors, which
+	// copy-on-write particles may share — read-only, so the loop shards
+	// across the scoring pool.
 	if len(f.points) > 1 { // with a single point all weights are equal
-		parallelFor(f.workers(), len(f.particles), func(start, end int) {
+		f.warmLin()
+		parallelFor(f.workers(), len(f.roots), func(start, end int) {
+			var xa []float64
+			if f.cfg.LeafModel == LinearLeaf {
+				xa = make([]float64, linScratchLen(f.dim))
+			}
 			for i := start; i < end; i++ {
-				leaf := f.particles[i].leafFor(xcopy)
-				f.logW[i] = f.nodeLogPredDensity(leaf, xcopy, y)
+				leaf := f.leafOf(f.roots[i], xcopy)
+				f.logW[i] = f.leafLogPredDensity(leaf, xcopy, y, xa)
 			}
 		})
 		f.resample()
@@ -236,9 +318,10 @@ func (f *Forest) Update(x []float64, y float64) {
 
 	// Step 2: propagate every particle with a local tree move, then
 	// insert the point.
-	for i := range f.particles {
-		f.particles[i] = f.propagate(f.particles[i], idx, xcopy, y)
+	for i := range f.roots {
+		f.propagate(i, idx, xcopy, y)
 	}
+	f.maybeCompact()
 }
 
 // UpdateBatch absorbs observations one at a time in order.
@@ -252,9 +335,11 @@ func (f *Forest) UpdateBatch(xs [][]float64, ys []float64) {
 }
 
 // resample replaces the particle cloud with a systematic resample
-// proportional to exp(logW).
+// proportional to exp(logW). Duplicated particles share their tree
+// (the copy-on-write propagate clones only written paths), so a
+// resample is O(N) regardless of tree sizes.
 func (f *Forest) resample() {
-	n := len(f.particles)
+	n := len(f.roots)
 	maxW := math.Inf(-1)
 	for _, lw := range f.logW {
 		if lw > maxW {
@@ -264,8 +349,11 @@ func (f *Forest) resample() {
 	if math.IsInf(maxW, -1) || math.IsNaN(maxW) {
 		return // degenerate weights: keep the cloud as-is
 	}
+	if cap(f.wBuf) < n {
+		f.wBuf = make([]float64, n)
+	}
+	w := f.wBuf[:n]
 	total := 0.0
-	w := make([]float64, n)
 	for i, lw := range f.logW {
 		w[i] = math.Exp(lw - maxW)
 		total += w[i]
@@ -277,7 +365,13 @@ func (f *Forest) resample() {
 	u := f.r.Float64() / float64(n)
 	cum := 0.0
 	j := 0
-	counts := make([]int, n)
+	if cap(f.countsBuf) < n {
+		f.countsBuf = make([]int, n)
+	}
+	counts := f.countsBuf[:n]
+	for i := range counts {
+		counts[i] = 0
+	}
 	for i := 0; i < n; i++ {
 		target := (u + float64(i)/float64(n)) * total
 		for cum+w[j] < target && j < n-1 {
@@ -286,17 +380,25 @@ func (f *Forest) resample() {
 		}
 		counts[j]++
 	}
-	out := make([]*node, 0, n)
+	out := f.outBuf[:0]
+	src := f.srcBuf[:0]
 	for i, c := range counts {
 		if c == 0 {
 			continue
 		}
-		out = append(out, f.particles[i]) // first occurrence: move, no copy
-		for k := 1; k < c; k++ {
-			out = append(out, f.particles[i].clone())
+		if c > 1 {
+			f.ar.shared[f.roots[i]] = true
+		}
+		for k := 0; k < c; k++ {
+			out = append(out, f.roots[i])
+			src = append(src, int32(i))
 		}
 	}
-	copy(f.particles, out)
+	copy(f.roots, out)
+	f.outBuf, f.srcBuf = out, src
+	if f.cache != nil {
+		f.cache.remap(src)
+	}
 }
 
 // moveStay etc. label the particle moves for diagnostics.
@@ -307,42 +409,64 @@ const (
 )
 
 // propagate applies one stochastic stay/prune/grow move to the leaf of
-// root containing x, inserts point idx, and returns the (possibly new)
-// root.
-func (f *Forest) propagate(root *node, idx int, x []float64, y float64) *node {
-	leaf, parent := root.descend(x)
+// slot's tree containing x and inserts point idx. The move decision is
+// computed read-only against the (possibly shared) current tree; only
+// the chosen move's write path is made writable, cloning shared nodes
+// copy-on-write — O(depth) cloned nodes per update for a freshly
+// duplicated particle, zero for an exclusively-owned one.
+func (f *Forest) propagate(slot int, idx int, x []float64, y float64) {
+	ar := &f.ar
+
+	// Descend to the leaf containing x, recording the chain root → leaf.
+	chain := f.pathBuf[:0]
+	cur := f.roots[slot]
+	for ar.left[cur] >= 0 {
+		chain = append(chain, cur)
+		if x[ar.dim[cur]] < ar.cut[cur] {
+			cur = ar.left[cur]
+		} else {
+			cur = ar.right[cur]
+		}
+	}
+	leaf := cur
+	chain = append(chain, leaf)
+	f.pathBuf = chain
+	parent := int32(-1)
+	if len(chain) > 1 {
+		parent = chain[len(chain)-2]
+	}
 
 	// Sufficient statistics of the leaf with the new point included.
-	sNew := leaf.s
+	sNew := ar.s[leaf]
 	sNew.add(y)
 	var linNew *linSuff
 	if f.cfg.LeafModel == LinearLeaf {
-		linNew = leaf.lin.clone()
+		linNew = ar.lin[leaf].clone()
 		linNew.add(x, y)
 	}
 
 	// --- Candidate move weights (log space) -----------------------------
-	logw := make([]float64, 0, 3)
-	moves := make([]int, 0, 3)
+	logw := f.logwBuf[:0]
+	moves := f.movesBuf[:0]
 
 	// Stay: leaf keeps its data plus the new point.
-	stayLW := math.Log1p(-f.pSplit(leaf.depth)) + f.nodeML(sNew, linNew)
+	stayLW := math.Log1p(-f.pSplit(int(ar.depth[leaf]))) + f.nodeML(sNew, linNew)
 	logw = append(logw, stayLW)
 	moves = append(moves, moveStay)
 
 	// Prune: allowed when the leaf has a parent whose other child is
 	// also a leaf; the parent collapses into a single leaf.
-	var sib *node
+	sib := int32(-1)
 	var mergedLin *linSuff
-	if parent != nil {
-		sib = parent.left
+	if parent >= 0 {
+		sib = ar.left[parent]
 		if sib == leaf {
-			sib = parent.right
+			sib = ar.right[parent]
 		}
-		if sib.leaf {
-			merged := sNew.merge(sib.s)
+		if ar.left[sib] < 0 {
+			merged := sNew.merge(ar.s[sib])
 			if f.cfg.LeafModel == LinearLeaf {
-				mergedLin = linNew.merge(sib.lin)
+				mergedLin = linNew.merge(ar.lin[sib])
 			}
 			// Compare subtrees rooted at the parent. The pruned tree
 			// contributes (1-p_split(parent)) * ML(merged); the kept
@@ -350,42 +474,46 @@ func (f *Forest) propagate(root *node, idx int, x []float64, y float64) *node {
 			// ML(leaf+new) * (1-p_split(sib)) * ML(sib). The stay
 			// weight above lacks the parent-level factors, so add them
 			// here to put all three moves on the parent's footing.
-			parentSplitLW := math.Log(f.pSplit(parent.depth)) +
-				math.Log1p(-f.pSplit(sib.depth)) + f.nodeML(sib.s, sib.lin)
+			parentSplitLW := math.Log(f.pSplit(int(ar.depth[parent]))) +
+				math.Log1p(-f.pSplit(int(ar.depth[sib]))) + f.nodeML(ar.s[sib], ar.lin[sib])
 			logw[0] += parentSplitLW
-			pruneLW := math.Log1p(-f.pSplit(parent.depth)) + f.nodeML(merged, mergedLin)
+			pruneLW := math.Log1p(-f.pSplit(int(ar.depth[parent]))) + f.nodeML(merged, mergedLin)
 			logw = append(logw, pruneLW)
 			moves = append(moves, movePrune)
 		}
 	}
 
 	// Grow: propose one split of the leaf (with the new point included)
-	// when it holds enough observations.
+	// when it holds enough observations. The proposal is partitioned
+	// into scratch children; arena nodes are materialised only if the
+	// grow move is actually chosen.
 	var growDim int
 	var growCut float64
-	if leaf.s.n+1 >= f.cfg.MinLeafForSplit {
-		ptsPlus := make([]int, 0, len(leaf.pts)+1)
-		ptsPlus = append(ptsPlus, leaf.pts...)
+	if ar.s[leaf].n+1 >= f.cfg.MinLeafForSplit {
+		ptsPlus := append(f.ptsBuf[:0], ar.pts[leaf]...)
 		ptsPlus = append(ptsPlus, idx)
+		f.ptsBuf = ptsPlus
 		if dim, cut, ok := proposeSplit(ptsPlus, f.points, f.r); ok {
-			l, r := partitionLeaf(ptsPlus, f.points, leaf.depth, dim, cut)
+			partitionLeaf(ptsPlus, f.points, dim, cut, &f.growL, &f.growR)
 			if f.cfg.LeafModel == LinearLeaf {
-				f.attachLin(l)
-				f.attachLin(r)
+				f.attachLin(&f.growL)
+				f.attachLin(&f.growR)
 			}
-			growLW := math.Log(f.pSplit(leaf.depth)) +
-				math.Log1p(-f.pSplit(l.depth)) + f.nodeML(l.s, l.lin) +
-				math.Log1p(-f.pSplit(r.depth)) + f.nodeML(r.s, r.lin)
+			childDepth := int(ar.depth[leaf]) + 1
+			growLW := math.Log(f.pSplit(int(ar.depth[leaf]))) +
+				math.Log1p(-f.pSplit(childDepth)) + f.nodeML(f.growL.s, f.growL.lin) +
+				math.Log1p(-f.pSplit(childDepth)) + f.nodeML(f.growR.s, f.growR.lin)
 			// Match the parent-level footing if prune is on the table.
 			if len(moves) == 2 {
-				growLW += math.Log(f.pSplit(parent.depth)) +
-					math.Log1p(-f.pSplit(sib.depth)) + f.nodeML(sib.s, sib.lin)
+				growLW += math.Log(f.pSplit(int(ar.depth[parent]))) +
+					math.Log1p(-f.pSplit(int(ar.depth[sib]))) + f.nodeML(ar.s[sib], ar.lin[sib])
 			}
 			logw = append(logw, growLW)
 			moves = append(moves, moveGrow)
 			growDim, growCut = dim, cut
 		}
 	}
+	f.logwBuf, f.movesBuf = logw, moves
 
 	move := moveStay
 	if len(moves) > 1 {
@@ -394,42 +522,157 @@ func (f *Forest) propagate(root *node, idx int, x []float64, y float64) *node {
 
 	switch move {
 	case moveStay:
-		leaf.pts = append(leaf.pts, idx)
-		leaf.s = sNew
-		leaf.lin = linNew
+		target := f.makeWritable(slot, chain)
+		f.ar.pts[target] = append(f.ar.pts[target], idx)
+		f.ar.s[target] = sNew
+		f.ar.lin[target] = linNew
 
 	case movePrune:
 		// Parent becomes a leaf holding both children's points plus the
 		// new one.
-		merged := sNew.merge(sib.s)
-		pts := make([]int, 0, len(leaf.pts)+len(sib.pts)+1)
-		pts = append(pts, leaf.pts...)
-		pts = append(pts, sib.pts...)
+		p := f.makeWritable(slot, chain[:len(chain)-1])
+		f.retire(slot, leaf)
+		f.retire(slot, sib)
+		merged := sNew.merge(f.ar.s[sib])
+		pts := make([]int, 0, len(f.ar.pts[leaf])+len(f.ar.pts[sib])+1)
+		pts = append(pts, f.ar.pts[leaf]...)
+		pts = append(pts, f.ar.pts[sib]...)
 		pts = append(pts, idx)
-		parent.leaf = true
-		parent.left, parent.right = nil, nil
-		parent.pts = pts
-		parent.s = merged
-		parent.lin = mergedLin
+		f.ar.left[p], f.ar.right[p] = -1, -1
+		f.ar.pts[p] = pts
+		f.ar.s[p] = merged
+		f.ar.lin[p] = mergedLin
 
 	case moveGrow:
-		ptsPlus := make([]int, 0, len(leaf.pts)+1)
-		ptsPlus = append(ptsPlus, leaf.pts...)
-		ptsPlus = append(ptsPlus, idx)
-		l, r := partitionLeaf(ptsPlus, f.points, leaf.depth, growDim, growCut)
-		if f.cfg.LeafModel == LinearLeaf {
-			f.attachLin(l)
-			f.attachLin(r)
-		}
-		leaf.leaf = false
-		leaf.pts = nil
-		leaf.s = suff{}
-		leaf.lin = nil
-		leaf.dim = growDim
-		leaf.cut = growCut
-		leaf.left, leaf.right = l, r
+		target := f.makeWritable(slot, chain)
+		l := f.materializeChild(&f.growL, f.ar.depth[target]+1)
+		r := f.materializeChild(&f.growR, f.ar.depth[target]+1)
+		f.ar.dim[target] = int32(growDim)
+		f.ar.cut[target] = growCut
+		f.ar.left[target], f.ar.right[target] = l, r
+		f.ar.pts[target] = nil
+		f.ar.s[target] = suff{}
+		f.ar.lin[target] = nil
 	}
-	return root
+}
+
+// materializeChild turns a grow-proposal scratch child into an arena
+// leaf, adopting the proposal's freshly-built linear statistics.
+func (f *Forest) materializeChild(c *childScratch, depth int32) int32 {
+	id := f.ar.newLeaf(depth)
+	f.ar.pts[id] = append([]int(nil), c.pts...)
+	f.ar.s[id] = c.s
+	f.ar.lin[id] = c.lin
+	c.lin = nil
+	return id
+}
+
+// makeWritable returns a writable id for the last node of chain
+// (chain runs root → … → write target). Nodes from the first shared
+// one onward are replaced with fresh copies relinked top-down; the
+// off-path child of every cloned interior node gains a second
+// referencing tree and is marked shared; superseded originals are
+// retired from slot's routing cache. With no shared node on the chain
+// this is a no-op returning the target itself — the common case for a
+// particle that survived resampling uniquely.
+func (f *Forest) makeWritable(slot int, chain []int32) int32 {
+	ar := &f.ar
+	first := -1
+	for i, id := range chain {
+		if ar.shared[id] {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return chain[len(chain)-1]
+	}
+	prev := int32(-1)
+	if first > 0 {
+		prev = chain[first-1]
+	}
+	for i := first; i < len(chain); i++ {
+		orig := chain[i]
+		cp := ar.copyNode(orig)
+		f.retire(slot, orig)
+		if i < len(chain)-1 {
+			// Both the original and the copy now reference the
+			// off-path child.
+			if ar.left[orig] == chain[i+1] {
+				ar.shared[ar.right[orig]] = true
+			} else {
+				ar.shared[ar.left[orig]] = true
+			}
+		}
+		switch {
+		case prev < 0:
+			f.roots[slot] = cp
+		case ar.left[prev] == orig:
+			ar.left[prev] = cp
+		default:
+			ar.right[prev] = cp
+		}
+		prev = cp
+	}
+	return prev
+}
+
+// retire records that node id left slot's tree, so cached routes
+// through it die. Nothing to record when the slot's tree was never
+// scored (no slab) or no pool is bound.
+func (f *Forest) retire(slot int, id int32) {
+	if f.cache == nil || f.cache.slabs[slot] == nil {
+		return
+	}
+	f.ar.die[id] = f.clock
+}
+
+// maybeCompact rebuilds the arena when superseded path copies and
+// dead particles outgrow the live trees. Compaction preserves
+// structural sharing (and recomputes exact shared flags) but renames
+// every node id, so it invalidates all cached routes.
+func (f *Forest) maybeCompact() {
+	if f.ar.len() > 4*f.lastLive+1024 {
+		f.compact()
+	}
+}
+
+func (f *Forest) compact() {
+	old := &f.ar
+	var na nodes
+	remap := make([]int32, old.len())
+	for i := range remap {
+		remap[i] = -1
+	}
+	var clone func(id int32) int32
+	clone = func(id int32) int32 {
+		if nid := remap[id]; nid >= 0 {
+			na.shared[nid] = true
+			return nid
+		}
+		nid := na.newLeaf(old.depth[id])
+		remap[id] = nid
+		na.dim[nid] = old.dim[id]
+		na.cut[nid] = old.cut[id]
+		na.pts[nid] = old.pts[id]
+		na.s[nid] = old.s[id]
+		na.lin[nid] = old.lin[id]
+		if old.left[id] >= 0 {
+			l := clone(old.left[id])
+			r := clone(old.right[id])
+			na.left[nid] = l
+			na.right[nid] = r
+		}
+		return nid
+	}
+	for i, root := range f.roots {
+		f.roots[i] = clone(root)
+	}
+	f.ar = na
+	f.lastLive = na.len()
+	if f.cache != nil {
+		f.cache.invalidateAll()
+	}
 }
 
 // sampleLog samples an index proportionally to exp(logw).
@@ -440,11 +683,16 @@ func sampleLog(logw []float64, r *rng.Stream) int {
 			maxW = lw
 		}
 	}
-	w := make([]float64, len(logw))
+	var wArr [4]float64
+	w := wArr[:0]
+	if len(logw) > len(wArr) {
+		w = make([]float64, 0, len(logw))
+	}
 	total := 0.0
-	for i, lw := range logw {
-		w[i] = math.Exp(lw - maxW)
-		total += w[i]
+	for _, lw := range logw {
+		wi := math.Exp(lw - maxW)
+		w = append(w, wi)
+		total += wi
 	}
 	if total <= 0 || math.IsNaN(total) {
 		return 0
@@ -463,261 +711,39 @@ func sampleLog(logw []float64, r *rng.Stream) int {
 // Predict returns the posterior-predictive mean and variance at x,
 // aggregated over particles by the law of total variance.
 func (f *Forest) Predict(x []float64) (mean, variance float64) {
-	n := len(f.particles)
-	sumM, sumV, sumM2 := 0.0, 0.0, 0.0
-	for _, p := range f.particles {
-		leaf := p.leafFor(x)
-		loc, v := f.nodePredict(leaf, x)
-		sumM += loc
-		sumM2 += loc * loc
-		sumV += v
-	}
-	mean = sumM / float64(n)
-	variance = sumV/float64(n) + sumM2/float64(n) - mean*mean
-	if variance < 0 {
-		variance = 0
-	}
-	return mean, variance
+	return f.predictWith(x, f.augBuf)
 }
 
 // PredictMean returns only the posterior-predictive mean at x.
 func (f *Forest) PredictMean(x []float64) float64 {
 	sum := 0.0
-	for _, p := range f.particles {
-		leaf := p.leafFor(x)
-		loc, _ := f.nodePredict(leaf, x)
+	for _, root := range f.roots {
+		leaf := f.leafOf(root, x)
+		loc, _ := f.leafPredict(leaf, x, f.augBuf)
 		sum += loc
 	}
-	return sum / float64(len(f.particles))
+	return sum / float64(len(f.roots))
 }
 
 // PredictMeanFast returns the posterior-predictive mean at x using the
 // scoring subsample of particles. It trades a little Monte Carlo
 // accuracy for a large speedup when evaluating learning curves over
-// thousands of test points.
+// thousands of test points, and allocates nothing in steady state
+// (pinned by a regression test).
 func (f *Forest) PredictMeanFast(x []float64) float64 {
-	return f.predictMeanParts(f.scoringParticles(), x)
+	return f.predictMeanSlots(f.scoreSlots, x, f.augBuf)
 }
 
-// predictMeanParts averages the leaf predictions of x over the given
-// particles.
-func (f *Forest) predictMeanParts(parts []*node, x []float64) float64 {
+// predictMeanSlots averages the leaf predictions of x over the given
+// particle slots.
+func (f *Forest) predictMeanSlots(slots []int32, x, xa []float64) float64 {
 	sum := 0.0
-	for _, p := range parts {
-		leaf := p.leafFor(x)
-		loc, _ := f.nodePredict(leaf, x)
+	for _, slot := range slots {
+		leaf := f.leafOf(f.roots[slot], x)
+		loc, _ := f.leafPredict(leaf, x, xa)
 		sum += loc
 	}
-	return sum / float64(len(parts))
-}
-
-// PredictBatch returns the posterior-predictive mean and variance at
-// every row of xs, sharding the rows across the scoring pool. Each
-// entry is bit-identical to the corresponding Predict call.
-func (f *Forest) PredictBatch(xs [][]float64) (means, variances []float64) {
-	f.warmLinLeaves(f.particles)
-	means = make([]float64, len(xs))
-	variances = make([]float64, len(xs))
-	parallelFor(f.workers(), len(xs), func(start, end int) {
-		for i := start; i < end; i++ {
-			means[i], variances[i] = f.Predict(xs[i])
-		}
-	})
-	return means, variances
-}
-
-// PredictMeanFastBatch is the batched, parallel counterpart of
-// PredictMeanFast: entry i is bit-identical to PredictMeanFast(xs[i]).
-func (f *Forest) PredictMeanFastBatch(xs [][]float64) []float64 {
-	parts := f.scoringParticles()
-	f.warmLinLeaves(parts)
-	out := make([]float64, len(xs))
-	parallelFor(f.workers(), len(xs), func(start, end int) {
-		for i := start; i < end; i++ {
-			out[i] = f.predictMeanParts(parts, xs[i])
-		}
-	})
-	return out
-}
-
-// warmLinLeaves pre-computes the lazily-cached linear-leaf posteriors
-// (Cholesky factor, posterior mean) of every leaf reachable from parts,
-// so that the subsequent sharded prediction passes are genuinely
-// read-only. Particles own disjoint trees, so the walk itself shards
-// safely across particles. Constant leaves keep no cache; the call is
-// a no-op for them.
-func (f *Forest) warmLinLeaves(parts []*node) {
-	if f.cfg.LeafModel != LinearLeaf {
-		return
-	}
-	parallelFor(f.workers(), len(parts), func(start, end int) {
-		for pi := start; pi < end; pi++ {
-			warmNode(parts[pi], f.lprior)
-		}
-	})
-}
-
-func warmNode(nd *node, p linPrior) {
-	if nd.leaf {
-		if nd.lin != nil {
-			p.ensure(nd.lin)
-		}
-		return
-	}
-	warmNode(nd.left, p)
-	warmNode(nd.right, p)
-}
-
-// scoringParticles returns the subset of particles used for
-// acquisition scoring (a strided subsample when ScoreParticles < N).
-func (f *Forest) scoringParticles() []*node {
-	k := f.cfg.ScoreParticles
-	if k <= 0 || k >= len(f.particles) {
-		return f.particles
-	}
-	out := make([]*node, 0, k)
-	stride := float64(len(f.particles)) / float64(k)
-	for i := 0; i < k; i++ {
-		out = append(out, f.particles[int(float64(i)*stride)])
-	}
-	return out
-}
-
-// ALM returns MacKay's active-learning score at x: the posterior
-// predictive variance. Higher is more informative.
-func (f *Forest) ALM(x []float64) float64 {
-	return f.almParts(f.scoringParticles(), x)
-}
-
-// almParts computes the ALM score of x over the given particles.
-func (f *Forest) almParts(parts []*node, x []float64) float64 {
-	sumM, sumV, sumM2 := 0.0, 0.0, 0.0
-	for _, p := range parts {
-		leaf := p.leafFor(x)
-		loc, v := f.nodePredict(leaf, x)
-		sumM += loc
-		sumM2 += loc * loc
-		sumV += v
-	}
-	n := float64(len(parts))
-	mean := sumM / n
-	variance := sumV/n + sumM2/n - mean*mean
-	if variance < 0 {
-		variance = 0
-	}
-	return variance
-}
-
-// ALMBatch scores every row of xs with the ALM heuristic, sharding the
-// candidates across the scoring pool. Entry i is bit-identical to
-// ALM(xs[i]) for every worker count.
-func (f *Forest) ALMBatch(xs [][]float64) []float64 {
-	parts := f.scoringParticles()
-	f.warmLinLeaves(parts)
-	scores := make([]float64, len(xs))
-	parallelFor(f.workers(), len(xs), func(start, end int) {
-		for i := start; i < end; i++ {
-			scores[i] = f.almParts(parts, xs[i])
-		}
-	})
-	return scores
-}
-
-// ALCScores implements Cohn's heuristic as used by Algorithm 1 of the
-// paper (predictAvgModelVariance): for every candidate c it returns the
-// expected average posterior-predictive variance over the reference set
-// after hypothetically observing c once. The learner picks the
-// candidate with the LOWEST score.
-//
-// Under the NIG leaf model only reference points sharing c's leaf see
-// their variance change, which gives a closed form per (particle,
-// leaf); the implementation groups references by leaf so the cost is
-// O(particles * (|refs| + |cands|) * depth) rather than
-// O(particles * |refs| * |cands|).
-// Both passes shard across the scoring pool: the reference-grouping
-// pass over particles, and the candidate-scoring pass over candidates.
-// Each shard writes only its own indices and every cross-shard
-// reduction runs in index order, so the scores are bit-identical for
-// every worker count.
-func (f *Forest) ALCScores(cands, refs [][]float64) []float64 {
-	parts := f.scoringParticles()
-	nRefs := float64(len(refs))
-	if len(refs) == 0 || len(cands) == 0 {
-		return make([]float64, len(cands))
-	}
-
-	// Pass 1 (parallel over particles): per-particle per-leaf reference
-	// counts, plus each particle's contribution to the current total
-	// average variance over refs.
-	perParticle := make([]map[*node]int, len(parts))
-	partials := make([]float64, len(parts))
-	parallelFor(f.workers(), len(parts), func(start, end int) {
-		for pi := start; pi < end; pi++ {
-			p := parts[pi]
-			m := make(map[*node]int)
-			sum := 0.0
-			for _, r := range refs {
-				leaf := p.leafFor(r)
-				m[leaf]++
-				sum += f.prior.predVariance(leaf.s)
-			}
-			perParticle[pi] = m
-			partials[pi] = sum
-		}
-	})
-	nParts := float64(len(parts))
-	baseAvgVar := reduceInOrder(partials) / (nParts * nRefs)
-
-	// Pass 2 (parallel over candidates): each candidate's expected
-	// variance reduction folds over the particles in index order.
-	scores := make([]float64, len(cands))
-	parallelFor(f.workers(), len(cands), func(start, end int) {
-		for ci := start; ci < end; ci++ {
-			c := cands[ci]
-			reduction := 0.0
-			for pi, p := range parts {
-				leaf := p.leafFor(c)
-				refCount := perParticle[pi][leaf]
-				if refCount == 0 {
-					continue
-				}
-				vNow := f.prior.predVariance(leaf.s)
-				vAfter := f.prior.expectedPostVariance(leaf.s)
-				if math.IsInf(vNow, 0) || math.IsInf(vAfter, 0) {
-					continue
-				}
-				delta := vNow - vAfter
-				if delta > 0 {
-					reduction += delta * float64(refCount)
-				}
-			}
-			scores[ci] = baseAvgVar - reduction/(nParts*nRefs)
-		}
-	})
-	return scores
-}
-
-// AvgVariance returns the current average posterior-predictive variance
-// over the reference set, using the scoring subsample. The fold over
-// particles shards across the scoring pool with an in-order reduction,
-// so the result is bit-identical for every worker count.
-func (f *Forest) AvgVariance(refs [][]float64) float64 {
-	if len(refs) == 0 {
-		return 0
-	}
-	parts := f.scoringParticles()
-	partials := make([]float64, len(parts))
-	parallelFor(f.workers(), len(parts), func(start, end int) {
-		for pi := start; pi < end; pi++ {
-			sum := 0.0
-			for _, r := range refs {
-				leaf := parts[pi].leafFor(r)
-				sum += f.prior.predVariance(leaf.s)
-			}
-			partials[pi] = sum
-		}
-	})
-	return reduceInOrder(partials) / (float64(len(parts)) * float64(len(refs)))
+	return sum / float64(len(slots))
 }
 
 // Stats reports diagnostic aggregates over the particle cloud.
@@ -731,16 +757,37 @@ type Stats struct {
 
 // Stats returns diagnostics about the current particle cloud.
 func (f *Forest) Stats() Stats {
-	st := Stats{Points: len(f.points), Particles: len(f.particles)}
-	for _, p := range f.particles {
-		nodes, leaves := p.countNodes()
+	st := Stats{Points: len(f.points), Particles: len(f.roots)}
+	for _, root := range f.roots {
+		nodes, leaves, depth := f.treeShape(root)
 		st.AvgNodes += float64(nodes)
 		st.AvgLeaves += float64(leaves)
-		if d := p.maxDepth(); d > st.MaxDepth {
-			st.MaxDepth = d
+		if depth > st.MaxDepth {
+			st.MaxDepth = depth
 		}
 	}
-	st.AvgNodes /= float64(len(f.particles))
-	st.AvgLeaves /= float64(len(f.particles))
+	st.AvgNodes /= float64(len(f.roots))
+	st.AvgLeaves /= float64(len(f.roots))
 	return st
+}
+
+// treeShape returns the node count, leaf count and maximum leaf depth
+// of the tree rooted at root (shared subtrees count once per tree,
+// matching the old per-particle deep-copy semantics).
+func (f *Forest) treeShape(root int32) (nodes, leaves, maxDepth int) {
+	var walk func(id int32)
+	walk = func(id int32) {
+		nodes++
+		if f.ar.left[id] < 0 {
+			leaves++
+			if d := int(f.ar.depth[id]); d > maxDepth {
+				maxDepth = d
+			}
+			return
+		}
+		walk(f.ar.left[id])
+		walk(f.ar.right[id])
+	}
+	walk(root)
+	return nodes, leaves, maxDepth
 }

@@ -300,38 +300,36 @@ func TestParticleTreesPartitionAllPoints(t *testing.T) {
 		x := []float64{r.Float64(), r.Float64()}
 		f.Update(x, x[0]+2*x[1]+r.NormMS(0, 0.1))
 	}
-	for pi, p := range f.particles {
+	for pi, root := range f.roots {
 		total := 0
-		var check func(nd *node)
 		bad := false
-		var sumAll float64
-		check = func(nd *node) {
-			if nd.leaf {
-				total += len(nd.pts)
-				if nd.s.n != len(nd.pts) {
+		var check func(id int32)
+		check = func(id int32) {
+			if f.ar.left[id] < 0 {
+				total += len(f.ar.pts[id])
+				if f.ar.s[id].n != len(f.ar.pts[id]) {
 					bad = true
 				}
 				var s suff
-				for _, idx := range nd.pts {
+				for _, idx := range f.ar.pts[id] {
 					s.add(f.points[idx].y)
 					// The point must actually route to this leaf.
-					if p.leafFor(f.points[idx].x) != nd {
+					if f.leafOf(root, f.points[idx].x) != id {
 						bad = true
 					}
 				}
-				if s.n != nd.s.n || !almostEq(s.sumY, nd.s.sumY) || !almostEq(s.sumY2, nd.s.sumY2) {
+				if s.n != f.ar.s[id].n || !almostEq(s.sumY, f.ar.s[id].sumY) || !almostEq(s.sumY2, f.ar.s[id].sumY2) {
 					bad = true
 				}
-				sumAll += s.sumY
 				return
 			}
-			if len(nd.pts) != 0 || nd.s.n != 0 {
+			if len(f.ar.pts[id]) != 0 || f.ar.s[id].n != 0 {
 				bad = true // internal nodes must not hold data
 			}
-			check(nd.left)
-			check(nd.right)
+			check(f.ar.left[id])
+			check(f.ar.right[id])
 		}
-		check(p)
+		check(root)
 		if bad || total != len(f.points) {
 			t.Fatalf("particle %d: invariant violated (total=%d points=%d bad=%v)",
 				pi, total, len(f.points), bad)

@@ -4,7 +4,9 @@ package dynatree
 // internal (split) nodes across the particle cloud that split on each
 // input dimension. Dimensions the posterior considers irrelevant are
 // rarely split on, so their score approaches zero; scores sum to 1
-// when any split exists.
+// when any split exists. Subtrees shared between particles count once
+// per referencing tree, preserving the per-particle semantics of the
+// pre-arena deep-copied cloud.
 //
 // This is the tree-ensemble analogue of automatic relevance
 // determination and is useful for inspecting which optimization
@@ -12,20 +14,20 @@ package dynatree
 func (f *Forest) Importance(dim int) []float64 {
 	counts := make([]float64, dim)
 	total := 0.0
-	for _, p := range f.particles {
-		var walk func(nd *node)
-		walk = func(nd *node) {
-			if nd.leaf {
-				return
-			}
-			if nd.dim >= 0 && nd.dim < dim {
-				counts[nd.dim]++
-				total++
-			}
-			walk(nd.left)
-			walk(nd.right)
+	var walk func(id int32)
+	walk = func(id int32) {
+		if f.ar.left[id] < 0 {
+			return
 		}
-		walk(p)
+		if d := int(f.ar.dim[id]); d >= 0 && d < dim {
+			counts[d]++
+			total++
+		}
+		walk(f.ar.left[id])
+		walk(f.ar.right[id])
+	}
+	for _, root := range f.roots {
+		walk(root)
 	}
 	if total > 0 {
 		for i := range counts {
@@ -41,24 +43,24 @@ func (f *Forest) Importance(dim int) []float64 {
 func (f *Forest) DepthImportance(dim int) []float64 {
 	counts := make([]float64, dim)
 	total := 0.0
-	for _, p := range f.particles {
-		var walk func(nd *node)
-		walk = func(nd *node) {
-			if nd.leaf {
-				return
-			}
-			w := 1.0
-			for d := 0; d < nd.depth && d < 62; d++ {
-				w /= 2
-			}
-			if nd.dim >= 0 && nd.dim < dim {
-				counts[nd.dim] += w
-				total += w
-			}
-			walk(nd.left)
-			walk(nd.right)
+	var walk func(id int32)
+	walk = func(id int32) {
+		if f.ar.left[id] < 0 {
+			return
 		}
-		walk(p)
+		w := 1.0
+		for d := int32(0); d < f.ar.depth[id] && d < 62; d++ {
+			w /= 2
+		}
+		if d := int(f.ar.dim[id]); d >= 0 && d < dim {
+			counts[d] += w
+			total += w
+		}
+		walk(f.ar.left[id])
+		walk(f.ar.right[id])
+	}
+	for _, root := range f.roots {
+		walk(root)
 	}
 	if total > 0 {
 		for i := range counts {

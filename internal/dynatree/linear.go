@@ -60,25 +60,36 @@ func newLinSuff(dim int) *linSuff {
 	return s
 }
 
-// aug returns the augmented input (1, x).
-func aug(x []float64) []float64 {
-	out := make([]float64, len(x)+1)
-	out[0] = 1
-	copy(out[1:], x)
-	return out
+// augInto writes the augmented input (1, x) into dst, which must have
+// length len(x)+1, and returns it. Keeping the buffer caller-owned is
+// what lets the steady-state scoring kernels run allocation-free.
+func augInto(dst, x []float64) []float64 {
+	dst[0] = 1
+	copy(dst[1:], x)
+	return dst
 }
 
+// add absorbs one observation. The augmented row is formed implicitly
+// (xa[0] = 1, xa[i] = x[i-1]) so the per-observation hot path of
+// Update allocates nothing.
 func (s *linSuff) add(x []float64, y float64) {
-	xa := aug(x)
 	for i := 0; i < s.d; i++ {
+		xi := 1.0
+		if i > 0 {
+			xi = x[i-1]
+		}
 		for j := 0; j <= i; j++ {
-			v := xa[i] * xa[j]
+			xj := 1.0
+			if j > 0 {
+				xj = x[j-1]
+			}
+			v := xi * xj
 			s.xtx[i][j] += v
 			if i != j {
 				s.xtx[j][i] += v
 			}
 		}
-		s.xty[i] += xa[i] * y
+		s.xty[i] += xi * y
 	}
 	s.yty += y * y
 	s.n++
@@ -175,29 +186,42 @@ func (p linPrior) logMarginal(s *linSuff) float64 {
 		stats.LogGamma(an) - stats.LogGamma(p.a0)
 }
 
-// predictive returns the Student-t posterior predictive at x.
-func (p linPrior) predictive(s *linSuff, x []float64) (df, loc, scale2 float64) {
+// linScratchLen is the caller-owned scratch length the linPrior
+// predictive entry points need for inputs of the given dimension: one
+// augmented input plus one triangular-solve vector.
+func linScratchLen(dim int) int { return 2 * (dim + 1) }
+
+// predictive returns the Student-t posterior predictive at x. scratch
+// is caller-owned of length 2*(len(x)+1) — augmented input plus solve
+// scratch (see linScratchLen); passing nil falls back to a fresh
+// allocation.
+func (p linPrior) predictive(s *linSuff, x, scratch []float64) (df, loc, scale2 float64) {
 	p.ensure(s)
-	xa := aug(x)
+	if len(scratch) < 2*s.d {
+		scratch = make([]float64, 2*s.d)
+	}
+	xa := augInto(scratch[:s.d], x)
 	an := p.an(s)
 	df = 2 * an
 	loc = linalg.Dot(s.mn, xa)
-	scale2 = s.bn / an * (1 + linalg.QuadForm(s.chol, xa))
+	scale2 = s.bn / an * (1 + linalg.QuadFormInto(s.chol, xa, scratch[s.d:2*s.d]))
 	return df, loc, scale2
 }
 
-// predVariance returns the predictive variance at x.
-func (p linPrior) predVariance(s *linSuff, x []float64) float64 {
-	df, _, scale2 := p.predictive(s, x)
+// predVariance returns the predictive variance at x; scratch as for
+// predictive.
+func (p linPrior) predVariance(s *linSuff, x, scratch []float64) float64 {
+	df, _, scale2 := p.predictive(s, x, scratch)
 	if df <= 2 {
 		return math.Inf(1)
 	}
 	return scale2 * df / (df - 2)
 }
 
-// logPredictiveDensity returns ln t_df(y; loc, scale2).
-func (p linPrior) logPredictiveDensity(s *linSuff, x []float64, y float64) float64 {
-	df, loc, scale2 := p.predictive(s, x)
+// logPredictiveDensity returns ln t_df(y; loc, scale2); scratch as
+// for predictive.
+func (p linPrior) logPredictiveDensity(s *linSuff, x []float64, y float64, scratch []float64) float64 {
+	df, loc, scale2 := p.predictive(s, x, scratch)
 	z2 := (y - loc) * (y - loc) / scale2
 	return stats.LogGamma((df+1)/2) - stats.LogGamma(df/2) -
 		0.5*math.Log(df*math.Pi*scale2) -

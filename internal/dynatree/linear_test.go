@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"alic/internal/linalg"
 	"alic/internal/rng"
 )
 
@@ -75,7 +76,7 @@ func TestLinearMarginalChainRule(t *testing.T) {
 	s := newLinSuff(1)
 	seq := 0.0
 	for i := range xs {
-		seq += p.logPredictiveDensity(s, xs[i], ys[i])
+		seq += p.logPredictiveDensity(s, xs[i], ys[i], nil)
 		s.add(xs[i], ys[i])
 	}
 	joint := p.logMarginal(s)
@@ -87,7 +88,7 @@ func TestLinearMarginalChainRule(t *testing.T) {
 func TestLinearPriorPredictive(t *testing.T) {
 	p := linPrior{m0: 5, kappa0: 1, a0: 3, b0: 2}
 	s := newLinSuff(1)
-	_, loc, scale2 := p.predictive(s, []float64{0.3})
+	_, loc, scale2 := p.predictive(s, []float64{0.3}, nil)
 	// Empty leaf: prior predictive mean is the intercept prior m0.
 	if math.Abs(loc-5) > 1e-12 {
 		t.Fatalf("prior predictive loc %v, want 5", loc)
@@ -95,7 +96,7 @@ func TestLinearPriorPredictive(t *testing.T) {
 	if scale2 <= 0 {
 		t.Fatalf("scale2 %v", scale2)
 	}
-	if v := p.predVariance(s, []float64{0.3}); v <= 0 || math.IsInf(v, 0) {
+	if v := p.predVariance(s, []float64{0.3}, nil); v <= 0 || math.IsInf(v, 0) {
 		t.Fatalf("prior predictive variance %v", v)
 	}
 }
@@ -111,7 +112,7 @@ func TestLinearLeafRecoversLine(t *testing.T) {
 		s.add([]float64{x}, 2+3*x+r.NormMS(0, 0.01))
 	}
 	for _, x := range []float64{0.1, 0.5, 0.9} {
-		_, loc, _ := p.predictive(s, []float64{x})
+		_, loc, _ := p.predictive(s, []float64{x}, nil)
 		want := 2 + 3*x
 		if math.Abs(loc-want) > 0.05 {
 			t.Fatalf("at %v: predicted %v want %v", x, loc, want)
@@ -188,20 +189,20 @@ func TestLinearForestInvariants(t *testing.T) {
 		x := []float64{r.Float64(), r.Float64()}
 		f.Update(x, x[0]-x[1]+r.NormMS(0, 0.05))
 	}
-	for pi, p := range f.particles {
-		var check func(nd *node)
+	for pi, root := range f.roots {
 		bad := false
-		check = func(nd *node) {
-			if nd.leaf {
-				if nd.lin == nil || nd.lin.n != nd.s.n {
+		var check func(id int32)
+		check = func(id int32) {
+			if f.ar.left[id] < 0 {
+				if f.ar.lin[id] == nil || f.ar.lin[id].n != f.ar.s[id].n {
 					bad = true
 				}
 				return
 			}
-			check(nd.left)
-			check(nd.right)
+			check(f.ar.left[id])
+			check(f.ar.right[id])
 		}
-		check(p)
+		check(root)
 		if bad {
 			t.Fatalf("particle %d: linear stats inconsistent", pi)
 		}
@@ -217,5 +218,139 @@ func TestLinearForestInvariants(t *testing.T) {
 		if s < 0 || math.IsNaN(s) {
 			t.Fatalf("linear-mode ALC score %v", s)
 		}
+	}
+}
+
+// TestLinearALCMatchesBruteForceRefit pins the linear-leaf ALC fix:
+// ALCScores must use the linear model's reference-dependent
+// predictive variance (like nodePredict does) rather than the old
+// constant-model surrogate. The baseline recomputes the expected
+// post-acquisition average variance from scratch — full posterior
+// refit with the candidate row appended to X'X, no rank-1 shortcuts —
+// so it independently checks both the branch and the
+// Sherman–Morrison algebra of the kernel.
+func TestLinearALCMatchesBruteForceRefit(t *testing.T) {
+	cfg := linConfig()
+	cfg.Particles = 1
+	cfg.ScoreParticles = 0
+	cfg.MinLeafForSplit = 1 << 30 // keep a single leaf: the baseline below is per-leaf
+	f, err := New(cfg, 2, rng.New(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(62)
+	for i := 0; i < 40; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		f.Update(x, 1+2*x[0]-x[1]+r.NormMS(0, 0.1))
+	}
+	var refs, cands [][]float64
+	for i := 0; i < 12; i++ {
+		refs = append(refs, []float64{r.Float64(), r.Float64()})
+	}
+	for i := 0; i < 5; i++ {
+		cands = append(cands, []float64{r.Float64(), r.Float64()})
+	}
+
+	// The single particle's single leaf.
+	leaf := f.leafOf(f.roots[0], refs[0])
+	lin := f.ar.lin[leaf]
+	f.lprior.ensure(lin)
+	p := f.lprior
+	an := p.an(lin)
+
+	// Brute-force baseline. For candidate c: Lambda' = Lambda + xa_c
+	// xa_c' rebuilt and refactorised from scratch; a' = a + 1/2;
+	// E[b'] = b (2a-1)/(2a-2) (expectation of the b-increment under
+	// the current predictive); expected post variance at ref r =
+	// E[b']/a' (1 + xa_r' Lambda'^{-1} xa_r) * 2a'/(2a'-2).
+	lambda := func(extra []float64) [][]float64 {
+		m := make([][]float64, lin.d)
+		for i := range m {
+			m[i] = append([]float64(nil), lin.xtx[i]...)
+			m[i][i] += p.kappa0
+		}
+		if extra != nil {
+			xa := aug2(extra)
+			for i := range m {
+				for j := range m[i] {
+					m[i][j] += xa[i] * xa[j]
+				}
+			}
+		}
+		return m
+	}
+	quad := func(m [][]float64, x []float64) float64 {
+		chol, err := linalg.Cholesky(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return linalg.QuadForm(chol, aug2(x))
+	}
+	base := 0.0
+	lamNow := lambda(nil)
+	for _, rr := range refs {
+		base += lin.bn / an * (1 + quad(lamNow, rr)) * (2 * an) / (2*an - 2)
+	}
+	base /= float64(len(refs))
+	want := make([]float64, len(cands))
+	for ci, c := range cands {
+		a1 := an + 0.5
+		eb := lin.bn * (2*an - 1) / (2*an - 2)
+		lamAfter := lambda(c)
+		after := 0.0
+		for _, rr := range refs {
+			vNow := lin.bn / an * (1 + quad(lamNow, rr)) * (2 * an) / (2*an - 2)
+			vAfter := eb / a1 * (1 + quad(lamAfter, rr)) * (2 * a1) / (2*a1 - 2)
+			delta := vNow - vAfter
+			if delta < 0 {
+				delta = 0
+			}
+			after += vNow - delta
+		}
+		want[ci] = after / float64(len(refs))
+	}
+
+	got := f.ALCScores(cands, refs)
+	for ci := range cands {
+		if math.Abs(got[ci]-want[ci]) > 1e-9*(1+math.Abs(want[ci])) {
+			t.Fatalf("candidate %d: ALC %v, brute-force refit baseline %v", ci, got[ci], want[ci])
+		}
+		if got[ci] > f.AvgVariance(refs)+1e-12 {
+			t.Fatalf("candidate %d: expected post variance %v above current %v", ci, got[ci], f.AvgVariance(refs))
+		}
+	}
+}
+
+// aug2 is the test-local augmented input (1, x).
+func aug2(x []float64) []float64 {
+	out := make([]float64, len(x)+1)
+	out[0] = 1
+	copy(out[1:], x)
+	return out
+}
+
+// TestLinearAvgVarianceUsesLinearModel pins the companion fix: with
+// linear leaves AvgVariance must evaluate the linear predictive
+// variance at each reference, not the constant-model surrogate.
+func TestLinearAvgVarianceUsesLinearModel(t *testing.T) {
+	cfg := linConfig()
+	cfg.Particles = 1
+	cfg.ScoreParticles = 0
+	cfg.MinLeafForSplit = 1 << 30
+	f, _ := New(cfg, 1, rng.New(63))
+	r := rng.New(64)
+	for i := 0; i < 60; i++ {
+		x := r.Float64()
+		f.Update([]float64{x}, 4*x+r.NormMS(0, 0.05))
+	}
+	refs := [][]float64{{0.1}, {0.5}, {0.9}}
+	leaf := f.leafOf(f.roots[0], refs[0])
+	want := 0.0
+	for _, rr := range refs {
+		want += f.lprior.predVariance(f.ar.lin[leaf], rr, nil)
+	}
+	want /= float64(len(refs))
+	if got := f.AvgVariance(refs); got != want {
+		t.Fatalf("AvgVariance = %v, want per-reference linear variance %v", got, want)
 	}
 }

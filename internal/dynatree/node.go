@@ -4,116 +4,121 @@ import (
 	"alic/internal/rng"
 )
 
-// point is one training observation owned by the Forest; particles
+// point is one training observation owned by the Forest; leaves
 // reference points by index so the feature vectors are stored once.
 type point struct {
 	x []float64
 	y float64
 }
 
-// node is a tree node. Internal nodes carry a split (dim, cut); leaves
-// carry the indices of the points they contain plus their sufficient
-// statistics. Points with x[dim] < cut descend left, others right.
-type node struct {
-	depth int
+// nodes is the forest's node arena in struct-of-arrays layout: one
+// contiguous slice per field instead of a heap object per tree node.
+// Particles are root ids into the arena and share subtrees
+// structurally (copy-on-write): resampling duplicates a particle by
+// duplicating its root id, and propagate clones only the root-to-leaf
+// path it actually rewrites (see Forest.propagate). The flat layout
+// keeps the descent hot loop (dim/cut/left/right) cache-friendly and
+// makes node ids stable keys for the routing cache of route.go.
+//
+// A node is a leaf iff left < 0. Internal nodes always have both
+// children, and their (dim, cut) never change after creation, so the
+// region of feature space routed into a given node id is an invariant
+// of the id: every particle that references a node routes exactly the
+// same inputs into it. Both the ALC kernel's claimed per-leaf
+// reference counts and the routing cache's partial-descent repair
+// rely on this invariant.
+type nodes struct {
+	depth []int32
+	dim   []int32
+	cut   []float64
+	left  []int32 // -1 marks a leaf
+	right []int32
 
-	// Internal-node fields.
-	dim         int
-	cut         float64
-	left, right *node
+	// shared marks nodes reachable from more than one particle — a
+	// lazily-maintained over-approximation: resample marks duplicated
+	// roots, and path copies mark the off-path children of every
+	// cloned node. propagate must clone a shared node before writing
+	// to it; unshared nodes are mutated in place.
+	shared []bool
 
-	// Leaf fields.
-	leaf bool
-	pts  []int
-	s    suff
-	// lin holds the linear-leaf sufficient statistics (nil when the
-	// forest uses the constant leaf model).
+	// Leaf payloads.
+	pts []([]int)
+	s   []suff
+	lin []*linSuff
+
+	// die[id] is the routing-cache clock value at which id last left
+	// some cached particle's tree (0 = never); see route.go.
+	die []uint32
+}
+
+func (a *nodes) len() int { return len(a.left) }
+
+// newLeaf appends a fresh leaf at the given depth and returns its id.
+func (a *nodes) newLeaf(depth int32) int32 {
+	id := int32(len(a.left))
+	a.depth = append(a.depth, depth)
+	a.dim = append(a.dim, 0)
+	a.cut = append(a.cut, 0)
+	a.left = append(a.left, -1)
+	a.right = append(a.right, -1)
+	a.shared = append(a.shared, false)
+	a.pts = append(a.pts, nil)
+	a.s = append(a.s, suff{})
+	a.lin = append(a.lin, nil)
+	a.die = append(a.die, 0)
+	return id
+}
+
+// copyNode appends a fresh copy of src for a copy-on-write path clone
+// and returns its id. The copy starts unshared; the caller is
+// responsible for marking children that gain a second referencing
+// tree. The pts slice is shared with capacity clamped to length, so
+// an append by either side reallocates instead of scribbling on the
+// other's backing array; the lin pointer is shared because every
+// mutation path installs a freshly built linSuff rather than writing
+// through the old one.
+func (a *nodes) copyNode(src int32) int32 {
+	id := a.newLeaf(a.depth[src])
+	a.dim[id] = a.dim[src]
+	a.cut[id] = a.cut[src]
+	a.left[id] = a.left[src]
+	a.right[id] = a.right[src]
+	a.pts[id] = a.pts[src][:len(a.pts[src]):len(a.pts[src])]
+	a.s[id] = a.s[src]
+	a.lin[id] = a.lin[src]
+	return id
+}
+
+// childScratch holds one proposed grow child outside the arena, so
+// rejected grow proposals allocate no permanent nodes.
+type childScratch struct {
+	pts []int
+	s   suff
 	lin *linSuff
 }
 
-func newLeaf(depth int) *node {
-	return &node{depth: depth, leaf: true}
+func (c *childScratch) reset() {
+	c.pts = c.pts[:0]
+	c.s = suff{}
+	c.lin = nil
 }
 
-// clone deep-copies the subtree.
-func (nd *node) clone() *node {
-	cp := &node{
-		depth: nd.depth,
-		dim:   nd.dim,
-		cut:   nd.cut,
-		leaf:  nd.leaf,
-		s:     nd.s,
-	}
-	if nd.leaf {
-		cp.pts = make([]int, len(nd.pts))
-		copy(cp.pts, nd.pts)
-		if nd.lin != nil {
-			cp.lin = nd.lin.clone()
-		}
-		return cp
-	}
-	cp.left = nd.left.clone()
-	cp.right = nd.right.clone()
-	return cp
-}
-
-// descend returns the leaf containing x and its parent (nil for root).
-func (nd *node) descend(x []float64) (leaf, parent *node) {
-	var p *node
-	cur := nd
-	for !cur.leaf {
-		p = cur
-		if x[cur.dim] < cur.cut {
-			cur = cur.left
+// partitionLeaf splits leafPts by x[dim] < cut into l and r without
+// touching the arena, mirroring the two children a grow move would
+// create (point order, and therefore the sufficient-statistic
+// accumulation order, follows leafPts).
+func partitionLeaf(leafPts []int, points []point, dim int, cut float64, l, r *childScratch) {
+	l.reset()
+	r.reset()
+	for _, idx := range leafPts {
+		if points[idx].x[dim] < cut {
+			l.pts = append(l.pts, idx)
+			l.s.add(points[idx].y)
 		} else {
-			cur = cur.right
+			r.pts = append(r.pts, idx)
+			r.s.add(points[idx].y)
 		}
 	}
-	return cur, p
-}
-
-// leafFor returns the leaf containing x.
-func (nd *node) leafFor(x []float64) *node {
-	l, _ := nd.descend(x)
-	return l
-}
-
-// addPoint routes point idx (with features x, target y) to its leaf and
-// updates the sufficient statistics along the way.
-func (nd *node) addPoint(idx int, x []float64, y float64) *node {
-	cur := nd
-	for !cur.leaf {
-		if x[cur.dim] < cur.cut {
-			cur = cur.left
-		} else {
-			cur = cur.right
-		}
-	}
-	cur.pts = append(cur.pts, idx)
-	cur.s.add(y)
-	return cur
-}
-
-// countNodes returns the number of nodes and leaves in the subtree.
-func (nd *node) countNodes() (nodes, leaves int) {
-	if nd.leaf {
-		return 1, 1
-	}
-	ln, ll := nd.left.countNodes()
-	rn, rl := nd.right.countNodes()
-	return ln + rn + 1, ll + rl
-}
-
-// maxDepth returns the maximum leaf depth in the subtree.
-func (nd *node) maxDepth() int {
-	if nd.leaf {
-		return nd.depth
-	}
-	l, r := nd.left.maxDepth(), nd.right.maxDepth()
-	if l > r {
-		return l
-	}
-	return r
 }
 
 // proposeSplit samples a grow proposal for the leaf: a dimension chosen
@@ -166,21 +171,4 @@ func proposeSplit(leafPts []int, points []point, r *rng.Stream) (dim int, cut fl
 	}
 	// Degenerate floating-point range.
 	return 0, 0, false
-}
-
-// partitionLeaf materialises the two children a grow move would create,
-// without mutating the original leaf.
-func partitionLeaf(leafPts []int, points []point, depth, dim int, cut float64) (left, right *node) {
-	left = newLeaf(depth + 1)
-	right = newLeaf(depth + 1)
-	for _, idx := range leafPts {
-		if points[idx].x[dim] < cut {
-			left.pts = append(left.pts, idx)
-			left.s.add(points[idx].y)
-		} else {
-			right.pts = append(right.pts, idx)
-			right.s.add(points[idx].y)
-		}
-	}
-	return left, right
 }

@@ -15,77 +15,118 @@ func mkPoints(xs [][]float64, ys []float64) []point {
 	return pts
 }
 
-func TestDescendRoutesCorrectly(t *testing.T) {
-	// Manual two-level tree: split dim0 at 0.5, right child splits dim1
-	// at 0.3.
-	root := &node{dim: 0, cut: 0.5}
-	root.left = newLeaf(1)
-	root.right = &node{depth: 1, dim: 1, cut: 0.3}
-	root.right.left = newLeaf(2)
-	root.right.right = newLeaf(2)
+// mkTree builds a small manual arena tree for routing tests:
+// split dim0 at 0.5; the right child splits dim1 at 0.3.
+func mkTree(a *nodes) (root, l, rl, rr int32) {
+	root = a.newLeaf(0)
+	l = a.newLeaf(1)
+	r := a.newLeaf(1)
+	rl = a.newLeaf(2)
+	rr = a.newLeaf(2)
+	a.dim[root], a.cut[root] = 0, 0.5
+	a.left[root], a.right[root] = l, r
+	a.dim[r], a.cut[r] = 1, 0.3
+	a.left[r], a.right[r] = rl, rr
+	return root, l, rl, rr
+}
 
+func TestDescendRoutesCorrectly(t *testing.T) {
+	f := &Forest{}
+	root, l, rl, rr := mkTree(&f.ar)
 	cases := []struct {
 		x    []float64
-		want *node
+		want int32
 	}{
-		{[]float64{0.2, 0.9}, root.left},
-		{[]float64{0.7, 0.1}, root.right.left},
-		{[]float64{0.7, 0.8}, root.right.right},
-		{[]float64{0.5, 0.3}, root.right.right}, // boundary goes right
+		{[]float64{0.2, 0.9}, l},
+		{[]float64{0.7, 0.1}, rl},
+		{[]float64{0.7, 0.8}, rr},
+		{[]float64{0.5, 0.3}, rr}, // boundary goes right
 	}
 	for _, c := range cases {
-		leaf, _ := root.descend(c.x)
-		if leaf != c.want {
-			t.Fatalf("descend(%v) went to wrong leaf", c.x)
+		if got := f.leafOf(root, c.x); got != c.want {
+			t.Fatalf("leafOf(%v) = %d, want %d", c.x, got, c.want)
 		}
 	}
-}
-
-func TestDescendParent(t *testing.T) {
-	root := &node{dim: 0, cut: 0.5}
-	root.left = newLeaf(1)
-	root.right = newLeaf(1)
-	leaf, parent := root.descend([]float64{0.1})
-	if leaf != root.left || parent != root {
-		t.Fatal("descend returned wrong leaf/parent pair")
+	// Descents may resume from an interior node (the routing cache's
+	// self-heal path): starting at the right child must agree.
+	r := f.ar.left[root] // sanity: left is a leaf
+	if f.ar.left[r] >= 0 {
+		t.Fatal("left child should be a leaf")
 	}
-	// Root-leaf case: nil parent.
-	solo := newLeaf(0)
-	leaf, parent = solo.descend([]float64{0.1})
-	if leaf != solo || parent != nil {
-		t.Fatal("root leaf should have nil parent")
+	if got := f.leafOf(f.ar.right[root], []float64{0.7, 0.1}); got != rl {
+		t.Fatalf("partial descent from interior node = %d, want %d", got, rl)
 	}
 }
 
-func TestAddPointUpdatesStats(t *testing.T) {
-	root := &node{dim: 0, cut: 0.0}
-	root.left = newLeaf(1)
-	root.right = newLeaf(1)
-	pts := []point{{x: []float64{-1}, y: 2}, {x: []float64{1}, y: 4}}
-	root.addPoint(0, pts[0].x, pts[0].y)
-	root.addPoint(1, pts[1].x, pts[1].y)
-	if root.left.s.n != 1 || root.left.s.sumY != 2 {
-		t.Fatalf("left stats %+v", root.left.s)
+func TestCopyNodeIsolatesWrites(t *testing.T) {
+	var a nodes
+	id := a.newLeaf(1)
+	a.pts[id] = append(a.pts[id], 0, 1)
+	a.s[id] = suffOf(1, 2)
+	cp := a.copyNode(id)
+	// Appending points to the copy must not leak into the original,
+	// even though the pts backing array is shared at copy time.
+	a.pts[cp] = append(a.pts[cp], 99)
+	a.s[cp].add(50)
+	if len(a.pts[id]) != 2 || a.s[id].n != 2 {
+		t.Fatalf("copy shared state with original: pts=%v s=%+v", a.pts[id], a.s[id])
 	}
-	if root.right.s.n != 1 || root.right.s.sumY != 4 {
-		t.Fatalf("right stats %+v", root.right.s)
+	if len(a.pts[cp]) != 3 || a.s[cp].n != 3 {
+		t.Fatalf("copy lost its own write: pts=%v s=%+v", a.pts[cp], a.s[cp])
+	}
+	// Both sides appending into the shared backing array must not
+	// overwrite each other (the capacity-clamped slice forces a
+	// reallocation on the first append of either side).
+	a.pts[id] = append(a.pts[id], 7)
+	if a.pts[cp][2] != 99 {
+		t.Fatalf("original's append scribbled on the copy: %v", a.pts[cp])
 	}
 }
 
-func TestCloneIsDeep(t *testing.T) {
-	root := &node{dim: 0, cut: 0.5}
-	root.left = newLeaf(1)
-	root.left.pts = []int{0, 1}
-	root.left.s = suffOf(1, 2)
-	root.right = newLeaf(1)
+func TestMakeWritableClonesSharedPath(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Particles = 2
+	f, err := New(cfg, 2, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _, _, _ := mkTree(&f.ar)
+	f.roots[0], f.roots[1] = root, root
+	f.ar.shared[root] = true
 
-	cp := root.clone()
-	// Mutating the clone must not affect the original.
-	cp.left.pts = append(cp.left.pts, 99)
-	cp.left.s.add(50)
-	cp.cut = 0.9
-	if len(root.left.pts) != 2 || root.left.s.n != 2 || root.cut != 0.5 {
-		t.Fatal("clone shared state with original")
+	x := []float64{0.7, 0.1} // routes to the right child's left leaf
+	chain := []int32{root, f.ar.right[root], f.leafOf(root, x)}
+	target := f.makeWritable(0, chain)
+	if target == chain[2] {
+		t.Fatal("shared leaf was not cloned")
+	}
+	if f.roots[0] == root {
+		t.Fatal("shared root was not cloned")
+	}
+	if f.roots[1] != root {
+		t.Fatal("other particle's root moved")
+	}
+	// The off-path children must now be marked shared (referenced by
+	// both the original and the cloned path).
+	if !f.ar.shared[f.ar.left[root]] {
+		t.Fatal("off-path left child not marked shared")
+	}
+	if !f.ar.shared[f.ar.right[f.ar.right[root]]] {
+		t.Fatal("off-path grandchild not marked shared")
+	}
+	// The clone routes identically and is writable without affecting
+	// the original tree.
+	if f.leafOf(f.roots[0], x) != target {
+		t.Fatal("cloned path does not route to the writable target")
+	}
+	f.ar.s[target].add(5)
+	if f.ar.s[chain[2]].n != 0 {
+		t.Fatal("write to clone leaked into the shared original")
+	}
+	// An exclusively-owned chain is returned as-is.
+	chain1 := []int32{f.roots[0], f.ar.right[f.roots[0]], f.leafOf(f.roots[0], x)}
+	if got := f.makeWritable(0, chain1); got != chain1[2] {
+		t.Fatal("unshared chain was cloned")
 	}
 }
 
@@ -95,6 +136,7 @@ func TestProposeSplitSeparatesChildren(t *testing.T) {
 	ys := []float64{1, 2, 3, 4}
 	pts := mkPoints(xs, ys)
 	leafPts := []int{0, 1, 2, 3}
+	var l, rr childScratch
 	for i := 0; i < 100; i++ {
 		dim, cut, ok := proposeSplit(leafPts, pts, r)
 		if !ok {
@@ -103,7 +145,7 @@ func TestProposeSplitSeparatesChildren(t *testing.T) {
 		if dim != 0 {
 			t.Fatalf("dim 1 is constant; proposed dim %d", dim)
 		}
-		l, rr := partitionLeaf(leafPts, pts, 0, dim, cut)
+		partitionLeaf(leafPts, pts, dim, cut, &l, &rr)
 		if l.s.n == 0 || rr.s.n == 0 {
 			t.Fatalf("empty child with cut %v", cut)
 		}
@@ -153,11 +195,12 @@ func TestPartitionPreservesSuffStats(t *testing.T) {
 		if !ok {
 			return true
 		}
-		l, rr := partitionLeaf(idx, pts, 0, dim, cut)
+		var l, rr childScratch
+		partitionLeaf(idx, pts, dim, cut, &l, &rr)
 		m := l.s.merge(rr.s)
 		return m.n == whole.n &&
 			almostEq(m.sumY, whole.sumY) && almostEq(m.sumY2, whole.sumY2) &&
-			l.depth == 1 && rr.depth == 1 && l.s.n > 0 && rr.s.n > 0
+			l.s.n > 0 && rr.s.n > 0
 	}, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -179,17 +222,77 @@ func almostEq(a, b float64) bool {
 	return d <= 1e-9*scale
 }
 
-func TestCountNodesAndDepth(t *testing.T) {
-	root := &node{dim: 0, cut: 0.5}
-	root.left = newLeaf(1)
-	root.right = &node{depth: 1, dim: 1, cut: 0.3}
-	root.right.left = newLeaf(2)
-	root.right.right = newLeaf(2)
-	nodes, leaves := root.countNodes()
-	if nodes != 5 || leaves != 3 {
-		t.Fatalf("nodes=%d leaves=%d", nodes, leaves)
+func TestTreeShapeAndCompaction(t *testing.T) {
+	f := &Forest{}
+	root, _, _, _ := mkTree(&f.ar)
+	f.roots = []int32{root}
+	nodes, leaves, depth := f.treeShape(root)
+	if nodes != 5 || leaves != 3 || depth != 2 {
+		t.Fatalf("nodes=%d leaves=%d depth=%d", nodes, leaves, depth)
 	}
-	if d := root.maxDepth(); d != 2 {
-		t.Fatalf("maxDepth=%d", d)
+	// Compaction drops garbage, preserves structure and recomputes
+	// shared flags.
+	garbage := f.ar.newLeaf(7)
+	_ = garbage
+	f.compact()
+	if f.ar.len() != 5 {
+		t.Fatalf("compacted arena has %d nodes, want 5", f.ar.len())
+	}
+	n2, l2, d2 := f.treeShape(f.roots[0])
+	if n2 != 5 || l2 != 3 || d2 != 2 {
+		t.Fatalf("post-compaction shape nodes=%d leaves=%d depth=%d", n2, l2, d2)
+	}
+	for id := 0; id < f.ar.len(); id++ {
+		if f.ar.shared[id] {
+			t.Fatalf("single-tree arena has shared node %d after compaction", id)
+		}
+	}
+}
+
+func TestCompactionPreservesSharing(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Particles = 40
+	f, err := New(cfg, 1, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(10)
+	for i := 0; i < 120; i++ {
+		x := r.Float64()
+		f.Update([]float64{x}, 2*x+r.NormMS(0, 0.1))
+	}
+	before := make([]float64, 0, 20)
+	probes := make([][]float64, 0, 20)
+	for v := 0.025; v < 1; v += 0.05 {
+		x := []float64{v}
+		probes = append(probes, x)
+		m, _ := f.Predict(x)
+		before = append(before, m)
+	}
+	live := 0
+	seen := make(map[int32]bool)
+	var count func(id int32)
+	count = func(id int32) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		live++
+		if f.ar.left[id] >= 0 {
+			count(f.ar.left[id])
+			count(f.ar.right[id])
+		}
+	}
+	for _, root := range f.roots {
+		count(root)
+	}
+	f.compact()
+	if f.ar.len() != live {
+		t.Fatalf("compaction kept %d nodes, want the %d live ones", f.ar.len(), live)
+	}
+	for i, x := range probes {
+		if m, _ := f.Predict(x); m != before[i] {
+			t.Fatalf("compaction changed Predict(%v): %v -> %v", x, before[i], m)
+		}
 	}
 }

@@ -1,0 +1,266 @@
+package dynatree
+
+// The pool-interned scoring path. Algorithm 1 scores the same
+// candidate pool round after round, yet the historical entry points
+// re-routed every row through every scoring particle's tree from
+// scratch on every call — O(particles × |pool| × depth) of repeated
+// descent over a pool that never changes. BindPool interns the pool
+// rows once; the forest then memoises (particle, pool row) → leaf id
+// across rounds and the *Indexed entry points only re-descend rows
+// whose cached node died since they were cached.
+//
+// Correctness rests on two invariants of the flat arena:
+//
+//   - A node id's routing region is immutable (internal (dim, cut)
+//     never change; path copies preserve them), so a cached id that
+//     is still part of a particle's tree routes its row correctly —
+//     and if the cached node has since grown into an interior node in
+//     place, the descent can simply resume from it.
+//   - A node only leaves a particle's tree through an event propagate
+//     can see (a copy-on-write path clone superseding it, or a prune
+//     dropping it), and retire() stamps the node's die epoch at that
+//     moment. A cached entry is therefore valid exactly when its
+//     node's die epoch does not postdate the entry's stamp.
+//
+// Slabs (per-particle route tables) travel with their trees through
+// resampling: duplicated particles share a slab reference-counted
+// copy-on-write, mirroring how the particles themselves share tree
+// structure, and a tree that drifts out of the scoring subsample
+// keeps its slab — with the epoch guard the routes are still valid
+// if it drifts back in later rounds.
+
+// slab is one particle's cached route table over the bound pool.
+type slab struct {
+	ref   int32    // particle slots currently sharing this slab
+	leaf  []int32  // per pool row: cached node id (-1 = never routed)
+	stamp []uint32 // per pool row: forest clock when the entry was cached
+	gen   uint32   // cache generation (stale after arena compaction)
+}
+
+func newSlab(rows int, gen uint32) *slab {
+	s := &slab{ref: 1, leaf: make([]int32, rows), stamp: make([]uint32, rows), gen: gen}
+	for i := range s.leaf {
+		s.leaf[i] = -1
+	}
+	return s
+}
+
+// reset empties the slab for reuse under the given generation.
+func (s *slab) reset(gen uint32) {
+	for i := range s.leaf {
+		s.leaf[i] = -1
+	}
+	s.gen = gen
+}
+
+func (s *slab) clone() *slab {
+	cp := &slab{ref: 1, leaf: append([]int32(nil), s.leaf...), stamp: append([]uint32(nil), s.stamp...), gen: s.gen}
+	return cp
+}
+
+// routeCache is the forest's cross-round routing memo over a bound
+// candidate pool.
+type routeCache struct {
+	rows  [][]float64
+	slabs []*slab // per particle slot; nil until the slot's tree is first scored
+	tmp   []*slab // resample remap scratch
+	gen   uint32  // bumped by arena compaction: invalidates every slab
+}
+
+// remap moves every slab with its tree when resampling permutes the
+// particle slots, recounting references (one slab may be adopted by
+// several duplicated trees). ensureRouted privatises a shared slab
+// before writing through it.
+func (c *routeCache) remap(src []int32) {
+	for i, s := range src {
+		c.tmp[i] = c.slabs[s]
+	}
+	for _, sl := range c.tmp {
+		if sl != nil {
+			sl.ref = 0
+		}
+	}
+	for _, sl := range c.tmp {
+		if sl != nil {
+			sl.ref++
+		}
+	}
+	copy(c.slabs, c.tmp)
+}
+
+// invalidateAll marks every cached route stale (arena compaction
+// renames node ids). Slabs are reset lazily on their next use.
+func (c *routeCache) invalidateAll() { c.gen++ }
+
+// BindPool interns the candidate pool: rows become addressable by
+// index through ALMIndexed, ALCIndexed and PredictMeanFastIndexed,
+// and the forest memoises per-particle pool-row routes across rounds,
+// re-descending only rows whose cached node died since the round that
+// cached them. The rows slice is retained and must stay unchanged
+// while bound; rebinding (or binding an empty pool) discards every
+// cached route. Indexed scores are bit-identical to the row-based
+// entry points on the same rows.
+func (f *Forest) BindPool(rows [][]float64) {
+	if len(rows) == 0 {
+		f.cache = nil
+		return
+	}
+	f.cache = &routeCache{
+		rows:  rows,
+		slabs: make([]*slab, len(f.roots)),
+		tmp:   make([]*slab, len(f.roots)),
+	}
+}
+
+// mustBound guards the indexed entry points.
+func (f *Forest) mustBound() *routeCache {
+	if f.cache == nil {
+		panic("dynatree: indexed scoring requires a bound pool (call BindPool first)")
+	}
+	return f.cache
+}
+
+// ensureRouted repairs the cached routes of every scoring particle
+// for the given pool rows: entries whose node died since they were
+// cached re-descend from the root; entries whose cached leaf grew in
+// place resume the descent from that node (regions are immutable, so
+// the partial descent is exact); everything else is a hit.
+func (f *Forest) ensureRouted(ids []int) {
+	c := f.cache
+	// Materialise, refresh or privatise slabs serially first; the
+	// parallel repair pass then writes only its own slot's slab.
+	for _, slot := range f.scoreSlots {
+		sl := c.slabs[slot]
+		switch {
+		case sl == nil:
+			c.slabs[slot] = newSlab(len(c.rows), c.gen)
+		case sl.ref > 1:
+			sl.ref--
+			cp := sl.clone()
+			if cp.gen != c.gen {
+				cp.reset(c.gen)
+			}
+			c.slabs[slot] = cp
+		case sl.gen != c.gen:
+			sl.reset(c.gen)
+		}
+	}
+	parallelFor(f.workers(), len(f.scoreSlots), func(start, end int) {
+		for k := start; k < end; k++ {
+			slot := f.scoreSlots[k]
+			sl := c.slabs[slot]
+			root := f.roots[slot]
+			die, left := f.ar.die, f.ar.left
+			for _, id := range ids {
+				nd := sl.leaf[id]
+				if nd >= 0 && die[nd] <= sl.stamp[id] {
+					if left[nd] < 0 {
+						continue // hit
+					}
+					sl.leaf[id] = f.leafOf(nd, c.rows[id])
+					sl.stamp[id] = f.clock
+					continue
+				}
+				sl.leaf[id] = f.leafOf(root, c.rows[id])
+				sl.stamp[id] = f.clock
+			}
+		}
+	})
+}
+
+// PredictMeanFastIndexed is PredictMeanFast over bound pool rows:
+// entry i is bit-identical to PredictMeanFast(rows[ids[i]]).
+func (f *Forest) PredictMeanFastIndexed(ids []int) []float64 {
+	c := f.mustBound()
+	f.warmLin()
+	f.ensureRouted(ids)
+	out := make([]float64, len(ids))
+	parallelFor(f.workers(), len(ids), func(start, end int) {
+		xa := f.shardLinScratch()
+		for i := start; i < end; i++ {
+			id := ids[i]
+			x := c.rows[id]
+			sum := 0.0
+			for _, slot := range f.scoreSlots {
+				leaf := c.slabs[slot].leaf[id]
+				loc, _ := f.leafPredict(leaf, x, xa)
+				sum += loc
+			}
+			out[i] = sum / float64(len(f.scoreSlots))
+		}
+	})
+	return out
+}
+
+// ALMIndexed is ALMBatch over bound pool rows: entry i is
+// bit-identical to ALM(rows[ids[i]]).
+func (f *Forest) ALMIndexed(ids []int) []float64 {
+	c := f.mustBound()
+	f.warmLin()
+	f.ensureRouted(ids)
+	scores := make([]float64, len(ids))
+	parallelFor(f.workers(), len(ids), func(start, end int) {
+		xa := f.shardLinScratch()
+		for i := start; i < end; i++ {
+			id := ids[i]
+			x := c.rows[id]
+			sumM, sumV, sumM2 := 0.0, 0.0, 0.0
+			for _, slot := range f.scoreSlots {
+				leaf := c.slabs[slot].leaf[id]
+				loc, v := f.leafPredict(leaf, x, xa)
+				sumM += loc
+				sumM2 += loc * loc
+				sumV += v
+			}
+			scores[i] = almFinish(sumM, sumV, sumM2, float64(len(f.scoreSlots)))
+		}
+	})
+	return scores
+}
+
+// ALCIndexed is ALCScores over bound pool rows: entry i is
+// bit-identical to the row-based call on the same rows, but a round's
+// scoring touches only rows whose cached route died since last round
+// instead of re-routing the whole pool.
+func (f *Forest) ALCIndexed(cands, refs []int) []float64 {
+	c := f.mustBound()
+	if len(refs) == 0 || len(cands) == 0 {
+		return make([]float64, len(cands))
+	}
+	f.warmLin()
+	f.ensureRouted(cands)
+	sameIDs := len(cands) == len(refs) && &cands[0] == &refs[0]
+	if !sameIDs {
+		f.ensureRouted(refs)
+	}
+	K := len(f.scoreSlots)
+	refLeaf := matrix(&f.sc.refLeaf, K, len(refs))
+	candLeaf := matrix(&f.sc.candLeaf, K, len(cands))
+	candRows := gatherRows(&f.sc.candRows, c.rows, cands)
+	refRows := candRows
+	if !sameIDs {
+		refRows = gatherRows(&f.sc.refRows, c.rows, refs)
+	}
+	parallelFor(f.workers(), K, func(start, end int) {
+		for k := start; k < end; k++ {
+			sl := c.slabs[f.scoreSlots[k]]
+			for j, id := range refs {
+				refLeaf[k*len(refs)+j] = sl.leaf[id]
+			}
+			for i, id := range cands {
+				candLeaf[k*len(cands)+i] = sl.leaf[id]
+			}
+		}
+	})
+	return f.alcFromMatrices(candLeaf, refLeaf, candRows, refRows, K)
+}
+
+// gatherRows copies the pool rows for ids into reusable scratch.
+func gatherRows(buf *[][]float64, rows [][]float64, ids []int) [][]float64 {
+	out := (*buf)[:0]
+	for _, id := range ids {
+		out = append(out, rows[id])
+	}
+	*buf = out
+	return out
+}

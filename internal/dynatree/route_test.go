@@ -1,0 +1,369 @@
+package dynatree
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"alic/internal/rng"
+)
+
+// poolRows builds a deterministic pool of feature rows.
+func poolRows(n, dim int, seed uint64) [][]float64 {
+	r := rng.New(seed)
+	rows := make([][]float64, n)
+	for i := range rows {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = r.Float64()
+		}
+		rows[i] = x
+	}
+	return rows
+}
+
+func allIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// TestScoringParticlesStride pins the strided scoring subsample:
+// fewer, equal and more requested particles than the cloud holds,
+// plus the k=1 edge.
+func TestScoringParticlesStride(t *testing.T) {
+	build := func(particles, score int) *Forest {
+		cfg := smallConfig()
+		cfg.Particles = particles
+		cfg.ScoreParticles = score
+		f, err := New(cfg, 1, rng.New(31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	cases := []struct {
+		particles, score, wantLen int
+	}{
+		{60, 10, 10}, // subsample
+		{60, 60, 60}, // equal: every slot
+		{60, 90, 60}, // more than the cloud: every slot
+		{60, 0, 60},  // zero: every slot
+		{60, 1, 1},   // single-particle edge
+	}
+	for _, c := range cases {
+		f := build(c.particles, c.score)
+		slots := f.scoringParticles()
+		if len(slots) != c.wantLen {
+			t.Fatalf("particles=%d score=%d: %d scoring slots, want %d",
+				c.particles, c.score, len(slots), c.wantLen)
+		}
+		// The subsample must match the stride formula exactly (the
+		// scoring goldens depend on which slots are folded).
+		if c.score > 0 && c.score < c.particles {
+			stride := float64(c.particles) / float64(c.score)
+			for i, slot := range slots {
+				if want := int32(int(float64(i) * stride)); slot != want {
+					t.Fatalf("slot[%d] = %d, want %d", i, slot, want)
+				}
+			}
+		}
+		// Scoring through the subsample stays usable.
+		r := rng.New(32)
+		for i := 0; i < 60; i++ {
+			x := r.Float64()
+			f.Update([]float64{x}, x+r.NormMS(0, 0.1))
+		}
+		if v := f.ALM([]float64{0.5}); v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("particles=%d score=%d: ALM = %v", c.particles, c.score, v)
+		}
+	}
+}
+
+// TestIndexedMatchesRowScoringAfterEveryUpdate is the
+// epoch-invalidation contract: after any Update — resampling slab
+// remaps, copy-on-write path clones, prunes, in-place grows,
+// compaction — cached indexed scores must equal freshly-computed
+// row-based scores for the whole pool, bit for bit.
+func TestIndexedMatchesRowScoringAfterEveryUpdate(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		leaf  LeafModel
+		score int
+	}{
+		{"constant/subsample", ConstantLeaf, 13},
+		{"constant/all", ConstantLeaf, 0},
+		{"linear/subsample", LinearLeaf, 13},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallConfig()
+			cfg.Particles = 40
+			cfg.ScoreParticles = tc.score
+			cfg.LeafModel = tc.leaf
+			f, err := New(cfg, 2, rng.New(33))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows := poolRows(60, 2, 34)
+			ids := allIDs(len(rows))
+			f.BindPool(rows)
+			r := rng.New(35)
+			steps := 120
+			if tc.leaf == LinearLeaf {
+				steps = 60 // linear ALC is O(K x cands x refs-in-leaf) solves
+			}
+			for step := 0; step < steps; step++ {
+				// Train on pool rows so cached routes go stale in every
+				// way an acquisition loop can make them stale.
+				id := r.Intn(len(rows))
+				x := rows[id]
+				f.Update(x, x[0]+2*x[1]*x[1]+r.NormMS(0, 0.1))
+
+				alm := f.ALMBatch(rows)
+				almIdx := f.ALMIndexed(ids)
+				for i := range alm {
+					if alm[i] != almIdx[i] {
+						t.Fatalf("step %d: ALM[%d] row %v != indexed %v", step, i, alm[i], almIdx[i])
+					}
+				}
+				pmf := f.PredictMeanFastBatch(rows)
+				pmfIdx := f.PredictMeanFastIndexed(ids)
+				for i := range pmf {
+					if pmf[i] != pmfIdx[i] {
+						t.Fatalf("step %d: PredictMeanFast[%d] row %v != indexed %v", step, i, pmf[i], pmfIdx[i])
+					}
+				}
+				if step%5 != 0 {
+					continue // full-pool ALC every few updates keeps the test fast
+				}
+				alc := f.ALCScores(rows, rows)
+				alcIdx := f.ALCIndexed(ids, ids)
+				for i := range alc {
+					if alc[i] != alcIdx[i] {
+						t.Fatalf("step %d: ALC[%d] row %v != indexed %v", step, i, alc[i], alcIdx[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIndexedDisjointCandsRefs covers the cands != refs indexed path.
+func TestIndexedDisjointCandsRefs(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Particles = 30
+	cfg.ScoreParticles = 10
+	f, _ := New(cfg, 2, rng.New(36))
+	rows := poolRows(50, 2, 37)
+	f.BindPool(rows)
+	r := rng.New(38)
+	for i := 0; i < 80; i++ {
+		id := r.Intn(len(rows))
+		f.Update(rows[id], rows[id][0]+rows[id][1]+r.NormMS(0, 0.05))
+	}
+	cands, refs := allIDs(20), allIDs(50)[20:]
+	got := f.ALCIndexed(cands, refs)
+	want := f.ALCScores(rows[:20], rows[20:])
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ALC[%d]: indexed %v != row %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestIndexedRequiresBoundPool pins the BindPool contract.
+func TestIndexedRequiresBoundPool(t *testing.T) {
+	f, _ := New(smallConfig(), 1, rng.New(39))
+	f.Update([]float64{0.5}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("indexed scoring without BindPool did not panic")
+		}
+	}()
+	f.ALMIndexed([]int{0})
+}
+
+// TestRebindResetsCache: rebinding a different pool must discard every
+// cached route (ids now address different rows).
+func TestRebindResetsCache(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Particles = 20
+	f, _ := New(cfg, 1, rng.New(40))
+	rowsA := poolRows(30, 1, 41)
+	rowsB := poolRows(30, 1, 42)
+	f.BindPool(rowsA)
+	r := rng.New(43)
+	for i := 0; i < 50; i++ {
+		x := r.Float64()
+		f.Update([]float64{x}, 3*x+r.NormMS(0, 0.1))
+	}
+	f.ALMIndexed(allIDs(30)) // populate slabs against rowsA
+	f.BindPool(rowsB)
+	got := f.ALMIndexed(allIDs(30))
+	want := f.ALMBatch(rowsB)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("after rebind, ALM[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPredictMeanFastZeroAllocs pins the zero-allocation contract of
+// the steady-state prediction hot path for both leaf models.
+func TestPredictMeanFastZeroAllocs(t *testing.T) {
+	for _, lm := range []LeafModel{ConstantLeaf, LinearLeaf} {
+		t.Run(lm.String(), func(t *testing.T) {
+			cfg := smallConfig()
+			cfg.Particles = 30
+			cfg.ScoreParticles = 10
+			cfg.LeafModel = lm
+			f, _ := New(cfg, 2, rng.New(44))
+			r := rng.New(45)
+			for i := 0; i < 80; i++ {
+				x := []float64{r.Float64(), r.Float64()}
+				f.Update(x, x[0]-x[1]+r.NormMS(0, 0.05))
+			}
+			probe := []float64{0.4, 0.6}
+			f.PredictMeanFast(probe) // warm lazy caches
+			if allocs := testing.AllocsPerRun(50, func() {
+				f.PredictMeanFast(probe)
+			}); allocs != 0 {
+				t.Fatalf("steady-state PredictMeanFast allocates %v times per call", allocs)
+			}
+		})
+	}
+}
+
+// TestIndexedScoringAllocsBounded pins the O(1)-allocations-per-round
+// contract of the indexed scoring kernels (Workers=1 keeps the
+// parallelFor dispatch out of the count; the bound covers the result
+// slice plus a fixed number of scratch headers, regardless of pool or
+// particle count).
+func TestIndexedScoringAllocsBounded(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Particles = 40
+	cfg.ScoreParticles = 10
+	cfg.Workers = 1
+	f, _ := New(cfg, 2, rng.New(46))
+	rows := poolRows(80, 2, 47)
+	ids := allIDs(len(rows))
+	f.BindPool(rows)
+	r := rng.New(48)
+	for i := 0; i < 100; i++ {
+		id := r.Intn(len(rows))
+		f.Update(rows[id], rows[id][0]+rows[id][1]+r.NormMS(0, 0.05))
+	}
+	f.ALMIndexed(ids)
+	f.ALCIndexed(ids, ids) // size every scratch buffer
+	const maxAllocs = 4
+	if allocs := testing.AllocsPerRun(20, func() { f.ALMIndexed(ids) }); allocs > maxAllocs {
+		t.Fatalf("steady-state ALMIndexed allocates %v times per round, want <= %d", allocs, maxAllocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { f.ALCIndexed(ids, ids) }); allocs > maxAllocs {
+		t.Fatalf("steady-state ALCIndexed allocates %v times per round, want <= %d", allocs, maxAllocs)
+	}
+}
+
+// TestRouteCacheReusesRoutesAcrossRounds asserts the cache actually
+// caches: in a steady scoring loop the number of full root descents
+// per round must be far below one per (particle, row) — i.e. most
+// lookups are hits (this is the perf contract behind BENCH_model).
+func TestRouteCacheReusesRoutesAcrossRounds(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Particles = 50
+	cfg.ScoreParticles = 20
+	f, _ := New(cfg, 2, rng.New(49))
+	rows := poolRows(200, 2, 50)
+	ids := allIDs(len(rows))
+	f.BindPool(rows)
+	r := rng.New(51)
+	for i := 0; i < 150; i++ {
+		id := r.Intn(len(rows))
+		f.Update(rows[id], rows[id][0]*rows[id][1]+r.NormMS(0, 0.05))
+	}
+	f.ALMIndexed(ids) // populate
+	total, hits := 0, 0
+	for round := 0; round < 20; round++ {
+		id := r.Intn(len(rows))
+		f.Update(rows[id], rows[id][0]*rows[id][1]+r.NormMS(0, 0.05))
+		// Count hits the way ensureRouted classifies them.
+		f.warmLin()
+		f.ensureRouted(ids)
+		for _, slot := range f.scoreSlots {
+			sl := f.cache.slabs[slot]
+			for _, rid := range ids {
+				total++
+				nd := sl.leaf[rid]
+				if nd >= 0 && f.ar.die[nd] <= sl.stamp[rid] && f.ar.left[nd] < 0 {
+					hits++
+				}
+			}
+		}
+		f.ALMIndexed(ids)
+	}
+	if frac := float64(hits) / float64(total); frac < 0.5 {
+		t.Fatalf("cross-round cache hit rate %.2f, want >= 0.5 in steady state", frac)
+	}
+}
+
+// TestIndexedThroughWorkerCounts: indexed scoring must stay
+// bit-identical across worker counts, like every other batched entry
+// point.
+func TestIndexedWorkerDeterminism(t *testing.T) {
+	build := func(workers int) (*Forest, [][]float64, []int) {
+		cfg := smallConfig()
+		cfg.Particles = 40
+		cfg.ScoreParticles = 15
+		cfg.Workers = workers
+		f, _ := New(cfg, 2, rng.New(52))
+		rows := poolRows(70, 2, 53)
+		f.BindPool(rows)
+		r := rng.New(54)
+		for i := 0; i < 90; i++ {
+			id := r.Intn(len(rows))
+			f.Update(rows[id], rows[id][0]+2*rows[id][1]+r.NormMS(0, 0.05))
+		}
+		return f, rows, allIDs(len(rows))
+	}
+	f1, _, ids := build(1)
+	f8, _, _ := build(8)
+	for name, pair := range map[string][2][]float64{
+		"ALMIndexed":             {f1.ALMIndexed(ids), f8.ALMIndexed(ids)},
+		"ALCIndexed":             {f1.ALCIndexed(ids, ids), f8.ALCIndexed(ids, ids)},
+		"PredictMeanFastIndexed": {f1.PredictMeanFastIndexed(ids), f8.PredictMeanFastIndexed(ids)},
+	} {
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("%s[%d]: workers=1 %v != workers=8 %v", name, i, pair[0][i], pair[1][i])
+			}
+		}
+	}
+}
+
+func BenchmarkALCIndexedSteadyState(b *testing.B) {
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Particles = 300
+			cfg.ScoreParticles = 100
+			cfg.Workers = w
+			f, _ := New(cfg, 4, rng.New(7))
+			rows := poolRows(500, 4, 11)
+			ids := allIDs(len(rows))
+			f.BindPool(rows)
+			r := rng.New(13)
+			for i := 0; i < 300; i++ {
+				id := r.Intn(len(rows))
+				x := rows[id]
+				f.Update(x, x[0]+2*x[1]*x[2]+x[3]*x[3]+r.NormMS(0, 0.05))
+			}
+			f.ALCIndexed(ids, ids)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.ALCIndexed(ids, ids)
+			}
+		})
+	}
+}

@@ -1,0 +1,480 @@
+package dynatree
+
+import (
+	"math"
+
+	"alic/internal/linalg"
+)
+
+// This file holds the batched scoring entry points and the ALC kernel
+// shared by the row-based and pool-interned (indexed) paths. Both
+// paths resolve (scoring particle, input) → leaf id into flat
+// matrices first — by fresh descent here, from the routing cache in
+// route.go — and then hand the matrices to the same kernel, so the
+// two entry-point families are bit-identical by construction.
+
+// scoreScratch is the per-forest scoring scratch: leaf-id matrices
+// plus dense, generation-stamped per-leaf tables sized to the arena.
+// Reusing it across rounds keeps steady-state indexed scoring at O(1)
+// allocations per call (pinned by regression tests).
+type scoreScratch struct {
+	refLeaf  []int32 // K x nRefs leaf ids
+	candLeaf []int32 // K x nCands leaf ids
+	candRows [][]float64
+	refRows  [][]float64
+	partials []float64
+
+	// Dense per-leaf tables, valid when mark == gen: the claimed
+	// reference count of the constant-model closed form, the memoised
+	// current predictive variance, and the memoised expected variance
+	// reduction per hypothetical observation.
+	gen     uint32
+	cmark   []uint32
+	cowner  []int32
+	ccount  []int32
+	vval    []float64
+	dval    []float64
+	touched []int32
+
+	// Flat per-leaf reference lists for the linear kernel: lrefs holds
+	// every claimed leaf's reference indices contiguously, and
+	// lstart[leaf] points one past the leaf's segment (the segment
+	// start is lstart[leaf]-ccount[leaf]).
+	lstart []int32
+	lrefs  []int32
+}
+
+// next begins a new scoring round over an arena of n nodes.
+func (sc *scoreScratch) next(n int) {
+	if len(sc.cmark) < n {
+		sc.cmark = make([]uint32, n)
+		sc.cowner = make([]int32, n)
+		sc.ccount = make([]int32, n)
+		sc.vval = make([]float64, n)
+		sc.dval = make([]float64, n)
+		sc.lstart = make([]int32, n)
+	}
+	sc.gen++
+	if sc.gen == 0 { // uint32 wraparound: stale stamps could collide
+		for i := range sc.cmark {
+			sc.cmark[i] = 0
+		}
+		sc.gen = 1
+	}
+	sc.touched = sc.touched[:0]
+}
+
+// matrix resizes buf to rows*cols.
+func matrix(buf *[]int32, rows, cols int) []int32 {
+	if cap(*buf) < rows*cols {
+		*buf = make([]int32, rows*cols)
+	}
+	*buf = (*buf)[:rows*cols]
+	return *buf
+}
+
+func resizeF(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// warmLin pre-computes the lazily-cached posterior (Cholesky factor,
+// posterior mean) of every dirty linear leaf in the arena, so the
+// sharded scoring passes that follow are genuinely read-only. Arena
+// nodes never share a linSuff (every mutation path installs a freshly
+// built one), so the dirty list shards race-free across the pool.
+// Constant leaves keep no cache; the call is a no-op for them.
+func (f *Forest) warmLin() {
+	if f.cfg.LeafModel != LinearLeaf {
+		return
+	}
+	dirty := f.linBuf[:0]
+	for id := 0; id < f.ar.len(); id++ {
+		if f.ar.left[id] < 0 && f.ar.lin[id] != nil && f.ar.lin[id].dirty {
+			dirty = append(dirty, f.ar.lin[id])
+		}
+	}
+	f.linBuf = dirty[:0]
+	parallelFor(f.workers(), len(dirty), func(start, end int) {
+		for i := start; i < end; i++ {
+			f.lprior.ensure(dirty[i])
+		}
+	})
+}
+
+// PredictBatch returns the posterior-predictive mean and variance at
+// every row of xs, sharding the rows across the scoring pool. Each
+// entry is bit-identical to the corresponding Predict call.
+func (f *Forest) PredictBatch(xs [][]float64) (means, variances []float64) {
+	f.warmLin()
+	means = make([]float64, len(xs))
+	variances = make([]float64, len(xs))
+	parallelFor(f.workers(), len(xs), func(start, end int) {
+		xa := f.shardLinScratch()
+		for i := start; i < end; i++ {
+			means[i], variances[i] = f.predictWith(xs[i], xa)
+		}
+	})
+	return means, variances
+}
+
+// predictWith is Predict with caller-owned linear scratch.
+func (f *Forest) predictWith(x, xa []float64) (mean, variance float64) {
+	n := len(f.roots)
+	sumM, sumV, sumM2 := 0.0, 0.0, 0.0
+	for _, root := range f.roots {
+		leaf := f.leafOf(root, x)
+		loc, v := f.leafPredict(leaf, x, xa)
+		sumM += loc
+		sumM2 += loc * loc
+		sumV += v
+	}
+	mean = sumM / float64(n)
+	variance = sumV/float64(n) + sumM2/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}
+
+// shardLinScratch returns a fresh per-shard linear-leaf scratch
+// buffer (nil with constant leaves, which need none).
+func (f *Forest) shardLinScratch() []float64 {
+	if f.cfg.LeafModel != LinearLeaf {
+		return nil
+	}
+	return make([]float64, linScratchLen(f.dim))
+}
+
+// PredictMeanFastBatch is the batched, parallel counterpart of
+// PredictMeanFast: entry i is bit-identical to PredictMeanFast(xs[i]).
+func (f *Forest) PredictMeanFastBatch(xs [][]float64) []float64 {
+	f.warmLin()
+	out := make([]float64, len(xs))
+	parallelFor(f.workers(), len(xs), func(start, end int) {
+		xa := f.shardLinScratch()
+		for i := start; i < end; i++ {
+			out[i] = f.predictMeanSlots(f.scoreSlots, xs[i], xa)
+		}
+	})
+	return out
+}
+
+// ALM returns MacKay's active-learning score at x: the posterior
+// predictive variance. Higher is more informative.
+func (f *Forest) ALM(x []float64) float64 {
+	return f.almSlots(x, f.augBuf)
+}
+
+// almSlots computes the ALM score of x over the scoring particles.
+func (f *Forest) almSlots(x, xa []float64) float64 {
+	sumM, sumV, sumM2 := 0.0, 0.0, 0.0
+	for _, slot := range f.scoreSlots {
+		leaf := f.leafOf(f.roots[slot], x)
+		loc, v := f.leafPredict(leaf, x, xa)
+		sumM += loc
+		sumM2 += loc * loc
+		sumV += v
+	}
+	return almFinish(sumM, sumV, sumM2, float64(len(f.scoreSlots)))
+}
+
+// almFinish folds the particle sums into the law-of-total-variance
+// score, shared by the row-based and indexed ALM paths.
+func almFinish(sumM, sumV, sumM2, n float64) float64 {
+	mean := sumM / n
+	variance := sumV/n + sumM2/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return variance
+}
+
+// ALMBatch scores every row of xs with the ALM heuristic, sharding the
+// candidates across the scoring pool. Entry i is bit-identical to
+// ALM(xs[i]) for every worker count.
+func (f *Forest) ALMBatch(xs [][]float64) []float64 {
+	f.warmLin()
+	scores := make([]float64, len(xs))
+	parallelFor(f.workers(), len(xs), func(start, end int) {
+		xa := f.shardLinScratch()
+		for i := start; i < end; i++ {
+			scores[i] = f.almSlots(xs[i], xa)
+		}
+	})
+	return scores
+}
+
+// ALCScores implements Cohn's heuristic as used by Algorithm 1 of the
+// paper (predictAvgModelVariance): for every candidate c it returns the
+// expected average posterior-predictive variance over the reference set
+// after hypothetically observing c once. The learner picks the
+// candidate with the LOWEST score.
+//
+// Under the NIG leaf model only reference points sharing c's leaf see
+// their variance change, which gives a closed form per (particle,
+// leaf); the implementation groups references by leaf so the cost is
+// O(particles * (|refs| + |cands|) * depth) rather than
+// O(particles * |refs| * |cands|). With linear leaves the change is
+// reference-dependent, and the kernel uses the exact rank-1
+// hypothetical-refit update instead (see alcLinearFromMatrices).
+//
+// This row-based entry point re-routes every input through every
+// scoring particle on each call; when the candidate set lives in a
+// bound pool, ALCIndexed reuses cross-round cached routes and is
+// bit-identical to this method.
+func (f *Forest) ALCScores(cands, refs [][]float64) []float64 {
+	if len(refs) == 0 || len(cands) == 0 {
+		return make([]float64, len(cands))
+	}
+	f.warmLin()
+	K := len(f.scoreSlots)
+	refLeaf := matrix(&f.sc.refLeaf, K, len(refs))
+	candLeaf := matrix(&f.sc.candLeaf, K, len(cands))
+	parallelFor(f.workers(), K, func(start, end int) {
+		for k := start; k < end; k++ {
+			root := f.roots[f.scoreSlots[k]]
+			for j, x := range refs {
+				refLeaf[k*len(refs)+j] = f.leafOf(root, x)
+			}
+			for i, x := range cands {
+				candLeaf[k*len(cands)+i] = f.leafOf(root, x)
+			}
+		}
+	})
+	return f.alcFromMatrices(candLeaf, refLeaf, cands, refs, K)
+}
+
+// alcFromMatrices computes ALC scores from precomputed (particle,
+// input) → leaf matrices, bit-identical to the historical
+// tree-walking implementation: the reference pass folds per particle
+// in slot order, and every candidate's reduction folds over particles
+// in slot order.
+func (f *Forest) alcFromMatrices(candLeaf, refLeaf []int32, cands, refs [][]float64, K int) []float64 {
+	if f.cfg.LeafModel == LinearLeaf {
+		return f.alcLinearFromMatrices(candLeaf, refLeaf, cands, refs, K)
+	}
+	nCands, nRefs := len(cands), len(refs)
+	sc := &f.sc
+	sc.next(f.ar.len())
+	gen := sc.gen
+
+	// Pass 1 (serial over the cached leaf matrix): per-particle
+	// contributions to the current average variance over refs, plus
+	// the per-leaf reference counts of the closed form. A leaf shared
+	// by several particles routes exactly the same references in each
+	// (node regions are invariants of the id), so the first particle
+	// to claim a leaf fixes its count for all of them.
+	partials := resizeF(&sc.partials, K)
+	for k := 0; k < K; k++ {
+		row := refLeaf[k*nRefs : (k+1)*nRefs]
+		sum := 0.0
+		for _, leaf := range row {
+			if sc.cmark[leaf] != gen {
+				sc.cmark[leaf] = gen
+				sc.cowner[leaf] = int32(k)
+				sc.ccount[leaf] = 0
+				sc.vval[leaf] = f.prior.predVariance(f.ar.s[leaf])
+				sc.touched = append(sc.touched, leaf)
+			}
+			if sc.cowner[leaf] == int32(k) {
+				sc.ccount[leaf]++
+			}
+			sum += sc.vval[leaf]
+		}
+		partials[k] = sum
+	}
+	nParts := float64(K)
+	baseAvgVar := reduceInOrder(partials) / (nParts * float64(nRefs))
+
+	// Per-leaf expected variance reduction, shared by every candidate
+	// routed there.
+	for _, leaf := range sc.touched {
+		vNow := sc.vval[leaf]
+		vAfter := f.prior.expectedPostVariance(f.ar.s[leaf])
+		d := 0.0
+		if !math.IsInf(vNow, 0) && !math.IsInf(vAfter, 0) {
+			if delta := vNow - vAfter; delta > 0 {
+				d = delta
+			}
+		}
+		sc.dval[leaf] = d
+	}
+
+	// Pass 2 (parallel over candidates): each candidate's expected
+	// variance reduction folds over the particles in slot order.
+	scores := make([]float64, nCands)
+	parallelFor(f.workers(), nCands, func(start, end int) {
+		for ci := start; ci < end; ci++ {
+			reduction := 0.0
+			for k := 0; k < K; k++ {
+				leaf := candLeaf[k*nCands+ci]
+				if sc.cmark[leaf] != gen {
+					continue // no references share this leaf
+				}
+				if d := sc.dval[leaf]; d > 0 {
+					reduction += d * float64(sc.ccount[leaf])
+				}
+			}
+			scores[ci] = baseAvgVar - reduction/(nParts*float64(nRefs))
+		}
+	})
+	return scores
+}
+
+// alcLinearFromMatrices is the linear-leaf ALC kernel: the NIG linear
+// model's predictive variance depends on the query point, so the
+// constant-model grouping by count is replaced by per-leaf reference
+// lists and the exact expected posterior variance after a rank-1
+// hypothetical refit with the candidate row.
+//
+// Adding (x_c, y) to a leaf updates Lambda' = Lambda + xa_c xa_c',
+// a' = a + 1/2 and b' = b + (y - xa_c·m)^2 / (2 (1 + q_c)) with
+// q_c = xa_c' Lambda^{-1} xa_c; under the current predictive for y,
+// E[b'] = b (2a - 1)/(2a - 2) — the same inflation as the constant
+// model — and Sherman–Morrison gives the updated quadratic form at a
+// reference r as q'_r = q_r - (xa_r' Lambda^{-1} xa_c)^2 / (1 + q_c).
+func (f *Forest) alcLinearFromMatrices(candLeaf, refLeaf []int32, cands, refs [][]float64, K int) []float64 {
+	nCands, nRefs := len(cands), len(refs)
+	sc := &f.sc
+	sc.next(f.ar.len())
+	gen := sc.gen
+
+	// Pass 1 (serial): per-particle base-variance partials and claimed
+	// per-leaf reference counts (leaf regions are id-invariants, so any
+	// particle's references are THE references; the first particle to
+	// claim a leaf owns its list).
+	partials := resizeF(&sc.partials, K)
+	for k := 0; k < K; k++ {
+		row := refLeaf[k*nRefs : (k+1)*nRefs]
+		sum := 0.0
+		for j, leaf := range row {
+			sum += f.lprior.predVariance(f.ar.lin[leaf], refs[j], f.augBuf)
+			if sc.cmark[leaf] != gen {
+				sc.cmark[leaf] = gen
+				sc.cowner[leaf] = int32(k)
+				sc.ccount[leaf] = 0
+				sc.touched = append(sc.touched, leaf)
+			}
+			if sc.cowner[leaf] == int32(k) {
+				sc.ccount[leaf]++
+			}
+		}
+		partials[k] = sum
+	}
+	nParts := float64(K)
+	baseAvgVar := reduceInOrder(partials) / (nParts * float64(nRefs))
+
+	// Materialise the owners' reference lists into one flat buffer:
+	// prefix-sum the claimed counts into segment cursors, then replay
+	// the rows in claim order so each segment lists its leaf's
+	// references exactly as the owning particle saw them.
+	total := int32(0)
+	for _, leaf := range sc.touched {
+		sc.lstart[leaf] = total
+		total += sc.ccount[leaf]
+	}
+	lrefs := matrix(&sc.lrefs, 1, int(total))
+	for k := 0; k < K; k++ {
+		row := refLeaf[k*nRefs : (k+1)*nRefs]
+		for j, leaf := range row {
+			if sc.cowner[leaf] == int32(k) {
+				lrefs[sc.lstart[leaf]] = int32(j)
+				sc.lstart[leaf]++
+			}
+		}
+	}
+
+	// Pass 2 (parallel over candidates). After the fill, lstart[leaf]
+	// sits one past the leaf's segment.
+	scores := make([]float64, nCands)
+	parallelFor(f.workers(), nCands, func(start, end int) {
+		scratch := make([]float64, linScratchLen(f.dim))
+		for ci := start; ci < end; ci++ {
+			reduction := 0.0
+			for k := 0; k < K; k++ {
+				leaf := candLeaf[k*nCands+ci]
+				if sc.cmark[leaf] != gen {
+					continue // no references share this leaf
+				}
+				refIdx := lrefs[sc.lstart[leaf]-sc.ccount[leaf] : sc.lstart[leaf]]
+				reduction += f.linLeafReduction(leaf, cands[ci], refs, refIdx, scratch)
+			}
+			scores[ci] = baseAvgVar - reduction/(nParts*float64(nRefs))
+		}
+	})
+	return scores
+}
+
+// linLeafReduction returns the expected total predictive-variance
+// reduction over the leaf's references after hypothetically observing
+// the candidate row in that leaf.
+func (f *Forest) linLeafReduction(leaf int32, cand []float64, refs [][]float64, refIdx []int32, scratch []float64) float64 {
+	lin := f.ar.lin[leaf]
+	f.lprior.ensure(lin)
+	an := f.lprior.an(lin)
+	if an <= 1 {
+		return 0 // E[b'] needs a_n > 1, like the constant model
+	}
+	d := lin.d
+	xaC := augInto(scratch[:d], cand)
+	// z = Lambda^{-1} xa_c, q_c = xa_c' Lambda^{-1} xa_c.
+	z := linalg.CholSolve(lin.chol, xaC)
+	qc := linalg.Dot(xaC, z)
+	eb := lin.bn * (2*an - 1) / (2*an - 2)
+	a1 := an + 0.5
+	df1 := 2 * a1
+	dfNow := 2 * an
+	total := 0.0
+	for _, j := range refIdx {
+		xaR := augInto(scratch[:d], refs[j])
+		qr := linalg.QuadFormInto(lin.chol, xaR, scratch[d:2*d])
+		vNow := lin.bn / an * (1 + qr) * dfNow / (dfNow - 2)
+		cross := linalg.Dot(xaR, z)
+		qr1 := qr - cross*cross/(1+qc)
+		vAfter := eb / a1 * (1 + qr1) * df1 / (df1 - 2)
+		if math.IsInf(vNow, 0) || math.IsInf(vAfter, 0) {
+			continue
+		}
+		if delta := vNow - vAfter; delta > 0 {
+			total += delta
+		}
+	}
+	return total
+}
+
+// AvgVariance returns the current average posterior-predictive variance
+// over the reference set, using the scoring subsample. The fold over
+// particles shards across the scoring pool with an in-order reduction,
+// so the result is bit-identical for every worker count. Linear leaves
+// use the linear model's reference-dependent predictive variance,
+// matching what ALCScores now optimises.
+func (f *Forest) AvgVariance(refs [][]float64) float64 {
+	if len(refs) == 0 {
+		return 0
+	}
+	f.warmLin()
+	K := len(f.scoreSlots)
+	partials := resizeF(&f.sc.partials, K)
+	linear := f.cfg.LeafModel == LinearLeaf
+	parallelFor(f.workers(), K, func(start, end int) {
+		xa := f.shardLinScratch()
+		for k := start; k < end; k++ {
+			root := f.roots[f.scoreSlots[k]]
+			sum := 0.0
+			for _, r := range refs {
+				leaf := f.leafOf(root, r)
+				if linear {
+					sum += f.lprior.predVariance(f.ar.lin[leaf], r, xa)
+				} else {
+					sum += f.prior.predVariance(f.ar.s[leaf])
+				}
+			}
+			partials[k] = sum
+		}
+	})
+	return reduceInOrder(partials) / (float64(K) * float64(len(refs)))
+}

@@ -94,3 +94,24 @@ func QuadForm(l [][]float64, x []float64) float64 {
 	v := ForwardSolve(l, x)
 	return Dot(v, v)
 }
+
+// ForwardSolveInto is ForwardSolve with a caller-owned result vector
+// (len(b); must not alias b), so hot loops can run allocation-free.
+func ForwardSolveInto(l [][]float64, b, dst []float64) []float64 {
+	n := len(b)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * dst[k]
+		}
+		dst[i] = sum / l[i][i]
+	}
+	return dst[:n]
+}
+
+// QuadFormInto is QuadForm with caller-owned solve scratch (len(x);
+// must not alias x).
+func QuadFormInto(l [][]float64, x, scratch []float64) float64 {
+	v := ForwardSolveInto(l, x, scratch)
+	return Dot(v, v)
+}

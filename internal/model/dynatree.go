@@ -11,6 +11,7 @@ import (
 var (
 	_ Model       = (*dynatree.Forest)(nil)
 	_ Importancer = (*dynatree.Forest)(nil)
+	_ PoolBinder  = (*dynatree.Forest)(nil)
 )
 
 // DynatreeBuilder builds the paper's particle-filtered dynamic-tree

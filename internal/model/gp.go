@@ -74,6 +74,44 @@ type gpModel struct {
 	xs      [][]float64
 	ys      []float64
 	pending int
+
+	// Bound pool rows (PoolBinder) plus reusable gather scratch. The
+	// GP has no per-candidate state worth caching across rounds, so
+	// the indexed entry points simply gather rows and fall back to the
+	// row-based scorers — bit-identical by construction.
+	rows       [][]float64
+	gatherBufA [][]float64
+	gatherBufB [][]float64
+}
+
+var _ PoolBinder = (*gpModel)(nil)
+
+// BindPool interns the pool rows for the indexed fallback adapters.
+func (m *gpModel) BindPool(rows [][]float64) { m.rows = rows }
+
+// gather copies the bound rows for ids into buf.
+func (m *gpModel) gather(buf *[][]float64, ids []int) [][]float64 {
+	out := (*buf)[:0]
+	for _, id := range ids {
+		out = append(out, m.rows[id])
+	}
+	*buf = out
+	return out
+}
+
+// ALMIndexed is ALMBatch over bound pool rows.
+func (m *gpModel) ALMIndexed(ids []int) []float64 {
+	return m.ALMBatch(m.gather(&m.gatherBufA, ids))
+}
+
+// ALCIndexed is ALCScores over bound pool rows.
+func (m *gpModel) ALCIndexed(cands, refs []int) []float64 {
+	return m.ALCScores(m.gather(&m.gatherBufA, cands), m.gather(&m.gatherBufB, refs))
+}
+
+// PredictMeanFastIndexed is PredictMeanFastBatch over bound pool rows.
+func (m *gpModel) PredictMeanFastIndexed(ids []int) []float64 {
+	return m.PredictMeanFastBatch(m.gather(&m.gatherBufA, ids))
 }
 
 // Update records the observation and refits the GP when due. While
