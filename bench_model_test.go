@@ -137,9 +137,16 @@ func benchLearnRounds(b *testing.B, workers int, rowOnly bool) {
 // BenchmarkLearnRounds measures a full multi-round learning session —
 // seeding, then ~11 rounds of batch-8 selection interleaved with model
 // updates — through both scoring paths. Unlike the steady-state
-// selection benchmark this includes the cache invalidation each
-// round's updates cause, so it is the honest end-to-end speedup of the
-// routing cache in Algorithm 1's loop.
+// selection benchmark this includes the cache maintenance each round's
+// updates cause, so it is the honest end-to-end cost of the routing
+// cache in Algorithm 1's loop. Know what it can show: model updates
+// (particle propagation, resampling) dominate a session and are
+// identical in both paths, so even a zero-cost cache caps the session
+// ratio around ~1.25x at this shape — the committed ratio near 1.0x
+// means cached scoring plus all maintenance (slot-scoped redirect
+// logs, slab copy-on-write, compaction translate) costs about what
+// fresh re-descent does, while the steady-state benchmark isolates
+// the pure scoring win (~3x).
 func BenchmarkLearnRounds(b *testing.B) {
 	for _, path := range benchPaths {
 		for _, w := range []int{1, 4, 8} {
@@ -169,14 +176,29 @@ type modelBenchReport struct {
 	BatchWidth        int                `json:"batch_width"`
 	Results           []modelBenchRecord `json:"results"`
 	SelectSerial      float64            `json:"select_steady_indexed_vs_row_serial"`
+	LearnSerial       float64            `json:"learn_rounds_indexed_vs_row_serial"`
 	MeetsSpeedupFloor bool               `json:"meets_2x_select_speedup_floor"`
+	MeetsLearnFloor   bool               `json:"meets_learn_rounds_regression_floor"`
 }
+
+// learnRoundsFloor is the LearnRounds indexed-vs-row serial floor the
+// model-bench CI job enforces. It is a no-regression guard, not a
+// speedup claim: whole sessions are dominated by model updates that
+// both paths share (see BenchmarkLearnRounds), so the enforceable
+// contract is that cache maintenance never makes full sessions
+// meaningfully slower than row re-descent, while steady-state
+// selection keeps its ≥2x floor. Set below 1.0 only to absorb CI
+// runner noise on a ~1.0x measurement.
+const learnRoundsFloor = 0.75
 
 // TestRecordModelBenchmark regenerates BENCH_model.json — the
 // indexed-vs-row scoring trajectory at 1/4/8 workers — and enforces
-// the ≥2x steady-state SelectBatch floor for the pool-interned path
-// over the row path at workers=1 (serial, so the ratio is purely
-// algorithmic: cached routes vs full re-descent). It only runs when
+// two serial floors for the pool-interned path over the row path
+// (serial, so the ratios are purely algorithmic: cached routes vs
+// full re-descent): ≥2x on steady-state SelectBatch, and the
+// no-regression learnRoundsFloor on LearnRounds (whole update-heavy
+// learning sessions; see BenchmarkLearnRounds for why a large session
+// ratio is not attainable while updates dominate). It only runs when
 // ALIC_RECORD_MODEL_BENCH is set (CI's model-bench job, or locally:
 //
 //	ALIC_RECORD_MODEL_BENCH=BENCH_model.json go test -run TestRecordModelBenchmark .
@@ -213,13 +235,19 @@ func TestRecordModelBenchmark(t *testing.T) {
 			rep.Results = append(rep.Results,
 				modelBenchRecord{Benchmark: name, Path: "row", Workers: w, MsPerOp: rowMs, SpeedupVsRow: 1},
 				modelBenchRecord{Benchmark: name, Path: "indexed", Workers: w, MsPerOp: idxMs, SpeedupVsRow: rowMs / idxMs})
-			if name == "SelectBatchSteady" && w == 1 {
-				rep.SelectSerial = rowMs / idxMs
+			if w == 1 {
+				switch name {
+				case "SelectBatchSteady":
+					rep.SelectSerial = rowMs / idxMs
+				case "LearnRounds":
+					rep.LearnSerial = rowMs / idxMs
+				}
 			}
 			t.Logf("%s/workers=%d: row %.2f ms/op, indexed %.2f ms/op (%.2fx)", name, w, rowMs, idxMs, rowMs/idxMs)
 		}
 	}
 	rep.MeetsSpeedupFloor = rep.SelectSerial >= 2
+	rep.MeetsLearnFloor = rep.LearnSerial >= learnRoundsFloor
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -229,5 +257,8 @@ func TestRecordModelBenchmark(t *testing.T) {
 	}
 	if !rep.MeetsSpeedupFloor {
 		t.Fatalf("steady-state indexed SelectBatch is %.2fx over the row path at workers=1, want >= 2x", rep.SelectSerial)
+	}
+	if !rep.MeetsLearnFloor {
+		t.Fatalf("indexed LearnRounds is %.2fx over the row path at workers=1, want >= %.2fx (cache maintenance must not slow whole sessions down)", rep.LearnSerial, learnRoundsFloor)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"alic"
+	"alic/internal/dynatree"
 	"alic/internal/report"
 )
 
@@ -34,6 +35,7 @@ func main() {
 		plan      = flag.String("plan", "variable", "sampling plan: "+strings.Join(alic.PlanNames(), "|"))
 		planObs   = flag.Int("planobs", 35, "observations per example for the fixed plan")
 		scorer    = flag.String("scorer", "alc", "acquisition heuristic: "+strings.Join(alic.AcquisitionNames(), "|"))
+		leaf      = flag.String("leaf", "constant", "dynamic-tree leaf model: constant|linear")
 		nmax      = flag.Int("nmax", 400, "acquisition budget")
 		ninit     = flag.Int("ninit", 5, "seed examples")
 		nobs      = flag.Int("nobs", 35, "seed observations / revisit cap")
@@ -85,6 +87,14 @@ func main() {
 	opts.Learner.Seed = *seed
 	opts.Learner.Tree.Particles = *particles
 	opts.Learner.Tree.ScoreParticles = max(20, *particles/6)
+	switch *leaf {
+	case "constant":
+		opts.Learner.Tree.LeafModel = dynatree.ConstantLeaf
+	case "linear":
+		opts.Learner.Tree.LeafModel = dynatree.LinearLeaf
+	default:
+		fatal(fmt.Errorf("unknown -leaf model %q (want constant or linear)", *leaf))
+	}
 	opts.Learner.Workers = *workers
 	opts.Learner.EvalWorkers = *evalWork
 	opts.Learner.Async = *async
@@ -112,20 +122,28 @@ func main() {
 	// Profile the learn loop only: model updates plus candidate
 	// scoring, the hot paths BENCH_model.json tracks. See the README's
 	// "Profiling the scoring hot path" section for the workflow.
+	// fatal exits via os.Exit, which skips deferred cleanup, so the
+	// profile is stopped and the file closed explicitly on every path
+	// — a Learn error must still leave a complete, readable profile.
+	stopCPUProfile := func() {}
 	if *cpuprof != "" {
 		pf, err := os.Create(*cpuprof)
 		if err != nil {
 			fatal(err)
 		}
 		if err := pprof.StartCPUProfile(pf); err != nil {
+			pf.Close()
 			fatal(err)
 		}
-		defer pf.Close()
+		stopCPUProfile = func() {
+			pprof.StopCPUProfile()
+			if err := pf.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "alic: closing cpu profile:", err)
+			}
+		}
 	}
 	res, err := alic.Learn(k, opts)
-	if *cpuprof != "" {
-		pprof.StopCPUProfile()
-	}
+	stopCPUProfile()
 	if err != nil {
 		fatal(err)
 	}
@@ -135,10 +153,13 @@ func main() {
 			fatal(err)
 		}
 		runtime.GC() // surface only live steady-state allocations
-		if err := pprof.WriteHeapProfile(mf); err != nil {
-			fatal(err)
+		werr := pprof.WriteHeapProfile(mf)
+		if cerr := mf.Close(); werr == nil {
+			werr = cerr
 		}
-		mf.Close()
+		if werr != nil {
+			fatal(werr)
+		}
 	}
 	fmt.Printf("model: RMSE %s s after %d acquisitions (%d runs, %d unique configs, %d revisits)\n",
 		report.FormatFloat(res.FinalError), res.Acquired, res.Observations,

@@ -136,7 +136,16 @@ type Forest struct {
 	lastLive int
 
 	cache *routeCache // nil until BindPool
-	clock uint32      // routing-cache event clock
+
+	// tabs memoises the integer-keyed transcendental terms of the NIG
+	// closed forms, shared by both leaf priors; extended serially in
+	// Update before the sharded weight pass reads it. splitTab /
+	// logSplitTab / log1mSplitTab memoise the per-depth CGM prior and
+	// its logs (propagate is serial, so these grow lazily).
+	tabs          *nigTables
+	splitTab      []float64
+	logSplitTab   []float64
+	log1mSplitTab []float64
 
 	// Scratch reused across updates and scoring calls.
 	logW      []float64
@@ -211,10 +220,13 @@ func New(cfg Config, dim int, r *rng.Stream) (*Forest, error) {
 	if r == nil {
 		return nil, fmt.Errorf("dynatree: nil rng stream")
 	}
+	tabs := newNigTables(cfg.A0, cfg.Kappa0, cfg.B0)
+	tabs.extend(1)
 	f := &Forest{
 		cfg:    cfg,
-		prior:  nigPrior{m0: cfg.M0, kappa0: cfg.Kappa0, a0: cfg.A0, b0: cfg.B0},
-		lprior: linPrior{m0: cfg.M0, kappa0: cfg.Kappa0, a0: cfg.A0, b0: cfg.B0},
+		prior:  nigPrior{m0: cfg.M0, kappa0: cfg.Kappa0, a0: cfg.A0, b0: cfg.B0, tabs: tabs},
+		lprior: linPrior{m0: cfg.M0, kappa0: cfg.Kappa0, a0: cfg.A0, b0: cfg.B0, tabs: tabs},
+		tabs:   tabs,
 		dim:    dim,
 		roots:  make([]int32, cfg.Particles),
 		r:      r,
@@ -229,6 +241,7 @@ func New(cfg Config, dim int, r *rng.Stream) (*Forest, error) {
 	}
 	f.scoreSlots = scoreSlotsFor(cfg.Particles, cfg.ScoreParticles)
 	f.lastLive = f.ar.len()
+	f.ar.reserve(f.compactAt())
 	return f, nil
 }
 
@@ -261,9 +274,34 @@ func (f *Forest) N() int { return len(f.points) }
 // maps 0 to GOMAXPROCS.
 func (f *Forest) workers() int { return f.cfg.Workers }
 
-// pSplit is the CGM split prior at the given depth.
+// pSplit is the CGM split prior at the given depth, memoised per
+// depth together with the log terms propagate folds into every move
+// weight (table entries are the direct expressions' exact bits).
+// Lazy growth is safe because every caller runs serially.
 func (f *Forest) pSplit(depth int) float64 {
-	return f.cfg.Alpha * math.Pow(1+float64(depth), -f.cfg.Beta)
+	f.ensureSplitTab(depth)
+	return f.splitTab[depth]
+}
+
+// logSplit is ln pSplit(depth).
+func (f *Forest) logSplit(depth int) float64 {
+	f.ensureSplitTab(depth)
+	return f.logSplitTab[depth]
+}
+
+// log1mSplit is ln(1 - pSplit(depth)).
+func (f *Forest) log1mSplit(depth int) float64 {
+	f.ensureSplitTab(depth)
+	return f.log1mSplitTab[depth]
+}
+
+func (f *Forest) ensureSplitTab(depth int) {
+	for d := len(f.splitTab); d <= depth; d++ {
+		p := f.cfg.Alpha * math.Pow(1+float64(d), -f.cfg.Beta)
+		f.splitTab = append(f.splitTab, p)
+		f.logSplitTab = append(f.logSplitTab, math.Log(p))
+		f.log1mSplitTab = append(f.log1mSplitTab, math.Log1p(-p))
+	}
 }
 
 // leafOf descends from root (any node id, in fact — descents may
@@ -292,9 +330,10 @@ func (f *Forest) Update(x []float64, y float64) {
 	copy(xcopy, x)
 	idx := len(f.points)
 	f.points = append(f.points, point{x: xcopy, y: y})
-	if f.cache != nil {
-		f.clock++
-	}
+	// Cover every leaf count the weight pass, move proposals and prune
+	// merges can reach this update (serial: the sharded passes below
+	// only read the tables).
+	f.tabs.extend(len(f.points) + 1)
 
 	// Step 1: importance weights = posterior predictive density at the
 	// new observation. Each particle's weight is independent and —
@@ -450,7 +489,7 @@ func (f *Forest) propagate(slot int, idx int, x []float64, y float64) {
 	moves := f.movesBuf[:0]
 
 	// Stay: leaf keeps its data plus the new point.
-	stayLW := math.Log1p(-f.pSplit(int(ar.depth[leaf]))) + f.nodeML(sNew, linNew)
+	stayLW := f.log1mSplit(int(ar.depth[leaf])) + f.nodeML(sNew, linNew)
 	logw = append(logw, stayLW)
 	moves = append(moves, moveStay)
 
@@ -474,10 +513,10 @@ func (f *Forest) propagate(slot int, idx int, x []float64, y float64) {
 			// ML(leaf+new) * (1-p_split(sib)) * ML(sib). The stay
 			// weight above lacks the parent-level factors, so add them
 			// here to put all three moves on the parent's footing.
-			parentSplitLW := math.Log(f.pSplit(int(ar.depth[parent]))) +
-				math.Log1p(-f.pSplit(int(ar.depth[sib]))) + f.nodeML(ar.s[sib], ar.lin[sib])
+			parentSplitLW := f.logSplit(int(ar.depth[parent])) +
+				f.log1mSplit(int(ar.depth[sib])) + f.nodeML(ar.s[sib], ar.lin[sib])
 			logw[0] += parentSplitLW
-			pruneLW := math.Log1p(-f.pSplit(int(ar.depth[parent]))) + f.nodeML(merged, mergedLin)
+			pruneLW := f.log1mSplit(int(ar.depth[parent])) + f.nodeML(merged, mergedLin)
 			logw = append(logw, pruneLW)
 			moves = append(moves, movePrune)
 		}
@@ -500,13 +539,13 @@ func (f *Forest) propagate(slot int, idx int, x []float64, y float64) {
 				f.attachLin(&f.growR)
 			}
 			childDepth := int(ar.depth[leaf]) + 1
-			growLW := math.Log(f.pSplit(int(ar.depth[leaf]))) +
-				math.Log1p(-f.pSplit(childDepth)) + f.nodeML(f.growL.s, f.growL.lin) +
-				math.Log1p(-f.pSplit(childDepth)) + f.nodeML(f.growR.s, f.growR.lin)
+			growLW := f.logSplit(int(ar.depth[leaf])) +
+				f.log1mSplit(childDepth) + f.nodeML(f.growL.s, f.growL.lin) +
+				f.log1mSplit(childDepth) + f.nodeML(f.growR.s, f.growR.lin)
 			// Match the parent-level footing if prune is on the table.
 			if len(moves) == 2 {
-				growLW += math.Log(f.pSplit(int(ar.depth[parent]))) +
-					math.Log1p(-f.pSplit(int(ar.depth[sib]))) + f.nodeML(ar.s[sib], ar.lin[sib])
+				growLW += f.logSplit(int(ar.depth[parent])) +
+					f.log1mSplit(int(ar.depth[sib])) + f.nodeML(ar.s[sib], ar.lin[sib])
 			}
 			logw = append(logw, growLW)
 			moves = append(moves, moveGrow)
@@ -529,10 +568,10 @@ func (f *Forest) propagate(slot int, idx int, x []float64, y float64) {
 
 	case movePrune:
 		// Parent becomes a leaf holding both children's points plus the
-		// new one.
+		// new one; routes cached at either child redirect to it.
 		p := f.makeWritable(slot, chain[:len(chain)-1])
-		f.retire(slot, leaf)
-		f.retire(slot, sib)
+		f.supersede(slot, leaf, p)
+		f.supersede(slot, sib, p)
 		merged := sNew.merge(f.ar.s[sib])
 		pts := make([]int, 0, len(f.ar.pts[leaf])+len(f.ar.pts[sib])+1)
 		pts = append(pts, f.ar.pts[leaf]...)
@@ -571,10 +610,12 @@ func (f *Forest) materializeChild(c *childScratch, depth int32) int32 {
 // (chain runs root → … → write target). Nodes from the first shared
 // one onward are replaced with fresh copies relinked top-down; the
 // off-path child of every cloned interior node gains a second
-// referencing tree and is marked shared; superseded originals are
-// retired from slot's routing cache. With no shared node on the chain
-// this is a no-op returning the target itself — the common case for a
-// particle that survived resampling uniquely.
+// referencing tree and is marked shared; superseded originals
+// redirect to their copies in slot's routing cache (a copy routes
+// exactly the original's region, so cached routes survive the clone).
+// With no shared node on the chain this is a no-op returning the
+// target itself — the common case for a particle that survived
+// resampling uniquely.
 func (f *Forest) makeWritable(slot int, chain []int32) int32 {
 	ar := &f.ar
 	first := -1
@@ -594,7 +635,7 @@ func (f *Forest) makeWritable(slot int, chain []int32) int32 {
 	for i := first; i < len(chain); i++ {
 		orig := chain[i]
 		cp := ar.copyNode(orig)
-		f.retire(slot, orig)
+		f.supersede(slot, orig, cp)
 		if i < len(chain)-1 {
 			// Both the original and the copy now reference the
 			// off-path child.
@@ -617,30 +658,87 @@ func (f *Forest) makeWritable(slot int, chain []int32) int32 {
 	return prev
 }
 
-// retire records that node id left slot's tree, so cached routes
-// through it die. Nothing to record when the slot's tree was never
-// scored (no slab) or no pool is bound.
-func (f *Forest) retire(slot int, id int32) {
-	if f.cache == nil || f.cache.slabs[slot] == nil {
+// supersede records that node old left slot's tree, replaced by node
+// nu (a path copy with identical routing, or the parent leaf a prune
+// collapsed into — either way nu routes every input old did), so
+// slot's cached routes through old redirect to nu — and only slot's.
+// Structural sharing means the departing node may still sit in other
+// particles' trees (a path copy supersedes it in the writing tree
+// only; a prune unlinks it from the pruning tree only), and those
+// particles' cached routes to it stay valid, so the redirect is
+// recorded against the slot's own pending list rather than any
+// global clock.
+//
+// Nothing to record when no pool is bound, or when the slot's tree
+// was never scored: a slot without a slab holds no cached routes, and
+// — the invariant the slot-scoped scheme makes explicit — its
+// departures cannot invalidate any other slab, because the node stays
+// live in every other tree that references it. ensureRouted asserts
+// the contrapositive (a slab-less slot never has pending redirects),
+// and TestSlablessSlotRetirePreservesSharedRoutes pins that a
+// slab-holding sharer's routes survive a slab-less slot's path copies.
+func (f *Forest) supersede(slot int, old, nu int32) {
+	c := f.cache
+	if c == nil || c.slabs[slot] == nil {
 		return
 	}
-	f.ar.die[id] = f.clock
+	if c.overflow[slot] {
+		return // the slab is already marked for a wholesale reset
+	}
+	l := c.pending[slot]
+	if l.total() >= c.maxPend {
+		// Defensive valve, unreachable in normal operation (the
+		// wantCompact request below truncates logs at half this): more
+		// redirects than replaying them is worth — re-route the whole
+		// slab on its next use instead.
+		c.overflow[slot] = true
+		c.pending[slot] = nil
+		return
+	}
+	if l == nil || l.shared {
+		l = &pendLog{parent: l, prior: l.total()}
+		c.pending[slot] = l
+	}
+	l.ids = append(l.ids, old, nu)
+	if l.total() >= c.maxPend/2 {
+		c.wantCompact = true
+	}
 }
 
 // maybeCompact rebuilds the arena when superseded path copies and
 // dead particles outgrow the live trees. Compaction preserves
-// structural sharing (and recomputes exact shared flags) but renames
-// every node id, so it invalidates all cached routes.
+// structural sharing (and recomputes exact shared flags) and renames
+// every node id; the routing cache rides along through the rename
+// map (routeCache.translate), so cached routes survive compaction.
+// Renaming is observationally invisible (descents follow structure,
+// scoring kernels use ids only to group identical leaves, no
+// randomness is consumed), so the threshold is a pure space/time
+// knob: with a bound pool the arena is let grow further, because
+// every compaction pays a translate pass over all slabs.
 func (f *Forest) maybeCompact() {
-	if f.ar.len() > 4*f.lastLive+1024 {
+	if f.ar.len() > f.compactAt() || (f.cache != nil && f.cache.wantCompact) {
 		f.compact()
 	}
 }
 
+// compactAt is the arena size that triggers the next compaction.
+func (f *Forest) compactAt() int {
+	mult := 8
+	if f.cache != nil {
+		// With a bound pool every compaction also pays a translate
+		// pass over the slabs, so the arena is let grow further; the
+		// routing cache requests a compaction itself (wantCompact)
+		// when its redirect logs need truncating.
+		mult = 32
+	}
+	return mult*f.lastLive + 1024
+}
+
 func (f *Forest) compact() {
 	old := &f.ar
+	oldLen := old.len()
 	var na nodes
-	remap := make([]int32, old.len())
+	remap := make([]int32, oldLen)
 	for i := range remap {
 		remap[i] = -1
 	}
@@ -670,8 +768,11 @@ func (f *Forest) compact() {
 	}
 	f.ar = na
 	f.lastLive = na.len()
+	// One reallocation out to the next compaction trigger keeps every
+	// newLeaf/copyNode append between compactions growslice-free.
+	f.ar.reserve(f.compactAt())
 	if f.cache != nil {
-		f.cache.invalidateAll()
+		f.cache.translate(remap, oldLen)
 	}
 }
 

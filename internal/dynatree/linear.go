@@ -1,10 +1,10 @@
 package dynatree
 
 import (
+	"errors"
 	"math"
 
 	"alic/internal/linalg"
-	"alic/internal/stats"
 )
 
 // LeafModel selects the per-leaf regression model, mirroring the R
@@ -47,6 +47,13 @@ type linSuff struct {
 	chol  [][]float64
 	mn    []float64
 	bn    float64
+
+	// degenerate marks a leaf whose Lambda_n could not be factored
+	// even with escalated jitter (duplicate / near-collinear feature
+	// columns at magnitudes that swamp the kappa0 ridge, or non-finite
+	// cross-products). Prediction, density and scoring then fall back
+	// to the constant-leaf closed form — see ensure.
+	degenerate bool
 }
 
 func newLinSuff(dim int) *linSuff {
@@ -129,29 +136,64 @@ type linPrior struct {
 	kappa0 float64
 	a0     float64
 	b0     float64
+	tabs   *nigTables // optional memo tables shared with the constant prior
 }
 
 // ensure computes (and caches) the posterior of s.
+//
+// The ridge kappa0 I makes Lambda SPD in exact arithmetic, but an
+// ill-conditioned kernel (duplicate or near-collinear feature
+// columns, magnitudes that make kappa0 vanish in rounding) can defeat
+// the factorisation. Rather than crash the learner, ensure escalates:
+// growing relative jitter on the diagonal, like the gp backend's Fit,
+// and — past the cap, or when the cross-products themselves are
+// non-finite — a documented fallback to the constant-leaf closed
+// form. The first augmented column is all-ones, so the leaf's own
+// statistics project exactly onto the constant model (constSuff); a
+// degenerate linear leaf behaves bit-for-bit like a constant leaf
+// until new data restores factorability.
 func (p linPrior) ensure(s *linSuff) {
-	if !s.dirty && s.chol != nil {
+	if !s.dirty && (s.chol != nil || s.degenerate) {
 		return
 	}
-	lambda := make([][]float64, s.d)
-	for i := range lambda {
-		lambda[i] = append([]float64(nil), s.xtx[i]...)
-		lambda[i][i] += p.kappa0
+	s.degenerate = false
+	finite := true
+	for i := 0; finite && i < s.d; i++ {
+		for _, v := range s.xtx[i] {
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				finite = false
+				break
+			}
+		}
+		if math.IsInf(s.xty[i], 0) || math.IsNaN(s.xty[i]) {
+			finite = false
+		}
 	}
-	chol, err := linalg.Cholesky(lambda)
-	if err != nil {
-		// The ridge kappa0 I makes Lambda SPD; failure can only come
-		// from extreme rounding. Retry with a stronger ridge.
+	var chol [][]float64
+	err := errNonFinite
+	if finite {
+		lambda := make([][]float64, s.d)
 		for i := range lambda {
-			lambda[i][i] += 1e-8 * (1 + lambda[i][i])
+			lambda[i] = append([]float64(nil), s.xtx[i]...)
+			lambda[i][i] += p.kappa0
 		}
 		chol, err = linalg.Cholesky(lambda)
-		if err != nil {
-			panic("dynatree: linear leaf covariance not SPD")
+		// Escalating jitter: lift the diagonal by growing relative
+		// ridges until the matrix factors; give up past 1e-2 relative.
+		for jitter := 1e-10; err != nil && jitter <= 1e-2; jitter *= 10 {
+			for i := range lambda {
+				lambda[i][i] += jitter * (1 + math.Abs(lambda[i][i]))
+			}
+			chol, err = linalg.Cholesky(lambda)
 		}
+	}
+	if err != nil {
+		s.degenerate = true
+		s.chol = nil
+		s.mn = nil
+		s.bn = 0
+		s.dirty = false
+		return
 	}
 	// rhs = K0 beta0 + X'y with beta0 = (m0, 0, ...).
 	rhs := append([]float64(nil), s.xty...)
@@ -169,6 +211,23 @@ func (p linPrior) ensure(s *linSuff) {
 	s.dirty = false
 }
 
+// errNonFinite poisons the factorisation when the sufficient
+// statistics themselves are non-finite (jitter cannot help).
+var errNonFinite = errors.New("dynatree: non-finite linear sufficient statistics")
+
+// constSuff projects the linear leaf's statistics onto the constant
+// model: the first augmented column is all-ones, so xty[0] = Σy and
+// yty = Σy² — exactly the constant leaf's sufficient statistics.
+func (s *linSuff) constSuff() suff {
+	return suff{n: s.n, sumY: s.xty[0], sumY2: s.yty}
+}
+
+// nig is the constant-leaf prior with the same hyperparameters, used
+// by the degenerate fallback.
+func (p linPrior) nig() nigPrior {
+	return nigPrior{m0: p.m0, kappa0: p.kappa0, a0: p.a0, b0: p.b0, tabs: p.tabs}
+}
+
 func (p linPrior) an(s *linSuff) float64 { return p.a0 + float64(s.n)/2 }
 
 // logMarginal returns ln p(y_1..y_n) under the linear NIG prior.
@@ -177,13 +236,16 @@ func (p linPrior) logMarginal(s *linSuff) float64 {
 		return 0
 	}
 	p.ensure(s)
+	if s.degenerate {
+		return p.nig().logMarginal(s.constSuff())
+	}
 	an := p.an(s)
 	n := float64(s.n)
 	d := float64(s.d)
-	return -n/2*math.Log(2*math.Pi) +
-		0.5*(d*math.Log(p.kappa0)-linalg.LogDetFromChol(s.chol)) +
-		p.a0*math.Log(p.b0) - an*math.Log(s.bn) +
-		stats.LogGamma(an) - stats.LogGamma(p.a0)
+	return -n/2*log2Pi +
+		0.5*(d*p.tabs.lnKappa0(p.kappa0)-linalg.LogDetFromChol(s.chol)) +
+		p.a0*p.tabs.lnB0(p.b0) - an*math.Log(s.bn) +
+		p.tabs.gAn(an, s.n) - p.tabs.gA0(p.a0)
 }
 
 // linScratchLen is the caller-owned scratch length the linPrior
@@ -197,6 +259,9 @@ func linScratchLen(dim int) int { return 2 * (dim + 1) }
 // allocation.
 func (p linPrior) predictive(s *linSuff, x, scratch []float64) (df, loc, scale2 float64) {
 	p.ensure(s)
+	if s.degenerate {
+		return p.nig().predictive(s.constSuff())
+	}
 	if len(scratch) < 2*s.d {
 		scratch = make([]float64, 2*s.d)
 	}
@@ -223,7 +288,7 @@ func (p linPrior) predVariance(s *linSuff, x, scratch []float64) float64 {
 func (p linPrior) logPredictiveDensity(s *linSuff, x []float64, y float64, scratch []float64) float64 {
 	df, loc, scale2 := p.predictive(s, x, scratch)
 	z2 := (y - loc) * (y - loc) / scale2
-	return stats.LogGamma((df+1)/2) - stats.LogGamma(df/2) -
+	return p.tabs.gAnH((df+1)/2, s.n) - p.tabs.gAn(df/2, s.n) -
 		0.5*math.Log(df*math.Pi*scale2) -
 		(df+1)/2*math.Log1p(z2/df)
 }

@@ -354,3 +354,130 @@ func TestLinearAvgVarianceUsesLinearModel(t *testing.T) {
 		t.Fatalf("AvgVariance = %v, want per-reference linear variance %v", got, want)
 	}
 }
+
+// TestLinearDegenerateDuplicateColumns is the ill-conditioned-kernel
+// regression test: duplicate feature columns at magnitudes that swamp
+// the kappa0 ridge historically panicked ensure() after its single
+// fixed 1e-8 retry. The escalating-jitter loop (and, past the cap,
+// the constant-leaf fallback) must keep every entry point finite and
+// panic-free.
+func TestLinearDegenerateDuplicateColumns(t *testing.T) {
+	cfg := linConfig()
+	cfg.Particles = 20
+	f, err := New(cfg, 2, rng.New(70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(71)
+	// Exactly collinear columns (x2 = x1) at 1e9 magnitude: X'X
+	// entries ~1e18, so the 0.1 ridge vanishes in rounding and the
+	// unjittered Cholesky fails.
+	for i := 0; i < 40; i++ {
+		v := 1e9 * (1 + r.Float64())
+		f.Update([]float64{v, v}, v*1e-9+r.NormMS(0, 0.1))
+	}
+	probe := []float64{1.5e9, 1.5e9}
+	mean, variance := f.Predict(probe)
+	if math.IsNaN(mean) || math.IsInf(mean, 0) || math.IsNaN(variance) || math.IsInf(variance, 0) {
+		t.Fatalf("Predict on degenerate leaf: mean %v variance %v", mean, variance)
+	}
+	if v := f.ALM(probe); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("ALM on degenerate leaf: %v", v)
+	}
+	cands := [][]float64{probe, {2e9, 2e9}}
+	for i, s := range f.ALCScores(cands, cands) {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("ALC[%d] on degenerate leaf: %v", i, s)
+		}
+	}
+}
+
+// TestLinearDegenerateFallsBackToConstant drives the documented
+// fallback deterministically: features whose cross-products overflow
+// to +Inf can never factor at any jitter, so the leaf must degrade to
+// the constant-leaf closed form — bit-identical to a constant leaf
+// holding the same targets.
+func TestLinearDegenerateFallsBackToConstant(t *testing.T) {
+	p := linPrior{m0: 0, kappa0: 0.1, a0: 3, b0: 2}
+	s := newLinSuff(2)
+	ys := []float64{1.2, 0.8, 1.1, 0.9}
+	for _, y := range ys {
+		s.add([]float64{1e200, -1e200}, y) // x^2 = 1e400 = +Inf in xtx
+	}
+	p.ensure(s)
+	if !s.degenerate {
+		t.Fatal("non-finite sufficient statistics did not mark the leaf degenerate")
+	}
+	ng := nigPrior{m0: 0, kappa0: 0.1, a0: 3, b0: 2}
+	var cs suff
+	for _, y := range ys {
+		cs.add(y)
+	}
+	x := []float64{1e200, -1e200}
+	df, loc, scale2 := p.predictive(s, x, nil)
+	wdf, wloc, wscale2 := ng.predictive(cs)
+	if df != wdf || loc != wloc || scale2 != wscale2 {
+		t.Fatalf("degenerate predictive (%v %v %v) != constant closed form (%v %v %v)",
+			df, loc, scale2, wdf, wloc, wscale2)
+	}
+	if got, want := p.logMarginal(s), ng.logMarginal(cs); got != want {
+		t.Fatalf("degenerate logMarginal %v != constant %v", got, want)
+	}
+	if v := p.predVariance(s, x, nil); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("degenerate predVariance: %v", v)
+	}
+	// New well-conditioned data must clear the flag.
+	s2 := newLinSuff(1)
+	s2.add([]float64{1}, 1)
+	s2.add([]float64{2}, 2)
+	p.ensure(s2)
+	if s2.degenerate {
+		t.Fatal("well-conditioned leaf marked degenerate")
+	}
+}
+
+// TestLinearDegenerateWholeLearner runs a full linear-leaf session on
+// a pathological feature space (duplicate + Inf-overflow columns) end
+// to end: Update, resample weights, ALM/ALC scoring, indexed scoring
+// — nothing may panic and indexed must still equal row.
+func TestLinearDegenerateWholeLearner(t *testing.T) {
+	cfg := linConfig()
+	cfg.Particles = 15
+	cfg.ScoreParticles = 0
+	f, err := New(cfg, 3, rng.New(72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(73)
+	rows := make([][]float64, 30)
+	for i := range rows {
+		v := 1e200 * (1 + r.Float64())
+		rows[i] = []float64{v, v, r.Float64()} // first two columns overflow X'X
+	}
+	ids := allIDs(len(rows))
+	f.BindPool(rows)
+	for i := 0; i < 40; i++ {
+		id := r.Intn(len(rows))
+		f.Update(rows[id], rows[id][2]+r.NormMS(0, 0.1))
+	}
+	alm := f.ALMBatch(rows)
+	almIdx := f.ALMIndexed(ids)
+	for i := range alm {
+		if alm[i] != almIdx[i] {
+			t.Fatalf("ALM[%d] row %v != indexed %v", i, alm[i], almIdx[i])
+		}
+		if math.IsNaN(alm[i]) {
+			t.Fatalf("ALM[%d] is NaN", i)
+		}
+	}
+	alc := f.ALCScores(rows, rows)
+	alcIdx := f.ALCIndexed(ids, ids)
+	for i := range alc {
+		if alc[i] != alcIdx[i] {
+			t.Fatalf("ALC[%d] row %v != indexed %v", i, alc[i], alcIdx[i])
+		}
+		if math.IsNaN(alc[i]) {
+			t.Fatalf("ALC[%d] is NaN", i)
+		}
+	}
+}

@@ -36,6 +36,101 @@ type nigPrior struct {
 	kappa0 float64
 	a0     float64
 	b0     float64
+	tabs   *nigTables // optional memo tables (nil falls back to direct calls)
+}
+
+// log2Pi hoists ln(2π), evaluated once with the same call the closed
+// forms previously made per invocation.
+var log2Pi = math.Log(2 * math.Pi)
+
+// nigTables memoises the integer-keyed transcendental terms of the
+// NIG closed forms — the LogGamma and Log calls that dominate the
+// particle-propagation profile. Every leaf statistic n is a small
+// integer bounded by the observation count, so LogGamma(a0 + n/2),
+// LogGamma((2(a0+n/2)+1)/2) and Log(kappa0 + n) take only
+// observations+1 distinct values per session. Entries hold exactly
+// the bits the direct call would produce (the keys are computed with
+// the same expressions), so substituting them cannot change any
+// score or weight; the tables are extended serially (Forest.Update,
+// New) and read concurrently by the sharded weight pass. The same
+// tables serve the constant and the linear prior — both share a0 and
+// kappa0 by construction.
+type nigTables struct {
+	lgA0  float64   // LogGamma(a0)
+	logK0 float64   // Log(kappa0)
+	logB0 float64   // Log(b0)
+	lgAn  []float64 // [n] LogGamma(a0 + n/2)
+	lgAnH []float64 // [n] LogGamma((2(a0+n/2)+1)/2)
+	logKn []float64 // [n] Log(kappa0 + n)
+
+	a0, kappa0 float64
+}
+
+func newNigTables(a0, kappa0, b0 float64) *nigTables {
+	return &nigTables{
+		lgA0:   stats.LogGamma(a0),
+		logK0:  math.Log(kappa0),
+		logB0:  math.Log(b0),
+		a0:     a0,
+		kappa0: kappa0,
+	}
+}
+
+// extend grows the tables to cover leaf statistics up to n.
+func (t *nigTables) extend(n int) {
+	for i := len(t.lgAn); i <= n; i++ {
+		an := t.a0 + float64(i)/2
+		df := 2 * an
+		t.lgAn = append(t.lgAn, stats.LogGamma(an))
+		t.lgAnH = append(t.lgAnH, stats.LogGamma((df+1)/2))
+		t.logKn = append(t.logKn, math.Log(t.kappa0+float64(i)))
+	}
+}
+
+// The accessors fall back to the direct computation when the tables
+// are absent (zero-value priors in tests) or the key is out of range;
+// the fallback argument is always the site's original expression.
+
+func (t *nigTables) gAn(an float64, n int) float64 {
+	if t != nil && n >= 0 && n < len(t.lgAn) {
+		return t.lgAn[n]
+	}
+	return stats.LogGamma(an)
+}
+
+func (t *nigTables) gAnH(anH float64, n int) float64 {
+	if t != nil && n >= 0 && n < len(t.lgAnH) {
+		return t.lgAnH[n]
+	}
+	return stats.LogGamma(anH)
+}
+
+func (t *nigTables) gA0(a0 float64) float64 {
+	if t != nil {
+		return t.lgA0
+	}
+	return stats.LogGamma(a0)
+}
+
+func (t *nigTables) lnKappaN(kappan float64, n int) float64 {
+	if t != nil && n >= 0 && n < len(t.logKn) {
+		return t.logKn[n]
+	}
+	return math.Log(kappan)
+}
+
+func (t *nigTables) lnKappa0(kappa0 float64) float64 {
+	if t != nil {
+		return t.logK0
+	}
+	return math.Log(kappa0)
+}
+
+func (t *nigTables) lnB0(b0 float64) float64 {
+	if t != nil {
+		return t.logB0
+	}
+	return math.Log(b0)
 }
 
 // suff holds the sufficient statistics of the observations in a leaf.
@@ -85,10 +180,10 @@ func (p nigPrior) logMarginal(s suff) float64 {
 	}
 	_, kappan, an, bn := p.posterior(s)
 	n := float64(s.n)
-	return -n/2*math.Log(2*math.Pi) +
-		0.5*(math.Log(p.kappa0)-math.Log(kappan)) +
-		p.a0*math.Log(p.b0) - an*math.Log(bn) +
-		stats.LogGamma(an) - stats.LogGamma(p.a0)
+	return -n/2*log2Pi +
+		0.5*(p.tabs.lnKappa0(p.kappa0)-p.tabs.lnKappaN(kappan, s.n)) +
+		p.a0*p.tabs.lnB0(p.b0) - an*math.Log(bn) +
+		p.tabs.gAn(an, s.n) - p.tabs.gA0(p.a0)
 }
 
 // predictive returns the Student-t posterior predictive for a point in
@@ -118,7 +213,7 @@ func (p nigPrior) predVariance(s suff) float64 {
 func (p nigPrior) logPredictiveDensity(s suff, y float64) float64 {
 	df, loc, scale2 := p.predictive(s)
 	z2 := (y - loc) * (y - loc) / scale2
-	return stats.LogGamma((df+1)/2) - stats.LogGamma(df/2) -
+	return p.tabs.gAnH((df+1)/2, s.n) - p.tabs.gAn(df/2, s.n) -
 		0.5*math.Log(df*math.Pi*scale2) -
 		(df+1)/2*math.Log1p(z2/df)
 }

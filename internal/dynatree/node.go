@@ -45,13 +45,30 @@ type nodes struct {
 	pts []([]int)
 	s   []suff
 	lin []*linSuff
-
-	// die[id] is the routing-cache clock value at which id last left
-	// some cached particle's tree (0 = never); see route.go.
-	die []uint32
 }
 
 func (a *nodes) len() int { return len(a.left) }
+
+// reserve grows every arena array's capacity to at least n in one
+// reallocation, so the append-per-field hot paths (newLeaf, copyNode)
+// run without growslice copies until the arena crosses n. Forest
+// sizes n to the compaction threshold after every compaction, which
+// makes arena growth between compactions allocation-free.
+func (a *nodes) reserve(n int) {
+	if cap(a.left) >= n {
+		return
+	}
+	l := a.len()
+	a.depth = append(make([]int32, 0, n), a.depth[:l]...)
+	a.dim = append(make([]int32, 0, n), a.dim[:l]...)
+	a.cut = append(make([]float64, 0, n), a.cut[:l]...)
+	a.left = append(make([]int32, 0, n), a.left[:l]...)
+	a.right = append(make([]int32, 0, n), a.right[:l]...)
+	a.shared = append(make([]bool, 0, n), a.shared[:l]...)
+	a.pts = append(make([]([]int), 0, n), a.pts[:l]...)
+	a.s = append(make([]suff, 0, n), a.s[:l]...)
+	a.lin = append(make([]*linSuff, 0, n), a.lin[:l]...)
+}
 
 // newLeaf appends a fresh leaf at the given depth and returns its id.
 func (a *nodes) newLeaf(depth int32) int32 {
@@ -65,7 +82,6 @@ func (a *nodes) newLeaf(depth int32) int32 {
 	a.pts = append(a.pts, nil)
 	a.s = append(a.s, suff{})
 	a.lin = append(a.lin, nil)
-	a.die = append(a.die, 0)
 	return id
 }
 

@@ -44,9 +44,15 @@ type scoreScratch struct {
 	lrefs  []int32
 }
 
-// next begins a new scoring round over an arena of n nodes.
+// next begins a new scoring round over an arena of n nodes. The
+// tables grow geometrically: the arena grows by appends between
+// compactions, and resizing to the exact length each round would
+// reallocate (and zero) every table on every call.
 func (sc *scoreScratch) next(n int) {
 	if len(sc.cmark) < n {
+		if grown := 2 * len(sc.cmark); grown > n {
+			n = grown
+		}
 		sc.cmark = make([]uint32, n)
 		sc.cowner = make([]int32, n)
 		sc.ccount = make([]int32, n)
@@ -415,6 +421,22 @@ func (f *Forest) alcLinearFromMatrices(candLeaf, refLeaf []int32, cands, refs []
 func (f *Forest) linLeafReduction(leaf int32, cand []float64, refs [][]float64, refIdx []int32, scratch []float64) float64 {
 	lin := f.ar.lin[leaf]
 	f.lprior.ensure(lin)
+	if lin.degenerate {
+		// Degenerate leaf: prediction fell back to the constant closed
+		// form, so the hypothetical-refit reduction is the constant
+		// model's — reference-independent, once per claimed reference.
+		ng := f.lprior.nig()
+		cs := lin.constSuff()
+		vNow := ng.predVariance(cs)
+		vAfter := ng.expectedPostVariance(cs)
+		if math.IsInf(vNow, 0) || math.IsInf(vAfter, 0) {
+			return 0
+		}
+		if delta := vNow - vAfter; delta > 0 {
+			return delta * float64(len(refIdx))
+		}
+		return 0
+	}
 	an := f.lprior.an(lin)
 	if an <= 1 {
 		return 0 // E[b'] needs a_n > 1, like the constant model
