@@ -19,16 +19,27 @@ import (
 )
 
 // epsilonGreedy is the custom heuristic. It is stateless; epsilon is
-// configuration, and all randomness comes from the learner's stream so
-// runs stay reproducible.
+// configuration (read through the flag pointer at selection time, so
+// the heuristic registers at init — before any name lookup — yet
+// still honours -epsilon), and all randomness comes from the
+// learner's stream so runs stay reproducible.
 type epsilonGreedy struct {
-	epsilon float64
+	epsilon *float64
+}
+
+var epsilon = flag.Float64("epsilon", 0.25, "exploration probability")
+
+// Registration happens at init time with a constant name: the
+// registry contract (enforced by cmd/alic-lint's registry pass) is
+// that every name is registered before main can look anything up.
+func init() {
+	alic.RegisterAcquisition(epsilonGreedy{epsilon: epsilon})
 }
 
 func (epsilonGreedy) Name() string { return "epsilon-greedy" }
 
 func (e epsilonGreedy) Select(m alic.Model, feats [][]float64, batch int, r alic.Rand) ([]int, error) {
-	if r.Float64() < e.epsilon {
+	if r.Float64() < *e.epsilon {
 		// Explore: MacKay's maximum-variance pick.
 		return alic.PickBest(m.ALMBatch(feats), batch, false), nil
 	}
@@ -38,11 +49,8 @@ func (e epsilonGreedy) Select(m alic.Model, feats [][]float64, batch int, r alic
 
 func main() {
 	kernel := flag.String("kernel", "mvt", "kernel to learn")
-	epsilon := flag.Float64("epsilon", 0.25, "exploration probability")
 	nmax := flag.Int("nmax", 150, "acquisition budget")
 	flag.Parse()
-
-	alic.RegisterAcquisition(epsilonGreedy{epsilon: *epsilon})
 
 	k, err := alic.KernelByName(*kernel)
 	if err != nil {

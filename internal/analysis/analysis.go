@@ -1,0 +1,157 @@
+// Package analysis is a self-contained micro-framework mirroring the
+// shape of golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic
+// and a package loader/driver — built entirely on the standard
+// library's go/ast, go/types and go/importer. The module pins three
+// load-bearing contracts (bit-determinism, zero-allocation kernels,
+// registry-mediated pluggability) with runtime tests; the analyzers in
+// internal/analysis/passes move those contracts to compile time. The
+// x/tools dependency is deliberately absent: the module is
+// zero-dependency and must build in hermetic environments, so the
+// framework re-implements the tiny slice of the upstream API the
+// passes need. If the module ever grows a vendored x/tools, each pass
+// ports over mechanically (the Analyzer/Pass field names match).
+//
+// Contracts live next to the code they govern, as source annotations:
+//
+//	//alic:deterministic        — package marker: the detfloat pass
+//	                              enforces scheduling-order freedom
+//	//alic:noalloc              — function marker: the noalloc pass
+//	                              flags allocation-introducing syntax
+//	//alic:allow <pass> <why>   — suppresses that pass's findings on
+//	                              the same or the following line
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings, -json output and
+	// //alic:allow suppression comments.
+	Name string
+	// Doc is the one-paragraph contract statement shown by -help.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (interface{}, error)
+}
+
+// A Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// TestFiles marks the files of this pass that are _test.go files;
+	// analyzers whose contract governs production code only (e.g.
+	// detfloat's goroutine rule) consult it.
+	TestFiles map[*ast.File]bool
+	// Facts is shared by every pass of one driver run, letting an
+	// analyzer accumulate module-wide state (the registry pass's
+	// duplicate-name check). The driver runs passes sequentially, so
+	// no locking is needed.
+	Facts map[string]interface{}
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding before suppression processing.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Annotation markers. They use Go directive syntax (//tool:directive,
+// no space), so godoc excludes them from rendered documentation.
+const (
+	markerDeterministic = "//alic:deterministic"
+	markerNoalloc       = "//alic:noalloc"
+	markerAllow         = "//alic:allow"
+)
+
+// PkgMarked reports whether any file of the package carries the
+// //alic:<marker> package directive (e.g. "deterministic").
+func PkgMarked(files []*ast.File, marker string) bool {
+	want := "//alic:" + marker
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				if strings.TrimSpace(c.Text) == want {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// FuncMarked reports whether the function declaration's doc comment
+// carries the //alic:noalloc directive.
+func FuncMarked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == markerNoalloc {
+			return true
+		}
+	}
+	return false
+}
+
+// An Allow is one parsed //alic:allow suppression comment.
+type Allow struct {
+	Analyzer string
+	Reason   string
+	Line     int // line the comment ends on
+	Pos      token.Pos
+	// Malformed carries a description when the comment does not parse
+	// as "//alic:allow <analyzer> <reason>"; the driver surfaces it as
+	// a finding so suppressions stay auditable.
+	Malformed string
+}
+
+// parseAllows extracts every //alic:allow comment of a file. known
+// names the valid analyzer set; an unknown analyzer or a missing
+// reason yields a Malformed entry.
+func parseAllows(fset *token.FileSet, f *ast.File, known map[string]bool) []Allow {
+	var out []Allow
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, markerAllow) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, markerAllow)
+			a := Allow{Line: fset.Position(c.End()).Line, Pos: c.Pos()}
+			if rest != "" && !strings.HasPrefix(rest, " ") {
+				// e.g. //alic:allowance — some other directive.
+				continue
+			}
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				a.Malformed = "missing analyzer and reason: want //alic:allow <analyzer> <reason>"
+			case !known[fields[0]]:
+				a.Malformed = fmt.Sprintf("unknown analyzer %q", fields[0])
+			case len(fields) == 1:
+				a.Malformed = fmt.Sprintf("missing reason: want //alic:allow %s <reason>", fields[0])
+			default:
+				a.Analyzer = fields[0]
+				a.Reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, a)
+		}
+	}
+	return out
+}

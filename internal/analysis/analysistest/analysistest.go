@@ -1,0 +1,177 @@
+// Package analysistest runs an analyzer over GOPATH-layout testdata
+// fixtures and checks its findings against expectation comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := m[k] // want "float accumulation"
+//	t := time.Now() //alic:allow detfloat test fixture // want-suppressed "time.Now"
+//
+// "// want" lines carry one or more quoted regexps matched (in order)
+// against the unsuppressed findings on that line; "// want-suppressed"
+// pins that a finding fired and an //alic:allow comment suppressed
+// it. Every finding must match an expectation and every expectation
+// must be matched, so fixtures are exact.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"alic/internal/analysis"
+)
+
+// One loader per process: the stdlib source-importing type-checker is
+// the expensive part, and fixtures can share it.
+var (
+	mu      sync.Mutex
+	loaders = make(map[string]*analysis.Loader)
+)
+
+func loaderFor(srcDir string) *analysis.Loader {
+	mu.Lock()
+	defer mu.Unlock()
+	if l, ok := loaders[srcDir]; ok {
+		return l
+	}
+	l := analysis.NewLoader(analysis.LoadConfig{SrcDirs: []string{srcDir}})
+	loaders[srcDir] = l
+	return l
+}
+
+// TestData returns the test's testdata directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	return abs
+}
+
+// Run loads each fixture package from testdata/src/<pkg>, applies the
+// analyzer through the suppression-aware driver in one shared run
+// (so module-wide facts, e.g. duplicate registry names, accumulate
+// across the listed packages in order), and checks expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := loaderFor(filepath.Join(testdata, "src"))
+	loaded, err := ld.Load(pkgs...)
+	if err != nil {
+		t.Fatalf("analysistest: loading %v: %v", pkgs, err)
+	}
+	findings, err := analysis.RunAnalyzers(loaded, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+	exps := parseExpectations(t, loaded)
+	for _, f := range findings {
+		key := lineKey{file: f.Pos.Filename, line: f.Pos.Line}
+		if !consume(exps[key], f) {
+			t.Errorf("%s:%d: unexpected %s diagnostic (suppressed=%v): %s",
+				f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Suppressed, f.Message)
+		}
+	}
+	for key, list := range exps {
+		for _, e := range list {
+			if !e.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q (suppressed=%v) did not fire",
+					key.file, key.line, e.re.String(), e.suppressed)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type expectation struct {
+	re         *regexp.Regexp
+	suppressed bool
+	matched    bool
+}
+
+func consume(list []*expectation, f analysis.Finding) bool {
+	for _, e := range list {
+		if e.matched || e.suppressed != f.Suppressed {
+			continue
+		}
+		if e.re.MatchString(f.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRE = regexp.MustCompile(`//\s*(want|want-suppressed)\s+(.*)$`)
+
+func parseExpectations(t *testing.T, pkgs []*analysis.Package) map[lineKey][]*expectation {
+	t.Helper()
+	exps := make(map[lineKey][]*expectation)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, g := range f.Comments {
+				for _, c := range g.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, pat := range splitPatterns(t, pos.String(), m[2]) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						key := lineKey{file: pos.Filename, line: pos.Line}
+						exps[key] = append(exps[key], &expectation{re: re, suppressed: m[1] == "want-suppressed"})
+					}
+				}
+			}
+		}
+	}
+	return exps
+}
+
+// splitPatterns parses the quoted regexp list of a want comment:
+// "a" "b" or `a` `b`.
+func splitPatterns(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end == len(s) {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			pat, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %s: %v", pos, s[:end+1], err)
+			}
+			out = append(out, pat)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.Index(s[1:], "`")
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			t.Fatalf("%s: want patterns must be quoted: %s", pos, s)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment with no patterns", pos)
+	}
+	return out
+}

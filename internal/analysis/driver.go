@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// A Finding is one diagnostic after suppression processing.
+type Finding struct {
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
+	// Reason is the //alic:allow justification when Suppressed.
+	Reason string
+}
+
+// AllowAnalyzerName is the pseudo-analyzer findings about malformed
+// //alic:allow comments are reported under. It cannot itself be
+// suppressed, so broken suppressions never hide silently.
+const AllowAnalyzerName = "allow"
+
+// RunAnalyzers applies every analyzer to every package (in the given
+// order), resolves //alic:allow suppressions, and returns all
+// findings sorted by position. A suppression comment matches a
+// finding when it names the finding's analyzer and sits on the same
+// line or the line immediately above.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	facts := make(map[string]interface{})
+	var findings []Finding
+	for _, pkg := range pkgs {
+		// file → line → allows, over every file of the unit (test
+		// files included: suppressions are valid anywhere).
+		allows := make(map[string]map[int][]Allow)
+		for _, f := range pkg.Files {
+			for _, a := range parseAllows(pkg.Fset, f, known) {
+				pos := pkg.Fset.Position(a.Pos)
+				if a.Malformed != "" {
+					findings = append(findings, Finding{
+						Analyzer: AllowAnalyzerName,
+						Pos:      pos,
+						Message:  "malformed //alic:allow comment: " + a.Malformed,
+					})
+					continue
+				}
+				byLine := allows[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]Allow)
+					allows[pos.Filename] = byLine
+				}
+				byLine[a.Line] = append(byLine[a.Line], a)
+			}
+		}
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				TestFiles: pkg.TestFiles,
+				Facts:     facts,
+				Report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				f := Finding{Analyzer: a.Name, Pos: pos, Message: d.Message}
+				if byLine := allows[pos.Filename]; byLine != nil {
+					for _, line := range []int{pos.Line, pos.Line - 1} {
+						for _, al := range byLine[line] {
+							if al.Analyzer == a.Name {
+								f.Suppressed = true
+								f.Reason = al.Reason
+							}
+						}
+						if f.Suppressed {
+							break
+						}
+					}
+				}
+				findings = append(findings, f)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

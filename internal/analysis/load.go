@@ -1,0 +1,379 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader type-checks packages with no dependency beyond the
+// standard library. Module packages are enumerated with `go list
+// -json -deps` and typed from source in dependency order; standard
+// library imports are resolved by go/importer's "source" importer
+// (which also needs no pre-built export data, so the loader works in
+// hermetic build environments). Test fixtures (testdata/src trees, in
+// the GOPATH layout golang.org/x/tools/go/analysis/analysistest uses)
+// are resolved by directory lookup instead of go list.
+
+// A Package is one loaded, type-checked unit of analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	// TestFiles marks which Files are _test.go files (the in-package
+	// test variant is analyzed as one package with them included).
+	TestFiles map[*ast.File]bool
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// LoadConfig configures a Loader.
+type LoadConfig struct {
+	// Dir is the directory go list runs in (module mode). Empty means
+	// the current directory.
+	Dir string
+	// SrcDirs are testdata/src-style roots; when non-empty the loader
+	// is in fixture mode and import paths resolve to SrcDirs[i]/path.
+	SrcDirs []string
+	// Tests includes each package's _test.go files: in-package test
+	// files join the package's analysis unit, external (xtest) files
+	// form an extra "<path>_test" unit.
+	Tests bool
+}
+
+// A Loader memoizes type-checked packages across Load calls.
+type Loader struct {
+	Fset    *token.FileSet
+	cfg     LoadConfig
+	meta    map[string]*listPkg
+	order   []string // module packages in dependency order
+	pkgs    map[string]*types.Package
+	bases   map[string]*Package
+	loading map[string]bool
+	std     types.ImporterFrom
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Standard     bool
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// NewLoader returns a Loader for the given configuration.
+func NewLoader(cfg LoadConfig) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		cfg:     cfg,
+		pkgs:    make(map[string]*types.Package),
+		loading: make(map[string]bool),
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// Load type-checks and returns the packages named by patterns: go
+// list patterns in module mode, import paths under SrcDirs in fixture
+// mode. Packages are returned in deterministic (go list, or given)
+// order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(l.cfg.SrcDirs) > 0 {
+		var out []*Package
+		for _, p := range patterns {
+			pkg, err := l.loadFixture(p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pkg)
+		}
+		return out, nil
+	}
+	return l.loadModule(patterns)
+}
+
+func (l *Loader) loadModule(patterns []string) ([]*Package, error) {
+	if l.meta == nil {
+		if err := l.listModule(); err != nil {
+			return nil, err
+		}
+	}
+	named, err := l.goList(append([]string{"list", "--"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	var namedPaths []string
+	for _, p := range named {
+		namedPaths = append(namedPaths, p.ImportPath)
+	}
+	// Base-type every module package first, in dependency order: with
+	// the full graph in the importer map, test-variant imports can
+	// never recurse into a cycle.
+	for _, path := range l.order {
+		if _, err := l.ensureBase(path); err != nil {
+			return nil, err
+		}
+	}
+	var out []*Package
+	for _, path := range namedPaths {
+		lp := l.meta[path]
+		if lp == nil {
+			return nil, fmt.Errorf("analysis: pattern matched %s but module listing lacks it", path)
+		}
+		switch {
+		case l.cfg.Tests && len(lp.TestGoFiles) > 0:
+			files := append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...)
+			pkg, err := l.typeCheck(path, lp.Dir, files, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pkg)
+		default:
+			pkg, err := l.ensureBase(path)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pkg)
+		}
+		if l.cfg.Tests && len(lp.XTestGoFiles) > 0 {
+			pkg, err := l.typeCheck(path+"_test", lp.Dir, lp.XTestGoFiles, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// listModule runs `go list -json -deps ./...` once over the whole
+// module, recording metadata and dependency order for every module
+// package (standard-library entries are dropped: the source importer
+// owns those).
+func (l *Loader) listModule() error {
+	pkgs, err := l.goList([]string{"list", "-json", "-deps", "./..."})
+	if err != nil {
+		return err
+	}
+	l.meta = make(map[string]*listPkg, len(pkgs))
+	for _, p := range pkgs {
+		if p.Standard {
+			continue
+		}
+		l.meta[p.ImportPath] = p
+		l.order = append(l.order, p.ImportPath)
+	}
+	return nil
+}
+
+func (l *Loader) goList(args []string) ([]*listPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.cfg.Dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("{")) {
+		// Plain (non-json) listing: one import path per line.
+		var out []*listPkg
+		for _, line := range strings.Fields(stdout.String()) {
+			out = append(out, &listPkg{ImportPath: line})
+		}
+		return out, nil
+	}
+	dec := json.NewDecoder(&stdout)
+	var out []*listPkg
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ensureBase type-checks the non-test variant of a module package and
+// registers it for import resolution.
+func (l *Loader) ensureBase(path string) (*Package, error) {
+	lp := l.meta[path]
+	if lp == nil {
+		return nil, fmt.Errorf("analysis: unknown module package %s", path)
+	}
+	if cached, ok := l.baseCache()[path]; ok {
+		return cached, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	pkg, err := l.typeCheck(path, lp.Dir, lp.GoFiles, true)
+	if err != nil {
+		return nil, err
+	}
+	l.baseCache()[path] = pkg
+	return pkg, nil
+}
+
+// baseCache lazily allocates the base-variant Package cache.
+func (l *Loader) baseCache() map[string]*Package {
+	if l.bases == nil {
+		l.bases = make(map[string]*Package)
+	}
+	return l.bases
+}
+
+// loadFixture type-checks a testdata package by import path.
+func (l *Loader) loadFixture(path string) (*Package, error) {
+	if cached, ok := l.baseCache()[path]; ok {
+		return cached, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	dir, files, err := l.findFixture(path)
+	if err != nil {
+		return nil, err
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	pkg, err := l.typeCheck(path, dir, files, true)
+	if err != nil {
+		return nil, err
+	}
+	l.baseCache()[path] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) findFixture(path string) (string, []string, error) {
+	for _, root := range l.cfg.SrcDirs {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		var files []string
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+				continue
+			}
+			files = append(files, name)
+		}
+		sort.Strings(files)
+		if len(files) == 0 {
+			continue
+		}
+		return dir, files, nil
+	}
+	return "", nil, fmt.Errorf("analysis: fixture package %s not found under %v", path, l.cfg.SrcDirs)
+}
+
+// typeCheck parses and type-checks one set of files as a package. When
+// register is set, the resulting types.Package resolves future imports
+// of the path.
+func (l *Loader) typeCheck(path, dir string, filenames []string, register bool) (*Package, error) {
+	var files []*ast.File
+	testFiles := make(map[*ast.File]bool)
+	for _, name := range filenames {
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+		if strings.HasSuffix(name, "_test.go") {
+			testFiles[f] = true
+		}
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tp, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		var b strings.Builder
+		for i, e := range typeErrs {
+			if i == 8 {
+				fmt.Fprintf(&b, "\n\t... and %d more", len(typeErrs)-i)
+				break
+			}
+			fmt.Fprintf(&b, "\n\t%v", e)
+		}
+		return nil, fmt.Errorf("analysis: type-checking %s:%s", path, b.String())
+	}
+	if register {
+		l.pkgs[path] = tp
+	}
+	return &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		TestFiles:  testFiles,
+		Types:      tp,
+		Info:       info,
+	}, nil
+}
+
+// loaderImporter adapts the Loader to types.ImporterFrom: module and
+// fixture packages resolve from the loader, everything else falls
+// through to the standard library's source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if tp, ok := l.pkgs[path]; ok {
+		return tp, nil
+	}
+	if len(l.cfg.SrcDirs) > 0 {
+		if _, _, err := l.findFixture(path); err == nil {
+			pkg, err := l.loadFixture(path)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
+	}
+	if l.meta != nil {
+		if _, ok := l.meta[path]; ok {
+			pkg, err := l.ensureBase(path)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

@@ -1,0 +1,196 @@
+// Package detfloat enforces the bit-determinism contract in packages
+// marked //alic:deterministic: same seed and same inputs must yield
+// bit-identical results at every worker count (the reproducibility
+// the paper's §4 cost-curve comparisons rest on). The pass flags the
+// syntax that historically breaks it:
+//
+//   - map-range iteration whose body does something order-sensitive
+//     across iterations — accumulating into a float declared outside
+//     the loop, appending to an outside slice, or sending on a
+//     channel (Go randomizes map iteration order per run);
+//   - bare go statements outside internal/workpool, the one package
+//     allowed to own goroutines (its pool guarantees index-disjoint,
+//     order-free execution);
+//   - select statements with two or more receive cases, whose winner
+//     is scheduling-order dependent;
+//   - time.Now / time.Since and the global math/rand functions
+//     (seeded *rand.Rand constructed via rand.New is fine — all
+//     model randomness must flow from the learner's seeded stream).
+//
+// Test files are exempt: tests exercise concurrency deliberately and
+// pin determinism through goldens instead. Deliberate exceptions in
+// production code carry //alic:allow detfloat <reason> suppressions.
+package detfloat
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"alic/internal/analysis"
+)
+
+// Analyzer is the detfloat pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detfloat",
+	Doc:  "flag scheduling- and iteration-order-dependent constructs in //alic:deterministic packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !analysis.PkgMarked(pass.Files, "deterministic") {
+		return nil, nil
+	}
+	inWorkpool := pass.Pkg.Name() == "workpool"
+	for _, f := range pass.Files {
+		if pass.TestFiles[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if isMapType(pass.TypesInfo.TypeOf(n.X)) {
+					checkMapRangeBody(pass, n)
+				}
+			case *ast.GoStmt:
+				if !inWorkpool {
+					pass.Reportf(n.Pos(), "bare go statement in deterministic package: route concurrency through internal/workpool or justify with //alic:allow detfloat")
+				}
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			case *ast.CallExpr:
+				checkNondetCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeBody flags order-sensitive statements whose effect
+// accumulates across the randomized iteration order: writes that
+// target something declared outside the range statement, and channel
+// sends.
+func checkMapRangeBody(pass *analysis.Pass, rs *ast.RangeStmt) {
+	outside := func(e ast.Expr) bool {
+		id := analysis.RootIdent(e)
+		if id == nil {
+			return true // cannot prove it iteration-local
+		}
+		obj := analysis.ObjOf(pass.TypesInfo, id)
+		return !analysis.DeclaredWithin(obj, rs.Pos(), rs.End())
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map-range iteration: receive order depends on randomized map order")
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rs, n, outside)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *analysis.Pass, rs *ast.RangeStmt, as *ast.AssignStmt, outside func(ast.Expr) bool) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if isFloat(pass.TypesInfo.TypeOf(as.Lhs[0])) && outside(as.Lhs[0]) {
+			pass.Reportf(as.Pos(), "float accumulation across map-range iteration is order-sensitive: iterate a sorted key slice instead")
+		}
+	case token.ASSIGN:
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			rhs := as.Rhs[i]
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && analysis.IsBuiltin(pass.TypesInfo, call, "append") && outside(lhs) {
+				pass.Reportf(as.Pos(), "append to a slice declared outside the map-range loop: element order depends on randomized map order")
+				continue
+			}
+			// x = x op y float self-accumulation.
+			if !isFloat(pass.TypesInfo.TypeOf(lhs)) || !outside(lhs) {
+				continue
+			}
+			id := analysis.RootIdent(lhs)
+			if id == nil {
+				continue
+			}
+			obj := analysis.ObjOf(pass.TypesInfo, id)
+			if obj == nil {
+				continue
+			}
+			if analysis.MentionsAny(pass.TypesInfo, rhs, map[types.Object]bool{obj: true}) {
+				pass.Reportf(as.Pos(), "float accumulation across map-range iteration is order-sensitive: iterate a sorted key slice instead")
+			}
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// checkSelect flags selects in which two or more receive cases can
+// race to be chosen.
+func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt) {
+	receives := 0
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue // default case
+		}
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				receives++
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if u, ok := ast.Unparen(comm.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					receives++
+				}
+			}
+		}
+	}
+	if receives >= 2 {
+		pass.Reportf(sel.Pos(), "select with %d receive cases: the chosen case is scheduling-order dependent", receives)
+	}
+}
+
+// checkNondetCall flags wall-clock and global-randomness calls.
+func checkNondetCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(), "time.%s in deterministic package: wall-clock reads are nondeterministic", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors of locally seeded generators are the sanctioned
+		// escape hatch; everything else draws from the shared global
+		// source.
+		if strings.HasPrefix(fn.Name(), "New") {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return // method on a *rand.Rand value, not the global source
+		}
+		pass.Reportf(call.Pos(), "global %s.%s: draw from the learner's seeded rng stream instead", fn.Pkg().Name(), fn.Name())
+	}
+}

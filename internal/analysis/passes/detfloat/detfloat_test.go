@@ -1,0 +1,12 @@
+package detfloat_test
+
+import (
+	"testing"
+
+	"alic/internal/analysis/analysistest"
+	"alic/internal/analysis/passes/detfloat"
+)
+
+func TestDetfloat(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), detfloat.Analyzer, "det", "nodet")
+}

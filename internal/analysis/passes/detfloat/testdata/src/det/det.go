@@ -1,0 +1,107 @@
+// Package det is a detfloat fixture: the directive below opts the
+// package into the bit-determinism contract, so the order-sensitive
+// constructs carry findings while their iteration-local or seeded
+// counterparts stay clean.
+//
+//alic:deterministic
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func mapAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "float accumulation across map-range iteration"
+	}
+	return total
+}
+
+func mapSelfAssign(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = sum + v // want "float accumulation across map-range iteration"
+	}
+	return sum
+}
+
+func mapAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to a slice declared outside the map-range loop"
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapSend(m map[int]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want "channel send inside map-range iteration"
+	}
+}
+
+// sortedAccum is the sanctioned pattern: iterate a sorted key slice,
+// accumulate in its fixed order.
+func sortedAccum(keys []string, m map[string]float64) float64 {
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// iterationLocal writes only state declared inside the range body.
+func iterationLocal(m map[int]float64) {
+	for _, v := range m {
+		double := 2 * v
+		_ = double
+	}
+}
+
+func spawn(done chan struct{}) {
+	go func() { close(done) }() // want "bare go statement in deterministic package"
+}
+
+func racePick(a, b chan int) int {
+	select { // want "select with 2 receive cases"
+	case x := <-a:
+		return x
+	case y := <-b:
+		return y
+	}
+}
+
+// singleReceive has one receive arm plus default: no race to win.
+func singleReceive(a chan int) int {
+	select {
+	case x := <-a:
+		return x
+	default:
+		return 0
+	}
+}
+
+func wallClock() int64 {
+	return time.Now().Unix() // want "time.Now in deterministic package"
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want "global rand.Float64: draw from the learner's seeded rng stream instead"
+}
+
+// seededRand draws from a locally seeded generator: the sanctioned
+// escape hatch (constructors and methods on the seeded value).
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func stamp() int64 {
+	//alic:allow detfloat fixture: wall-clock display only
+	return time.Now().Unix() // want-suppressed "time.Now in deterministic package"
+}
+
+//alic:allow detflot misspelled analyzer names must not hide silently // want `malformed //alic:allow comment: unknown analyzer "detflot"`

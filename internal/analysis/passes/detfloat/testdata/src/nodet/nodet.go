@@ -1,0 +1,15 @@
+// Package nodet carries no //alic:deterministic directive: the same
+// constructs det flags are unconstrained here.
+package nodet
+
+import "time"
+
+func mapAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func wallClock() int64 { return time.Now().Unix() }

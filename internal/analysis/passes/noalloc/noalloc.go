@@ -1,0 +1,360 @@
+// Package noalloc enforces the zero-allocation contract of functions
+// marked //alic:noalloc — the steady-state kernels whose AllocsPerRun
+// pins (TestPredictMeanFastZeroAllocs et al.) guard the hot path
+// dynamically. The pass flags allocation-introducing syntax inside an
+// annotated function:
+//
+//   - make and new calls;
+//   - slice and map composite literals, and address-taken composite
+//     literals (&T{…} escapes in the cases that matter); plain struct
+//     and array value literals are allowed — non-escaping values stay
+//     on the stack;
+//   - append whose destination is neither a parameter/receiver nor a
+//     scratch local derived from one (caller-owned scratch buffers
+//     are the sanctioned pattern, cf. augInto);
+//   - string concatenation (non-constant);
+//   - interface boxing of non-constant concrete values at call
+//     arguments, assignments and returns;
+//   - closures capturing loop variables (one allocation per
+//     iteration).
+//
+// The pass is deliberately syntactic and conservative — it has no
+// escape analysis. Constructs it cannot prove cold (a result-slice
+// make that is O(1) per round, a grow-once resize) carry
+// //alic:allow noalloc <reason> suppressions, and every annotated
+// function keeps a matching testing.AllocsPerRun pin so the static
+// and dynamic checks name the same set (TestNoallocAnnotationsHaveAllocsPins).
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"alic/internal/analysis"
+)
+
+// Analyzer is the noalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "flag allocation-introducing constructs in //alic:noalloc functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.FuncMarked(fd) {
+				continue
+			}
+			check(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func check(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	owned := ownedRoots(info, fd)
+
+	var loops []ast.Node // enclosing for/range statements, innermost last
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+			for _, child := range childrenOf(n) {
+				ast.Inspect(child, walk)
+			}
+			loops = loops[:len(loops)-1]
+			return false
+		case *ast.CallExpr:
+			checkCall(pass, info, n, owned)
+		case *ast.CompositeLit:
+			checkComposite(pass, info, n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "address-taken composite literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.TypeOf(n)) && info.Types[n].Value == nil {
+				pass.Reportf(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			checkBoxingAssign(pass, info, n)
+		case *ast.ReturnStmt:
+			checkBoxingReturn(pass, info, fd, n)
+		case *ast.FuncLit:
+			if capturesLoopVar(info, n, loops) {
+				pass.Reportf(n.Pos(), "closure captures a loop variable: allocates every iteration")
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// childrenOf returns the walkable children of a loop node, so the
+// loop stack stays accurate while descending.
+func childrenOf(n ast.Node) []ast.Node {
+	var out []ast.Node
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		for _, c := range []ast.Node{n.Init, n.Cond, n.Post, n.Body} {
+			if c != nil && !isNilNode(c) {
+				out = append(out, c)
+			}
+		}
+	case *ast.RangeStmt:
+		for _, c := range []ast.Node{n.Key, n.Value, n.X, n.Body} {
+			if c != nil && !isNilNode(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+func isNilNode(n ast.Node) bool {
+	switch v := n.(type) {
+	case *ast.Ident:
+		return v == nil
+	case ast.Expr:
+		return v == nil
+	case ast.Stmt:
+		return v == nil
+	}
+	return false
+}
+
+// ownedRoots computes the set of objects an append may legitimately
+// target: parameters, the receiver, and "scratch" locals whose value
+// derives from one of those (through slicing, indexing, selection or
+// dereference). Derivation is propagated over the function's
+// assignments to a fixpoint.
+func ownedRoots(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	owned := make(map[types.Object]bool)
+	addField := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if o := info.Defs[name]; o != nil {
+					owned[o] = true
+				}
+			}
+		}
+	}
+	addField(fd.Recv)
+	if fd.Type.Params != nil {
+		addField(fd.Type.Params)
+	}
+	if fd.Type.Results != nil {
+		addField(fd.Type.Results) // named results are caller-visible
+	}
+	for pass := 0; pass < 4; pass++ {
+		changed := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				lid, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				lobj := analysis.ObjOf(info, lid)
+				if lobj == nil || owned[lobj] {
+					continue
+				}
+				rid := analysis.RootIdent(as.Rhs[i])
+				if rid == nil {
+					continue
+				}
+				if robj := analysis.ObjOf(info, rid); robj != nil && owned[robj] {
+					owned[lobj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return owned
+}
+
+func checkCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr, owned map[types.Object]bool) {
+	switch {
+	case analysis.IsBuiltin(info, call, "make"):
+		pass.Reportf(call.Pos(), "make allocates: hoist to a caller-owned or reusable scratch buffer")
+		return
+	case analysis.IsBuiltin(info, call, "new"):
+		pass.Reportf(call.Pos(), "new allocates: hoist to a caller-owned or reusable scratch buffer")
+		return
+	case analysis.IsBuiltin(info, call, "append"):
+		id := analysis.RootIdent(call.Args[0])
+		obj := analysis.ObjOf(info, id)
+		if id == nil || obj == nil || !owned[obj] {
+			pass.Reportf(call.Pos(), "append to a slice that is not a parameter, receiver field or scratch derived from one may grow the backing array")
+		}
+		return
+	}
+	// Interface boxing at argument positions.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion T(x).
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			reportBoxed(pass, info, call.Args[0], "conversion to interface")
+		}
+		return
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil && types.IsInterface(pt) {
+			reportBoxed(pass, info, arg, "argument passed as interface")
+		}
+	}
+}
+
+func checkComposite(pass *analysis.Pass, info *types.Info, lit *ast.CompositeLit) {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "slice literal allocates its backing array")
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal allocates")
+	}
+}
+
+func checkBoxingAssign(pass *analysis.Pass, info *types.Info, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt := info.TypeOf(lhs)
+		if lt == nil && as.Tok == token.DEFINE {
+			continue // inferred type equals RHS type: no conversion
+		}
+		if lt != nil && types.IsInterface(lt) {
+			reportBoxed(pass, info, as.Rhs[i], "assignment to interface")
+		}
+	}
+}
+
+func checkBoxingReturn(pass *analysis.Pass, info *types.Info, fd *ast.FuncDecl, ret *ast.ReturnStmt) {
+	results := fd.Type.Results
+	if results == nil || len(ret.Results) == 0 {
+		return
+	}
+	var resTypes []types.Type
+	for _, f := range results.List {
+		t := info.TypeOf(f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			resTypes = append(resTypes, t)
+		}
+	}
+	if len(ret.Results) != len(resTypes) {
+		return // return f() spreading a tuple: conversions impossible
+	}
+	for i, e := range ret.Results {
+		if resTypes[i] != nil && types.IsInterface(resTypes[i]) {
+			reportBoxed(pass, info, e, "return as interface")
+		}
+	}
+}
+
+// reportBoxed flags e when converting it to an interface type would
+// allocate: a non-constant, non-nil value of concrete type. Constants
+// convert to static interface data; interface-to-interface
+// assignments copy an existing box.
+func reportBoxed(pass *analysis.Pass, info *types.Info, e ast.Expr, what string) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value != nil || tv.IsNil() || tv.Type == nil {
+		return
+	}
+	t := tv.Type
+	if types.IsInterface(t) {
+		return
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+		return
+	}
+	if _, ok := t.(*types.TypeParam); ok {
+		return
+	}
+	pass.Reportf(e.Pos(), "%s boxes a concrete value (allocates)", what)
+}
+
+// capturesLoopVar reports whether the closure references a variable
+// declared in the header of an enclosing for/range statement.
+func capturesLoopVar(info *types.Info, fl *ast.FuncLit, loops []ast.Node) bool {
+	if len(loops) == 0 {
+		return false
+	}
+	loopVars := make(map[types.Object]bool)
+	collect := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if o := info.Defs[id]; o != nil {
+					loopVars[o] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, l := range loops {
+		switch l := l.(type) {
+		case *ast.ForStmt:
+			if init, ok := l.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					collect(lhs)
+				}
+			}
+		case *ast.RangeStmt:
+			collect(l.Key)
+			collect(l.Value)
+		}
+	}
+	if len(loopVars) == 0 {
+		return false
+	}
+	return analysis.MentionsAny(info, fl, loopVars)
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"alic/internal/analysis/analysistest"
+	"alic/internal/analysis/passes/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), noalloc.Analyzer, "na")
+}

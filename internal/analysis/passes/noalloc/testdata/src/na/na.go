@@ -1,0 +1,95 @@
+// Package na is a noalloc fixture: the annotated functions carry a
+// finding per allocating construct; the unannotated twin at the
+// bottom is unconstrained.
+package na
+
+type point struct{ x, y float64 }
+
+func consume(v interface{}) { _ = v }
+
+// allocate exercises the allocation checks in one body.
+//
+//alic:noalloc
+func allocate(xs []float64, name string) float64 {
+	buf := make([]float64, 8) // want "make allocates"
+	ptr := new(point)         // want "new allocates"
+	lits := []int{1, 2}       // want "slice literal allocates its backing array"
+	table := map[string]int{} // want "map literal allocates"
+	escaped := &point{x: 1}   // want "address-taken composite literal escapes to the heap"
+	var grown []float64
+	grown = append(grown, 1) // want "append to a slice that is not a parameter"
+	msg := "na: " + name     // want "string concatenation allocates"
+	var boxed interface{}
+	boxed = ptr // want "assignment to interface boxes a concrete value"
+	_ = boxed
+	_ = buf
+	_ = lits
+	_ = table
+	_ = escaped
+	_ = msg
+	return grown[0]
+}
+
+// boxArg passes a concrete value to an interface-typed parameter.
+//
+//alic:noalloc
+func boxArg(p point) {
+	consume(p) // want "argument passed as interface boxes a concrete value"
+}
+
+// boxReturn returns a concrete value as an interface.
+//
+//alic:noalloc
+func boxReturn(p point) interface{} {
+	return p // want "return as interface boxes a concrete value"
+}
+
+// loopClosure builds a closure over the loop variable.
+//
+//alic:noalloc
+func loopClosure(xs []float64) float64 {
+	total := 0.0
+	for i := 0; i < len(xs); i++ {
+		f := func() float64 { return xs[i] } // want "closure captures a loop variable"
+		total += f()
+	}
+	return total
+}
+
+// scratchAppend grows only caller-owned storage: parameters and
+// scratch derived from them are the sanctioned append targets.
+//
+//alic:noalloc
+func scratchAppend(dst, xs []float64) []float64 {
+	tmp := dst[:0]
+	for _, x := range xs {
+		tmp = append(tmp, 2*x)
+	}
+	return tmp
+}
+
+// valueLiteral builds stack values: plain struct and array literals
+// and constant-folded string concatenation do not allocate.
+//
+//alic:noalloc
+func valueLiteral(x, y float64) float64 {
+	const prefix = "na" + ": "
+	p := point{x: x, y: y}
+	var arr [4]float64
+	arr[0] = p.x
+	_ = prefix
+	return arr[0] + p.y
+}
+
+// suppressed carries the sanctioned escape hatch for a result slice.
+//
+//alic:noalloc
+func suppressed(n int) []float64 {
+	//alic:allow noalloc fixture: result slice, one make per call
+	return make([]float64, n) // want-suppressed "make allocates"
+}
+
+// unannotated is unconstrained: no directive, no findings.
+func unannotated(n int) []float64 {
+	return make([]float64, n)
+}

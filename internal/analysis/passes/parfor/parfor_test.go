@@ -1,0 +1,12 @@
+package parfor_test
+
+import (
+	"testing"
+
+	"alic/internal/analysis/analysistest"
+	"alic/internal/analysis/passes/parfor"
+)
+
+func TestParfor(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), parfor.Analyzer, "pf")
+}

@@ -1,0 +1,16 @@
+// Package workpool is a fixture stub carrying the real module's
+// ParallelFor and DynamicFor signatures, so the pf fixtures exercise
+// the analyzer against the same import path production code uses.
+package workpool
+
+// ParallelFor splits [0, n) into shards and runs body on each.
+func ParallelFor(workers, n int, body func(start, end int)) {
+	body(0, n)
+}
+
+// DynamicFor runs body once per index.
+func DynamicFor(workers, n int, body func(i int)) {
+	for i := 0; i < n; i++ {
+		body(i)
+	}
+}

@@ -1,0 +1,199 @@
+// Package registry enforces the registry-mediated pluggability
+// contract. Model backends, acquisitions and sampling plans plug in
+// through Register* calls (alic.RegisterAcquisition, model.Register,
+// core.RegisterPlan, the generic registry.Registry.Register); for
+// name lookup to be reliable, registration must happen at program
+// start and names must be compile-time constants. The pass checks,
+// at every call whose callee is named Register or Register<Thing>:
+//
+//   - the call is made from an init function, a package-level var
+//     initializer, or another Register* function (a wrapper
+//     forwarding to the underlying registry);
+//   - a string-typed first argument (the registry name) is a
+//     compile-time constant, and no two constant registrations of
+//     the same callee use the same name anywhere in the module (the
+//     pass accumulates names across packages via driver facts);
+//   - additionally, sentinel errors (package-level error vars named
+//     Err*) are compared with errors.Is, never == or != — the facade
+//     wraps its sentinels, so identity comparison silently breaks.
+//
+// Test files are exempt from the registration-call checks (but not
+// the sentinel rule): registering stubs inside a test body, and
+// re-registering a name to exercise the registry's documented
+// replace-on-re-register semantics, are the sanctioned patterns.
+package registry
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"alic/internal/analysis"
+)
+
+// Analyzer is the registry pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "registry",
+	Doc:  "enforce init-time constant-name registration and errors.Is sentinel comparison",
+	Run:  run,
+}
+
+const factKey = "registry.names"
+
+type registration struct {
+	pos token.Position
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	seen, _ := pass.Facts[factKey].(map[string]registration)
+	if seen == nil {
+		seen = make(map[string]registration)
+		pass.Facts[factKey] = seen
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Files {
+		isTest := pass.TestFiles[f]
+		// Top-level decl spans give the enclosing context of a call.
+		for _, decl := range f.Decls {
+			decl := decl
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if !isTest {
+						checkRegisterCall(pass, n, decl, seen)
+					}
+				case *ast.BinaryExpr:
+					if n.Op == token.EQL || n.Op == token.NEQ {
+						checkSentinelCompare(pass, n, errType)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// isRegisterName reports whether a callee name denotes a registration
+// entry point: "Register" itself or an exported Register<Thing>.
+func isRegisterName(name string) bool {
+	if name == "Register" {
+		return true
+	}
+	if !strings.HasPrefix(name, "Register") {
+		return false
+	}
+	r := name[len("Register")]
+	return r >= 'A' && r <= 'Z'
+}
+
+func checkRegisterCall(pass *analysis.Pass, call *ast.CallExpr, topDecl ast.Decl, seen map[string]registration) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || !isRegisterName(fn.Name()) {
+		return
+	}
+	inWrapper := false
+	placementOK := false
+	switch d := topDecl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.Name == "init" && d.Recv == nil {
+			placementOK = true
+		}
+		if isRegisterName(d.Name.Name) {
+			placementOK = true
+			inWrapper = true
+		}
+	case *ast.GenDecl:
+		if d.Tok == token.VAR {
+			placementOK = true // package-level var initializer
+		}
+	}
+	if !placementOK {
+		pass.Reportf(call.Pos(), "%s called outside init, a package-level var initializer or a Register* wrapper: registrations must complete before name lookup", fn.Name())
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	nameArg := call.Args[0]
+	t := pass.TypesInfo.TypeOf(nameArg)
+	if t == nil || !isStringType(t) {
+		return // value-style registration: the name comes from v.Name()
+	}
+	tv := pass.TypesInfo.Types[nameArg]
+	if tv.Value == nil {
+		if !inWrapper {
+			pass.Reportf(nameArg.Pos(), "registry name passed to %s must be a compile-time constant", fn.Name())
+		}
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	key := fmt.Sprintf("%s/%s", calleeKey(fn), name)
+	if prev, dup := seen[key]; dup {
+		pass.Reportf(nameArg.Pos(), "duplicate registration of name %q (previously registered at %s)", name, prev.pos)
+		return
+	}
+	seen[key] = registration{pos: pass.Fset.Position(nameArg.Pos())}
+}
+
+// calleeKey namespaces duplicate detection per registration entry
+// point (package path + function name), so "alc" the acquisition and
+// "alc" a hypothetical plan name don't collide.
+func calleeKey(fn *types.Func) string {
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// checkSentinelCompare flags == / != where either operand is a
+// package-level error variable named Err*.
+func checkSentinelCompare(pass *analysis.Pass, cmp *ast.BinaryExpr, errType types.Type) {
+	for _, side := range []ast.Expr{cmp.X, cmp.Y} {
+		obj := sentinelObj(pass.TypesInfo, side, errType)
+		if obj == nil {
+			continue
+		}
+		op := "=="
+		if cmp.Op == token.NEQ {
+			op = "!="
+		}
+		pass.Reportf(cmp.Pos(), "sentinel error %s compared with %s: use errors.Is so wrapped errors match", obj.Name(), op)
+		return
+	}
+}
+
+// sentinelObj resolves an expression to a package-level error var
+// named Err*, or nil.
+func sentinelObj(info *types.Info, e ast.Expr, errType types.Type) types.Object {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	obj, ok := analysis.ObjOf(info, id).(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return nil
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") {
+		return nil
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return nil // not package-level
+	}
+	if !types.AssignableTo(obj.Type(), errType) {
+		return nil
+	}
+	return obj
+}

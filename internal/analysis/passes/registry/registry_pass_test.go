@@ -1,0 +1,12 @@
+package registry_test
+
+import (
+	"testing"
+
+	"alic/internal/analysis/analysistest"
+	"alic/internal/analysis/passes/registry"
+)
+
+func TestRegistry(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), registry.Analyzer, "reg", "reg2")
+}

@@ -1,0 +1,44 @@
+// Package reg exercises the registry analyzer's placement,
+// constant-name, duplicate and sentinel rules.
+package reg
+
+import (
+	"errors"
+
+	"regapi"
+)
+
+// ErrMissing is a sentinel: comparisons must go through errors.Is.
+var ErrMissing = errors.New("reg: backend missing")
+
+func init() {
+	regapi.RegisterBackend("tree", func() {})
+	regapi.RegisterBackend("tree", func() {}) // want `duplicate registration of name "tree"`
+}
+
+// Package-level var initializers run before main: sanctioned.
+var registered = regapi.Register("linear", func() {})
+
+// RegisterPlugin is a Register* wrapper: forwarding a non-constant
+// name through it is the sanctioned pattern.
+func RegisterPlugin(name string, fn func()) {
+	regapi.RegisterBackend(name, fn)
+}
+
+func lateRegister(name string, fn func()) {
+	regapi.RegisterBackend(name, fn) // want "RegisterBackend called outside init" "registry name passed to RegisterBackend must be a compile-time constant"
+}
+
+func hasMissing(err error) bool {
+	return err == ErrMissing // want "sentinel error ErrMissing compared with ==: use errors.Is so wrapped errors match"
+}
+
+// isMissing is the sanctioned comparison.
+func isMissing(err error) bool {
+	return errors.Is(err, ErrMissing)
+}
+
+func identity(err error) bool {
+	//alic:allow registry fixture: identity comparison is the point of this helper
+	return err != ErrMissing // want-suppressed `compared with !=`
+}

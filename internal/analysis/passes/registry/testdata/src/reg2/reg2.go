@@ -1,0 +1,9 @@
+// Package reg2 registers a name reg already claimed: module-wide
+// duplicate detection flows through the driver's shared facts.
+package reg2
+
+import "regapi"
+
+func init() {
+	regapi.RegisterBackend("tree", func() {}) // want `duplicate registration of name "tree"`
+}

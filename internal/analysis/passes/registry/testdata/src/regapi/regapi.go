@@ -1,0 +1,16 @@
+// Package regapi is the registration target the reg fixtures call.
+package regapi
+
+var backends = map[string]func(){}
+
+// RegisterBackend installs a named backend constructor.
+func RegisterBackend(name string, fn func()) {
+	backends[name] = fn
+}
+
+// Register installs a named backend and reports success, so it can
+// seed a package-level var initializer.
+func Register(name string, fn func()) bool {
+	backends[name] = fn
+	return true
+}

@@ -26,6 +26,8 @@
 // t's measurement with round t+1's candidate scoring, trading
 // one-round model staleness for wall-clock — results then differ from
 // synchronous mode but remain bit-deterministic across worker counts.
+//
+//alic:deterministic
 package core
 
 import (
@@ -554,6 +556,7 @@ func (l *Learner) collect(rd *inflight) error {
 	}
 	var firstErr error
 	for len(got) < total {
+		//alic:allow detfloat arrival order is free: observations carry scheduling-time Seq and are sorted before folding
 		select {
 		case o, ok := <-l.ev.Results():
 			if !ok {

@@ -1,0 +1,219 @@
+package dynatree
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"alic/internal/rng"
+)
+
+// noallocPins maps every //alic:noalloc-annotated function in the
+// module to the test that pins its allocation behaviour dynamically
+// with testing.AllocsPerRun. TestNoallocAnnotationsHaveAllocsPins
+// keeps the two sets equal, so the static contract (checked by
+// cmd/alic-lint) and the dynamic one (checked here) can never name
+// different functions.
+var noallocPins = map[string]string{
+	"PredictMeanFast":  "TestPredictMeanFastZeroAllocs",
+	"augInto":          "TestAugIntoZeroAllocs",
+	"alcFromMatrices":  "TestIndexedScoringAllocsBounded",
+	"ensureRoutedInto": "TestEnsureRoutedSteadyStateZeroAllocs",
+	"maybeHas":         "TestFwdShardChaseZeroAllocs",
+	"chase":            "TestFwdShardChaseZeroAllocs",
+}
+
+// TestNoallocAnnotationsHaveAllocsPins walks the whole module source
+// and asserts that the set of //alic:noalloc annotations equals the
+// keys of noallocPins, and that every named pin test exists in this
+// package. Annotating a function without pinning it (or the reverse)
+// fails here; annotating one outside dynatree requires extending the
+// pin table alongside a pin test it can see.
+func TestNoallocAnnotationsHaveAllocsPins(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotated := make(map[string]string) // func name -> file:line
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Fixture trees under testdata carry annotations for the
+			// analyzer's own tests; they are not part of the module.
+			if d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.TrimSpace(c.Text) == "//alic:noalloc" {
+					annotated[fd.Name.Name] = fset.Position(fd.Pos()).String()
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testFuncs := make(map[string]bool)
+	pkgs, err := parser.ParseDir(token.NewFileSet(), ".", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for name, file := range pkg.Files {
+			if !strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					testFuncs[fd.Name.Name] = true
+				}
+			}
+		}
+	}
+	for name, at := range annotated {
+		pin, ok := noallocPins[name]
+		if !ok {
+			t.Errorf("%s: //alic:noalloc on %s has no AllocsPerRun pin registered in noallocPins", at, name)
+			continue
+		}
+		if !testFuncs[pin] {
+			t.Errorf("noallocPins[%q] names %s, which does not exist in package dynatree's tests", name, pin)
+		}
+	}
+	for name := range noallocPins {
+		if _, ok := annotated[name]; !ok {
+			t.Errorf("noallocPins lists %q but no //alic:noalloc annotation was found in the module", name)
+		}
+	}
+}
+
+// moduleRoot walks up from the package directory to the directory
+// holding go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}
+
+// TestAugIntoZeroAllocs pins the augmented-input kernel: writing
+// (1, x) into caller-owned scratch must not allocate.
+func TestAugIntoZeroAllocs(t *testing.T) {
+	x := []float64{0.3, 0.7, 0.1}
+	dst := make([]float64, len(x)+1)
+	if allocs := testing.AllocsPerRun(100, func() {
+		augInto(dst, x)
+	}); allocs != 0 {
+		t.Fatalf("augInto allocates %v times per call", allocs)
+	}
+}
+
+// TestFwdShardChaseZeroAllocs pins the redirect-map read path from
+// PR 5: loading a pending log into warm shard scratch, the bloom
+// pre-filter and the path-compressing chase must all run
+// allocation-free (these execute once per (slot, row) inside
+// ensureRouted's fused sweep).
+func TestFwdShardChaseZeroAllocs(t *testing.T) {
+	const arenaLen = 64
+	// Redirect chain 1 → 2 → 5 → 9, with 9 live (not superseded).
+	log := &pendLog{ids: []int32{1, 2, 2, 5, 5, 9}}
+	var sh fwdShard
+	sh.load(log, arenaLen) // size the scratch
+	if allocs := testing.AllocsPerRun(100, func() {
+		gen := sh.load(log, arenaLen)
+		if gen == 0 {
+			t.Fatal("load returned generation 0 for a non-empty log")
+		}
+		if !sh.maybeHas(1) {
+			t.Fatal("maybeHas(1) = false for a superseded id")
+		}
+		if end := sh.chase(1, gen); end != 9 {
+			t.Fatalf("chase(1) = %d, want 9", end)
+		}
+		if sh.maybeHas(37) && sh.mark[37] == gen {
+			t.Fatal("id 37 reported superseded")
+		}
+	}); allocs != 0 {
+		t.Fatalf("fwdShard load/maybeHas/chase allocates %v times per round", allocs)
+	}
+}
+
+// TestEnsureRoutedSteadyStateZeroAllocs pins the route-repair sweep:
+// with warm shard scratch and a non-empty pending redirect log (the
+// slot-redirect machinery from PR 5 active, not idle), repeated
+// ensureRouted calls over the full pool allocate at most the one
+// closure header handed to parallelFor — nothing proportional to the
+// pool, the particles or the redirect log. Workers=1 keeps the pool
+// dispatch itself out of the count, as in
+// TestIndexedScoringAllocsBounded.
+func TestEnsureRoutedSteadyStateZeroAllocs(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Particles = 20
+	cfg.ScoreParticles = 0 // every slot scores
+	cfg.Workers = 1
+	f, err := New(cfg, 2, rng.New(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := poolRows(60, 2, 65)
+	ids := allIDs(len(rows))
+	f.BindPool(rows)
+	r := rng.New(66)
+	for i := 0; i < 80; i++ {
+		id := r.Intn(len(rows))
+		f.Update(rows[id], rows[id][0]+rows[id][1]+r.NormMS(0, 0.05))
+	}
+	f.ALMIndexed(ids) // populate every slab
+	// More training creates fresh pending redirects (path copies and
+	// prunes against the now-populated slabs).
+	for i := 0; i < 20; i++ {
+		id := r.Intn(len(rows))
+		f.Update(rows[id], rows[id][0]+rows[id][1]+r.NormMS(0, 0.05))
+	}
+	pend := 0
+	for _, l := range f.cache.pending {
+		pend += l.total()
+	}
+	if pend == 0 {
+		t.Fatal("no pending redirects recorded; the test is not exercising the chase path")
+	}
+	f.warmLin()
+	f.ensureRouted(ids) // warm pass: repairs routes, sizes shard scratch
+	if allocs := testing.AllocsPerRun(20, func() {
+		f.ensureRouted(ids)
+	}); allocs > 1 {
+		t.Fatalf("steady-state ensureRouted allocates %v times per call, want <= 1 (the parallelFor closure header)", allocs)
+	}
+}

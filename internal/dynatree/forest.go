@@ -831,6 +831,8 @@ func (f *Forest) PredictMean(x []float64) float64 {
 // accuracy for a large speedup when evaluating learning curves over
 // thousands of test points, and allocates nothing in steady state
 // (pinned by a regression test).
+//
+//alic:noalloc
 func (f *Forest) PredictMeanFast(x []float64) float64 {
 	return f.predictMeanSlots(f.scoreSlots, x, f.augBuf)
 }

@@ -70,6 +70,8 @@ func newLinSuff(dim int) *linSuff {
 // augInto writes the augmented input (1, x) into dst, which must have
 // length len(x)+1, and returns it. Keeping the buffer caller-owned is
 // what lets the steady-state scoring kernels run allocation-free.
+//
+//alic:noalloc
 func augInto(dst, x []float64) []float64 {
 	dst[0] = 1
 	copy(dst[1:], x)

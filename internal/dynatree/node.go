@@ -1,3 +1,4 @@
+//alic:deterministic
 package dynatree
 
 import (

@@ -315,6 +315,8 @@ func (sh *fwdShard) load(log *pendLog, arenaLen int) uint32 {
 
 // maybeHas is the bloom pre-filter: false means id is definitely not
 // superseded; true falls through to the exact mark check.
+//
+//alic:noalloc
 func (sh *fwdShard) maybeHas(id int32) bool {
 	h := uint32(id) * 2654435761
 	return sh.bloom[h>>6%fwdBloomWords]&(1<<(h&63)) != 0
@@ -323,6 +325,8 @@ func (sh *fwdShard) maybeHas(id int32) bool {
 // chase follows nd's redirect chain to its live end, path-compressing
 // so later rows sharing the chain chase once. The caller has already
 // established mark[nd] == gen.
+//
+//alic:noalloc
 func (sh *fwdShard) chase(nd int32, gen uint32) int32 {
 	end := sh.to[nd]
 	for sh.mark[end] == gen {
@@ -478,6 +482,8 @@ func (f *Forest) ensureRouted(ids []int) { f.ensureRoutedInto(ids, nil) }
 // ALC kernel: when out is non-nil it receives the repaired leaf ids
 // in K×len(ids) layout (K = scoring slots, slot-major), saving a
 // separate sweep over every (slot, id) pair.
+//
+//alic:noalloc
 func (f *Forest) ensureRoutedInto(ids []int, out []int32) {
 	c := f.cache
 	// Serial phase per scoring slot: materialise, wholesale-refresh or

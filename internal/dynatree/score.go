@@ -259,6 +259,8 @@ func (f *Forest) ALCScores(cands, refs [][]float64) []float64 {
 // tree-walking implementation: the reference pass folds per particle
 // in slot order, and every candidate's reduction folds over particles
 // in slot order.
+//
+//alic:noalloc
 func (f *Forest) alcFromMatrices(candLeaf, refLeaf []int32, cands, refs [][]float64, K int) []float64 {
 	if f.cfg.LeafModel == LinearLeaf {
 		return f.alcLinearFromMatrices(candLeaf, refLeaf, cands, refs, K)
@@ -312,6 +314,7 @@ func (f *Forest) alcFromMatrices(candLeaf, refLeaf []int32, cands, refs [][]floa
 
 	// Pass 2 (parallel over candidates): each candidate's expected
 	// variance reduction folds over the particles in slot order.
+	//alic:allow noalloc result slice, one make per scoring round, returned to the caller
 	scores := make([]float64, nCands)
 	parallelFor(f.workers(), nCands, func(start, end int) {
 		for ci := start; ci < end; ci++ {

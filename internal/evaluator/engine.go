@@ -1,3 +1,4 @@
+//alic:deterministic
 package evaluator
 
 import (
@@ -348,6 +349,7 @@ func (e *Engine) Submit(ctx context.Context, indices []int) error {
 		return e.submitSerial(ctx, reqs)
 	}
 	for i, rq := range reqs {
+		//alic:allow detfloat both receive arms abandon the rest of the batch; the winner only picks which terminal error is returned
 		select {
 		case e.window <- struct{}{}:
 		case <-ctx.Done():
@@ -357,6 +359,7 @@ func (e *Engine) Submit(ctx context.Context, indices []int) error {
 			e.abandon(reqs[i:])
 			return ErrClosed
 		}
+		//alic:allow detfloat measurement goroutines are order-free: values are pure in (item, ordinal) fixed at scheduling time, and the ledger folds in seq order
 		go func(rq request) {
 			select {
 			case e.workSem <- struct{}{}:
@@ -386,10 +389,12 @@ func (e *Engine) Submit(ctx context.Context, indices []int) error {
 func (e *Engine) submitSerial(ctx context.Context, reqs []request) error {
 	out := make([]Observation, 0, len(reqs))
 	for i, rq := range reqs {
+		//alic:allow detfloat both receive arms abandon the rest of the batch; the winner only picks which terminal error is returned
 		select {
 		case <-ctx.Done():
 			e.abandon(reqs[i:])
 			err := ctx.Err()
+			//alic:allow detfloat delivery goroutine preserves scheduling order within the batch; consumers fold by seq
 			go e.deliverAll(out)
 			return err
 		case <-e.done:
@@ -399,6 +404,7 @@ func (e *Engine) submitSerial(ctx context.Context, reqs []request) error {
 		}
 		out = append(out, e.measure(rq))
 	}
+	//alic:allow detfloat delivery goroutine preserves scheduling order within the batch; consumers fold by seq
 	go e.deliverAll(out)
 	return nil
 }

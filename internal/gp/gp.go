@@ -6,6 +6,8 @@
 // the cheap alternative. This package exists to make that comparison
 // concrete: the ablation benchmarks pit it against internal/dynatree on
 // identical data (BenchmarkAblationGP).
+//
+//alic:deterministic
 package gp
 
 import (

@@ -7,6 +7,8 @@
 // from oversubscribing the machine: total pool workers never exceed
 // GOMAXPROCS, and submissions that find no idle worker run inline on
 // the caller.
+//
+//alic:deterministic
 package workpool
 
 import (

@@ -32,6 +32,7 @@ func TestNestedParallelFor(t *testing.T) {
 	var total int64
 	ParallelFor(0, outer, func(start, end int) {
 		for i := start; i < end; i++ {
+			//alic:allow parfor deliberately nested: regression test for the inline-fallback deadlock fix
 			ParallelFor(0, inner, func(s, e int) {
 				atomic.AddInt64(&total, int64(e-s))
 			})
