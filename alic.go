@@ -93,6 +93,7 @@
 package alic
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -102,6 +103,7 @@ import (
 	"alic/internal/evaluator"
 	"alic/internal/measure"
 	"alic/internal/model"
+	"alic/internal/serve"
 	"alic/internal/spapt"
 	"alic/internal/stats"
 	"alic/internal/tuner"
@@ -128,6 +130,10 @@ var (
 	// ErrUnknownPlan reports a sampling-plan name with no
 	// registration.
 	ErrUnknownPlan = core.ErrUnknownPlan
+	// ErrClosed reports use of a Learner after Close. Concurrent
+	// Step/Run/Close — the misuse a serving layer multiplexing
+	// learners makes reachable — reports it instead of panicking.
+	ErrClosed = core.ErrClosed
 )
 
 // Re-exported core types. Downstream code uses these names; the
@@ -183,7 +189,26 @@ type (
 	TunerOptions = tuner.Options
 	// TunerResult reports a model-driven search.
 	TunerResult = tuner.Result
+	// Server is the multi-tenant tuning service: many named learner
+	// sessions — per-tenant, per-kernel — stepped by a fair weighted
+	// round-robin scheduler over shared process resources. Serve its
+	// HTTP API with Server.Handler (see internal/serve and
+	// cmd/alic-serve).
+	Server = serve.Server
+	// ServerOptions configures a Server.
+	ServerOptions = serve.Options
+	// ServerStats is the server-wide counter snapshot.
+	ServerStats = serve.Stats
+	// ServerSession is one hosted learner session handle.
+	ServerSession = serve.Session
+	// SessionSpec configures one hosted learner session.
+	SessionSpec = serve.SessionSpec
+	// SessionInfo is the JSON snapshot of a hosted session.
+	SessionInfo = serve.SessionInfo
 )
+
+// NewServer starts a tuning service and its scheduler workers.
+func NewServer(opts ServerOptions) *Server { return serve.NewServer(opts) }
 
 // Built-in sampling plans and acquisition heuristics. These are the
 // registry defaults; RegisterAcquisition / RegisterPlan add custom
@@ -322,6 +347,14 @@ type LearnResult struct {
 // and charging their cost as the paper does. The returned curve tracks
 // test RMSE against cumulative profiling seconds.
 func Learn(k *Kernel, opts LearnOptions) (*LearnResult, error) {
+	return LearnContext(context.Background(), k, opts)
+}
+
+// LearnContext is Learn under a context: cancellation ends the run
+// gracefully after the current acquisition round with
+// StoppedBy == StopCancelled (partial model and curve intact) instead
+// of abandoning it.
+func LearnContext(ctx context.Context, k *Kernel, opts LearnOptions) (*LearnResult, error) {
 	if k == nil {
 		return nil, ErrNilKernel
 	}
@@ -352,7 +385,7 @@ func Learn(k *Kernel, opts LearnOptions) (*LearnResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := RunOnDataset(ds, opts.Learner)
+	res, err := RunOnDatasetContext(ctx, ds, opts.Learner)
 	if err != nil {
 		return nil, err
 	}
@@ -414,12 +447,19 @@ func learnerWindow(opts LearnerOptions) int {
 // RunOnDataset runs the configured learner over a pre-generated
 // dataset to completion (see NewLearner for the wiring).
 func RunOnDataset(ds *Dataset, opts LearnerOptions) (*LearnerResult, error) {
+	return RunOnDatasetContext(nil, ds, opts)
+}
+
+// RunOnDatasetContext is RunOnDataset under a context (nil means
+// background): cancellation stops the run gracefully after the
+// current round with StoppedBy == StopCancelled.
+func RunOnDatasetContext(ctx context.Context, ds *Dataset, opts LearnerOptions) (*LearnerResult, error) {
 	learner, err := NewLearner(ds, opts)
 	if err != nil {
 		return nil, err
 	}
 	defer learner.Close()
-	return learner.Run(nil)
+	return learner.Run(ctx)
 }
 
 // Tune performs model-driven configuration search (§4.1): rank random

@@ -1,0 +1,122 @@
+package alic
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"alic/internal/serve"
+)
+
+// The serving benchmark drives the full multi-tenant stack end to end:
+// an in-process server behind a real TCP listener, sessions created
+// and polled over HTTP/JSON, a remote cohort fed by concurrent agent
+// goroutines. The recorded figures — sessions/sec and p99 scheduler
+// step latency — are the service's capacity envelope; the floor pins
+// a ~10x margin under the throughput measured at authoring time so CI
+// catches order-of-magnitude regressions without flaking on slow
+// runners.
+
+const (
+	servingBenchSessions    = 600
+	servingBenchTenants     = 16
+	servingBenchRemoteEvery = 8
+	servingBenchFloor       = 20.0 // sessions/sec
+)
+
+// servingBenchReport is the schema of BENCH_serving.json.
+type servingBenchReport struct {
+	Name            string  `json:"name"`
+	Kernel          string  `json:"kernel"`
+	Sessions        int     `json:"sessions"`
+	Tenants         int     `json:"tenants"`
+	Remote          int     `json:"remote_sessions"`
+	Completed       int     `json:"completed"`
+	Failed          int     `json:"failed"`
+	Steps           int64   `json:"scheduler_steps"`
+	Observations    int64   `json:"observations_posted"`
+	Backpressure    int64   `json:"backpressure_429s"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	SessionsPerSec  float64 `json:"sessions_per_sec"`
+	StepP50Millis   float64 `json:"step_p50_ms"`
+	StepP99Millis   float64 `json:"step_p99_ms"`
+	FloorSessions   float64 `json:"floor_sessions_per_sec"`
+	MeetsThroughput bool    `json:"meets_throughput_floor"`
+}
+
+// TestRecordServingBenchmark regenerates BENCH_serving.json and
+// enforces the sessions/sec floor. It only runs when
+// ALIC_RECORD_SERVING_BENCH is set (CI's serving-bench job, or
+// locally:
+//
+//	ALIC_RECORD_SERVING_BENCH=BENCH_serving.json go test -run TestRecordServingBenchmark .
+func TestRecordServingBenchmark(t *testing.T) {
+	out := os.Getenv("ALIC_RECORD_SERVING_BENCH")
+	if out == "" {
+		t.Skip("set ALIC_RECORD_SERVING_BENCH=<path> to record the serving benchmark")
+	}
+
+	srv := serve.NewServer(serve.Options{})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	rep, err := serve.RunLoad(serve.LoadOptions{
+		BaseURL:     "http://" + ln.Addr().String(),
+		Sessions:    servingBenchSessions,
+		Tenants:     servingBenchTenants,
+		RemoteEvery: servingBenchRemoteEvery,
+		Agents:      4,
+		Spec:        serve.SessionSpec{Kernel: "mm"},
+		Timeout:     10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed > 0 {
+		t.Fatalf("%d of %d sessions failed", rep.Failed, rep.Sessions)
+	}
+	if rep.Completed != rep.Sessions {
+		t.Fatalf("completed %d of %d sessions", rep.Completed, rep.Sessions)
+	}
+
+	report := servingBenchReport{
+		Name:            "multi-tenant-serving",
+		Kernel:          "mm",
+		Sessions:        rep.Sessions,
+		Tenants:         servingBenchTenants,
+		Remote:          rep.Remote,
+		Completed:       rep.Completed,
+		Failed:          rep.Failed,
+		Steps:           rep.Steps,
+		Observations:    rep.Observations,
+		Backpressure:    rep.Backpressure,
+		WallSeconds:     rep.WallSeconds,
+		SessionsPerSec:  rep.SessionsPerSec,
+		StepP50Millis:   rep.StepP50Millis,
+		StepP99Millis:   rep.StepP99Millis,
+		FloorSessions:   servingBenchFloor,
+		MeetsThroughput: rep.SessionsPerSec >= servingBenchFloor,
+	}
+	t.Logf("%d sessions (%d remote) in %.2fs: %.1f sessions/sec, step p50 %.3fms p99 %.3fms",
+		rep.Sessions, rep.Remote, rep.WallSeconds, rep.SessionsPerSec,
+		rep.StepP50Millis, rep.StepP99Millis)
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !report.MeetsThroughput {
+		t.Fatalf("throughput %.1f sessions/sec below floor %.1f", rep.SessionsPerSec, servingBenchFloor)
+	}
+}

@@ -14,12 +14,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"alic"
 	"alic/internal/dynatree"
@@ -142,7 +145,14 @@ func main() {
 			}
 		}
 	}
-	res, err := alic.Learn(k, opts)
+	// SIGINT/SIGTERM cancels the run context: the learner finishes the
+	// round in flight and reports StopCancelled, so the partial model
+	// is still usable and the profiles below still flush. A second
+	// signal (after stop restores the default disposition) kills the
+	// process the hard way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	res, err := alic.LearnContext(ctx, k, opts)
+	stop()
 	stopCPUProfile()
 	if err != nil {
 		fatal(err)
@@ -166,6 +176,10 @@ func main() {
 		res.Unique, res.Revisits)
 	fmt.Printf("training cost: %s simulated seconds (stopped by %s)\n",
 		report.FormatFloat(res.Cost), res.StoppedBy)
+	if res.StoppedBy == alic.StopCancelled {
+		fmt.Println("interrupted: skipping configuration search")
+		return
+	}
 
 	sess, err := alic.NewSession(k, *seed+1)
 	if err != nil {

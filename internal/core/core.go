@@ -32,9 +32,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"alic/internal/dynatree"
@@ -43,6 +46,13 @@ import (
 	"alic/internal/rng"
 	"alic/internal/stats"
 )
+
+// ErrClosed reports use of a Learner after Close. Step, Run,
+// SelectBatch, BeginRound, FinishRound and a second Close all return
+// it (assert with errors.Is) instead of racing a torn-down engine —
+// the failure mode a serving layer multiplexing many learners makes
+// reachable.
+var ErrClosed = errors.New("core: learner closed")
 
 // Oracle is the legacy per-observation measurement interface, kept as
 // an alias of the evaluator package's definition so synthetic oracles
@@ -288,9 +298,24 @@ type inflight struct {
 	n      int // observations per acquisition
 }
 
+// round is one begun-but-unobserved synchronous round (the split-phase
+// BeginRound/FinishRound path a serving scheduler drives).
+type round struct {
+	chosen  []int
+	n       int  // observations per acquisition
+	seeding bool // the NInit seed round (builds the model on finish)
+}
+
 // Learner runs active learning over a pool. Drive it either with Run
 // (which owns the whole loop) or one acquisition round at a time with
 // Step.
+//
+// A Learner is safe against concurrent misuse: Step, Run, SelectBatch,
+// BeginRound, FinishRound and Result serialise on an internal mutex,
+// and every entry point after Close reports ErrClosed instead of
+// racing the torn-down engine. Close itself never waits for an
+// in-progress Step — it tears down the engine, which unblocks a Step
+// parked on measurement results.
 type Learner struct {
 	opts    Options
 	plan    SamplingPlan
@@ -300,6 +325,11 @@ type Learner struct {
 	ev      evaluator.Evaluator
 	eval    ModelEvaluator
 	r       *rng.Stream
+
+	// mu serialises the public entry points; closed is checked outside
+	// it so Close can interrupt (not wait out) a blocked Step.
+	mu     sync.Mutex
+	closed atomic.Bool
 
 	model model.Model
 	// binder is non-nil when the backend interned the pool at seeding
@@ -319,6 +349,15 @@ type Learner struct {
 	// the in-flight round of asynchronous mode (== acquired in sync).
 	scheduled int
 	pending   *inflight
+	// begun is the split-phase round selected by BeginRound and not yet
+	// observed by FinishRound (nil otherwise). Step drives the same two
+	// phases back to back, so the sync loop and a split-phase scheduler
+	// are bit-identical by construction.
+	begun *round
+	// lastRoundCost is the §4.3 ledger delta of the last folded round
+	// (seed or acquisition) — the per-step cost accounting a serving
+	// scheduler charges against per-session budgets.
+	lastRoundCost float64
 	// lastSeq is the evaluator sequence number of the last folded
 	// observation; cost checkpoints are read through it so they are
 	// bit-identical to the serial accumulator (and deterministic while
@@ -396,13 +435,27 @@ func NewWithEvaluator(opts Options, pool Pool, ev evaluator.Evaluator, eval Mode
 }
 
 // Done reports whether a completion criterion has fired.
-func (l *Learner) Done() bool { return l.stoppedBy != StopNone }
+func (l *Learner) Done() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.done()
+}
+
+func (l *Learner) done() bool { return l.stoppedBy != StopNone }
 
 // Acquired returns the number of acquisitions performed so far.
-func (l *Learner) Acquired() int { return l.acquired }
+func (l *Learner) Acquired() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.acquired
+}
 
 // Model returns the backend model (nil before the first Step).
-func (l *Learner) Model() model.Model { return l.model }
+func (l *Learner) Model() model.Model {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.model
+}
 
 // Evaluator returns the measurement engine the learner drives.
 func (l *Learner) Evaluator() evaluator.Evaluator { return l.ev }
@@ -420,12 +473,29 @@ func (l *Learner) costNow() float64 {
 
 // Close releases the learner's evaluator engine, if it is closeable.
 // In-flight asynchronous measurements are unblocked and discarded; a
-// closed learner cannot continue a run. Close is idempotent.
+// closed learner cannot continue a run — every later entry point
+// (including a second Close) reports ErrClosed. Close deliberately
+// does not wait for an in-progress Step: tearing down the engine is
+// what unblocks a Step parked on measurement results.
 func (l *Learner) Close() error {
+	if l.closed.Swap(true) {
+		return ErrClosed
+	}
 	if c, ok := l.ev.(interface{ Close() error }); ok {
 		return c.Close()
 	}
 	return nil
+}
+
+// closedErr maps an error surfaced mid-step after a concurrent Close
+// onto the learner's own sentinel, so callers racing Step against
+// Close observe one error identity regardless of where the teardown
+// landed.
+func (l *Learner) closedErr(err error) error {
+	if err != nil && l.closed.Load() && errors.Is(err, evaluator.ErrClosed) {
+		return fmt.Errorf("%w (%v)", ErrClosed, err)
+	}
+	return err
 }
 
 // Step advances the learner by one acquisition round: the first call
@@ -435,40 +505,205 @@ func (l *Learner) Close() error {
 // previous round's results are folded while the new one measures).
 // It returns false once a completion criterion has fired (inspect
 // Result().StoppedBy for which), after which further calls are
-// no-ops.
+// no-ops. After Close, Step reports ErrClosed.
 func (l *Learner) Step() (more bool, err error) {
-	if l.Done() {
+	if l.closed.Load() {
+		return false, ErrClosed
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	more, err = l.step()
+	return more, l.closedErr(err)
+}
+
+// step is Step under the mutex: one synchronous round is a BeginRound
+// (selection) immediately followed by a FinishRound (observation), so
+// the sync loop and a split-phase external scheduler are bit-identical
+// by construction.
+func (l *Learner) step() (bool, error) {
+	if l.done() {
 		return false, nil
 	}
-	if l.model == nil {
-		if err := l.seed(); err != nil {
+	if l.opts.Async && l.model != nil {
+		return l.stepAsync()
+	}
+	if l.begun == nil {
+		if err := l.beginRound(); err != nil {
 			return false, err
 		}
-		l.scheduled = l.acquired
-		l.checkStop()
-		return !l.Done(), nil
+		if l.begun == nil {
+			// Completion fired at selection time (pool exhausted).
+			return !l.done(), nil
+		}
 	}
-	if l.opts.Async {
-		return l.stepAsync()
+	return l.finishRound()
+}
+
+// beginRound selects the next round — the NInit seed draw before the
+// model exists, one acquisition batch after — and parks it in l.begun
+// without dispatching any measurement. On pool exhaustion it fires
+// StopExhausted and leaves no round pending.
+func (l *Learner) beginRound() error {
+	if l.model == nil {
+		idxs := l.r.Sample(l.pool.Len(), l.opts.NInit)
+		l.begun = &round{chosen: idxs, n: l.plan.SeedObservations(l.opts), seeding: true}
+		return nil
 	}
 	batch := l.opts.Batch
 	if rem := l.opts.NMax - l.acquired; batch > rem {
 		batch = rem
 	}
-	chosen, err := l.SelectBatch(batch)
+	chosen, err := l.selectBatch(batch)
 	if err != nil {
-		return false, err
+		return err
 	}
 	if len(chosen) == 0 {
 		l.stoppedBy = StopExhausted
-		return false, nil
+		return nil
 	}
-	if err := l.observeSync(chosen); err != nil {
+	l.begun = &round{chosen: chosen, n: l.plan.AcquireObservations(l.opts)}
+	return nil
+}
+
+// finishRound observes the pending round through the evaluator, folds
+// the results, and fires the completion criteria. A failed round is
+// discarded (nothing was folded), so a retried step re-selects —
+// exactly the historical retry behaviour.
+func (l *Learner) finishRound() (bool, error) {
+	rd := l.begun
+	costBefore := l.costNow()
+	var err error
+	if rd.seeding {
+		err = l.seedObserve(rd.chosen, rd.n)
+	} else {
+		err = l.observeSync(rd.chosen, rd.n)
+	}
+	l.begun = nil
+	if err != nil {
 		return false, err
 	}
+	l.lastRoundCost = l.costNow() - costBefore
 	l.scheduled = l.acquired
 	l.checkStop()
-	return !l.Done(), nil
+	return !l.done(), nil
+}
+
+// PendingObservation describes the measurement demand one pool item of
+// a pending round places on the evaluator, in per-item observation
+// ordinals — the (item, ordinal) coordinates remote observations are
+// posted under.
+type PendingObservation struct {
+	// Item is the pool index to observe.
+	Item int
+	// First is the first observation ordinal this round consumes (-1
+	// when the engine does not expose per-item scheduling counts).
+	First int
+	// Count is how many consecutive ordinals the round takes.
+	Count int
+}
+
+// BeginRound selects the next acquisition round and parks it as the
+// learner's pending round without dispatching any measurement — the
+// first scheduler hook of the serving layer. It returns a copy of the
+// chosen pool indices; nil with a nil error means a completion
+// criterion has fired (inspect Result().StoppedBy, including pool
+// exhaustion discovered at selection time). Together with
+// PendingObservations (the non-blocking ready check) and FinishRound
+// it lets an external scheduler gate the possibly-remote, slow
+// measurement phase without blocking a scheduler thread inside Step.
+// Asynchronous learners (Options.Async) pipeline rounds internally and
+// reject BeginRound.
+func (l *Learner) BeginRound() ([]int, error) {
+	if l.closed.Load() {
+		return nil, ErrClosed
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.opts.Async {
+		return nil, fmt.Errorf("core: BeginRound on an asynchronous learner (Options.Async pipelines rounds internally)")
+	}
+	if l.done() {
+		return nil, nil
+	}
+	if l.begun != nil {
+		return nil, fmt.Errorf("core: BeginRound with a round already pending (call FinishRound first)")
+	}
+	if err := l.beginRound(); err != nil {
+		return nil, l.closedErr(err)
+	}
+	if l.begun == nil {
+		return nil, nil
+	}
+	return append([]int(nil), l.begun.chosen...), nil
+}
+
+// RoundPending reports whether a BeginRound round awaits FinishRound.
+func (l *Learner) RoundPending() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.begun != nil
+}
+
+// PendingObservations returns the measurement demand of the round
+// parked by BeginRound, one entry per chosen item (a round's items are
+// distinct). A scheduler feeding a remote source is ready to
+// FinishRound exactly when, for every entry, observation ordinals
+// [First, First+Count) of Item have been posted — the non-blocking
+// ready check. Nil when no round is pending.
+func (l *Learner) PendingObservations() []PendingObservation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.begun == nil {
+		return nil
+	}
+	sched, ok := l.ev.(interface{ Scheduled(i int) int })
+	out := make([]PendingObservation, len(l.begun.chosen))
+	for j, idx := range l.begun.chosen {
+		first := -1
+		if ok {
+			first = sched.Scheduled(idx)
+		}
+		out[j] = PendingObservation{Item: idx, First: first, Count: l.begun.n}
+	}
+	return out
+}
+
+// FinishRound observes the round parked by BeginRound through the
+// evaluator, folds the results into the model, and fires the
+// completion criteria — the second phase of Step. With a local source
+// it is Step's exact observation phase; with a remote source it blocks
+// until the round's observations are posted, so schedulers call it
+// only once PendingObservations is satisfied. more == false means a
+// completion criterion has fired.
+func (l *Learner) FinishRound() (more bool, err error) {
+	if l.closed.Load() {
+		return false, ErrClosed
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.begun == nil {
+		return false, fmt.Errorf("core: FinishRound without a pending round (call BeginRound first)")
+	}
+	more, err = l.finishRound()
+	return more, l.closedErr(err)
+}
+
+// Cost returns the §4.3 evaluation cost through the last folded
+// observation — deterministic mid-run even while an asynchronous
+// round is still measuring.
+func (l *Learner) Cost() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.costNow()
+}
+
+// LastRoundCost returns the ledger delta of the most recently folded
+// round (seed or acquisition) — the per-step charge a serving
+// scheduler accounts against per-session budgets.
+func (l *Learner) LastRoundCost() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastRoundCost
 }
 
 // stepAsync advances one pipelined round: score the next batch with
@@ -484,7 +719,7 @@ func (l *Learner) stepAsync() (bool, error) {
 			batch = rem
 		}
 		var err error
-		next, err = l.SelectBatch(batch)
+		next, err = l.selectBatch(batch)
 		if err != nil {
 			return false, err
 		}
@@ -505,14 +740,14 @@ func (l *Learner) stepAsync() (bool, error) {
 		return false, nil
 	}
 	l.checkStop()
-	if l.Done() && l.pending != nil {
+	if l.done() && l.pending != nil {
 		// A cost/error criterion fired with a round still measuring:
 		// drain it so the snapshot stays consistent with the charges.
 		if err := l.collectRound(); err != nil {
 			return false, err
 		}
 	}
-	return !l.Done(), nil
+	return !l.done(), nil
 }
 
 // submitRound hands one acquisition batch to the evaluator without
@@ -599,8 +834,7 @@ func (l *Learner) collect(rd *inflight) error {
 // observeSync dispatches one acquisition batch synchronously and folds
 // the results — the mode that is bit-identical to the historical
 // serial loop.
-func (l *Learner) observeSync(chosen []int) error {
-	n := l.plan.AcquireObservations(l.opts)
+func (l *Learner) observeSync(chosen []int, n int) error {
 	obs, err := l.ev.ObserveBatch(evaluator.Repeat(chosen, n))
 	if err != nil {
 		return err
@@ -685,13 +919,7 @@ func (l *Learner) Run(ctx context.Context) (*Result, error) {
 			return nil, err
 		}
 		if l.opts.Progress != nil {
-			l.opts.Progress(Progress{
-				Acquired:     l.acquired,
-				Observations: l.observations,
-				Cost:         l.costNow(),
-				InFlight:     l.scheduled - l.acquired,
-				Done:         l.Done(),
-			})
+			l.opts.Progress(l.progress())
 		}
 		if !more {
 			break
@@ -704,12 +932,28 @@ func (l *Learner) Run(ctx context.Context) (*Result, error) {
 	return res, nil
 }
 
+// progress snapshots the Run progress report under the mutex, so the
+// callback itself runs unlocked (and may call back into the learner).
+func (l *Learner) progress() Progress {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Progress{
+		Acquired:     l.acquired,
+		Observations: l.observations,
+		Cost:         l.costNow(),
+		InFlight:     l.scheduled - l.acquired,
+		Done:         l.done(),
+	}
+}
+
 // Result snapshots the run. After Run (or once Step has returned
 // false) it is the final report; mid-run it reflects progress so far
 // with StoppedBy == StopNone. When an evaluator is present the final
 // snapshot appends the closing curve point, so Result is cheap only
 // for evaluator-free learners.
 func (l *Learner) Result() *Result {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	res := &Result{
 		Model: l.model,
 		// Snapshots own their curve: the learner's slice keeps growing.
@@ -740,13 +984,11 @@ func (l *Learner) Result() *Result {
 	return res
 }
 
-// seed draws NInit random configurations, observes each one per the
-// plan's seed schedule in one evaluator batch, and fits the initial
-// model — the "initial training points" of Figure 3.
-func (l *Learner) seed() error {
-	seedObs := l.plan.SeedObservations(l.opts)
-	idxs := l.r.Sample(l.pool.Len(), l.opts.NInit)
-
+// seedObserve observes the NInit seed draw per the plan's seed
+// schedule in one evaluator batch and fits the initial model — the
+// "initial training points" of Figure 3 (the draw itself happens in
+// beginRound, so a split-phase scheduler can publish it first).
+func (l *Learner) seedObserve(idxs []int, seedObs int) error {
 	// First pass: gather seed observations so the backend's prior can
 	// be calibrated on them before the model absorbs anything. Nothing
 	// is committed to the learner until the whole batch and the model
@@ -850,8 +1092,18 @@ func (l *Learner) gatherFeatures(cands []int) [][]float64 {
 // benchmarks and for external acquisition schedulers that interleave
 // their own observation logic. It consumes learner randomness
 // (candidate sampling), so interleaved calls change the sequence a
-// subsequent Run would take.
+// subsequent Run would take. After Close it reports ErrClosed.
 func (l *Learner) SelectBatch(batch int) ([]int, error) {
+	if l.closed.Load() {
+		return nil, ErrClosed
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.selectBatch(batch)
+}
+
+// selectBatch is SelectBatch under the mutex.
+func (l *Learner) selectBatch(batch int) ([]int, error) {
 	if l.model == nil {
 		return nil, fmt.Errorf("core: SelectBatch before seeding (call Step or Run)")
 	}
@@ -923,6 +1175,8 @@ func (l *Learner) maybeEval() {
 // ObservationCounts returns a copy of D in Algorithm 1: how many times
 // each seen pool item has been observed.
 func (l *Learner) ObservationCounts() map[int]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	out := make(map[int]int, len(l.obsCount))
 	for k, v := range l.obsCount {
 		out[k] = v

@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The load generator drives a running server purely over HTTP — the
+// same path external agents use — so sessions/sec numbers include the
+// JSON and transport overhead a deployment pays. Simulated sessions
+// run to completion on the server's scheduler alone; every
+// RemoteEvery-th session is created with the remote source and fed by
+// agent goroutines that poll suggestions, synthesize measurements, and
+// post observations (honouring 429 backpressure).
+
+// LoadOptions configures a load-generation run.
+type LoadOptions struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8347".
+	BaseURL string
+	// Sessions is the total number of sessions to create.
+	Sessions int
+	// Tenants spreads the sessions round-robin over this many tenants
+	// (default 8).
+	Tenants int
+	// RemoteEvery makes every k-th session remote-fed (0 = none).
+	RemoteEvery int
+	// Agents is the number of feeder goroutines for remote sessions
+	// (default 4).
+	Agents int
+	// Spec is the template spec (kernel, budgets); tenant, name, and
+	// source are filled per session.
+	Spec SessionSpec
+	// PollInterval is the completion/suggestion poll period
+	// (default 5ms).
+	PollInterval time.Duration
+	// Timeout bounds the whole run (default 10m).
+	Timeout time.Duration
+}
+
+// LoadReport summarises a load-generation run.
+type LoadReport struct {
+	Sessions       int     `json:"sessions"`
+	Remote         int     `json:"remote"`
+	Completed      int     `json:"completed"`
+	Failed         int     `json:"failed"`
+	Steps          int64   `json:"steps"`
+	Observations   int64   `json:"observations_posted"`
+	Backpressure   int64   `json:"backpressure_429s"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	StepP50Millis  float64 `json:"step_p50_ms"`
+	StepP99Millis  float64 `json:"step_p99_ms"`
+}
+
+// syntheticValue is the deterministic stand-in for an agent-measured
+// runtime: positive, item- and ordinal-dependent.
+func syntheticValue(item, ord int) float64 {
+	return 1 + 0.25*math.Sin(float64(item*31+ord*7))
+}
+
+const syntheticCompile = 0.3
+
+// loadTarget identifies one created session.
+type loadTarget struct {
+	tenant, name string
+	remote       bool
+}
+
+type loadClient struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *loadClient) do(ctx context.Context, method, path string, body, out any) (int, error) {
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && resp.StatusCode < 300 {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// RunLoad executes a load-generation run against a server.
+func RunLoad(o LoadOptions) (*LoadReport, error) {
+	if o.Sessions < 1 {
+		return nil, fmt.Errorf("serve: loadgen needs >= 1 session")
+	}
+	if o.Tenants < 1 {
+		o.Tenants = 8
+	}
+	if o.Agents < 1 {
+		o.Agents = 4
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 5 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Minute
+	}
+	if o.Spec.Kernel == "" {
+		o.Spec.Kernel = "mm"
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), o.Timeout)
+	defer cancel()
+	c := &loadClient{base: o.BaseURL, hc: &http.Client{Timeout: 30 * time.Second}}
+
+	targets := make([]loadTarget, o.Sessions)
+	start := time.Now()
+	for i := range targets {
+		spec := o.Spec
+		spec.Name = fmt.Sprintf("s-%05d", i)
+		spec.Seed = o.Spec.Seed + uint64(i)
+		tenant := fmt.Sprintf("tenant-%03d", i%o.Tenants)
+		remote := o.RemoteEvery > 0 && i%o.RemoteEvery == 0
+		if remote {
+			spec.Source = SourceRemote
+		}
+		code, err := c.do(ctx, http.MethodPost, "/v1/tenants/"+tenant+"/sessions", spec, nil)
+		if err != nil {
+			return nil, fmt.Errorf("serve: create session %d: %w", i, err)
+		}
+		if code != http.StatusCreated {
+			return nil, fmt.Errorf("serve: create session %d: HTTP %d", i, code)
+		}
+		targets[i] = loadTarget{tenant: tenant, name: spec.Name, remote: remote}
+	}
+
+	rep := &LoadReport{Sessions: o.Sessions}
+	var posted, backpressure atomic.Int64
+
+	// Agent goroutines feed remote sessions, each owning a disjoint
+	// share so posts per session stay ordered.
+	var remoteTargets []loadTarget
+	for _, t := range targets {
+		if t.remote {
+			remoteTargets = append(remoteTargets, t)
+		}
+	}
+	rep.Remote = len(remoteTargets)
+	var wg sync.WaitGroup
+	errCh := make(chan error, o.Agents)
+	for a := 0; a < o.Agents; a++ {
+		var own []loadTarget
+		for i := a; i < len(remoteTargets); i += o.Agents {
+			own = append(own, remoteTargets[i])
+		}
+		if len(own) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(own []loadTarget) {
+			defer wg.Done()
+			if err := feedRemote(ctx, c, own, o.PollInterval, &posted, &backpressure); err != nil {
+				errCh <- err
+			}
+		}(own)
+	}
+
+	// Poll tenant listings until every session is terminal.
+	if err := waitAll(ctx, c, o.Tenants, o.Sessions, o.PollInterval, rep); err != nil {
+		cancel()
+		wg.Wait()
+		return nil, err
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	rep.WallSeconds = time.Since(start).Seconds()
+	rep.SessionsPerSec = float64(rep.Completed) / rep.WallSeconds
+	rep.Observations = posted.Load()
+	rep.Backpressure = backpressure.Load()
+	var st Stats
+	if _, err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st); err == nil {
+		rep.Steps = st.Steps
+		rep.StepP50Millis = st.StepP50Millis
+		rep.StepP99Millis = st.StepP99Millis
+	}
+	return rep, nil
+}
+
+// feedRemote drives a set of remote sessions to completion: poll
+// suggestions, post the missing ordinals, back off on 429.
+func feedRemote(ctx context.Context, c *loadClient, own []loadTarget, poll time.Duration,
+	posted, backpressure *atomic.Int64) error {
+	live := make(map[int]bool, len(own))
+	for i := range own {
+		live[i] = true
+	}
+	for len(live) > 0 {
+		progressed := false
+		for i := range own {
+			if !live[i] {
+				continue
+			}
+			t := own[i]
+			path := "/v1/tenants/" + t.tenant + "/sessions/" + t.name
+			var sug SuggestionList
+			code, err := c.do(ctx, http.MethodGet, path+"/suggestions", nil, &sug)
+			if err != nil {
+				return fmt.Errorf("serve: suggestions %s/%s: %w", t.tenant, t.name, err)
+			}
+			if code == http.StatusNotFound || sug.Status.terminal() {
+				delete(live, i)
+				continue
+			}
+			var obs []ObservationPost
+			for _, s := range sug.Suggestions {
+				for ord := s.Posted; ord < s.First+s.Count; ord++ {
+					obs = append(obs, ObservationPost{
+						Item:    s.Item,
+						Value:   syntheticValue(s.Item, ord),
+						Compile: syntheticCompile,
+					})
+				}
+			}
+			if len(obs) == 0 {
+				continue
+			}
+			var acc acceptedBody
+			code, err = c.do(ctx, http.MethodPost, path+"/observations", struct {
+				Observations []ObservationPost `json:"observations"`
+			}{Observations: obs}, &acc)
+			if err != nil {
+				return fmt.Errorf("serve: post %s/%s: %w", t.tenant, t.name, err)
+			}
+			posted.Add(int64(acc.Accepted))
+			if code == http.StatusTooManyRequests {
+				backpressure.Add(1)
+				if acc.Status.terminal() {
+					delete(live, i)
+				}
+				continue
+			}
+			if code != http.StatusOK {
+				return fmt.Errorf("serve: post %s/%s: HTTP %d", t.tenant, t.name, code)
+			}
+			progressed = true
+		}
+		if !progressed {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(poll):
+			}
+		}
+	}
+	return nil
+}
+
+// waitAll polls per-tenant listings until total sessions are terminal.
+func waitAll(ctx context.Context, c *loadClient, tenants, total int, poll time.Duration, rep *LoadReport) error {
+	for {
+		done, failed := 0, 0
+		for t := 0; t < tenants; t++ {
+			var body struct {
+				Sessions []SessionInfo `json:"sessions"`
+			}
+			tenant := fmt.Sprintf("tenant-%03d", t)
+			if _, err := c.do(ctx, http.MethodGet, "/v1/tenants/"+tenant+"/sessions", nil, &body); err != nil {
+				return fmt.Errorf("serve: list %s: %w", tenant, err)
+			}
+			for _, info := range body.Sessions {
+				switch info.Status {
+				case StatusDone:
+					done++
+				case StatusFailed, StatusClosed:
+					failed++
+				}
+			}
+		}
+		if done+failed >= total {
+			rep.Completed = done
+			rep.Failed = failed
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: loadgen timed out with %d/%d sessions terminal: %w",
+				done+failed, total, ctx.Err())
+		case <-time.After(poll):
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// scheduler interleaves learner steps across ready sessions with
+// weighted round-robin over tenants: each tenant in the active ring
+// gets weight consecutive steps per ring pass, so a greedy tenant with
+// thousands of ready sessions cannot starve a small one — every tenant
+// advances at least once per pass regardless of queue depth.
+//
+// Sessions are enqueued at most once (the parked/queued/stepping state
+// machine in session.go) and stepped by exactly one worker at a time,
+// so each learner stays single-threaded while the fleet shares the
+// process-wide scoring workpool underneath.
+type scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tenants map[string]*tenantQueue
+	ring    []*tenantQueue // tenants with >= 1 queued session
+	cursor  int
+	closed  bool
+	wg      sync.WaitGroup
+
+	steps atomic.Int64 // global step ordinal (fairness clock)
+	lat   latRing
+}
+
+// tenantQueue is one tenant's FIFO of ready sessions plus its
+// round-robin credit.
+type tenantQueue struct {
+	name   string
+	weight int
+	credit int
+	ready  []*Session
+	inRing bool
+}
+
+func newScheduler(workers int, weights map[string]int) *scheduler {
+	sch := &scheduler{tenants: make(map[string]*tenantQueue)}
+	sch.cond = sync.NewCond(&sch.mu)
+	for name, w := range weights {
+		sch.tenantLocked(name).weight = clampWeight(w)
+	}
+	sch.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		//alic:allow parfor scheduler workers pop disjoint sessions from a mutex-guarded queue; each session is stepped by exactly one worker
+		go sch.worker()
+	}
+	return sch
+}
+
+func clampWeight(w int) int {
+	if w < 1 {
+		return 1
+	}
+	if w > maxTenantWeight {
+		return maxTenantWeight
+	}
+	return w
+}
+
+// tenantLocked returns the tenant queue, creating it at weight 1.
+// Callers hold sch.mu.
+func (sch *scheduler) tenantLocked(name string) *tenantQueue {
+	tq := sch.tenants[name]
+	if tq == nil {
+		tq = &tenantQueue{name: name, weight: 1}
+		sch.tenants[name] = tq
+	}
+	return tq
+}
+
+// setWeight updates a tenant's scheduling weight (takes effect at its
+// next credit refresh).
+func (sch *scheduler) setWeight(tenant string, w int) {
+	sch.mu.Lock()
+	sch.tenantLocked(tenant).weight = clampWeight(w)
+	sch.mu.Unlock()
+}
+
+// enqueue appends a session to its tenant's ready queue. The caller
+// has already transitioned the session to the queued state.
+func (sch *scheduler) enqueue(s *Session) {
+	sch.mu.Lock()
+	if sch.closed {
+		sch.mu.Unlock()
+		return
+	}
+	tq := sch.tenantLocked(s.spec.Tenant)
+	tq.ready = append(tq.ready, s)
+	if !tq.inRing {
+		tq.inRing = true
+		tq.credit = tq.weight
+		sch.ring = append(sch.ring, tq)
+	}
+	sch.mu.Unlock()
+	sch.cond.Signal()
+}
+
+// next blocks until a session is schedulable and pops it per the
+// weighted round-robin policy. Returns nil once the scheduler closes.
+func (sch *scheduler) next() *Session {
+	sch.mu.Lock()
+	defer sch.mu.Unlock()
+	for {
+		if sch.closed {
+			return nil
+		}
+		if len(sch.ring) == 0 {
+			sch.cond.Wait()
+			continue
+		}
+		if sch.cursor >= len(sch.ring) {
+			sch.cursor = 0
+		}
+		tq := sch.ring[sch.cursor]
+		s := tq.ready[0]
+		tq.ready = tq.ready[1:]
+		tq.credit--
+		if len(tq.ready) == 0 {
+			tq.inRing = false
+			sch.ring = append(sch.ring[:sch.cursor], sch.ring[sch.cursor+1:]...)
+		} else if tq.credit <= 0 {
+			tq.credit = tq.weight
+			sch.cursor++
+		}
+		return s
+	}
+}
+
+func (sch *scheduler) worker() {
+	defer sch.wg.Done()
+	for {
+		s := sch.next()
+		if s == nil {
+			return
+		}
+		ord := sch.steps.Add(1)
+		start := time.Now()
+		s.runStep(ord)
+		sch.lat.add(time.Since(start))
+	}
+}
+
+// close drains the workers. Queued sessions that were never stepped
+// stay parked; Server.Close tears them down afterwards.
+func (sch *scheduler) close() {
+	sch.mu.Lock()
+	sch.closed = true
+	sch.mu.Unlock()
+	sch.cond.Broadcast()
+	sch.wg.Wait()
+}
+
+// latRing records step latencies in a fixed-size ring so percentile
+// queries cover the most recent window without unbounded growth.
+type latRing struct {
+	mu  sync.Mutex
+	buf []int64
+	n   int64
+}
+
+const latRingCap = 1 << 17
+
+func (r *latRing) add(d time.Duration) {
+	r.mu.Lock()
+	if r.buf == nil {
+		r.buf = make([]int64, 0, 1024)
+	}
+	if len(r.buf) < latRingCap {
+		r.buf = append(r.buf, int64(d))
+	} else {
+		r.buf[r.n%latRingCap] = int64(d)
+	}
+	r.n++
+	r.mu.Unlock()
+}
+
+// percentiles returns the requested latency percentiles (0..100) over
+// the recorded window, in the same order.
+func (r *latRing) percentiles(ps ...float64) []time.Duration {
+	r.mu.Lock()
+	snap := append([]int64(nil), r.buf...)
+	r.mu.Unlock()
+	out := make([]time.Duration, len(ps))
+	if len(snap) == 0 {
+		return out
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	for i, p := range ps {
+		k := int(p / 100 * float64(len(snap)-1))
+		if k < 0 {
+			k = 0
+		}
+		if k >= len(snap) {
+			k = len(snap) - 1
+		}
+		out[i] = time.Duration(snap[k])
+	}
+	return out
+}

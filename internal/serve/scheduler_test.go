@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestNoTenantStarvation is the fairness pin: one greedy tenant floods
+// the scheduler with many long sessions, yet every small tenant's
+// single short session completes within a bounded number of global
+// scheduler steps. With weight 1 each, a ring pass hands every tenant
+// one step, so a small session needing k steps finishes by roughly
+// k * tenants global steps — far below the greedy tenant's total
+// demand, which is what FIFO scheduling would make it wait for.
+func TestNoTenantStarvation(t *testing.T) {
+	const (
+		greedySessions = 48
+		smallTenants   = 8
+	)
+	srv := NewServer(Options{Workers: 1}) // one worker: a strict global step order
+	defer srv.Close()
+
+	greedy := tinySpec("greedy", "")
+	greedy.MaxRounds = 12
+	for i := 0; i < greedySessions; i++ {
+		spec := greedy
+		spec.Name = fmt.Sprintf("g%02d", i)
+		if _, err := srv.CreateSession(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Small sessions: seeding + (MaxRounds-NInit) acquisitions + final
+	// step -> 4 scheduler steps each at MaxRounds 4, NInit 2.
+	var small []*Session
+	for i := 0; i < smallTenants; i++ {
+		spec := tinySpec(fmt.Sprintf("small-%d", i), "s")
+		spec.MaxRounds = 4
+		s, err := srv.CreateSession(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		small = append(small, s)
+	}
+
+	for _, s := range small {
+		waitDone(t, s, 60*time.Second)
+	}
+
+	// Steps a small session needs: 1 seeding round + (MaxRounds-NInit)
+	// acquisition rounds = 3. Each ring pass costs at most
+	// 1 (greedy) + smallTenants steps, so completion must come within
+	// ~3 passes of entering the ring; 4x that is a safe bound while
+	// still far below the greedy tenant's ~greedySessions*12 steps of
+	// demand. Service time is measured from CreatedStep because the
+	// scheduler is already stepping the greedy fleet while later
+	// sessions are still being constructed — the global clock at
+	// creation is arbitrary, only steps-after-arrival reflect fairness.
+	bound := int64(4 * 3 * (smallTenants + 1))
+	for _, s := range small {
+		info := s.Info()
+		if info.Status != StatusDone {
+			t.Fatalf("%s: status %v (err %v)", s.key, info.Status, s.Err())
+		}
+		if got := info.DoneStep - info.CreatedStep; got > bound {
+			t.Errorf("%s starved: %d steps from creation to completion, bound %d", s.key, got, bound)
+		}
+	}
+	// The greedy fleet still finishes.
+	for _, info := range srv.ListSessions("greedy") {
+		s, err := srv.GetSession("greedy", info.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, s, 60*time.Second)
+	}
+}
+
+// TestTenantWeights checks that a weighted tenant drains faster than
+// an equal-load weight-1 tenant under a single worker.
+func TestTenantWeights(t *testing.T) {
+	const perTenant = 16
+	srv := NewServer(Options{
+		Workers:       1,
+		TenantWeights: map[string]int{"heavy": 8, "light": 1},
+	})
+	defer srv.Close()
+	var heavy, light []*Session
+	for i := 0; i < perTenant; i++ {
+		hs, err := srv.CreateSession(tinySpec("heavy", fmt.Sprintf("h%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls, err := srv.CreateSession(tinySpec("light", fmt.Sprintf("l%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		heavy = append(heavy, hs)
+		light = append(light, ls)
+	}
+	for _, s := range append(append([]*Session(nil), heavy...), light...) {
+		waitDone(t, s, 60*time.Second)
+	}
+	var heavyLast, lightLast int64
+	for _, s := range heavy {
+		if d := s.Info().DoneStep; d > heavyLast {
+			heavyLast = d
+		}
+	}
+	for _, s := range light {
+		if d := s.Info().DoneStep; d > lightLast {
+			lightLast = d
+		}
+	}
+	if heavyLast >= lightLast {
+		t.Fatalf("weight 8 tenant drained at step %d, not before weight 1 tenant at %d",
+			heavyLast, lightLast)
+	}
+}
+
+func TestLatRingPercentiles(t *testing.T) {
+	var r latRing
+	for i := 1; i <= 100; i++ {
+		r.add(time.Duration(i) * time.Millisecond)
+	}
+	ps := r.percentiles(50, 99)
+	if ps[0] < 45*time.Millisecond || ps[0] > 55*time.Millisecond {
+		t.Fatalf("p50 = %v", ps[0])
+	}
+	if ps[1] < 95*time.Millisecond || ps[1] > 100*time.Millisecond {
+		t.Fatalf("p99 = %v", ps[1])
+	}
+	var empty latRing
+	if got := empty.percentiles(99)[0]; got != 0 {
+		t.Fatalf("empty ring p99 = %v", got)
+	}
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSoakThousandSessions is the scale pin from the serving issue: a
+// thousand concurrent sessions — spread over tenants, a remote-fed
+// cohort, and a cost-budgeted cohort — all complete under the race
+// detector, budgets are never overshot by more than the final round,
+// and the server's terminal accounting matches.
+func TestSoakThousandSessions(t *testing.T) {
+	sessions := 1000
+	if testing.Short() {
+		sessions = 250
+	}
+	const (
+		tenants     = 20
+		remoteEvery = 10
+		budgetEvery = 7
+		costBudget  = 2.0
+	)
+
+	srv := NewServer(Options{})
+	defer srv.Close()
+
+	created := make([]*Session, sessions)
+	var createErr error
+	var createMu sync.Mutex
+	var wg sync.WaitGroup
+	const creators = 8
+	wg.Add(creators)
+	for c := 0; c < creators; c++ {
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < sessions; i += creators {
+				spec := tinySpec(fmt.Sprintf("t%02d", i%tenants), fmt.Sprintf("s%04d", i))
+				// A handful of distinct seeds so the corpus cache is
+				// exercised on both hit and miss paths.
+				spec.Seed = 7 + uint64(i%4)
+				if remoteEvery > 0 && i%remoteEvery == 0 {
+					spec.Source = SourceRemote
+				}
+				if i%budgetEvery == 0 {
+					spec.CostBudget = costBudget
+				}
+				s, err := srv.CreateSession(spec)
+				if err != nil {
+					createMu.Lock()
+					if createErr == nil {
+						createErr = fmt.Errorf("create %d: %w", i, err)
+					}
+					createMu.Unlock()
+					return
+				}
+				created[i] = s
+			}
+		}(c)
+	}
+	wg.Wait()
+	if createErr != nil {
+		t.Fatal(createErr)
+	}
+
+	// External agents for the remote cohort.
+	feedErrs := make(chan error, sessions/remoteEvery+1)
+	var feeders sync.WaitGroup
+	for _, s := range created {
+		if s.Spec().Source != SourceRemote {
+			continue
+		}
+		feeders.Add(1)
+		go func(s *Session) {
+			defer feeders.Done()
+			if err := feedUntilDone(s, 2*time.Minute); err != nil {
+				feedErrs <- err
+			}
+		}(s)
+	}
+	feeders.Wait()
+	close(feedErrs)
+	for err := range feedErrs {
+		t.Error(err)
+	}
+
+	for _, s := range created {
+		waitDone(t, s, 2*time.Minute)
+	}
+
+	for i, s := range created {
+		info := s.Info()
+		if info.Status != StatusDone {
+			t.Fatalf("session %d (%s): status %v, err %v", i, s.key, info.Status, s.Err())
+		}
+		if i%budgetEvery != 0 {
+			continue
+		}
+		// Budget cohort: a cost stop must land in the round that
+		// crossed the budget, never a whole round past it.
+		if s.learner.Result().StoppedBy.String() == "cost" {
+			cost, last := s.learner.Cost(), s.learner.LastRoundCost()
+			if cost < costBudget {
+				t.Errorf("session %d stopped by cost below budget: %.3f < %.3f", i, cost, costBudget)
+			}
+			if cost-last >= costBudget {
+				t.Errorf("session %d overshot budget: cost %.3f, last round %.3f, budget %.3f",
+					i, cost, last, costBudget)
+			}
+		}
+	}
+
+	stats := srv.Stats()
+	if stats.Completed != int64(sessions) || stats.Failed != 0 {
+		t.Fatalf("stats: completed %d failed %d, want %d completed, 0 failed",
+			stats.Completed, stats.Failed, sessions)
+	}
+}
