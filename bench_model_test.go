@@ -3,8 +3,10 @@ package alic
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"testing"
+	"time"
 
 	"alic/internal/core"
 	"alic/internal/model"
@@ -23,8 +25,18 @@ import (
 // contract, enforced by core's TestIndexedPathMatchesRowPath); only
 // wall-clock differs.
 
-// rowOnlyModel hides the backend's PoolBinder extension.
-type rowOnlyModel struct{ model.Model }
+// rowOnlyModel hides the backend's PoolBinder extension while keeping
+// the round-batched update entry point: the row path isolates the
+// historical *scoring* cost, so it must not also degrade the update
+// path both configurations share.
+type rowOnlyModel struct {
+	model.Model
+	ru model.RoundUpdater
+}
+
+func (m rowOnlyModel) UpdateRound(xs [][]float64, ys, preds []float64) {
+	m.ru.UpdateRound(xs, ys, preds)
+}
 
 type rowOnlyBuilder struct{ inner model.Builder }
 
@@ -34,7 +46,7 @@ func (b rowOnlyBuilder) New(p model.Params) (model.Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	return rowOnlyModel{m}, nil
+	return rowOnlyModel{m, m.(model.RoundUpdater)}, nil
 }
 
 // benchModelOptions is the default learner config at benchmark scale:
@@ -166,6 +178,21 @@ type modelBenchRecord struct {
 	SpeedupVsRow float64 `json:"speedup_vs_row"`
 }
 
+// learnPhaseSplit is one serial session's model-side wall clock broken
+// down by phase: weight and propagate are the forest's two update
+// phases (Forest.PhaseTimes — fused descent + reweighting + resample,
+// then move commits); score and update are the learner's coarser split
+// (core.Progress — selection scoring vs folding rounds in, so update
+// covers weight + propagate + glue). Purely observational: it shows
+// whether a session is scoring- or propagation-bound without a
+// profiler, and how the update side divides between its phases.
+type learnPhaseSplit struct {
+	WeightMs    float64 `json:"weight_ms"`
+	PropagateMs float64 `json:"propagate_ms"`
+	ScoreMs     float64 `json:"score_ms"`
+	UpdateMs    float64 `json:"update_ms"`
+}
+
 type modelBenchReport struct {
 	Name              string             `json:"name"`
 	PoolSize          int                `json:"pool_size"`
@@ -177,8 +204,12 @@ type modelBenchReport struct {
 	Results           []modelBenchRecord `json:"results"`
 	SelectSerial      float64            `json:"select_steady_indexed_vs_row_serial"`
 	LearnSerial       float64            `json:"learn_rounds_indexed_vs_row_serial"`
+	LearnRowSerialMs  float64            `json:"learn_rounds_row_serial_ms"`
+	LearnIdxSerialMs  float64            `json:"learn_rounds_indexed_serial_ms"`
+	LearnPhases       learnPhaseSplit    `json:"learn_rounds_serial_phase_split"`
 	MeetsSpeedupFloor bool               `json:"meets_2x_select_speedup_floor"`
 	MeetsLearnFloor   bool               `json:"meets_learn_rounds_regression_floor"`
+	MeetsLearnCeiling bool               `json:"meets_learn_rounds_ms_ceiling"`
 }
 
 // learnRoundsFloor is the LearnRounds indexed-vs-row serial floor the
@@ -190,6 +221,16 @@ type modelBenchReport struct {
 // selection keeps its ≥2x floor. Set below 1.0 only to absorb CI
 // runner noise on a ~1.0x measurement.
 const learnRoundsFloor = 0.75
+
+// learnRoundsCeilingMs is the absolute wall-clock ceiling CI enforces
+// on one serial row-path LearnRounds session (ms/session). The
+// propagation-path work (fused descent, round-batched folds, batch
+// partition routing) brought the dev-shape session from ~47 ms to
+// ~33 ms; the ceiling is set far above the measured value because CI
+// runners vary widely in absolute speed — it exists to catch
+// algorithmic regressions that multiply session cost, not percentage
+// drift the ratio floors already guard.
+const learnRoundsCeilingMs = 85.0
 
 // TestRecordModelBenchmark regenerates BENCH_model.json — the
 // indexed-vs-row scoring trajectory at 1/4/8 workers — and enforces
@@ -225,8 +266,18 @@ func TestRecordModelBenchmark(t *testing.T) {
 		case "LearnRounds":
 			fn = benchLearnRounds
 		}
-		res := testing.Benchmark(func(b *testing.B) { fn(b, workers, rowOnly) })
-		return float64(res.NsPerOp()) / 1e6
+		// One in-process measurement swings ±30% on a loaded runner;
+		// scheduler and GC interference are strictly additive, so the
+		// minimum of a few repeats is the noise-robust estimator, and
+		// the floors gate ratios of minima.
+		best := math.Inf(1)
+		for rep := 0; rep < 3; rep++ {
+			res := testing.Benchmark(func(b *testing.B) { fn(b, workers, rowOnly) })
+			if ms := float64(res.NsPerOp()) / 1e6; ms < best {
+				best = ms
+			}
+		}
+		return best
 	}
 	for _, name := range []string{"SelectBatchSteady", "LearnRounds"} {
 		for _, w := range []int{1, 4, 8} {
@@ -241,13 +292,17 @@ func TestRecordModelBenchmark(t *testing.T) {
 					rep.SelectSerial = rowMs / idxMs
 				case "LearnRounds":
 					rep.LearnSerial = rowMs / idxMs
+					rep.LearnRowSerialMs = rowMs
+					rep.LearnIdxSerialMs = idxMs
 				}
 			}
 			t.Logf("%s/workers=%d: row %.2f ms/op, indexed %.2f ms/op (%.2fx)", name, w, rowMs, idxMs, rowMs/idxMs)
 		}
 	}
+	rep.LearnPhases = measureLearnPhases(t)
 	rep.MeetsSpeedupFloor = rep.SelectSerial >= 2
 	rep.MeetsLearnFloor = rep.LearnSerial >= learnRoundsFloor
+	rep.MeetsLearnCeiling = rep.LearnRowSerialMs <= learnRoundsCeilingMs
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -260,5 +315,36 @@ func TestRecordModelBenchmark(t *testing.T) {
 	}
 	if !rep.MeetsLearnFloor {
 		t.Fatalf("indexed LearnRounds is %.2fx over the row path at workers=1, want >= %.2fx (cache maintenance must not slow whole sessions down)", rep.LearnSerial, learnRoundsFloor)
+	}
+	if !rep.MeetsLearnCeiling {
+		t.Fatalf("serial row-path LearnRounds session took %.1f ms, want <= %.1f ms (propagation-path wall-clock ceiling)", rep.LearnRowSerialMs, learnRoundsCeilingMs)
+	}
+}
+
+// measureLearnPhases runs one serial indexed learning session and
+// returns its model-side phase split: the forest's weight/propagate
+// wall clock (Forest.PhaseTimes) nested inside the learner's
+// score/update split (core.Progress).
+func measureLearnPhases(t *testing.T) learnPhaseSplit {
+	t.Helper()
+	opts := benchModelOptions(1, false)
+	var last core.Progress
+	opts.Progress = func(p core.Progress) { last = p }
+	pool := benchModelPool()
+	l, err := core.New(opts, pool, &benchOracle{pool: pool, r: rng.New(4)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	weight, propagate := l.Model().(interface {
+		PhaseTimes() (weight, propagate time.Duration)
+	}).PhaseTimes()
+	return learnPhaseSplit{
+		WeightMs:    float64(weight) / 1e6,
+		PropagateMs: float64(propagate) / 1e6,
+		ScoreMs:     last.ScoreSeconds * 1e3,
+		UpdateMs:    last.UpdateSeconds * 1e3,
 	}
 }

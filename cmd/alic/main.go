@@ -111,8 +111,9 @@ func main() {
 	}
 	if *progress {
 		opts.Learner.Progress = func(p alic.LearnerProgress) {
-			fmt.Fprintf(os.Stderr, "  acquired %4d (%d runs, %.0f s cost)\n",
-				p.Acquired, p.Observations, p.Cost)
+			fmt.Fprintf(os.Stderr, "  acquired %4d (%d runs, %.0f s cost; model %.0f ms scoring / %.0f ms updating)\n",
+				p.Acquired, p.Observations, p.Cost,
+				p.ScoreSeconds*1e3, p.UpdateSeconds*1e3)
 		}
 	}
 

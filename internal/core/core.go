@@ -157,6 +157,13 @@ type Progress struct {
 	// InFlight counts acquisitions submitted to the evaluator but not
 	// yet folded into the model (asynchronous mode only).
 	InFlight int
+	// ScoreSeconds and UpdateSeconds split the learner's cumulative
+	// model-side wall clock between candidate scoring (selection) and
+	// folding observed rounds into the model, excluding measurement
+	// itself — the phase view that shows whether a session is
+	// scoring-bound or propagation-bound without a profiler.
+	ScoreSeconds  float64
+	UpdateSeconds float64
 	// Done reports whether a completion criterion has fired.
 	Done bool
 }
@@ -337,6 +344,28 @@ type Learner struct {
 	// indices to indexed-capable acquisitions instead of gathering
 	// feature rows, unlocking the backend's cross-round caches.
 	binder model.PoolBinder
+	// roundUpd is non-nil when the backend supports batched per-round
+	// updates (model.RoundUpdater); observed rounds are then absorbed
+	// in one UpdateRound call — with the prequential predictions fused
+	// into the backend's update pass — whenever that is bit-identical
+	// to the per-acquisition fold loop (see batchedFold).
+	roundUpd model.RoundUpdater
+	// foldXs / foldYs / foldPreds are the batched fold path's reusable
+	// per-round scratch.
+	foldXs    [][]float64
+	foldYs    []float64
+	foldPreds []float64
+	// candBuf / drawnMark / drawnGen are candidateSet's reusable
+	// scratch: the candidate index slice and a generation-stamped
+	// per-pool-item "drawn this call" marker replacing a per-round map.
+	candBuf   []int
+	drawnMark []uint32
+	drawnGen  uint32
+	// scoreNS / updateNS are the cumulative Progress phase split in
+	// nanoseconds: candidate scoring vs model folding. Wall clock only;
+	// durations never feed the learner's arithmetic.
+	scoreNS  int64
+	updateNS int64
 	// obsCount[i] is D in Algorithm 1: observations taken per pool item.
 	obsCount map[int]int
 	// order keeps seen pool items in first-seen order for determinism.
@@ -553,7 +582,9 @@ func (l *Learner) beginRound() error {
 	if rem := l.opts.NMax - l.acquired; batch > rem {
 		batch = rem
 	}
+	t0 := time.Now() //alic:allow detfloat wall-clock phase accounting only; durations never feed learner arithmetic
 	chosen, err := l.selectBatch(batch)
+	l.scoreNS += time.Since(t0).Nanoseconds() //alic:allow detfloat wall-clock phase accounting only
 	if err != nil {
 		return err
 	}
@@ -719,7 +750,9 @@ func (l *Learner) stepAsync() (bool, error) {
 			batch = rem
 		}
 		var err error
+		t0 := time.Now() //alic:allow detfloat wall-clock phase accounting only; durations never feed learner arithmetic
 		next, err = l.selectBatch(batch)
+		l.scoreNS += time.Since(t0).Nanoseconds() //alic:allow detfloat wall-clock phase accounting only
 		if err != nil {
 			return false, err
 		}
@@ -823,6 +856,14 @@ func (l *Learner) collect(rd *inflight) error {
 		return firstErr
 	}
 	sort.Slice(got, func(i, j int) bool { return got[i].Seq < got[j].Seq })
+	t0 := time.Now() //alic:allow detfloat wall-clock phase accounting only; durations never feed learner arithmetic
+	defer func() {
+		l.updateNS += time.Since(t0).Nanoseconds() //alic:allow detfloat wall-clock phase accounting only
+	}()
+	if l.batchedFold() {
+		l.foldRound(rd.chosen, got, rd.n)
+		return nil
+	}
 	pos := 0
 	for _, idx := range rd.chosen {
 		l.fold(idx, got[pos:pos+rd.n])
@@ -839,12 +880,70 @@ func (l *Learner) observeSync(chosen []int, n int) error {
 	if err != nil {
 		return err
 	}
-	pos := 0
-	for _, idx := range chosen {
-		l.fold(idx, obs[pos:pos+n])
-		pos += n
+	t0 := time.Now() //alic:allow detfloat wall-clock phase accounting only; durations never feed learner arithmetic
+	if l.batchedFold() {
+		l.foldRound(chosen, obs, n)
+	} else {
+		pos := 0
+		for _, idx := range chosen {
+			l.fold(idx, obs[pos:pos+n])
+			pos += n
+		}
 	}
+	l.updateNS += time.Since(t0).Nanoseconds() //alic:allow detfloat wall-clock phase accounting only
 	return nil
+}
+
+// batchedFold reports whether observed rounds may be absorbed through
+// the backend's batched update path. It requires the backend to
+// implement model.RoundUpdater and curve recording to be off: a curve
+// point falling inside a round must evaluate the model mid-round,
+// which only the per-acquisition loop can provide. When it holds,
+// maybeEval is a no-op for every acquisition, so folding a whole
+// round in one UpdateRound call — prequential predictions fused into
+// the backend's update pass — is bit-identical to the serial fold
+// loop (the RoundUpdater contract, pinned by
+// TestBatchedFoldMatchesSerialLoop).
+func (l *Learner) batchedFold() bool {
+	return l.roundUpd != nil && (l.eval == nil || l.opts.EvalEvery <= 0)
+}
+
+// foldRound absorbs one observed round — chosen[i]'s observations are
+// obs[i*n:(i+1)*n], in scheduling order — through the backend's
+// batched update path, replaying fold's bookkeeping exactly: same
+// per-acquisition means, same prequential residual sequence (against
+// pre-update predictions), same seen-order and revisit accounting.
+func (l *Learner) foldRound(chosen []int, obs []evaluator.Observation, n int) {
+	xs := l.foldXs[:0]
+	ys := l.foldYs[:0]
+	for i, idx := range chosen {
+		var w stats.Welford
+		for _, o := range obs[i*n : (i+1)*n] {
+			w.Add(o.Value)
+		}
+		xs = append(xs, l.pool.Features(idx))
+		ys = append(ys, w.Mean())
+	}
+	l.foldXs, l.foldYs = xs, ys
+	if cap(l.foldPreds) < len(chosen) {
+		l.foldPreds = make([]float64, len(chosen))
+	}
+	preds := l.foldPreds[:len(chosen)]
+	l.roundUpd.UpdateRound(xs, ys, preds)
+	l.lastSeq = obs[len(obs)-1].Seq
+	l.observations += len(obs)
+	for i, idx := range chosen {
+		if prev, seen := l.obsCount[idx]; seen {
+			l.revisits++
+			l.obsCount[idx] = prev + n
+		} else {
+			l.obsCount[idx] = n
+			l.order = append(l.order, idx)
+		}
+		resid := preds[i] - ys[i]
+		l.preq.add(resid * resid)
+		l.acquired++
+	}
 }
 
 // fold absorbs the observations of one acquisition into the learner:
@@ -938,11 +1037,13 @@ func (l *Learner) progress() Progress {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return Progress{
-		Acquired:     l.acquired,
-		Observations: l.observations,
-		Cost:         l.costNow(),
-		InFlight:     l.scheduled - l.acquired,
-		Done:         l.done(),
+		Acquired:      l.acquired,
+		Observations:  l.observations,
+		Cost:          l.costNow(),
+		InFlight:      l.scheduled - l.acquired,
+		ScoreSeconds:  float64(l.scoreNS) / 1e9,
+		UpdateSeconds: float64(l.updateNS) / 1e9,
+		Done:          l.done(),
 	}
 }
 
@@ -1037,14 +1138,33 @@ func (l *Learner) seedObserve(idxs []int, seedObs int) error {
 		pb.BindPool(rows)
 		l.binder = pb
 	}
-	l.observations += len(all)
-	for i, idx := range idxs {
-		l.obsCount[idx] = seedObs
-		l.order = append(l.order, idx)
-		l.model.Update(l.pool.Features(idx), means[i])
-		l.acquired++
-		l.maybeEval()
+	if ru, ok := m.(model.RoundUpdater); ok {
+		l.roundUpd = ru
 	}
+	l.observations += len(all)
+	t0 := time.Now() //alic:allow detfloat wall-clock phase accounting only; durations never feed learner arithmetic
+	if l.batchedFold() {
+		xs := l.foldXs[:0]
+		for _, idx := range idxs {
+			xs = append(xs, l.pool.Features(idx))
+		}
+		l.foldXs = xs
+		l.roundUpd.UpdateRound(xs, means, nil)
+		for _, idx := range idxs {
+			l.obsCount[idx] = seedObs
+			l.order = append(l.order, idx)
+			l.acquired++
+		}
+	} else {
+		for i, idx := range idxs {
+			l.obsCount[idx] = seedObs
+			l.order = append(l.order, idx)
+			l.model.Update(l.pool.Features(idx), means[i])
+			l.acquired++
+			l.maybeEval()
+		}
+	}
+	l.updateNS += time.Since(t0).Nanoseconds() //alic:allow detfloat wall-clock phase accounting only
 	return nil
 }
 
@@ -1054,18 +1174,32 @@ func (l *Learner) seedObserve(idxs []int, seedObs int) error {
 // here: indexed-capable backends score straight from the pool indices
 // (see SelectBatch), and only the row-based fallback pays the gather.
 func (l *Learner) candidateSet() (cands []int) {
-	cands = make([]int, 0, l.opts.NCand+16)
+	cands = l.candBuf[:0]
 	// Fresh candidates: rejection-sample distinct unseen pool items, so
-	// one batch can never acquire the same configuration twice.
-	drawn := make(map[int]bool, l.opts.NCand)
+	// one batch can never acquire the same configuration twice. The
+	// "drawn this call" set is a generation-stamped slice instead of a
+	// per-round map — the rejection logic (and therefore the rng draw
+	// sequence) is unchanged, only the allocation churn goes.
+	if len(l.drawnMark) < l.pool.Len() {
+		l.drawnMark = make([]uint32, l.pool.Len())
+		l.drawnGen = 0
+	}
+	l.drawnGen++
+	if l.drawnGen == 0 { // uint32 wraparound: stale stamps could collide
+		for i := range l.drawnMark {
+			l.drawnMark[i] = 0
+		}
+		l.drawnGen = 1
+	}
+	gen := l.drawnGen
 	rejected := 0
 	for len(cands) < l.opts.NCand && rejected < 20*l.opts.NCand {
 		i := l.r.Intn(l.pool.Len())
-		if _, seen := l.obsCount[i]; seen || drawn[i] {
+		if _, seen := l.obsCount[i]; seen || l.drawnMark[i] == gen {
 			rejected++
 			continue
 		}
-		drawn[i] = true
+		l.drawnMark[i] = gen
 		cands = append(cands, i)
 	}
 	for _, i := range l.order {
@@ -1073,6 +1207,7 @@ func (l *Learner) candidateSet() (cands []int) {
 			cands = append(cands, i)
 		}
 	}
+	l.candBuf = cands
 	return cands
 }
 

@@ -19,12 +19,15 @@ import (
 // cmd/alic-lint) and the dynamic one (checked here) can never name
 // different functions.
 var noallocPins = map[string]string{
-	"PredictMeanFast":  "TestPredictMeanFastZeroAllocs",
-	"augInto":          "TestAugIntoZeroAllocs",
-	"alcFromMatrices":  "TestIndexedScoringAllocsBounded",
-	"ensureRoutedInto": "TestEnsureRoutedSteadyStateZeroAllocs",
-	"maybeHas":         "TestFwdShardChaseZeroAllocs",
-	"chase":            "TestFwdShardChaseZeroAllocs",
+	"PredictMeanFast":    "TestPredictMeanFastZeroAllocs",
+	"augInto":            "TestAugIntoZeroAllocs",
+	"alcFromMatrices":    "TestIndexedScoringAllocsBounded",
+	"ensureRoutedInto":   "TestEnsureRoutedSteadyStateZeroAllocs",
+	"maybeHas":           "TestFwdShardChaseZeroAllocs",
+	"chase":              "TestFwdShardChaseZeroAllocs",
+	"proposeSplitRanged": "TestProposeSplitRangedZeroAllocs",
+	"descendRecord":      "TestDescendRecordZeroAllocs",
+	"leafOfBatch":        "TestLeafOfBatchZeroAllocs",
 }
 
 // TestNoallocAnnotationsHaveAllocsPins walks the whole module source
@@ -167,6 +170,83 @@ func TestFwdShardChaseZeroAllocs(t *testing.T) {
 		}
 	}); allocs != 0 {
 		t.Fatalf("fwdShard load/maybeHas/chase allocates %v times per round", allocs)
+	}
+}
+
+// TestProposeSplitRangedZeroAllocs pins the range-fed grow proposal:
+// drawing a split from cached bounds must not allocate (it runs once
+// per grow-eligible particle per observation).
+func TestProposeSplitRangedZeroAllocs(t *testing.T) {
+	r := rng.New(11)
+	dims := []int32{0, 2}
+	lo := []float64{0, 5, 1}
+	hi := []float64{1, 5, 3}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, _, ok := proposeSplitRanged(dims, lo, hi, r); !ok {
+			t.Fatal("split should be possible for a non-degenerate range")
+		}
+	}); allocs != 0 {
+		t.Fatalf("proposeSplitRanged allocates %v times per call", allocs)
+	}
+}
+
+// TestDescendRecordZeroAllocs pins the fused-descent recorder: once a
+// slot's chain scratch has seen its tree's depth, recording a
+// root→leaf descent must not allocate (it runs once per particle per
+// observation inside the sharded weight pass).
+func TestDescendRecordZeroAllocs(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Particles = 8
+	f, err := New(cfg, 2, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(22)
+	for i := 0; i < 60; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		f.Update(x, x[0]+x[1]+r.NormMS(0, 0.05))
+	}
+	x := []float64{0.4, 0.6}
+	for i := range f.roots {
+		f.descendRecord(i, x) // warm: sizes each slot's chain scratch
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		for i := range f.roots {
+			f.descendRecord(i, x)
+		}
+	}); allocs != 0 {
+		t.Fatalf("descendRecord allocates %v times per sweep", allocs)
+	}
+}
+
+// TestLeafOfBatchZeroAllocs pins the partition descent: routing a
+// block of rows through a grown tree with caller-provided scratch must
+// not allocate (it runs once per scoring slot per round, and once per
+// sweep with root misses).
+func TestLeafOfBatchZeroAllocs(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Particles = 4
+	f, err := New(cfg, 2, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(32)
+	rows := poolRows(80, 2, 33)
+	for i := 0; i < 60; i++ {
+		id := r.Intn(len(rows))
+		f.Update(rows[id], rows[id][0]+rows[id][1]+r.NormMS(0, 0.05))
+	}
+	idx := make([]int32, len(rows))
+	tmp := make([]int32, len(rows))
+	out := make([]int32, len(rows))
+	root := f.roots[0]
+	if allocs := testing.AllocsPerRun(100, func() {
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		f.leafOfBatch(root, rows, idx, tmp, out)
+	}); allocs != 0 {
+		t.Fatalf("leafOfBatch allocates %v times per block", allocs)
 	}
 }
 

@@ -3,6 +3,9 @@ package dynatree
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync/atomic"
+	"time"
 
 	"alic/internal/rng"
 	"alic/internal/stats"
@@ -153,8 +156,6 @@ type Forest struct {
 	countsBuf []int
 	outBuf    []int32
 	srcBuf    []int32
-	pathBuf   []int32
-	ptsBuf    []int
 	logwBuf   []float64
 	movesBuf  []int
 	linBuf    []*linSuff
@@ -162,6 +163,56 @@ type Forest struct {
 	growR     childScratch
 	augBuf    []float64
 	sc        scoreScratch
+
+	// Update-path scratch (see updateObs / propagateAll). chains[i] is
+	// the root→leaf descent chain the weight pass records for slot i;
+	// chainPerm maps post-resample slots to the pre-resample slot whose
+	// chain (and tree) they inherited, nil for identity. prop holds the
+	// parallel move-weight phase's per-slot results; headBuf the
+	// dup-group owner of each slot. xArena interns feature copies so
+	// Update allocates no per-observation xcopy; shardXa is per-shard
+	// linear-leaf scratch handed out by waShard.
+	chains    [][]int32
+	chainPerm []int32
+	prop      []propState
+	headBuf   []int32
+	isScore   []bool
+	predBuf   []float64
+	xArena    []float64
+	shardXa   [][]float64
+	waShard   atomic.Int32
+
+	// Compaction scratch: the previous generation's arena backing and
+	// rename map, recycled so steady-state compactions reallocate
+	// nothing.
+	spare    nodes
+	remapBuf []int32
+
+	// Cumulative wall clock (ns) of the update path's two phases, for
+	// PhaseTimes. Timing floats never feed model arithmetic.
+	weightNS int64
+	propNS   int64
+}
+
+// propState is the read-only move-weight computation for one particle
+// slot, produced by the sharded phase of propagateAll and consumed by
+// the serial commit phase. Slots that inherited the same tree from the
+// resample share one propState (constant leaves only: linear payloads
+// are freshly-built per-slot objects that must not alias across slots).
+type propState struct {
+	leaf, parent, sib int32
+	canPrune          bool
+	growEligible      bool
+	sNew              suff
+	merged            suff
+	linNew            *linSuff
+	mergedLin         *linSuff
+	stayLW            float64
+	pruneLW           float64
+	footLW            float64 // parent-level footing added when prune is on the table
+	splitDims         []int32
+	splitLo           []float64
+	splitHi           []float64
 }
 
 // --- leaf-model dispatch --------------------------------------------------
@@ -233,6 +284,7 @@ func New(cfg Config, dim int, r *rng.Stream) (*Forest, error) {
 		logW:   make([]float64, cfg.Particles),
 		augBuf: make([]float64, linScratchLen(dim)),
 	}
+	f.ar.featDim = dim
 	for i := range f.roots {
 		f.roots[i] = f.ar.newLeaf(0)
 		if cfg.LeafModel == LinearLeaf {
@@ -319,6 +371,59 @@ func (f *Forest) leafOf(root int32, x []float64) int32 {
 	return cur
 }
 
+// leafOfBatch routes many rows through the tree at nd in one partition
+// descent: idx lists row numbers into xs, and out[r] receives the leaf
+// containing xs[r] for every listed r. Each tree node is visited once
+// with the contiguous block of rows whose path reaches it, so node
+// fields are read once per node instead of once per (row, level) as
+// repeated leafOf walks would — the block's feature rows stay hot
+// while the node strides the arena. The comparisons are leafOf's
+// exactly, so out[r] == leafOf(nd, xs[r]) bit for bit; idx is consumed
+// as scratch (reordered freely), tmp needs len(idx) capacity.
+//
+//alic:noalloc
+func (f *Forest) leafOfBatch(nd int32, xs [][]float64, idx, tmp, out []int32) {
+	ar := &f.ar
+	dim, cut, left, right := ar.dim, ar.cut, ar.left, ar.right
+	for {
+		if left[nd] < 0 {
+			for _, r := range idx {
+				out[r] = nd
+			}
+			return
+		}
+		// Small blocks descend row-by-row: below this size the partition
+		// pass costs more than the walks it saves.
+		if len(idx) <= 16 {
+			for _, r := range idx {
+				out[r] = f.leafOf(nd, xs[r])
+			}
+			return
+		}
+		d, c := dim[nd], cut[nd]
+		nl, nr := 0, 0
+		for _, r := range idx {
+			if xs[r][d] < c {
+				idx[nl] = r
+				nl++
+			} else {
+				tmp[nr] = r
+				nr++
+			}
+		}
+		copy(idx[nl:], tmp[:nr])
+		if nr == 0 {
+			nd = left[nd]
+			continue
+		}
+		if nl > 0 {
+			f.leafOfBatch(left[nd], xs, idx[:nl], tmp, out)
+		}
+		nd = right[nd]
+		idx = idx[nl:]
+	}
+}
+
 // Update absorbs one observation: resample particles by the predictive
 // density of (x, y), then apply a stochastic stay/prune/grow move to
 // the leaf containing x in each particle and insert the point.
@@ -326,58 +431,227 @@ func (f *Forest) Update(x []float64, y float64) {
 	if math.IsNaN(y) || math.IsInf(y, 0) {
 		panic("dynatree: non-finite target")
 	}
-	xcopy := make([]float64, len(x))
-	copy(xcopy, x)
-	idx := len(f.points)
-	f.points = append(f.points, point{x: xcopy, y: y})
+	idx := f.appendPoint(x, y)
 	// Cover every leaf count the weight pass, move proposals and prune
 	// merges can reach this update (serial: the sharded passes below
 	// only read the tables).
 	f.tabs.extend(len(f.points) + 1)
-
-	// Step 1: importance weights = posterior predictive density at the
-	// new observation. Each particle's weight is independent and —
-	// after pre-warming any lazily-cached linear-leaf posteriors, which
-	// copy-on-write particles may share — read-only, so the loop shards
-	// across the scoring pool.
-	if len(f.points) > 1 { // with a single point all weights are equal
-		f.warmLin()
-		parallelFor(f.workers(), len(f.roots), func(start, end int) {
-			var xa []float64
-			if f.cfg.LeafModel == LinearLeaf {
-				xa = make([]float64, linScratchLen(f.dim))
-			}
-			for i := start; i < end; i++ {
-				leaf := f.leafOf(f.roots[i], xcopy)
-				f.logW[i] = f.leafLogPredDensity(leaf, xcopy, y, xa)
-			}
-		})
-		f.resample()
-	}
-
-	// Step 2: propagate every particle with a local tree move, then
-	// insert the point.
-	for i := range f.roots {
-		f.propagate(i, idx, xcopy, y)
-	}
-	f.maybeCompact()
+	f.updateObs(idx, f.points[idx].x, y, false)
 }
 
-// UpdateBatch absorbs observations one at a time in order.
+// UpdateBatch absorbs observations in order through the round-batched
+// path. Targets are validated batch-wide up front, so a non-finite
+// target mid-batch panics before any observation is appended instead
+// of leaving the forest partially updated.
 func (f *Forest) UpdateBatch(xs [][]float64, ys []float64) {
 	if len(xs) != len(ys) {
 		panic("dynatree: UpdateBatch length mismatch")
 	}
-	for i := range xs {
-		f.Update(xs[i], ys[i])
+	f.UpdateRound(xs, ys, nil)
+}
+
+// UpdateRound absorbs one acquisition round's observations in a
+// single batched call: targets are validated batch-wide up front,
+// feature copies are interned and appended once, and the NIG tables
+// are extended once; each observation then reweights, resamples and
+// propagates in order, so the rng draw sequence and every float
+// accumulation chain are bit-identical to calling Update per
+// observation (pinned by TestUpdateRoundMatchesSerialUpdates).
+//
+// When preds is non-nil it must have len(xs): preds[k] receives the
+// scoring-subsample predictive mean at xs[k] in the model state just
+// before (xs[k], ys[k]) is absorbed — bit-identical to calling
+// PredictMeanFast(xs[k]) then Update(xs[k], ys[k]) per observation,
+// but fused into the weight pass's descent so callers pay no second
+// walk per particle.
+func (f *Forest) UpdateRound(xs [][]float64, ys []float64, preds []float64) {
+	if len(xs) != len(ys) {
+		panic("dynatree: UpdateRound length mismatch")
+	}
+	if preds != nil && len(preds) != len(xs) {
+		panic("dynatree: UpdateRound preds length mismatch")
+	}
+	for _, y := range ys {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			panic("dynatree: non-finite target")
+		}
+	}
+	base := len(f.points)
+	for k := range xs {
+		f.appendPoint(xs[k], ys[k])
+	}
+	// One table extension covers the whole round: entries are pure
+	// functions of the integer key, so extending earlier than the
+	// serial loop would have is value-identical.
+	f.tabs.extend(len(f.points) + 1)
+	for k := range xs {
+		idx := base + k
+		pred := f.updateObs(idx, f.points[idx].x, ys[k], preds != nil)
+		if preds != nil {
+			preds[k] = pred
+		}
+	}
+}
+
+// appendPoint interns a copy of x in the forest-owned feature arena
+// (amortising away the per-observation xcopy allocation) and appends
+// the observation, returning its index.
+func (f *Forest) appendPoint(x []float64, y float64) int {
+	n := len(f.xArena)
+	f.xArena = append(f.xArena, x...)
+	xc := f.xArena[n : n+len(x) : n+len(x)]
+	f.points = append(f.points, point{x: xc, y: y})
+	return len(f.points) - 1
+}
+
+// updateObs runs one observation through the update pipeline: sharded
+// weight pass over the fused root→leaf descents, systematic resample,
+// then the two-phase propagate. x must be the interned f.points[idx].x
+// (propagation references it beyond this call via the point index).
+// When wantPred is true it returns the scoring-subsample predictive
+// mean at x in the pre-update state, fused into the weight pass; NaN
+// otherwise.
+func (f *Forest) updateObs(idx int, x []float64, y float64, wantPred bool) float64 {
+	pred := math.NaN()
+	f.ensurePropScratch()
+	t0 := time.Now() //alic:allow detfloat wall-clock phase accounting only; durations never feed model arithmetic
+	// Step 1: importance weights = posterior predictive density at the
+	// new observation. Each particle's weight is independent and —
+	// after pre-warming any lazily-cached linear-leaf posteriors, which
+	// copy-on-write particles may share — read-only, so the loop shards
+	// across the scoring pool. The descent is recorded per slot and
+	// reused by propagate (fused descent: one walk, not two).
+	if idx >= 1 { // with a single point all weights are equal
+		f.warmLin()
+		linear := f.cfg.LeafModel == LinearLeaf
+		if linear {
+			f.ensureShardXa()
+		}
+		f.waShard.Store(0)
+		parallelFor(f.workers(), len(f.roots), func(start, end int) {
+			var xa []float64
+			if linear {
+				if si := int(f.waShard.Add(1)) - 1; si < len(f.shardXa) {
+					xa = f.shardXa[si]
+				} else {
+					xa = make([]float64, linScratchLen(f.dim))
+				}
+			}
+			for i := start; i < end; i++ {
+				leaf := f.descendRecord(i, x)
+				f.logW[i] = f.leafLogPredDensity(leaf, x, y, xa)
+				if wantPred && f.isScore[i] {
+					loc, _ := f.leafPredict(leaf, x, xa)
+					f.predBuf[i] = loc
+				}
+			}
+		})
+		if wantPred {
+			sum := 0.0
+			for _, s := range f.scoreSlots {
+				sum += f.predBuf[s]
+			}
+			pred = sum / float64(len(f.scoreSlots))
+		}
+		f.chainPerm = f.resample()
+	} else {
+		if wantPred {
+			pred = f.predictMeanSlots(f.scoreSlots, x, f.augBuf)
+		}
+		// No weight pass to fuse with: record the descents serially so
+		// propagate's sharded phase never walks a tree itself. Before
+		// the first observation every tree is a single root leaf, so
+		// this is O(particles).
+		for i := range f.roots {
+			f.descendRecord(i, x)
+		}
+		f.chainPerm = nil
+	}
+	t1 := time.Now() //alic:allow detfloat wall-clock phase accounting only; durations never feed model arithmetic
+	f.weightNS += t1.Sub(t0).Nanoseconds()
+
+	// Step 2: propagate every particle with a local tree move, then
+	// insert the point.
+	f.propagateAll(idx, x, y)
+	f.maybeCompact()
+	t2 := time.Now() //alic:allow detfloat wall-clock phase accounting only; durations never feed model arithmetic
+	f.propNS += t2.Sub(t1).Nanoseconds()
+	return pred
+}
+
+// descendRecord descends slot i's tree to the leaf containing x,
+// recording the root→leaf chain (leaf last) in f.chains[i], and
+// returns the leaf. Safe to call from disjoint shards: every write is
+// slot-indexed. Steady-state allocation-free: the chain appends into
+// the slot's retained scratch, which stops growing once it has seen
+// the cloud's deepest tree.
+//
+//alic:noalloc
+func (f *Forest) descendRecord(i int, x []float64) int32 {
+	dim, cut, left, right := f.ar.dim, f.ar.cut, f.ar.left, f.ar.right
+	chain := f.chains[i][:0]
+	cur := f.roots[i]
+	for left[cur] >= 0 {
+		chain = append(chain, cur)
+		if x[dim[cur]] < cut[cur] {
+			cur = left[cur]
+		} else {
+			cur = right[cur]
+		}
+	}
+	chain = append(chain, cur)
+	f.chains[i] = chain
+	return cur
+}
+
+// ensurePropScratch sizes the per-slot update scratch once per
+// particle-cloud size (fixed after New).
+func (f *Forest) ensurePropScratch() {
+	n := len(f.roots)
+	if len(f.chains) == n {
+		return
+	}
+	f.chains = make([][]int32, n)
+	f.prop = make([]propState, n)
+	for i := range f.prop {
+		f.prop[i].splitDims = make([]int32, 0, f.dim)
+		f.prop[i].splitLo = make([]float64, f.dim)
+		f.prop[i].splitHi = make([]float64, f.dim)
+	}
+	f.headBuf = make([]int32, n)
+	f.predBuf = make([]float64, n)
+	f.isScore = make([]bool, n)
+	for _, s := range f.scoreSlots {
+		f.isScore[s] = true
+	}
+}
+
+// ensureShardXa sizes the per-shard linear-leaf scratch handed out to
+// weight-pass shards (one slice per possible shard, so the sharded
+// pass allocates nothing in steady state).
+func (f *Forest) ensureShardXa() {
+	w := f.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(f.roots) {
+		w = len(f.roots)
+	}
+	for len(f.shardXa) < w {
+		f.shardXa = append(f.shardXa, make([]float64, linScratchLen(f.dim)))
 	}
 }
 
 // resample replaces the particle cloud with a systematic resample
 // proportional to exp(logW). Duplicated particles share their tree
 // (the copy-on-write propagate clones only written paths), so a
-// resample is O(N) regardless of tree sizes.
-func (f *Forest) resample() {
+// resample is O(N) regardless of tree sizes. Returns the slot
+// permutation (new slot → surviving source slot, non-decreasing), or
+// nil when the cloud is unchanged — degenerate weights, or a resample
+// in which every particle survived exactly once (the permutation is
+// the identity, so root copying, shared marking and cache remapping
+// are all no-ops and are skipped).
+func (f *Forest) resample() []int32 {
 	n := len(f.roots)
 	maxW := math.Inf(-1)
 	for _, lw := range f.logW {
@@ -386,7 +660,7 @@ func (f *Forest) resample() {
 		}
 	}
 	if math.IsInf(maxW, -1) || math.IsNaN(maxW) {
-		return // degenerate weights: keep the cloud as-is
+		return nil // degenerate weights: keep the cloud as-is
 	}
 	if cap(f.wBuf) < n {
 		f.wBuf = make([]float64, n)
@@ -398,7 +672,7 @@ func (f *Forest) resample() {
 		total += w[i]
 	}
 	if total <= 0 || math.IsNaN(total) {
-		return
+		return nil
 	}
 	// Systematic resampling.
 	u := f.r.Float64() / float64(n)
@@ -419,6 +693,16 @@ func (f *Forest) resample() {
 		}
 		counts[j]++
 	}
+	identity := true
+	for _, c := range counts {
+		if c != 1 {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return nil
+	}
 	out := f.outBuf[:0]
 	src := f.srcBuf[:0]
 	for i, c := range counts {
@@ -438,6 +722,7 @@ func (f *Forest) resample() {
 	if f.cache != nil {
 		f.cache.remap(src)
 	}
+	return src
 }
 
 // moveStay etc. label the particle moves for diagnostics.
@@ -447,79 +732,183 @@ const (
 	moveGrow
 )
 
-// propagate applies one stochastic stay/prune/grow move to the leaf of
-// slot's tree containing x and inserts point idx. The move decision is
-// computed read-only against the (possibly shared) current tree; only
-// the chosen move's write path is made writable, cloning shared nodes
-// copy-on-write — O(depth) cloned nodes per update for a freshly
-// duplicated particle, zero for an exclusively-owned one.
-func (f *Forest) propagate(slot int, idx int, x []float64, y float64) {
+// propagateAll applies one stochastic stay/prune/grow move per
+// particle for observation idx, in two phases. Phase A (sharded
+// across the workpool) computes every slot's move weights read-only —
+// leaf statistics with the point folded in, prune merges, grow
+// eligibility and cached split ranges — into per-slot propState
+// scratch; it consumes no randomness and every write is slot-indexed,
+// so results are bit-identical at every worker count. Phase B walks
+// the slots serially in order, drawing the grow proposal and the move
+// choice from the single rng stream and committing arena mutations —
+// exactly the draw sequence and float-operation order of the old
+// serial loop, because move weights never depended on earlier slots'
+// commits (a slot's tree nodes are never mutated in place by another
+// slot: in-place writes require exclusive ownership).
+//
+// Slots that inherited the same tree from the resample are contiguous
+// (the source permutation is non-decreasing) and share one phase-A
+// computation via headBuf — constant leaves only, since linear
+// payloads are per-slot objects that must not alias.
+func (f *Forest) propagateAll(idx int, x []float64, y float64) {
 	ar := &f.ar
-
-	// Descend to the leaf containing x, recording the chain root → leaf.
-	chain := f.pathBuf[:0]
-	cur := f.roots[slot]
-	for ar.left[cur] >= 0 {
-		chain = append(chain, cur)
-		if x[ar.dim[cur]] < ar.cut[cur] {
-			cur = ar.left[cur]
-		} else {
-			cur = ar.right[cur]
+	n := len(f.roots)
+	perm := f.chainPerm
+	// Every depth the sharded phase can read must be memoised first:
+	// chain ends bound leaf depth, parents and siblings are shallower,
+	// grow children one deeper.
+	maxD := 0
+	for i := 0; i < n; i++ {
+		ci := i
+		if perm != nil {
+			ci = int(perm[i])
+		}
+		chain := f.chains[ci]
+		if d := int(ar.depth[chain[len(chain)-1]]); d > maxD {
+			maxD = d
 		}
 	}
-	leaf := cur
-	chain = append(chain, leaf)
-	f.pathBuf = chain
+	f.ensureSplitTab(maxD + 1)
+
+	head := f.headBuf[:n]
+	share := f.cfg.LeafModel != LinearLeaf && perm != nil
+	for i := 0; i < n; i++ {
+		if share && i > 0 && perm[i] == perm[i-1] {
+			head[i] = head[i-1]
+		} else {
+			head[i] = int32(i)
+		}
+	}
+
+	// Phase A: read-only move weights, sharded.
+	parallelFor(f.workers(), n, func(start, end int) {
+		for i := start; i < end; i++ {
+			if int(head[i]) == i {
+				f.propPrepare(i, x, y)
+			}
+		}
+	})
+
+	// Phase B: serial draws and commits, in slot order.
+	for i := 0; i < n; i++ {
+		f.propCommit(i, int(head[i]), idx, x, y)
+	}
+}
+
+// propPrepare computes slot i's move weights into f.prop[i]. Read-only
+// against the arena (shared linear-leaf posteriors are pre-warmed by
+// warmLin, so nodeML's lazy ensure never writes a shared object) and
+// rng-free; all writes are slot-indexed scratch.
+func (f *Forest) propPrepare(i int, x []float64, y float64) {
+	ar := &f.ar
+	p := &f.prop[i]
+	ci := i
+	if f.chainPerm != nil {
+		ci = int(f.chainPerm[i])
+	}
+	chain := f.chains[ci]
+	leaf := chain[len(chain)-1]
 	parent := int32(-1)
 	if len(chain) > 1 {
 		parent = chain[len(chain)-2]
 	}
+	p.leaf, p.parent = leaf, parent
 
 	// Sufficient statistics of the leaf with the new point included.
 	sNew := ar.s[leaf]
 	sNew.add(y)
+	p.sNew = sNew
 	var linNew *linSuff
 	if f.cfg.LeafModel == LinearLeaf {
 		linNew = ar.lin[leaf].clone()
 		linNew.add(x, y)
 	}
-
-	// --- Candidate move weights (log space) -----------------------------
-	logw := f.logwBuf[:0]
-	moves := f.movesBuf[:0]
+	p.linNew = linNew
 
 	// Stay: leaf keeps its data plus the new point.
-	stayLW := f.log1mSplit(int(ar.depth[leaf])) + f.nodeML(sNew, linNew)
-	logw = append(logw, stayLW)
-	moves = append(moves, moveStay)
+	p.stayLW = f.log1mSplitTab[ar.depth[leaf]] + f.nodeML(sNew, linNew)
 
 	// Prune: allowed when the leaf has a parent whose other child is
 	// also a leaf; the parent collapses into a single leaf.
-	sib := int32(-1)
-	var mergedLin *linSuff
+	p.canPrune = false
+	p.sib = -1
+	p.mergedLin = nil
 	if parent >= 0 {
-		sib = ar.left[parent]
+		sib := ar.left[parent]
 		if sib == leaf {
 			sib = ar.right[parent]
 		}
 		if ar.left[sib] < 0 {
+			p.canPrune = true
+			p.sib = sib
 			merged := sNew.merge(ar.s[sib])
+			p.merged = merged
 			if f.cfg.LeafModel == LinearLeaf {
-				mergedLin = linNew.merge(ar.lin[sib])
+				p.mergedLin = linNew.merge(ar.lin[sib])
 			}
 			// Compare subtrees rooted at the parent. The pruned tree
 			// contributes (1-p_split(parent)) * ML(merged); the kept
 			// tree contributes p_split(parent) * (1-p_split(leaf)) *
 			// ML(leaf+new) * (1-p_split(sib)) * ML(sib). The stay
-			// weight above lacks the parent-level factors, so add them
-			// here to put all three moves on the parent's footing.
-			parentSplitLW := f.logSplit(int(ar.depth[parent])) +
-				f.log1mSplit(int(ar.depth[sib])) + f.nodeML(ar.s[sib], ar.lin[sib])
-			logw[0] += parentSplitLW
-			pruneLW := f.log1mSplit(int(ar.depth[parent])) + f.nodeML(merged, mergedLin)
-			logw = append(logw, pruneLW)
-			moves = append(moves, movePrune)
+			// weight above lacks the parent-level factors, so phase B
+			// adds footLW to put all three moves on the parent's
+			// footing.
+			p.footLW = f.logSplitTab[ar.depth[parent]] +
+				f.log1mSplitTab[ar.depth[sib]] + f.nodeML(ar.s[sib], ar.lin[sib])
+			p.pruneLW = f.log1mSplitTab[ar.depth[parent]] + f.nodeML(merged, p.mergedLin)
 		}
+	}
+
+	// Grow eligibility and split ranges: the cached per-leaf bounds
+	// widened by x reproduce proposeSplit's point scan bit-for-bit
+	// (min/max are order-independent selections), at O(featDim) instead
+	// of O(points × featDim). Splittable dimensions are collected in
+	// ascending order, matching the scan.
+	p.growEligible = false
+	if ar.s[leaf].n+1 >= f.cfg.MinLeafForSplit {
+		alo, ahi := ar.rangeLo(leaf), ar.rangeHi(leaf)
+		lo, hi := p.splitLo, p.splitHi
+		dims := p.splitDims[:0]
+		for j := 0; j < f.dim; j++ {
+			l, h := alo[j], ahi[j]
+			if v := x[j]; v < l {
+				l = v
+			}
+			if v := x[j]; v > h {
+				h = v
+			}
+			lo[j], hi[j] = l, h
+			if h > l {
+				dims = append(dims, int32(j))
+			}
+		}
+		p.splitDims = dims
+		p.growEligible = len(dims) > 0
+	}
+}
+
+// propCommit assembles slot's move distribution from the prepared
+// phase-A state at h (its dup-group head), draws the grow proposal and
+// move choice from the single rng stream, and commits the chosen move
+// — the write side of the old serial propagate, unchanged.
+func (f *Forest) propCommit(slot, h, idx int, x []float64, y float64) {
+	ar := &f.ar
+	p := &f.prop[h]
+	ci := slot
+	if f.chainPerm != nil {
+		ci = int(f.chainPerm[slot])
+	}
+	chain := f.chains[ci]
+	leaf, sib := p.leaf, p.sib
+
+	logw := f.logwBuf[:0]
+	moves := f.movesBuf[:0]
+	logw = append(logw, p.stayLW)
+	moves = append(moves, moveStay)
+	if p.canPrune {
+		logw[0] += p.footLW
+		logw = append(logw, p.pruneLW)
+		moves = append(moves, movePrune)
 	}
 
 	// Grow: propose one split of the leaf (with the new point included)
@@ -528,12 +917,9 @@ func (f *Forest) propagate(slot int, idx int, x []float64, y float64) {
 	// grow move is actually chosen.
 	var growDim int
 	var growCut float64
-	if ar.s[leaf].n+1 >= f.cfg.MinLeafForSplit {
-		ptsPlus := append(f.ptsBuf[:0], ar.pts[leaf]...)
-		ptsPlus = append(ptsPlus, idx)
-		f.ptsBuf = ptsPlus
-		if dim, cut, ok := proposeSplit(ptsPlus, f.points, f.r); ok {
-			partitionLeaf(ptsPlus, f.points, dim, cut, &f.growL, &f.growR)
+	if p.growEligible {
+		if dim, cut, ok := proposeSplitRanged(p.splitDims, p.splitLo, p.splitHi, f.r); ok {
+			partitionLeaf(ar.pts[leaf], idx, f.points, dim, cut, &f.growL, &f.growR)
 			if f.cfg.LeafModel == LinearLeaf {
 				f.attachLin(&f.growL)
 				f.attachLin(&f.growR)
@@ -543,9 +929,8 @@ func (f *Forest) propagate(slot int, idx int, x []float64, y float64) {
 				f.log1mSplit(childDepth) + f.nodeML(f.growL.s, f.growL.lin) +
 				f.log1mSplit(childDepth) + f.nodeML(f.growR.s, f.growR.lin)
 			// Match the parent-level footing if prune is on the table.
-			if len(moves) == 2 {
-				growLW += f.logSplit(int(ar.depth[parent])) +
-					f.log1mSplit(int(ar.depth[sib])) + f.nodeML(ar.s[sib], ar.lin[sib])
+			if p.canPrune {
+				growLW += p.footLW
 			}
 			logw = append(logw, growLW)
 			moves = append(moves, moveGrow)
@@ -563,26 +948,32 @@ func (f *Forest) propagate(slot int, idx int, x []float64, y float64) {
 	case moveStay:
 		target := f.makeWritable(slot, chain)
 		f.ar.pts[target] = append(f.ar.pts[target], idx)
-		f.ar.s[target] = sNew
-		f.ar.lin[target] = linNew
+		f.ar.s[target] = p.sNew
+		f.ar.lin[target] = p.linNew
+		f.ar.foldRange(target, x)
 
 	case movePrune:
 		// Parent becomes a leaf holding both children's points plus the
 		// new one; routes cached at either child redirect to it.
-		p := f.makeWritable(slot, chain[:len(chain)-1])
-		f.supersede(slot, leaf, p)
-		f.supersede(slot, sib, p)
-		merged := sNew.merge(f.ar.s[sib])
+		pn := f.makeWritable(slot, chain[:len(chain)-1])
+		f.supersede(slot, leaf, pn)
+		f.supersede(slot, sib, pn)
 		pts := make([]int, 0, len(f.ar.pts[leaf])+len(f.ar.pts[sib])+1)
 		pts = append(pts, f.ar.pts[leaf]...)
 		pts = append(pts, f.ar.pts[sib]...)
 		pts = append(pts, idx)
-		f.ar.left[p], f.ar.right[p] = -1, -1
-		f.ar.pts[p] = pts
-		f.ar.s[p] = merged
-		f.ar.lin[p] = mergedLin
+		f.ar.mergeRange(pn, leaf, sib)
+		f.ar.foldRange(pn, x)
+		f.ar.left[pn], f.ar.right[pn] = -1, -1
+		f.ar.pts[pn] = pts
+		f.ar.s[pn] = p.merged
+		f.ar.lin[pn] = p.mergedLin
 
 	case moveGrow:
+		// An in-place grow (target == leaf) records no redirect: the
+		// leaf id stays in the tree as an interior node, and cached
+		// routes through it stay valid — ensureRouted resumes the
+		// descent from the node when it finds it interior.
 		target := f.makeWritable(slot, chain)
 		l := f.materializeChild(&f.growL, f.ar.depth[target]+1)
 		r := f.materializeChild(&f.growR, f.ar.depth[target]+1)
@@ -596,13 +987,18 @@ func (f *Forest) propagate(slot int, idx int, x []float64, y float64) {
 }
 
 // materializeChild turns a grow-proposal scratch child into an arena
-// leaf, adopting the proposal's freshly-built linear statistics.
+// leaf, adopting the proposal's freshly-built linear statistics and
+// computing the child's feature bounds from its point set (accepted
+// grows only, so rejected proposals never pay the scan).
 func (f *Forest) materializeChild(c *childScratch, depth int32) int32 {
 	id := f.ar.newLeaf(depth)
 	f.ar.pts[id] = append([]int(nil), c.pts...)
 	f.ar.s[id] = c.s
 	f.ar.lin[id] = c.lin
 	c.lin = nil
+	for _, idx := range c.pts {
+		f.ar.foldRange(id, f.points[idx].x)
+	}
 	return id
 }
 
@@ -708,13 +1104,14 @@ func (f *Forest) supersede(slot int, old, nu int32) {
 // maybeCompact rebuilds the arena when superseded path copies and
 // dead particles outgrow the live trees. Compaction preserves
 // structural sharing (and recomputes exact shared flags) and renames
-// every node id; the routing cache rides along through the rename
-// map (routeCache.translate), so cached routes survive compaction.
-// Renaming is observationally invisible (descents follow structure,
-// scoring kernels use ids only to group identical leaves, no
-// randomness is consumed), so the threshold is a pure space/time
-// knob: with a bound pool the arena is let grow further, because
-// every compaction pays a translate pass over all slabs.
+// every node id; the routing cache invalidates itself wholesale
+// (routeCache.translate) and rematerialises scored slabs by batch
+// partition descent on their next use. Renaming is observationally
+// invisible (descents follow structure, scoring kernels use ids only
+// to group identical leaves, no randomness is consumed), so the
+// threshold is a pure space/time knob: with a bound pool the arena is
+// let grow further, because every compaction costs the cache a
+// whole-pool re-route per scored slab.
 func (f *Forest) maybeCompact() {
 	if f.ar.len() > f.compactAt() || (f.cache != nil && f.cache.wantCompact) {
 		f.compact()
@@ -725,20 +1122,28 @@ func (f *Forest) maybeCompact() {
 func (f *Forest) compactAt() int {
 	mult := 8
 	if f.cache != nil {
-		// With a bound pool every compaction also pays a translate
-		// pass over the slabs, so the arena is let grow further; the
-		// routing cache requests a compaction itself (wantCompact)
-		// when its redirect logs need truncating.
+		// With a bound pool every compaction also costs the routing
+		// cache a whole-pool re-route per scored slab, so the arena is
+		// let grow further; the cache requests a compaction itself
+		// (wantCompact) when its redirect logs need truncating.
 		mult = 32
 	}
 	return mult*f.lastLive + 1024
 }
 
 func (f *Forest) compact() {
-	old := &f.ar
+	old := f.ar
 	oldLen := old.len()
-	var na nodes
-	remap := make([]int32, oldLen)
+	// The previous generation's backing arrays (retired by the last
+	// compaction) become this compaction's target arena, and the rename
+	// map reuses its buffer, so steady-state compactions allocate only
+	// when the live set outgrows every earlier generation.
+	na := f.spare
+	na.truncate(old.featDim)
+	if cap(f.remapBuf) < oldLen {
+		f.remapBuf = make([]int32, oldLen)
+	}
+	remap := f.remapBuf[:oldLen]
 	for i := range remap {
 		remap[i] = -1
 	}
@@ -755,6 +1160,8 @@ func (f *Forest) compact() {
 		na.pts[nid] = old.pts[id]
 		na.s[nid] = old.s[id]
 		na.lin[nid] = old.lin[id]
+		copy(na.rangeLo(nid), old.rangeLo(id))
+		copy(na.rangeHi(nid), old.rangeHi(id))
 		if old.left[id] >= 0 {
 			l := clone(old.left[id])
 			r := clone(old.right[id])
@@ -767,13 +1174,33 @@ func (f *Forest) compact() {
 		f.roots[i] = clone(root)
 	}
 	f.ar = na
+	// Retire the old arena as the next compaction's target. Its point
+	// lists and linear payloads are shared with the live arena; clear
+	// the retired slice elements so the only references left are the
+	// live ones.
+	for i := range old.pts {
+		old.pts[i] = nil
+	}
+	for i := range old.lin {
+		old.lin[i] = nil
+	}
+	f.spare = old
 	f.lastLive = na.len()
 	// One reallocation out to the next compaction trigger keeps every
 	// newLeaf/copyNode append between compactions growslice-free.
 	f.ar.reserve(f.compactAt())
 	if f.cache != nil {
-		f.cache.translate(remap, oldLen)
+		f.cache.translate()
 	}
+}
+
+// PhaseTimes reports cumulative wall clock spent in the update path's
+// two phases since construction: the weight pass (fused descent +
+// reweighting + resampling) and propagation (move weights, commits,
+// compaction). Purely observational — the timings never feed any
+// model arithmetic.
+func (f *Forest) PhaseTimes() (weight, propagate time.Duration) {
+	return time.Duration(f.weightNS), time.Duration(f.propNS)
 }
 
 // sampleLog samples an index proportionally to exp(logw).

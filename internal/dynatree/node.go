@@ -2,6 +2,8 @@
 package dynatree
 
 import (
+	"math"
+
 	"alic/internal/rng"
 )
 
@@ -46,9 +48,34 @@ type nodes struct {
 	pts []([]int)
 	s   []suff
 	lin []*linSuff
+
+	// Per-leaf feature bounds in flat stride-featDim blocks:
+	// rlo[id*featDim+j] / rhi[id*featDim+j] are the observed min/max of
+	// feature j over the leaf's points (+Inf/-Inf for an empty leaf).
+	// Maintained incrementally on every insert/prune/grow so grow
+	// proposals read O(featDim) cached bounds instead of rescanning the
+	// leaf's points. Min/max are selection operations, so the cached
+	// bounds are bit-identical to a fresh scan regardless of insertion
+	// order. Interior nodes keep whatever block they had as leaves; it
+	// is never read (prune recomputes the collapsed parent's block from
+	// its children's blocks).
+	featDim int
+	rlo     []float64
+	rhi     []float64
 }
 
 func (a *nodes) len() int { return len(a.left) }
+
+// truncate empties the arena in place, keeping the backing arrays so
+// a recycled arena (compaction's generation flip) refills them
+// without reallocating.
+func (a *nodes) truncate(featDim int) {
+	a.depth, a.dim, a.cut = a.depth[:0], a.dim[:0], a.cut[:0]
+	a.left, a.right, a.shared = a.left[:0], a.right[:0], a.shared[:0]
+	a.pts, a.s, a.lin = a.pts[:0], a.s[:0], a.lin[:0]
+	a.rlo, a.rhi = a.rlo[:0], a.rhi[:0]
+	a.featDim = featDim
+}
 
 // reserve grows every arena array's capacity to at least n in one
 // reallocation, so the append-per-field hot paths (newLeaf, copyNode)
@@ -69,6 +96,8 @@ func (a *nodes) reserve(n int) {
 	a.pts = append(make([]([]int), 0, n), a.pts[:l]...)
 	a.s = append(make([]suff, 0, n), a.s[:l]...)
 	a.lin = append(make([]*linSuff, 0, n), a.lin[:l]...)
+	a.rlo = append(make([]float64, 0, n*a.featDim), a.rlo[:l*a.featDim]...)
+	a.rhi = append(make([]float64, 0, n*a.featDim), a.rhi[:l*a.featDim]...)
 }
 
 // newLeaf appends a fresh leaf at the given depth and returns its id.
@@ -83,7 +112,49 @@ func (a *nodes) newLeaf(depth int32) int32 {
 	a.pts = append(a.pts, nil)
 	a.s = append(a.s, suff{})
 	a.lin = append(a.lin, nil)
+	for j := 0; j < a.featDim; j++ {
+		a.rlo = append(a.rlo, math.Inf(1))
+		a.rhi = append(a.rhi, math.Inf(-1))
+	}
 	return id
+}
+
+// rangeLo / rangeHi return node id's per-dimension bound block.
+func (a *nodes) rangeLo(id int32) []float64 {
+	return a.rlo[int(id)*a.featDim : (int(id)+1)*a.featDim]
+}
+
+func (a *nodes) rangeHi(id int32) []float64 {
+	return a.rhi[int(id)*a.featDim : (int(id)+1)*a.featDim]
+}
+
+// foldRange widens node id's bounds to cover x.
+func (a *nodes) foldRange(id int32, x []float64) {
+	lo, hi := a.rangeLo(id), a.rangeHi(id)
+	for j, v := range x {
+		if v < lo[j] {
+			lo[j] = v
+		}
+		if v > hi[j] {
+			hi[j] = v
+		}
+	}
+}
+
+// mergeRange sets node id's bounds to the union of nodes l and r's.
+func (a *nodes) mergeRange(id, l, r int32) {
+	lo, hi := a.rangeLo(id), a.rangeHi(id)
+	llo, lhi := a.rangeLo(l), a.rangeHi(l)
+	rlo, rhi := a.rangeLo(r), a.rangeHi(r)
+	for j := range lo {
+		lo[j], hi[j] = llo[j], lhi[j]
+		if rlo[j] < lo[j] {
+			lo[j] = rlo[j]
+		}
+		if rhi[j] > hi[j] {
+			hi[j] = rhi[j]
+		}
+	}
 }
 
 // copyNode appends a fresh copy of src for a copy-on-write path clone
@@ -95,14 +166,21 @@ func (a *nodes) newLeaf(depth int32) int32 {
 // mutation path installs a freshly built linSuff rather than writing
 // through the old one.
 func (a *nodes) copyNode(src int32) int32 {
-	id := a.newLeaf(a.depth[src])
-	a.dim[id] = a.dim[src]
-	a.cut[id] = a.cut[src]
-	a.left[id] = a.left[src]
-	a.right[id] = a.right[src]
-	a.pts[id] = a.pts[src][:len(a.pts[src]):len(a.pts[src])]
-	a.s[id] = a.s[src]
-	a.lin[id] = a.lin[src]
+	// Direct appends rather than newLeaf + field overwrites: the copy
+	// path is the hottest arena producer (every COW path copy), and
+	// newLeaf would write defaults only to overwrite every one of them.
+	id := int32(len(a.left))
+	a.depth = append(a.depth, a.depth[src])
+	a.dim = append(a.dim, a.dim[src])
+	a.cut = append(a.cut, a.cut[src])
+	a.left = append(a.left, a.left[src])
+	a.right = append(a.right, a.right[src])
+	a.shared = append(a.shared, false)
+	a.pts = append(a.pts, a.pts[src][:len(a.pts[src]):len(a.pts[src])])
+	a.s = append(a.s, a.s[src])
+	a.lin = append(a.lin, a.lin[src])
+	a.rlo = append(a.rlo, a.rlo[int(src)*a.featDim:(int(src)+1)*a.featDim]...)
+	a.rhi = append(a.rhi, a.rhi[int(src)*a.featDim:(int(src)+1)*a.featDim]...)
 	return id
 }
 
@@ -120,11 +198,14 @@ func (c *childScratch) reset() {
 	c.lin = nil
 }
 
-// partitionLeaf splits leafPts by x[dim] < cut into l and r without
-// touching the arena, mirroring the two children a grow move would
-// create (point order, and therefore the sufficient-statistic
-// accumulation order, follows leafPts).
-func partitionLeaf(leafPts []int, points []point, dim int, cut float64, l, r *childScratch) {
+// partitionLeaf splits leafPts (plus the optional extra point index,
+// folded last; pass extra < 0 for none) by x[dim] < cut into l and r
+// without touching the arena, mirroring the two children a grow move
+// would create (point order, and therefore the sufficient-statistic
+// accumulation order, follows leafPts then extra — exactly the order
+// of the leaf's list with the in-flight point appended, without
+// materialising that appended list).
+func partitionLeaf(leafPts []int, extra int, points []point, dim int, cut float64, l, r *childScratch) {
 	l.reset()
 	r.reset()
 	for _, idx := range leafPts {
@@ -134,6 +215,15 @@ func partitionLeaf(leafPts []int, points []point, dim int, cut float64, l, r *ch
 		} else {
 			r.pts = append(r.pts, idx)
 			r.s.add(points[idx].y)
+		}
+	}
+	if extra >= 0 {
+		if points[extra].x[dim] < cut {
+			l.pts = append(l.pts, extra)
+			l.s.add(points[extra].y)
+		} else {
+			r.pts = append(r.pts, extra)
+			r.s.add(points[extra].y)
 		}
 	}
 }
@@ -183,6 +273,31 @@ func proposeSplit(leafPts []int, points []point, r *rng.Stream) (dim int, cut fl
 	for i := 0; i < 8; i++ {
 		cut = lo + r.Float64()*(hi-lo)
 		if cut > lo && cut < hi {
+			return dim, cut, true
+		}
+	}
+	// Degenerate floating-point range.
+	return 0, 0, false
+}
+
+// proposeSplitRanged is proposeSplit fed by precomputed per-dimension
+// bounds instead of a point scan: dims lists the splittable dimensions
+// (hi[j] > lo[j]) in ascending order, lo/hi are full featDim-wide
+// bound arrays covering the leaf's points plus the in-flight one. The
+// rng draw sequence — one Intn over the splittable count, then up to
+// eight cut draws — is exactly proposeSplit's, so the two are
+// bit-interchangeable (pinned by TestProposeSplitRangedMatchesScan).
+// The caller guarantees len(dims) > 0.
+//
+//alic:noalloc
+func proposeSplitRanged(dims []int32, lo, hi []float64, r *rng.Stream) (dim int, cut float64, ok bool) {
+	dim = int(dims[r.Intn(len(dims))])
+	l, h := lo[dim], hi[dim]
+	// Uniform cut strictly inside (l, h): both extremes end up on
+	// opposite sides, so neither child is empty.
+	for i := 0; i < 8; i++ {
+		cut = l + r.Float64()*(h-l)
+		if cut > l && cut < h {
 			return dim, cut, true
 		}
 	}

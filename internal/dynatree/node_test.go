@@ -145,7 +145,7 @@ func TestProposeSplitSeparatesChildren(t *testing.T) {
 		if dim != 0 {
 			t.Fatalf("dim 1 is constant; proposed dim %d", dim)
 		}
-		partitionLeaf(leafPts, pts, dim, cut, &l, &rr)
+		partitionLeaf(leafPts, -1, pts, dim, cut, &l, &rr)
 		if l.s.n == 0 || rr.s.n == 0 {
 			t.Fatalf("empty child with cut %v", cut)
 		}
@@ -169,6 +169,69 @@ func TestProposeSplitSinglePoint(t *testing.T) {
 	pts := mkPoints([][]float64{{1}}, []float64{1})
 	if _, _, ok := proposeSplit([]int{0}, pts, r); ok {
 		t.Fatal("split proposed for single point")
+	}
+}
+
+// TestProposeSplitRangedMatchesScan pins the bit-interchangeability of
+// proposeSplitRanged with proposeSplit: fed the scan's own bounds and
+// twin rng streams, the two must return identical (dim, cut, ok) —
+// same Intn over the same splittable-dimension count, same cut-draw
+// loop — across point sets with constant dimensions, degenerate
+// ranges and everything in between.
+func TestProposeSplitRangedMatchesScan(t *testing.T) {
+	r1 := rng.New(77)
+	r2 := rng.New(77)
+	gen := rng.New(78)
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + gen.Intn(12)
+		d := 1 + gen.Intn(4)
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = make([]float64, d)
+			for j := range xs[i] {
+				// Coarse grid so constant dimensions actually occur.
+				xs[i][j] = float64(gen.Intn(4))
+			}
+			ys[i] = gen.Float64()
+		}
+		pts := mkPoints(xs, ys)
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		var dims []int32
+		for j := 0; j < d; j++ {
+			lo[j], hi[j] = xs[0][j], xs[0][j]
+			for i := 1; i < n; i++ {
+				if v := xs[i][j]; v < lo[j] {
+					lo[j] = v
+				}
+				if v := xs[i][j]; v > hi[j] {
+					hi[j] = v
+				}
+			}
+			if hi[j] > lo[j] {
+				dims = append(dims, int32(j))
+			}
+		}
+		wantDim, wantCut, wantOK := proposeSplit(idx, pts, r1)
+		if len(dims) == 0 {
+			// No splittable dimension: proposeSplit bails before any rng
+			// draw, and propPrepare never calls the ranged variant — the
+			// streams stay in lockstep for the next trial.
+			if wantOK {
+				t.Fatalf("trial %d: scan proposed a split with no splittable dimension", trial)
+			}
+			continue
+		}
+		gotDim, gotCut, gotOK := proposeSplitRanged(dims, lo, hi, r2)
+		if gotDim != wantDim || gotCut != wantCut || gotOK != wantOK {
+			t.Fatalf("trial %d: ranged (%d, %v, %v) != scan (%d, %v, %v)",
+				trial, gotDim, gotCut, gotOK, wantDim, wantCut, wantOK)
+		}
 	}
 }
 
@@ -196,7 +259,7 @@ func TestPartitionPreservesSuffStats(t *testing.T) {
 			return true
 		}
 		var l, rr childScratch
-		partitionLeaf(idx, pts, dim, cut, &l, &rr)
+		partitionLeaf(idx, -1, pts, dim, cut, &l, &rr)
 		m := l.s.merge(rr.s)
 		return m.n == whole.n &&
 			almostEq(m.sumY, whole.sumY) && almostEq(m.sumY2, whole.sumY2) &&

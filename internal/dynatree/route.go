@@ -58,10 +58,11 @@ import (
 // superseded later than the hop that produced it, and no cycle can
 // close. (Ids alone do not order a chain: a prune's redirect target
 // is the collapsed parent, an older id than the leaves it absorbs.)
-// Arena compaction renames every node id; the cache rides along by
-// applying every slot's pending redirects (while the old ids still
-// have meaning) and renaming the entries through the compaction's id
-// map, so even compaction costs the cache nothing
+// Arena compaction renames every node id; rather than renaming
+// cached entries through the compaction's id map, the cache drops
+// every slab and log and rebuilds scored slabs by batch partition
+// descent on next use — compactions are rare enough that a fresh
+// whole-pool route costs less than carrying stale history across
 // (routeCache.translate).
 
 // slab is one particle's cached route table over the bound pool.
@@ -118,6 +119,19 @@ type routeCache struct {
 	overTmp  []bool
 	maxPend  int
 
+	// sweptLog / sweptTotal memoise the pending-log identity each
+	// slot's repair sweep last saw. A log that has not grown between
+	// two sweeps belongs to a tree that is not being updated, so the
+	// second sweep folds it into the slab and truncates: a steady
+	// scoring loop (selects with no updates in between) reaches empty
+	// logs and skips the redirect machinery entirely, while
+	// mid-session sweeps — whose logs grow every round — keep the
+	// per-requested-id chases that touch only the rows asked for.
+	// Folding is unconditionally safe, so a coincidental match after
+	// a resample moves logs between slots merely folds early.
+	sweptLog   []*pendLog
+	sweptTotal []int
+
 	// wantCompact asks the forest for an arena compaction: some log
 	// passed maxPend/2, and compaction's translate pass is the natural
 	// point that folds and truncates every log. Keeping logs short this
@@ -152,6 +166,11 @@ type routeCache struct {
 	statResumes []uint64
 	statMisses  []uint64
 	statDone    []bool
+
+	// Partition-descent scratch for the serial whole-pool routing path
+	// (routePool); the parallel repair pass keeps per-shard equivalents.
+	batchIdx []int32
+	batchTmp []int32
 }
 
 // remap moves every slab — and its slot's pending retirements — with
@@ -208,56 +227,34 @@ func (c *routeCache) remap(src []int32) {
 	c.overflow, c.overTmp = c.overTmp, c.overflow
 }
 
-// translate carries every cached route across an arena compaction:
-// each slot's pending redirects are applied while the old node ids
-// still have meaning, then every entry is renamed through the
-// compaction's old→new id map. Shared slabs are privatised per slot
-// first, because their adopters' redirect histories may have
-// diverged. The invariant behind the rename: once a slot's redirects
-// are applied, every cached entry is a node of the slot's current
-// tree, and compaction clones exactly the current trees — so every
-// entry has a new name and routes survive compaction entirely.
-// Overflowed slots (redirect history dropped) cannot be renamed and
-// lose their slab instead, to be rematerialised by the next scoring
-// round.
-func (c *routeCache) translate(remap []int32, oldArenaLen int) {
+// translate carries the cache across an arena compaction by dropping
+// every slab and pending log wholesale. An earlier design renamed
+// each entry through the compaction's old→new id map, but that meant
+// privatising every shared slab (one copy per adopter slot — their
+// redirect histories had diverged) and folding every slot's pending
+// log first, and what it preserved was largely stale: slabs spend
+// most rounds attached to non-scoring slots where nothing repairs
+// them, so renamed entries were dominated by long-superseded routes
+// that forced root re-descents anyway. Rematerialising a scored
+// slot's slab is one partition descent over the pool (routePool) —
+// about the cost of the rename sweep it replaces — and hands back a
+// fully fresh slab. Compactions are rare (once per tens of rounds),
+// so the occasional whole-pool re-route is cheaper than keeping
+// rename machinery honest across fork-sharing logs.
+func (c *routeCache) translate() {
 	c.wantCompact = false
 	for slot := range c.slabs {
 		sl := c.slabs[slot]
 		if sl == nil {
 			continue
 		}
-		if c.overflow[slot] {
-			if sl.ref > 1 {
-				sl.ref--
-			} else {
-				c.free = append(c.free, sl)
-			}
-			c.slabs[slot] = nil
-			c.overflow[slot] = false
-			c.pending[slot] = nil
-			continue
-		}
 		if sl.ref > 1 {
-			sl = c.privatise(int32(slot), sl)
+			sl.ref--
+		} else {
+			c.free = append(c.free, sl)
 		}
-		// Fused pass: chase the slot's redirects and rename in one
-		// sweep over the slab.
-		sh := &c.serialFwd
-		gen := sh.load(c.pending[slot], oldArenaLen)
-		for row, nd := range sl.leaf {
-			if nd < 0 {
-				continue
-			}
-			if gen != 0 && sh.maybeHas(nd) && sh.mark[nd] == gen {
-				nd = sh.chase(nd, gen)
-			}
-			nu := remap[nd]
-			if nu < 0 {
-				panic("dynatree: cached route survived redirect application but not compaction")
-			}
-			sl.leaf[row] = nu
-		}
+		c.slabs[slot] = nil
+		c.overflow[slot] = false
 		c.pending[slot] = nil
 	}
 }
@@ -269,17 +266,30 @@ func (c *routeCache) translate(remap []int32, oldArenaLen int) {
 // test is negative, so the hot-path probe must not be a random access
 // into the arena-sized mark array.
 type fwdShard struct {
-	mark  []uint32
-	to    []int32
-	gen   uint32
-	bloom [fwdBloomWords]uint64
+	mark   []uint32
+	to     []int32
+	gen    uint32
+	chunks []*pendLog // load scratch: chunk chain, reversed to oldest-first
+	// Partition-descent scratch for batching a sweep's root re-descents
+	// (missPos holds the request positions that missed).
+	missPos []int32
+	idxBuf  []int32
+	tmpBuf  []int32
+	bloom   [fwdBloomWords]uint64
 }
 
-// fwdBloomWords sizes the per-shard bloom filter (× 64 bits).
-const fwdBloomWords = 64
+// fwdBloomWords sizes the per-shard bloom filter (× 64 bits). Sized so
+// steady-state logs (hundreds of redirect pairs between truncations)
+// keep the false-positive rate low: a false positive only costs the
+// exact mark probe, but that probe is a random access into an
+// arena-sized array — exactly what the filter exists to avoid.
+const fwdBloomWords = 128
 
 // load stamps a slot's pending redirects into this shard's scratch,
-// returning the generation (0 when nothing is pending).
+// returning the generation (0 when nothing is pending). Chunks are
+// stamped oldest-first so that when the same id was redirected twice —
+// a leaf grown in place (self-redirect) and later superseded by a path
+// copy — the later redirect wins.
 func (sh *fwdShard) load(log *pendLog, arenaLen int) uint32 {
 	if log == nil {
 		return 0
@@ -300,8 +310,14 @@ func (sh *fwdShard) load(log *pendLog, arenaLen int) uint32 {
 		sh.gen = 1
 	}
 	sh.bloom = [fwdBloomWords]uint64{}
-	gen := sh.gen
+	chunks := sh.chunks[:0]
 	for l := log; l != nil; l = l.parent {
+		chunks = append(chunks, l)
+	}
+	sh.chunks = chunks
+	gen := sh.gen
+	for ci := len(chunks) - 1; ci >= 0; ci-- {
+		l := chunks[ci]
 		for i := 0; i < len(l.ids); i += 2 {
 			id := l.ids[i]
 			sh.mark[id] = gen
@@ -324,15 +340,18 @@ func (sh *fwdShard) maybeHas(id int32) bool {
 
 // chase follows nd's redirect chain to its live end, path-compressing
 // so later rows sharing the chain chase once. The caller has already
-// established mark[nd] == gen.
+// established mark[nd] == gen. A chain may end in a self-redirect —
+// an in-place grow logs (leaf → leaf) so the routing cache knows the
+// node went interior — so both loops must treat to[end] == end as a
+// terminal, not follow it forever.
 //
 //alic:noalloc
 func (sh *fwdShard) chase(nd int32, gen uint32) int32 {
 	end := sh.to[nd]
-	for sh.mark[end] == gen {
+	for sh.mark[end] == gen && sh.to[end] != end {
 		end = sh.to[end]
 	}
-	for sh.mark[nd] == gen {
+	for sh.mark[nd] == gen && nd != end {
 		nd, sh.to[nd] = sh.to[nd], end
 	}
 	return end
@@ -401,6 +420,8 @@ func (f *Forest) BindPool(rows [][]float64) {
 		statResumes: make([]uint64, n),
 		statMisses:  make([]uint64, n),
 		statDone:    make([]bool, n),
+		sweptLog:    make([]*pendLog, n),
+		sweptTotal:  make([]int, n),
 	}
 	// One slab per distinct root — slots duplicated by resampling
 	// share trees and therefore routes — routed in parallel, then
@@ -418,6 +439,15 @@ func (f *Forest) BindPool(rows [][]float64) {
 		for i := start; i < end; i++ {
 			root := order[i]
 			sl := slabFor[root] // read-only map access across shards
+			if f.ar.left[root] < 0 {
+				// The tree is a single root leaf — the usual bind point,
+				// before the first update — so every row routes to it
+				// without a descent.
+				for row := range rows {
+					sl.leaf[row] = root
+				}
+				continue
+			}
 			for row, x := range rows {
 				sl.leaf[row] = f.leafOf(root, x)
 			}
@@ -431,6 +461,23 @@ func (f *Forest) BindPool(rows [][]float64) {
 	for _, sl := range f.cache.slabs {
 		sl.ref++
 	}
+}
+
+// routePool (re)routes a slot's entire slab from scratch through one
+// partition descent, charging the whole pool as misses.
+func (c *routeCache) routePool(f *Forest, slot int32, sl *slab) {
+	n := len(c.rows)
+	if cap(c.batchIdx) < n {
+		c.batchIdx = make([]int32, n)
+		c.batchTmp = make([]int32, n)
+	}
+	idx := c.batchIdx[:n]
+	for row := range idx {
+		idx[row] = int32(row)
+	}
+	f.leafOfBatch(f.roots[slot], c.rows, idx, c.batchTmp[:n], sl.leaf)
+	c.statMisses[slot] += uint64(n)
+	c.statDone[slot] = true // already charged: whole pool descended
 }
 
 // mustBound guards the indexed entry points.
@@ -504,11 +551,7 @@ func (f *Forest) ensureRoutedInto(ids []int, out []int32) {
 				panic("dynatree: pending redirects recorded for a slot with no slab")
 			}
 			sl = c.takeSlab()
-			for row, x := range c.rows {
-				sl.leaf[row] = f.leafOf(f.roots[slot], x)
-			}
-			c.statMisses[slot] += uint64(len(c.rows))
-			c.statDone[slot] = true // already charged: whole pool descended
+			c.routePool(f, slot, sl)
 			c.slabs[slot] = sl
 			continue
 		}
@@ -519,11 +562,7 @@ func (f *Forest) ensureRoutedInto(ids []int, out []int32) {
 			// The redirect history was dropped; re-route wholesale.
 			c.overflow[slot] = false
 			c.pending[slot] = nil
-			for row, x := range c.rows {
-				sl.leaf[row] = f.leafOf(f.roots[slot], x)
-			}
-			c.statMisses[slot] += uint64(len(c.rows))
-			c.statDone[slot] = true // already charged: whole pool descended
+			c.routePool(f, slot, sl)
 			continue
 		}
 	}
@@ -550,8 +589,37 @@ func (f *Forest) ensureRoutedInto(ids []int, out []int32) {
 			if out != nil {
 				gather = out[k*len(ids) : (k+1)*len(ids)]
 			}
-			gen := sh.load(c.pending[slot], arenaLen)
+			log := c.pending[slot]
+			gen := sh.load(log, arenaLen)
+			if gen != 0 && (log.total() > len(c.rows)/8 ||
+				(c.sweptLog[slot] == log && c.sweptTotal[slot] == log.total())) {
+				// Fold the redirect log into the slab in one chase
+				// sweep and truncate it, in two cases. A log that
+				// outgrew the cost of the sweep: short logs keep load
+				// cheap, chase chains shallow and the bloom sparse
+				// (long-lived logs would saturate the bloom by late
+				// session, turning every probe into a random access
+				// into the mark array). And a log unchanged since the
+				// last sweep: its tree is not being updated, so one
+				// fold makes every later sweep of a steady scoring
+				// loop skip the redirect machinery entirely (gen==0).
+				// Mid-session logs grow every round and stay under the
+				// size cut, keeping the cheap per-requested-id chases
+				// below — folding unconditionally was tried and costs
+				// sessions more than it saves, because the sweep
+				// touches every pool row, not just the requested ones.
+				for row, nd := range sl.leaf {
+					if nd >= 0 && sh.maybeHas(nd) && sh.mark[nd] == gen {
+						sl.leaf[row] = sh.chase(nd, gen)
+					}
+				}
+				c.pending[slot] = nil
+				gen = 0
+			}
+			c.sweptLog[slot] = c.pending[slot]
+			c.sweptTotal[slot] = c.pending[slot].total()
 			var hits, resumes, misses uint64
+			sh.missPos = sh.missPos[:0]
 			for i, id := range ids {
 				nd := sl.leaf[id]
 				if gen != 0 && nd >= 0 && sh.maybeHas(nd) && sh.mark[nd] == gen {
@@ -560,18 +628,45 @@ func (f *Forest) ensureRoutedInto(ids []int, out []int32) {
 				}
 				switch {
 				case nd < 0:
-					nd = f.leafOf(root, c.rows[id])
-					sl.leaf[id] = nd
 					misses++
 				case left[nd] >= 0:
-					nd = f.leafOf(nd, c.rows[id])
-					sl.leaf[id] = nd
+					// The cached node grew in place (no redirect is
+					// recorded for that — the id stays in the tree).
+					// By the node-region invariant (node.go) a fresh
+					// root descent lands on the same leaf a resume
+					// from nd would, so both repairs share the batch.
 					resumes++
 				default:
 					hits++
+					if gather != nil {
+						gather[i] = nd
+					}
+					continue
 				}
+				// Rows with no route and rows whose route went stale
+				// re-descend from the root; they are collected and
+				// batched into one partition descent after the sweep.
+				// Stale entries cluster — a single in-place grow
+				// invalidates every row cached at that leaf, and slabs
+				// inherit rounds of staleness through resampling — so
+				// one shared tree walk beats per-row descents.
+				sh.missPos = append(sh.missPos, int32(i))
+			}
+			if len(sh.missPos) > 0 {
+				if cap(sh.idxBuf) < len(ids) {
+					//alic:allow noalloc per-shard partition scratch grows to the largest request width once, then is reused across every sweep
+					sh.idxBuf = make([]int32, len(ids))
+					sh.tmpBuf = make([]int32, len(ids)) //alic:allow noalloc sized with idxBuf above
+				}
+				idx := sh.idxBuf[:0]
+				for _, pos := range sh.missPos {
+					idx = append(idx, int32(ids[pos]))
+				}
+				f.leafOfBatch(root, c.rows, idx, sh.tmpBuf[:len(idx)], sl.leaf)
 				if gather != nil {
-					gather[i] = nd
+					for _, pos := range sh.missPos {
+						gather[pos] = sl.leaf[ids[pos]]
+					}
 				}
 			}
 			if c.statDone[slot] {

@@ -241,14 +241,24 @@ func (f *Forest) ALCScores(cands, refs [][]float64) []float64 {
 	refLeaf := matrix(&f.sc.refLeaf, K, len(refs))
 	candLeaf := matrix(&f.sc.candLeaf, K, len(cands))
 	parallelFor(f.workers(), K, func(start, end int) {
+		// Per-worker partition-descent scratch; two short-lived slices
+		// per scoring round.
+		n := len(refs)
+		if len(cands) > n {
+			n = len(cands)
+		}
+		idx := make([]int32, n)
+		tmp := make([]int32, n)
 		for k := start; k < end; k++ {
 			root := f.roots[f.scoreSlots[k]]
-			for j, x := range refs {
-				refLeaf[k*len(refs)+j] = f.leafOf(root, x)
+			for j := range refs {
+				idx[j] = int32(j)
 			}
-			for i, x := range cands {
-				candLeaf[k*len(cands)+i] = f.leafOf(root, x)
+			f.leafOfBatch(root, refs, idx[:len(refs)], tmp, refLeaf[k*len(refs):(k+1)*len(refs)])
+			for i := range cands {
+				idx[i] = int32(i)
 			}
+			f.leafOfBatch(root, cands, idx[:len(cands)], tmp, candLeaf[k*len(cands):(k+1)*len(cands)])
 		}
 	})
 	return f.alcFromMatrices(candLeaf, refLeaf, cands, refs, K)

@@ -1,0 +1,198 @@
+package dynatree
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"alic/internal/rng"
+)
+
+// TestUpdateRoundMatchesSerialUpdates pins the round-batched update
+// path's bit-identity contract: UpdateRound (one append sweep, one
+// table extension, fused pre-update predictions) must consume exactly
+// the rng draws and run exactly the float-accumulation chains of the
+// per-observation loop — PredictMeanFast then Update per point — for
+// both leaf models, over multiple rounds of varying width.
+func TestUpdateRoundMatchesSerialUpdates(t *testing.T) {
+	for _, model := range []LeafModel{ConstantLeaf, LinearLeaf} {
+		t.Run(model.String(), func(t *testing.T) {
+			cfg := smallConfig()
+			cfg.Particles = 30
+			cfg.LeafModel = model
+			fa, err := New(cfg, 2, rng.New(41))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fb, _ := New(cfg, 2, rng.New(41))
+			gen := rng.New(42)
+			for round := 0; round < 8; round++ {
+				b := 1 + gen.Intn(5)
+				xs := make([][]float64, b)
+				ys := make([]float64, b)
+				for k := range xs {
+					xs[k] = []float64{gen.Float64(), gen.Float64()}
+					ys[k] = 2*xs[k][0] - xs[k][1] + gen.NormMS(0, 0.1)
+				}
+				preds := make([]float64, b)
+				fa.UpdateRound(xs, ys, preds)
+				for k := range xs {
+					want := fb.PredictMeanFast(xs[k])
+					fb.Update(xs[k], ys[k])
+					if preds[k] != want {
+						t.Fatalf("round %d obs %d: fused pred %v != pre-update PredictMeanFast %v",
+							round, k, preds[k], want)
+					}
+				}
+				probe := []float64{gen.Float64(), gen.Float64()}
+				ma, va := fa.Predict(probe)
+				mb, vb := fb.Predict(probe)
+				if ma != mb || va != vb {
+					t.Fatalf("round %d: batched (%v, %v) diverged from serial (%v, %v)",
+						round, ma, va, mb, vb)
+				}
+			}
+		})
+	}
+}
+
+// TestUpdateBatchValidatesBatchWide pins the up-front validation
+// satellite: a non-finite target anywhere in the batch panics before
+// any observation is appended, so the forest is left exactly as it
+// was instead of partially updated.
+func TestUpdateBatchValidatesBatchWide(t *testing.T) {
+	f, err := New(smallConfig(), 1, rng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Update([]float64{0.2}, 1)
+	n := f.N()
+	mBefore, vBefore := f.Predict([]float64{0.4})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic on non-finite mid-batch target")
+			}
+		}()
+		f.UpdateBatch([][]float64{{0.1}, {0.5}, {0.9}}, []float64{1, math.Inf(1), 2})
+	}()
+	if f.N() != n {
+		t.Fatalf("mid-batch panic left %d points appended, want %d", f.N(), n)
+	}
+	if m, v := f.Predict([]float64{0.4}); m != mBefore || v != vBefore {
+		t.Fatal("mid-batch panic changed the model state")
+	}
+	f.Update([]float64{0.7}, 2) // still usable
+}
+
+// TestUpdateWorkerCountInvariance pins the parallel update path at the
+// forest level: full training trajectories — periodic predictive
+// probes folded into one fingerprint — must be bit-identical at
+// workers 1, 4 and 8 for a grow-heavy cloud, a prune-prone cloud and
+// a single-particle cloud, in both leaf models.
+func TestUpdateWorkerCountInvariance(t *testing.T) {
+	shapes := []struct {
+		name      string
+		mutate    func(*Config)
+		dim, obs  int
+		noiseSpan float64
+	}{
+		// High split prior and a permissive leaf floor: trees grow deep.
+		{"grow-heavy", func(c *Config) { c.Alpha = 0.99; c.Beta = 0.5; c.MinLeafForSplit = 2; c.Particles = 24 }, 2, 120, 0.05},
+		// Low split prior over near-constant data: grown structure keeps
+		// getting proposed away, so prune commits are frequent.
+		{"prune-prone", func(c *Config) { c.Alpha = 0.4; c.Beta = 3; c.MinLeafForSplit = 2; c.Particles = 24 }, 2, 120, 1.0},
+		// Degenerate cloud: resampling and dup-sharing corner cases.
+		{"single-particle", func(c *Config) { c.Particles = 1 }, 1, 80, 0.1},
+	}
+	for _, model := range []LeafModel{ConstantLeaf, LinearLeaf} {
+		for _, sh := range shapes {
+			t.Run(fmt.Sprintf("%s/%s", model, sh.name), func(t *testing.T) {
+				run := func(workers int) string {
+					cfg := smallConfig()
+					cfg.LeafModel = model
+					sh.mutate(&cfg)
+					cfg.Workers = workers
+					f, err := New(cfg, sh.dim, rng.New(51))
+					if err != nil {
+						t.Fatal(err)
+					}
+					r := rng.New(52)
+					x := make([]float64, sh.dim)
+					probe := make([]float64, sh.dim)
+					fp := ""
+					for i := 0; i < sh.obs; i++ {
+						for j := range x {
+							x[j] = r.Float64()
+						}
+						y := x[0] + r.NormMS(0, sh.noiseSpan)
+						f.Update(x, y)
+						if i%10 == 9 {
+							for j := range probe {
+								probe[j] = 0.3 + 0.05*float64(j)
+							}
+							m, v := f.Predict(probe)
+							fp += fmt.Sprintf("%.17g/%.17g;", m, v)
+						}
+					}
+					return fp
+				}
+				base := run(1)
+				for _, w := range []int{4, 8} {
+					if got := run(w); got != base {
+						t.Fatalf("workers=%d trajectory diverged from workers=1:\n%s\nvs\n%s", w, got, base)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestLeafOfBatchMatchesLeafOf pins the partition descent against the
+// per-row walk it replaces: for grown trees of several shapes, every
+// listed row must land on exactly the leaf leafOf reaches, including
+// duplicate rows and blocks small enough to take the row-by-row
+// cutoff.
+func TestLeafOfBatchMatchesLeafOf(t *testing.T) {
+	for _, particles := range []int{1, 6} {
+		cfg := smallConfig()
+		cfg.Particles = particles
+		f, err := New(cfg, 3, rng.New(41))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(42)
+		rows := poolRows(200, 3, 43)
+		for i := 0; i < 150; i++ {
+			id := r.Intn(len(rows))
+			f.Update(rows[id], rows[id][0]-rows[id][2]+r.NormMS(0, 0.1))
+		}
+		for _, n := range []int{1, 7, 16, 17, 200} {
+			idx := make([]int32, n)
+			for i := range idx {
+				idx[i] = int32(r.Intn(len(rows))) // duplicates welcome
+			}
+			want := make([]int32, len(rows))
+			seen := make([]bool, len(rows))
+			for _, root := range f.roots {
+				for i := range want {
+					seen[i] = false
+				}
+				for _, row := range idx {
+					want[row] = f.leafOf(root, rows[row])
+					seen[row] = true
+				}
+				out := make([]int32, len(rows))
+				tmp := make([]int32, n)
+				scratch := append([]int32(nil), idx...)
+				f.leafOfBatch(root, rows, scratch, tmp, out)
+				for row := range out {
+					if seen[row] && out[row] != want[row] {
+						t.Fatalf("particles=%d n=%d row %d: batch leaf %d != leafOf %d",
+							particles, n, row, out[row], want[row])
+					}
+				}
+			}
+		}
+	}
+}

@@ -9,9 +9,10 @@ import (
 // The forest natively implements the learner's model contract; the
 // assertions pin that so a drift in either API fails to compile.
 var (
-	_ Model       = (*dynatree.Forest)(nil)
-	_ Importancer = (*dynatree.Forest)(nil)
-	_ PoolBinder  = (*dynatree.Forest)(nil)
+	_ Model        = (*dynatree.Forest)(nil)
+	_ Importancer  = (*dynatree.Forest)(nil)
+	_ PoolBinder   = (*dynatree.Forest)(nil)
+	_ RoundUpdater = (*dynatree.Forest)(nil)
 )
 
 // DynatreeBuilder builds the paper's particle-filtered dynamic-tree

@@ -88,6 +88,21 @@ type PoolBinder interface {
 	PredictMeanFastIndexed(ids []int) []float64
 }
 
+// RoundUpdater is an optional Model extension for backends with a
+// batched per-round update path. UpdateRound absorbs one acquisition
+// round's observations in order, and must leave the model in exactly
+// the state the per-observation loop would — bit-identical, including
+// any internal randomness consumption — so the learner may use either
+// path freely. When preds is non-nil it must have len(xs), and
+// preds[k] receives the backend's PredictMeanFast estimate at xs[k]
+// in the state just before (xs[k], ys[k]) is absorbed (the value the
+// learner's error tracking would have computed with a separate call),
+// letting backends fuse the prediction into work the update already
+// does. Targets are validated batch-wide before any state changes.
+type RoundUpdater interface {
+	UpdateRound(xs [][]float64, ys []float64, preds []float64)
+}
+
 // Importancer is an optional interface for backends that can attribute
 // predictive relevance to input dimensions.
 type Importancer interface {
