@@ -96,6 +96,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 
 	"alic/internal/core"
 	"alic/internal/dataset"
@@ -104,6 +105,7 @@ import (
 	"alic/internal/measure"
 	"alic/internal/model"
 	"alic/internal/serve"
+	"alic/internal/snapshot"
 	"alic/internal/spapt"
 	"alic/internal/stats"
 	"alic/internal/tuner"
@@ -134,6 +136,18 @@ var (
 	// Step/Run/Close — the misuse a serving layer multiplexing
 	// learners makes reachable — reports it instead of panicking.
 	ErrClosed = core.ErrClosed
+	// ErrCorruptSnapshot reports a snapshot whose bytes fail
+	// validation — bad magic, checksum mismatch, truncation, or
+	// structurally impossible state. Restores never panic and never
+	// half-apply: the learner is untouched when this is reported.
+	ErrCorruptSnapshot = snapshot.ErrCorruptSnapshot
+	// ErrUnsupportedSnapshot reports a snapshot written by a newer
+	// format version than this build reads.
+	ErrUnsupportedSnapshot = snapshot.ErrUnsupportedVersion
+	// ErrSnapshotMismatch reports a well-formed snapshot taken from a
+	// learner with different structural parameters (pool size,
+	// budgets, plan/scorer/backend, seed) than the one restoring it.
+	ErrSnapshotMismatch = core.ErrSnapshotMismatch
 )
 
 // Re-exported core types. Downstream code uses these names; the
@@ -442,6 +456,25 @@ func learnerWindow(opts LearnerOptions) int {
 		round = 32
 	}
 	return 2 * round
+}
+
+// ResumeLearner reconstructs a step-wise learner from a snapshot
+// written by Learner.Snapshot: construct a fresh learner over the
+// dataset exactly as NewLearner does, then load the saved state. The
+// dataset and options must match the snapshotting run's (same
+// DatasetSeed, budgets, plan, scorer, backend) — mismatches fail with
+// ErrSnapshotMismatch rather than diverging silently. Worker counts
+// are free to change: the resumed run is bit-identical either way.
+func ResumeLearner(ds *Dataset, opts LearnerOptions, r io.Reader) (*Learner, error) {
+	l, err := NewLearner(ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Restore(r); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return l, nil
 }
 
 // RunOnDataset runs the configured learner over a pre-generated

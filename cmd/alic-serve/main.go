@@ -6,8 +6,14 @@
 // Usage:
 //
 //	alic-serve -addr :8347
+//	alic-serve -addr :8347 -checkpoint-dir /var/lib/alic
 //	alic-serve -loadgen -sessions 2000 -tenants 32 -remote-every 8
 //	alic-serve -loadgen -target http://tuner.internal:8347 -sessions 500
+//
+// With -checkpoint-dir every session checkpoints itself to disk as it
+// steps, and a restarted server reloads the whole fleet — statuses,
+// cost ledgers, and parked remote rounds intact — before accepting
+// traffic (see the README's "Persistence & recovery" section).
 //
 // With -loadgen the command drives a load-generation run — against an
 // in-process server by default, or an external one via -target — and
@@ -37,6 +43,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "scheduler workers stepping sessions (0 = all cores)")
 		maxSessions = flag.Int("max-sessions", 0, "server-wide live-session cap (0 = default)")
 		maxPer      = flag.Int("max-per-tenant", 0, "per-tenant live-session cap (0 = default)")
+		ckptDir     = flag.String("checkpoint-dir", "", "directory for per-session crash-recovery checkpoints (empty = no persistence)")
+		ckptEvery   = flag.Int("checkpoint-every", 1, "checkpoint cadence: write every k-th step per session (terminal steps always checkpoint)")
 
 		loadgen     = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		target      = flag.String("target", "", "loadgen: base URL of an external server (default: in-process)")
@@ -55,6 +63,8 @@ func main() {
 		Workers:              *workers,
 		MaxSessions:          *maxSessions,
 		MaxSessionsPerTenant: *maxPer,
+		CheckpointDir:        *ckptDir,
+		CheckpointEvery:      *ckptEvery,
 	}
 
 	if *loadgen {
@@ -78,6 +88,19 @@ func main() {
 	}
 
 	srv := serve.NewServer(opts)
+	if *ckptDir != "" {
+		// Crash recovery: reload every checkpointed session before
+		// accepting traffic. Corrupt files are skipped (and reported),
+		// never fatal — a damaged checkpoint must not keep the healthy
+		// rest of the fleet down.
+		n, err := srv.Recover()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alic-serve: recovery skipped damaged checkpoints: %v\n", err)
+		}
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "alic-serve: recovered %d sessions from %s\n", n, *ckptDir)
+		}
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

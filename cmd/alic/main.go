@@ -10,6 +10,8 @@
 //	alic -kernel gemver -plan fixed -planobs 35
 //	alic -kernel atax -scorer alm -nmax 600 -seed 3
 //	alic -kernel mvt -model gp -nmax 200 -ncand 60
+//	alic -kernel mm -snapshot run.alicsnp          # ^C saves state
+//	alic -kernel mm -resume run.alicsnp            # picks up where it left off
 //	alic -list
 package main
 
@@ -54,6 +56,8 @@ func main() {
 		progress  = flag.Bool("progress", false, "print acquisition progress while learning")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the learn loop to this file")
 		memprof   = flag.String("memprofile", "", "write a pprof heap profile taken after the learn loop to this file")
+		snapPath  = flag.String("snapshot", "", "write the learner state to this file when the run ends (including on SIGINT), for -resume")
+		resPath   = flag.String("resume", "", "resume a run from a snapshot written by -snapshot (all tuning flags must match the original run)")
 	)
 	flag.Parse()
 
@@ -148,11 +152,12 @@ func main() {
 	}
 	// SIGINT/SIGTERM cancels the run context: the learner finishes the
 	// round in flight and reports StopCancelled, so the partial model
-	// is still usable and the profiles below still flush. A second
-	// signal (after stop restores the default disposition) kills the
-	// process the hard way.
+	// is still usable, the profiles below still flush, and -snapshot
+	// saves the interrupted state for a later -resume. A second signal
+	// (after stop restores the default disposition) kills the process
+	// the hard way.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	res, err := alic.LearnContext(ctx, k, opts)
+	res, err := learn(ctx, k, opts, *resPath, *snapPath)
 	stop()
 	stopCPUProfile()
 	if err != nil {
@@ -178,7 +183,11 @@ func main() {
 	fmt.Printf("training cost: %s simulated seconds (stopped by %s)\n",
 		report.FormatFloat(res.Cost), res.StoppedBy)
 	if res.StoppedBy == alic.StopCancelled {
-		fmt.Println("interrupted: skipping configuration search")
+		if *snapPath != "" {
+			fmt.Printf("interrupted: skipping configuration search (resume with -resume %s)\n", *snapPath)
+		} else {
+			fmt.Println("interrupted: skipping configuration search")
+		}
 		return
 	}
 
@@ -204,6 +213,88 @@ func main() {
 		report.FormatFloat(tres.Best.Predicted),
 		report.FormatFloat(tres.Best.Measured),
 		report.FormatFloat(tres.Baseline), tres.Speedup)
+}
+
+// learn runs the model-training phase step-wise (NewLearner + Run
+// instead of the one-shot Learn facade) so the learner state can be
+// saved with -snapshot and reloaded with -resume. The dataset is
+// regenerated from the same seed on both sides; a resume under
+// different tuning flags is rejected with ErrSnapshotMismatch rather
+// than silently diverging.
+func learn(ctx context.Context, k *alic.Kernel, opts alic.LearnOptions, resumePath, snapshotPath string) (*alic.LearnResult, error) {
+	if opts.PoolSize < opts.Learner.NInit {
+		return nil, fmt.Errorf("%w: PoolSize %d below NInit %d",
+			alic.ErrPoolTooSmall, opts.PoolSize, opts.Learner.NInit)
+	}
+	if opts.TestSize < 1 {
+		return nil, fmt.Errorf("%w: got %d", alic.ErrBadTestSize, opts.TestSize)
+	}
+	if opts.Model != "" {
+		b, err := alic.ModelByName(opts.Model)
+		if err != nil {
+			return nil, err
+		}
+		opts.Learner.Model = b
+	}
+	ds, err := alic.GenerateDataset(k, alic.DatasetOptions{
+		NConfigs:   opts.PoolSize + opts.TestSize,
+		NObs:       opts.Learner.NObs,
+		TrainCount: opts.PoolSize,
+		Seed:       opts.DatasetSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var l *alic.Learner
+	if resumePath != "" {
+		f, err := os.Open(resumePath)
+		if err != nil {
+			return nil, err
+		}
+		l, err = alic.ResumeLearner(ds, opts.Learner, f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("resuming %s: %w", resumePath, err)
+		}
+		fmt.Fprintf(os.Stderr, "alic: resumed from %s (%d acquisitions done)\n",
+			resumePath, l.Result().Acquired)
+	} else if l, err = alic.NewLearner(ds, opts.Learner); err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	res, err := l.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if snapshotPath != "" {
+		if err := writeSnapshot(l, snapshotPath); err != nil {
+			return nil, fmt.Errorf("writing snapshot: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "alic: learner snapshot written to %s\n", snapshotPath)
+	}
+	return &alic.LearnResult{LearnerResult: res, Dataset: ds}, nil
+}
+
+// writeSnapshot saves the learner atomically: a crash mid-write (or a
+// failed Snapshot) never leaves a torn file at the target path.
+func writeSnapshot(l *alic.Learner, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = l.Snapshot(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func fatal(err error) {

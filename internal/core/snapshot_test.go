@@ -1,0 +1,364 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"alic/internal/evaluator"
+	"alic/internal/snapshot"
+)
+
+// snapLearner builds a learner over a fresh engine on a pure source —
+// a new process restoring a snapshot constructs exactly this: same
+// options, same pool, a brand-new engine whose ledger is then
+// restored, and a source that reproduces measurement (item, ordinal)
+// pairs bit-identically.
+func snapLearner(t *testing.T, opts Options, pool SlicePool, workers int) *Learner {
+	t.Helper()
+	eng := evaluator.New(&pureSource{pool: pool, fn: stepFn, sigma: 0.05, compileCost: 0.1, seed: 7},
+		evaluator.Options{Workers: workers})
+	l, err := NewWithEvaluator(opts, pool, eng, testEval(stepFn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func runToEnd(t *testing.T, l *Learner) *Result {
+	t.Helper()
+	for {
+		more, err := l.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+	}
+	return l.Result()
+}
+
+// requireSameRun asserts two completed runs are bit-identical: every
+// counter, the exact cost, the full learning curve, and the model's
+// predictions over a probe grid.
+func requireSameRun(t *testing.T, got, want *Result) {
+	t.Helper()
+	if got.Acquired != want.Acquired || got.Observations != want.Observations ||
+		got.Unique != want.Unique || got.Revisits != want.Revisits {
+		t.Fatalf("bookkeeping diverged: got %+v want %+v", got, want)
+	}
+	if got.Cost != want.Cost {
+		t.Fatalf("cost diverged: %v vs %v", got.Cost, want.Cost)
+	}
+	if got.StoppedBy != want.StoppedBy {
+		t.Fatalf("stop reason %v vs %v", got.StoppedBy, want.StoppedBy)
+	}
+	if len(got.Curve) != len(want.Curve) {
+		t.Fatalf("curve lengths %d vs %d", len(got.Curve), len(want.Curve))
+	}
+	for i := range got.Curve {
+		if got.Curve[i] != want.Curve[i] {
+			t.Fatalf("curve[%d]: %+v vs %+v", i, got.Curve[i], want.Curve[i])
+		}
+	}
+	for _, x := range gridPool(41) {
+		a, b := got.Model.PredictMeanFast(x), want.Model.PredictMeanFast(x)
+		if a != b {
+			t.Fatalf("model diverged at %v: %v vs %v", x, a, b)
+		}
+	}
+}
+
+// TestSnapshotResumeMatchesUninterrupted is the determinism contract
+// at the learner layer: snapshot mid-run, restore into a freshly
+// constructed learner over a fresh engine, and the remaining rounds
+// are byte-identical to a run that never stopped. Snapshotting must
+// also leave the original learner's own trajectory untouched.
+func TestSnapshotResumeMatchesUninterrupted(t *testing.T) {
+	opts := smallOpts()
+	opts.NMax = 60
+	pool := gridPool(300)
+
+	ref := snapLearner(t, opts, pool, 1)
+	defer ref.Close()
+	want := runToEnd(t, ref)
+
+	for _, snapAt := range []int{1, 7, 20} {
+		orig := snapLearner(t, opts, pool, 1)
+		for i := 0; i < snapAt; i++ {
+			if _, err := orig.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := orig.Snapshot(&buf); err != nil {
+			t.Fatalf("snapshot after %d steps: %v", snapAt, err)
+		}
+
+		restored := snapLearner(t, opts, pool, 1)
+		if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("restore after %d steps: %v", snapAt, err)
+		}
+		requireSameRun(t, runToEnd(t, restored), want)
+		restored.Close()
+
+		// The snapshot is a read: the original continues unperturbed.
+		requireSameRun(t, runToEnd(t, orig), want)
+		orig.Close()
+	}
+}
+
+// TestSnapshotParkedRound pins the serving-critical case: a session
+// parked by BeginRound (batch chosen, nothing scheduled) snapshots
+// mid-round, and the restored learner's FinishRound continues as if
+// the process never died.
+func TestSnapshotParkedRound(t *testing.T) {
+	opts := smallOpts()
+	opts.NMax = 50
+	pool := gridPool(300)
+
+	ref := snapLearner(t, opts, pool, 1)
+	defer ref.Close()
+	want := runToEnd(t, ref)
+
+	drive := func(l *Learner, rounds int) bool {
+		t.Helper()
+		for i := 0; rounds < 0 || i < rounds; i++ {
+			chosen, err := l.BeginRound()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chosen == nil {
+				return false
+			}
+			more, err := l.FinishRound()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !more {
+				return false
+			}
+		}
+		return true
+	}
+
+	orig := snapLearner(t, opts, pool, 1)
+	defer orig.Close()
+	if !drive(orig, 9) {
+		t.Fatal("run ended before the snapshot point")
+	}
+	// Park a round: select the batch, snapshot before any observation.
+	chosen, err := orig.BeginRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen == nil {
+		t.Fatal("no round to park")
+	}
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := snapLearner(t, opts, pool, 1)
+	defer restored.Close()
+	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !restored.RoundPending() {
+		t.Fatal("restored learner lost the parked round")
+	}
+	pend := restored.PendingObservations()
+	if len(pend) != len(chosen) {
+		t.Fatalf("restored round pends %d items, parked %d", len(pend), len(chosen))
+	}
+	for j, po := range pend {
+		if po.Item != chosen[j] {
+			t.Fatalf("restored round item[%d] = %d, parked %d", j, po.Item, chosen[j])
+		}
+	}
+	if _, err := restored.FinishRound(); err != nil {
+		t.Fatal(err)
+	}
+	drive(restored, -1)
+	requireSameRun(t, restored.Result(), want)
+}
+
+// TestSnapshotRestoreAcrossWorkerCounts pins the satellite contract:
+// snapshot under one worker count, restore under another (both the
+// scoring workers and the evaluator's measurement workers), and the
+// completed run is bit-identical every way.
+func TestSnapshotRestoreAcrossWorkerCounts(t *testing.T) {
+	opts := smallOpts()
+	opts.NMax = 40
+	pool := gridPool(300)
+
+	orig := snapLearner(t, opts, pool, 1)
+	defer orig.Close()
+	for i := 0; i < 8; i++ {
+		if _, err := orig.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var want *Result
+	for _, w := range []int{1, 4, 8} {
+		wopts := opts
+		wopts.Workers = w
+		restored := snapLearner(t, wopts, pool, w)
+		if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		got := runToEnd(t, restored)
+		restored.Close()
+		if w == 1 {
+			want = got
+			continue
+		}
+		requireSameRun(t, got, want)
+	}
+}
+
+// TestSnapshotMismatchRejected pins the guard behaviour: a snapshot
+// from a differently-configured learner fails loudly with
+// ErrSnapshotMismatch, and a learner that has already run refuses to
+// restore at all.
+func TestSnapshotMismatchRejected(t *testing.T) {
+	opts := smallOpts()
+	opts.NMax = 30
+	pool := gridPool(300)
+
+	orig := snapLearner(t, opts, pool, 1)
+	defer orig.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := orig.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, mutate := range map[string]func(*Options, *SlicePool){
+		"seed":      func(o *Options, _ *SlicePool) { o.Seed++ },
+		"batch":     func(o *Options, _ *SlicePool) { o.Batch++ },
+		"nmax":      func(o *Options, _ *SlicePool) { o.NMax++ },
+		"pool size": func(_ *Options, p *SlicePool) { *p = gridPool(299) },
+	} {
+		mopts, mpool := opts, pool
+		mutate(&mopts, &mpool)
+		l := snapLearner(t, mopts, mpool, 1)
+		err := l.Restore(bytes.NewReader(buf.Bytes()))
+		l.Close()
+		if !errors.Is(err, ErrSnapshotMismatch) {
+			t.Fatalf("%s mutated: err = %v, want ErrSnapshotMismatch", name, err)
+		}
+	}
+
+	used := snapLearner(t, opts, pool, 1)
+	defer used.Close()
+	if _, err := used.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := used.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("Restore on a used learner did not error")
+	}
+}
+
+// TestSnapshotCorruptLearner sweeps byte corruption over a full
+// learner snapshot: Restore must fail with a typed error — corruption
+// or an unsupported version — and never panic or half-apply. (The
+// container CRC catches payload flips; header flips exercise the
+// structural paths.)
+func TestSnapshotCorruptLearner(t *testing.T) {
+	opts := smallOpts()
+	opts.NMax = 30
+	pool := gridPool(200)
+	orig := snapLearner(t, opts, pool, 1)
+	defer orig.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := orig.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	stride := len(snap)/211 + 1
+	for i := 0; i < len(snap); i += stride {
+		for _, bit := range []byte{0x01, 0xFF} {
+			mut := append([]byte(nil), snap...)
+			mut[i] ^= bit
+			l := snapLearner(t, opts, pool, 1)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic restoring snapshot mutated at byte %d: %v", i, r)
+					}
+				}()
+				err := l.Restore(bytes.NewReader(mut))
+				if err == nil {
+					t.Fatalf("byte %d flipped by %#x restored cleanly", i, bit)
+				}
+				if !errors.Is(err, snapshot.ErrCorruptSnapshot) && !errors.Is(err, snapshot.ErrUnsupportedVersion) {
+					t.Fatalf("byte %d: untyped error %v", i, err)
+				}
+			}()
+			l.Close()
+		}
+	}
+	for _, n := range []int{0, 5, 13, len(snap) / 2, len(snap) - 1} {
+		l := snapLearner(t, opts, pool, 1)
+		if err := l.Restore(bytes.NewReader(snap[:n])); !errors.Is(err, snapshot.ErrCorruptSnapshot) {
+			t.Fatalf("truncation to %d: err = %v", n, err)
+		}
+		l.Close()
+	}
+}
+
+// TestSnapshotAsyncFoldsInFlight pins the async snapshot rule: a
+// pipelined learner folds its in-flight round at snapshot time, and
+// the restored learner resumes from that fold point deterministically
+// (matching a second restore, not the uninterrupted pipeline).
+func TestSnapshotAsyncFoldsInFlight(t *testing.T) {
+	opts := smallOpts()
+	opts.NMax = 40
+	opts.Async = true
+	pool := gridPool(300)
+
+	orig := snapLearner(t, opts, pool, 2)
+	defer orig.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := orig.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var want *Result
+	for trial := 0; trial < 2; trial++ {
+		restored := snapLearner(t, opts, pool, 2)
+		if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		got := runToEnd(t, restored)
+		restored.Close()
+		if trial == 0 {
+			want = got
+			continue
+		}
+		requireSameRun(t, got, want)
+	}
+}

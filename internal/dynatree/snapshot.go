@@ -1,0 +1,295 @@
+package dynatree
+
+import (
+	"alic/internal/rng"
+	"alic/internal/snapshot"
+)
+
+// forestFormat versions the forest payload inside the container
+// section; bump it when the field layout below changes shape.
+const forestFormat = 1
+
+// Snapshot serializes the forest's complete model state — resolved
+// configuration, training points, particle roots, the node arena
+// as-is (dead nodes included, so compaction timing and node ids are
+// preserved exactly), and the rng stream position — into a payload
+// restorable with Restore. Pure caches are deliberately omitted: the
+// routing cache (rebuilt by BindPool), the NIG memo tables, the split
+// prior tables, and every lazily-cached linear-leaf posterior (all
+// bit-identical when recomputed). The restored forest therefore
+// produces byte-identical predictions, draws and updates.
+func (f *Forest) Snapshot() []byte {
+	e := snapshot.NewEncoder(1024 + 64*f.ar.len() + 16*len(f.points)*f.dim)
+	e.Int(forestFormat)
+
+	// Resolved configuration (after any CalibratePrior).
+	e.Int(f.cfg.Particles)
+	e.Int(f.cfg.ScoreParticles)
+	e.F64(f.cfg.Alpha)
+	e.F64(f.cfg.Beta)
+	e.F64(f.cfg.M0)
+	e.F64(f.cfg.Kappa0)
+	e.F64(f.cfg.A0)
+	e.F64(f.cfg.B0)
+	e.Int(f.cfg.MinLeafForSplit)
+	e.Int(int(f.cfg.LeafModel))
+	e.Int(f.cfg.Workers)
+
+	e.Int(f.dim)
+
+	// Training points, features flattened row-major.
+	e.Int(len(f.points))
+	for _, p := range f.points {
+		for _, v := range p.x {
+			e.F64(v)
+		}
+	}
+	for _, p := range f.points {
+		e.F64(p.y)
+	}
+
+	e.Int32s(f.roots)
+	e.Int(f.lastLive)
+
+	st := f.r.State()
+	for _, w := range st {
+		e.U64(w)
+	}
+
+	// Node arena, verbatim. Dead nodes ride along so that arena length
+	// — and with it the compaction trigger — matches the uninterrupted
+	// process exactly.
+	ar := &f.ar
+	n := ar.len()
+	e.Int(n)
+	e.Int32s(ar.depth)
+	e.Int32s(ar.dim)
+	e.F64s(ar.cut)
+	e.Int32s(ar.left)
+	e.Int32s(ar.right)
+	for _, s := range ar.shared {
+		e.Bool(s)
+	}
+	for id := 0; id < n; id++ {
+		e.Ints(ar.pts[id])
+		s := ar.s[id]
+		e.Int(s.n)
+		e.F64(s.sumY)
+		e.F64(s.sumY2)
+		lin := ar.lin[id]
+		e.Bool(lin != nil)
+		if lin != nil {
+			// Sufficient statistics only: the cached Cholesky posterior
+			// is a deterministic function of them and rebuilds on first
+			// use.
+			e.Int(lin.n)
+			for i := 0; i < lin.d; i++ {
+				for j := 0; j < lin.d; j++ {
+					e.F64(lin.xtx[i][j])
+				}
+			}
+			for i := 0; i < lin.d; i++ {
+				e.F64(lin.xty[i])
+			}
+			e.F64(lin.yty)
+		}
+	}
+	e.F64s(ar.rlo)
+	e.F64s(ar.rhi)
+	return e.Bytes()
+}
+
+// Restore reconstructs a forest from a Snapshot payload. Structural
+// invariants (id ranges, slice lengths, point indices) are verified
+// before use, so corrupt input that survived the container checksum
+// still fails with a typed error rather than a panic. The routing
+// cache is not part of the snapshot: call BindPool afterwards to
+// re-enable pool-interned scoring (the rebuilt cache is pure
+// memoization and does not affect results).
+func Restore(payload []byte) (*Forest, error) {
+	const sec = "dynatree.forest"
+	d := snapshot.NewDecoder(sec, payload)
+	if v := d.Int(); d.Err() == nil && v != forestFormat {
+		return nil, snapshot.Corruptf(sec, "forest format %d, this build reads %d", v, forestFormat)
+	}
+
+	var cfg Config
+	cfg.Particles = d.Int()
+	cfg.ScoreParticles = d.Int()
+	cfg.Alpha = d.F64()
+	cfg.Beta = d.F64()
+	cfg.M0 = d.F64()
+	cfg.Kappa0 = d.F64()
+	cfg.A0 = d.F64()
+	cfg.B0 = d.F64()
+	cfg.MinLeafForSplit = d.Int()
+	cfg.LeafModel = LeafModel(d.Int())
+	cfg.Workers = d.Int()
+
+	dim := d.Int()
+	npts := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, snapshot.Corruptf(sec, "invalid config: %v", err)
+	}
+	if dim < 1 {
+		return nil, snapshot.Corruptf(sec, "dimension %d", dim)
+	}
+	if cfg.LeafModel != ConstantLeaf && cfg.LeafModel != LinearLeaf {
+		return nil, snapshot.Corruptf(sec, "unknown leaf model %d", int(cfg.LeafModel))
+	}
+	if npts < 0 || npts > d.Remaining()/8 {
+		return nil, snapshot.Corruptf(sec, "point count %d with %d bytes left", npts, d.Remaining())
+	}
+
+	// Points: intern features in one arena block, as appendPoint does.
+	xArena := make([]float64, 0, npts*dim)
+	for i := 0; i < npts*dim; i++ {
+		xArena = append(xArena, d.F64())
+	}
+	points := make([]point, npts)
+	for i := range points {
+		points[i].x = xArena[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	for i := range points {
+		points[i].y = d.F64()
+	}
+
+	roots := d.Int32s()
+	lastLive := d.Int()
+	var st [6]uint64
+	for i := range st {
+		st[i] = d.U64()
+	}
+
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if len(roots) != cfg.Particles {
+		return nil, snapshot.Corruptf(sec, "%d roots for %d particles", len(roots), cfg.Particles)
+	}
+	if n < 0 || n > d.Remaining() {
+		return nil, snapshot.Corruptf(sec, "node count %d with %d bytes left", n, d.Remaining())
+	}
+
+	var ar nodes
+	ar.featDim = dim
+	ar.depth = d.Int32s()
+	ar.dim = d.Int32s()
+	ar.cut = d.F64s()
+	ar.left = d.Int32s()
+	ar.right = d.Int32s()
+	ar.shared = make([]bool, n)
+	for i := range ar.shared {
+		ar.shared[i] = d.Bool()
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if len(ar.depth) != n || len(ar.dim) != n || len(ar.cut) != n || len(ar.left) != n || len(ar.right) != n {
+		return nil, snapshot.Corruptf(sec, "arena field lengths disagree with node count %d", n)
+	}
+	ar.pts = make([][]int, n)
+	ar.s = make([]suff, n)
+	ar.lin = make([]*linSuff, n)
+	for id := 0; id < n; id++ {
+		ar.pts[id] = d.Ints()
+		ar.s[id] = suff{n: d.Int(), sumY: d.F64(), sumY2: d.F64()}
+		if d.Bool() {
+			lin := newLinSuff(dim)
+			lin.n = d.Int()
+			for i := 0; i < lin.d; i++ {
+				for j := 0; j < lin.d; j++ {
+					lin.xtx[i][j] = d.F64()
+				}
+			}
+			for i := 0; i < lin.d; i++ {
+				lin.xty[i] = d.F64()
+			}
+			lin.yty = d.F64()
+			lin.dirty = true
+			ar.lin[id] = lin
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+	}
+	ar.rlo = d.F64s()
+	ar.rhi = d.F64s()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if len(ar.rlo) != n*dim || len(ar.rhi) != n*dim {
+		return nil, snapshot.Corruptf(sec, "range blocks %d/%d for %d nodes of dim %d", len(ar.rlo), len(ar.rhi), n, dim)
+	}
+
+	// Structural validation: every reference must be in range before
+	// any descent touches the arena.
+	for id := 0; id < n; id++ {
+		l, r := ar.left[id], ar.right[id]
+		if (l < 0) != (r < 0) {
+			return nil, snapshot.Corruptf(sec, "node %d has one child", id)
+		}
+		if l >= 0 {
+			if int(l) >= n || int(r) >= n {
+				return nil, snapshot.Corruptf(sec, "node %d children %d/%d out of range", id, l, r)
+			}
+			if int(ar.dim[id]) < 0 || int(ar.dim[id]) >= dim {
+				return nil, snapshot.Corruptf(sec, "node %d split dimension %d", id, ar.dim[id])
+			}
+		} else if cfg.LeafModel == LinearLeaf && ar.lin[id] == nil {
+			return nil, snapshot.Corruptf(sec, "linear-leaf forest with bare leaf %d", id)
+		}
+		for _, pi := range ar.pts[id] {
+			if pi < 0 || pi >= npts {
+				return nil, snapshot.Corruptf(sec, "node %d references point %d of %d", id, pi, npts)
+			}
+		}
+	}
+	for i, root := range roots {
+		if root < 0 || int(root) >= n {
+			return nil, snapshot.Corruptf(sec, "root %d id %d out of range", i, root)
+		}
+	}
+	if lastLive < 0 {
+		return nil, snapshot.Corruptf(sec, "lastLive %d", lastLive)
+	}
+
+	r := rng.New(0)
+	r.SetState(st)
+
+	tabs := newNigTables(cfg.A0, cfg.Kappa0, cfg.B0)
+	tabs.extend(npts + 1)
+	f := &Forest{
+		cfg:      cfg,
+		prior:    nigPrior{m0: cfg.M0, kappa0: cfg.Kappa0, a0: cfg.A0, b0: cfg.B0, tabs: tabs},
+		lprior:   linPrior{m0: cfg.M0, kappa0: cfg.Kappa0, a0: cfg.A0, b0: cfg.B0, tabs: tabs},
+		tabs:     tabs,
+		dim:      dim,
+		points:   points,
+		xArena:   xArena,
+		ar:       ar,
+		roots:    roots,
+		r:        r,
+		lastLive: lastLive,
+		logW:     make([]float64, cfg.Particles),
+		augBuf:   make([]float64, linScratchLen(dim)),
+	}
+	f.scoreSlots = scoreSlotsFor(cfg.Particles, cfg.ScoreParticles)
+	f.ar.reserve(f.compactAt())
+	return f, nil
+}
+
+// SetWorkers overrides the scoring/update worker bound after
+// construction or restore. Worker count changes wall-clock time only
+// — results are bit-identical at every value — so a snapshot taken on
+// one host restores safely onto any core count.
+func (f *Forest) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	f.cfg.Workers = n
+}

@@ -1,0 +1,158 @@
+package dynatree
+
+import (
+	"errors"
+	"testing"
+
+	"alic/internal/rng"
+	"alic/internal/snapshot"
+)
+
+// trainForest builds a forest with some absorbed observations for the
+// round-trip tests.
+func snapTrainForest(t *testing.T, leaf LeafModel, n int) (*Forest, [][]float64, []float64) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Particles = 60
+	cfg.ScoreParticles = 20
+	cfg.LeafModel = leaf
+	const dim = 3
+	f, err := New(cfg, dim, rng.NewStream(11, 0x5eed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := rng.NewStream(7, 0xfeed)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < n+40; i++ {
+		x := []float64{gen.Float64(), gen.Float64() * 4, gen.Float64() * 10}
+		y := x[0]*3 - x[1] + gen.Norm()*0.1
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	for i := 0; i < n; i++ {
+		f.Update(xs[i], ys[i])
+	}
+	return f, xs[n:], ys[n:]
+}
+
+// TestSnapshotRoundTripBitIdentical pins the determinism contract at
+// the forest layer: continue training and scoring the original and
+// the restored forest in lockstep and require bit-identical
+// predictions, draws, and structure the whole way.
+func TestSnapshotRoundTripBitIdentical(t *testing.T) {
+	for _, leaf := range []LeafModel{ConstantLeaf, LinearLeaf} {
+		t.Run(leaf.String(), func(t *testing.T) {
+			f, xs, ys := snapTrainForest(t, leaf, 60)
+			g, err := Restore(f.Snapshot())
+			if err != nil {
+				t.Fatal(err)
+			}
+			probe := []float64{0.4, 1.1, 5.5}
+			for k := range xs {
+				fm, fv := f.Predict(probe)
+				gm, gv := g.Predict(probe)
+				if fm != gm || fv != gv {
+					t.Fatalf("step %d: predict diverged: (%v,%v) != (%v,%v)", k, fm, fv, gm, gv)
+				}
+				f.Update(xs[k], ys[k])
+				g.Update(xs[k], ys[k])
+			}
+			fs, gs := f.Stats(), g.Stats()
+			if fs != gs {
+				t.Fatalf("stats diverged: %+v != %+v", fs, gs)
+			}
+			if f.ar.len() != g.ar.len() {
+				t.Fatalf("arena sizes diverged: %d != %d (compaction timing changed)", f.ar.len(), g.ar.len())
+			}
+		})
+	}
+}
+
+// TestSnapshotRoundTripIndexed pins the routing-cache-free
+// reconstruction rule: restore, re-bind the pool, and the indexed
+// scoring path must match the original's bit for bit.
+func TestSnapshotRoundTripIndexed(t *testing.T) {
+	f, xs, _ := snapTrainForest(t, ConstantLeaf, 50)
+	pool := xs[:20]
+	f.BindPool(pool)
+	idx := make([]int, len(pool))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Warm the original's cache so the snapshot is taken with live
+	// cached routes (which must NOT be needed for the restore).
+	_ = f.ALMIndexed(idx)
+
+	g, err := Restore(f.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.BindPool(pool)
+	fScores := f.ALMIndexed(idx)
+	gScores := g.ALMIndexed(idx)
+	for i := range fScores {
+		if fScores[i] != gScores[i] {
+			t.Fatalf("ALMIndexed[%d]: %v != %v", i, fScores[i], gScores[i])
+		}
+	}
+}
+
+// TestSnapshotRestoreAcrossWorkerCounts pins that SetWorkers after
+// restore keeps results bit-identical (the satellite cross-worker
+// contract at the forest layer).
+func TestSnapshotRestoreAcrossWorkerCounts(t *testing.T) {
+	f, xs, ys := snapTrainForest(t, ConstantLeaf, 60)
+	snap := f.Snapshot()
+	var ref []float64
+	probe := []float64{0.3, 2.2, 7.7}
+	for _, w := range []int{1, 4, 8} {
+		g, err := Restore(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.SetWorkers(w)
+		for k := range xs {
+			g.Update(xs[k], ys[k])
+		}
+		m, v := g.Predict(probe)
+		if ref == nil {
+			ref = []float64{m, v}
+			continue
+		}
+		if m != ref[0] || v != ref[1] {
+			t.Fatalf("workers=%d diverged: (%v,%v) != (%v,%v)", w, m, v, ref[0], ref[1])
+		}
+	}
+}
+
+// TestRestoreCorrupt sweeps single-byte corruption over a forest
+// payload: Restore must fail with ErrCorruptSnapshot or succeed —
+// never panic. (The container layer's CRC is bypassed deliberately:
+// this exercises Restore's own structural validation.)
+func TestRestoreCorrupt(t *testing.T) {
+	f, _, _ := snapTrainForest(t, LinearLeaf, 25)
+	snap := f.Snapshot()
+	stride := len(snap)/257 + 1
+	for i := 0; i < len(snap); i += stride {
+		for _, bit := range []byte{0x01, 0xFF} {
+			mut := append([]byte(nil), snap...)
+			mut[i] ^= bit
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic restoring snapshot mutated at byte %d: %v", i, r)
+					}
+				}()
+				if _, err := Restore(mut); err != nil && !errors.Is(err, snapshot.ErrCorruptSnapshot) {
+					t.Fatalf("byte %d: untyped error %v", i, err)
+				}
+			}()
+		}
+	}
+	for _, n := range []int{0, 1, 7, len(snap) / 2, len(snap) - 1} {
+		if _, err := Restore(snap[:n]); err == nil || !errors.Is(err, snapshot.ErrCorruptSnapshot) {
+			t.Fatalf("truncation to %d: err = %v", n, err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package evaluator
+
+import (
+	"fmt"
+	"sort"
+
+	"alic/internal/snapshot"
+)
+
+// ledgerFormat versions the cost-ledger payload.
+const ledgerFormat = 1
+
+// ErrLedgerBusy is returned by SnapshotLedger while scheduled
+// observations are still in flight: the ledger can only be captured
+// at quiescence, when every scheduled charge has folded into the
+// prefix (the learner reaches this state at every round boundary).
+var ErrLedgerBusy = fmt.Errorf("evaluator: ledger has observations in flight")
+
+// SnapshotLedger serializes the engine's cost-ledger state: per-item
+// scheduled ordinals, the folded prefix sum, and the per-sequence
+// cost checkpoints. It fails with ErrLedgerBusy unless every
+// scheduled observation has completed — snapshotting mid-measurement
+// would tear the §4.3 accounting.
+func (e *Engine) SnapshotLedger() ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.prefix != e.base+len(e.charges) {
+		return nil, ErrLedgerBusy
+	}
+	enc := snapshot.NewEncoder(64 + 16*len(e.next) + 8*len(e.cum))
+	enc.Int(ledgerFormat)
+	// Map iteration order is randomized; emit items in ascending index
+	// so identical ledgers serialize to identical bytes.
+	items := make([]int, 0, len(e.next))
+	for idx := range e.next {
+		//alic:allow detfloat keys are sorted immediately below; serialization order is index-ascending regardless of map order
+		items = append(items, idx)
+	}
+	sort.Ints(items)
+	enc.Int(len(items))
+	for _, idx := range items {
+		enc.Int(idx)
+		enc.Int(e.next[idx])
+	}
+	enc.Int(e.prefix)
+	enc.F64(e.prefixSum)
+	enc.F64s(e.cum)
+	return enc.Bytes(), nil
+}
+
+// RestoreLedger loads a SnapshotLedger payload into a freshly
+// constructed engine (nothing scheduled yet). Completed charges below
+// the restored prefix are represented only by their cum checkpoints,
+// exactly as after a compaction, so CostThrough and Cost reproduce
+// the original accounting bit for bit.
+func (e *Engine) RestoreLedger(payload []byte) error {
+	const sec = "evaluator.ledger"
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.base != 0 || e.prefix != 0 || len(e.charges) != 0 || len(e.next) != 0 {
+		return fmt.Errorf("evaluator: RestoreLedger on a used engine")
+	}
+	d := snapshot.NewDecoder(sec, payload)
+	if v := d.Int(); d.Err() == nil && v != ledgerFormat {
+		return snapshot.Corruptf(sec, "ledger format %d, this build reads %d", v, ledgerFormat)
+	}
+	nItems := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if nItems < 0 || nItems > d.Remaining()/16 {
+		return snapshot.Corruptf(sec, "item count %d with %d bytes left", nItems, d.Remaining())
+	}
+	next := make(map[int]int, nItems)
+	total := 0
+	for i := 0; i < nItems; i++ {
+		idx := d.Int()
+		ord := d.Int()
+		if d.Err() == nil {
+			if idx < 0 || ord <= 0 {
+				return snapshot.Corruptf(sec, "item %d scheduled %d times", idx, ord)
+			}
+			next[idx] = ord
+			total += ord
+		}
+	}
+	prefix := d.Int()
+	prefixSum := d.F64()
+	cum := d.F64s()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if d.Remaining() != 0 {
+		return snapshot.Corruptf(sec, "%d trailing bytes", d.Remaining())
+	}
+	if prefix != total || len(cum) != prefix {
+		return snapshot.Corruptf(sec, "prefix %d, %d checkpoints, %d scheduled", prefix, len(cum), total)
+	}
+	e.next = next
+	e.base = prefix
+	e.prefix = prefix
+	e.prefixSum = prefixSum
+	e.cum = cum
+	return nil
+}

@@ -302,3 +302,8 @@ func (g *GP) ALCScores(cands, refs [][]float64) []float64 {
 	})
 	return scores
 }
+
+// Config returns the GP's hyperparameters, resolved at construction.
+// Snapshots store these so a restore rebuilds the identical kernel
+// without re-running any calibration.
+func (g *GP) Config() Config { return g.cfg }

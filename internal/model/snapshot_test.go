@@ -1,0 +1,94 @@
+package model
+
+import (
+	"errors"
+	"testing"
+
+	"alic/internal/rng"
+	"alic/internal/snapshot"
+)
+
+// TestGPSnapshotRoundTrip pins the gp adapter's restore-by-replay:
+// the restored model must match the original bit for bit through
+// further updates and refits, including mid-refit-cycle snapshots
+// (pending > 0).
+func TestGPSnapshotRoundTrip(t *testing.T) {
+	b := GPBuilder{RefitEvery: 4, MaxPoints: 16}
+	seed := []float64{1, 2, 3}
+	mdl, err := b.New(Params{Dim: 2, SeedTargets: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mdl.(*gpModel)
+	gen := rng.New(3)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 40; i++ {
+		x := []float64{gen.Float64(), gen.Float64() * 2}
+		xs = append(xs, x)
+		ys = append(ys, x[0]+x[1]*x[1]+gen.Norm()*0.05)
+	}
+	// Feed 10 observations: with RefitEvery=4 the 10th leaves pending=2,
+	// so the snapshot lands mid-cycle.
+	for i := 0; i < 10; i++ {
+		m.Update(xs[i], ys[i])
+	}
+	if m.pending == 0 {
+		t.Fatal("test setup: expected a mid-cycle snapshot point")
+	}
+
+	rest, err := b.Restore(Params{Workers: 4}, m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rest.(*gpModel)
+	if r.pending != m.pending || r.N() != m.N() {
+		t.Fatalf("counters diverged: pending %d/%d, n %d/%d", r.pending, m.pending, r.N(), m.N())
+	}
+	probe := [][]float64{{0.2, 0.9}, {0.8, 0.1}}
+	for i := 10; i < len(xs); i++ {
+		am, av := m.PredictBatch(probe)
+		bm, bv := r.PredictBatch(probe)
+		for j := range am {
+			if am[j] != bm[j] || av[j] != bv[j] {
+				t.Fatalf("step %d: prediction diverged", i)
+			}
+		}
+		m.Update(xs[i], ys[i])
+		r.Update(xs[i], ys[i])
+	}
+}
+
+// TestGPSnapshotCorrupt sweeps mutations over the gp payload.
+func TestGPSnapshotCorrupt(t *testing.T) {
+	b := GPBuilder{}
+	mdl, err := b.New(Params{Dim: 2, SeedTargets: []float64{1, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mdl.(*gpModel)
+	gen := rng.New(5)
+	for i := 0; i < 12; i++ {
+		m.Update([]float64{gen.Float64(), gen.Float64()}, gen.Float64())
+	}
+	snap := m.Snapshot()
+	for i := range snap {
+		mut := append([]byte(nil), snap...)
+		mut[i] ^= 0xFF
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at byte %d: %v", i, r)
+				}
+			}()
+			if _, err := b.Restore(Params{}, mut); err != nil && !errors.Is(err, snapshot.ErrCorruptSnapshot) {
+				t.Fatalf("byte %d: untyped error %v", i, err)
+			}
+		}()
+	}
+	for _, n := range []int{0, 5, len(snap) - 1} {
+		if _, err := b.Restore(Params{}, snap[:n]); !errors.Is(err, snapshot.ErrCorruptSnapshot) {
+			t.Fatalf("truncation to %d: err = %v", n, err)
+		}
+	}
+}

@@ -303,3 +303,34 @@ func (s *Stream) Categorical(weights []float64) int {
 	}
 	return len(weights) - 1 // floating-point slack
 }
+
+// State captures the stream's exact position as six words: LCG state
+// (hi, lo), increment (hi, lo), the spare-normal flag, and the spare
+// normal's bit pattern. Together with SetState it lets snapshots
+// preserve draw sequences bit-exactly, including a cached polar-method
+// variate that would otherwise be lost.
+func (s *Stream) State() [6]uint64 {
+	var spare uint64
+	if s.haveSpare {
+		spare = math.Float64bits(s.spare)
+	}
+	flag := uint64(0)
+	if s.haveSpare {
+		flag = 1
+	}
+	return [6]uint64{s.hi, s.lo, s.incHi, s.incLo, flag, spare}
+}
+
+// SetState restores a position previously captured with State. The
+// stream then produces exactly the sequence the captured stream would
+// have produced.
+func (s *Stream) SetState(st [6]uint64) {
+	s.hi, s.lo = st[0], st[1]
+	s.incHi, s.incLo = st[2], st[3]
+	s.haveSpare = st[4] != 0
+	if s.haveSpare {
+		s.spare = math.Float64frombits(st[5])
+	} else {
+		s.spare = 0
+	}
+}

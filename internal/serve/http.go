@@ -3,8 +3,12 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"strconv"
+
+	"alic/internal/core"
+	"alic/internal/snapshot"
 )
 
 // HTTP API of the tuning service (all bodies JSON):
@@ -16,6 +20,8 @@ import (
 //	GET    /v1/tenants/{tenant}/sessions/{name}/suggestions   pending configs to measure (remote)
 //	POST   /v1/tenants/{tenant}/sessions/{name}/observations  post measured observations (remote)
 //	GET    /v1/tenants/{tenant}/sessions/{name}/result        winner + bookkeeping (done sessions)
+//	GET    /v1/tenants/{tenant}/sessions/{name}/snapshot      serialized session (binary, for migration)
+//	POST   /v1/tenants/{tenant}/sessions/{name}/restore       recreate a session from a snapshot body
 //	GET    /v1/stats                                          server counters
 //	GET    /v1/healthz                                        liveness
 //
@@ -45,6 +51,8 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/tenants/{tenant}/sessions/{name}/suggestions", srv.handleSuggestions)
 	mux.HandleFunc("POST /v1/tenants/{tenant}/sessions/{name}/observations", srv.handleObservations)
 	mux.HandleFunc("GET /v1/tenants/{tenant}/sessions/{name}/result", srv.handleResult)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/sessions/{name}/snapshot", srv.handleSnapshot)
+	mux.HandleFunc("POST /v1/tenants/{tenant}/sessions/{name}/restore", srv.handleRestore)
 	mux.HandleFunc("GET /v1/stats", srv.handleStats)
 	mux.HandleFunc("GET /v1/healthz", srv.handleHealth)
 	return mux
@@ -67,9 +75,12 @@ func errStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrExists), errors.Is(err, ErrNotDone):
 		return http.StatusConflict
-	case errors.Is(err, ErrBadSpec), errors.Is(err, ErrBadObservation), errors.Is(err, ErrNotRemote):
+	case errors.Is(err, ErrBadSpec), errors.Is(err, ErrBadObservation), errors.Is(err, ErrNotRemote),
+		errors.Is(err, snapshot.ErrCorruptSnapshot), errors.Is(err, snapshot.ErrUnsupportedVersion),
+		errors.Is(err, core.ErrSnapshotMismatch):
 		return http.StatusBadRequest
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrNotAccepting), errors.Is(err, ErrSessionLimit):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrNotAccepting), errors.Is(err, ErrSessionLimit),
+		errors.Is(err, ErrSessionBusy):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrServerClosed):
 		return http.StatusServiceUnavailable
@@ -175,6 +186,38 @@ func (srv *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// handleSnapshot serializes a session for migration. The body is the
+// binary checkpoint container; POST it to another server's restore
+// endpoint to move the session.
+func (srv *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	data, err := srv.SnapshotSession(r.PathValue("tenant"), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
+// handleRestore recreates a session from a snapshot body under the
+// URL's tenant/name (which may differ from the origin's — renaming
+// during migration is fine; the learner trajectory depends only on
+// the spec's seed and parameters).
+func (srv *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSnapshotBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad body: " + err.Error()})
+		return
+	}
+	s, err := srv.restoreSession(data, r.PathValue("tenant"), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.Info())
 }
 
 func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -23,6 +23,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -97,6 +98,18 @@ type Options struct {
 	// TenantWeights seeds per-tenant scheduling weights (default 1;
 	// clamped to 1..64). SessionSpec.Weight can update them later.
 	TenantWeights map[string]int
+	// CheckpointDir, when non-empty, makes serving crash-safe: every
+	// session is periodically persisted to <dir>/<tenant>~<name>.ckpt
+	// with atomic temp-file+rename writes, and Server.Recover restores
+	// the whole fleet from the directory on startup. See checkpoint.go.
+	CheckpointDir string
+	// CheckpointEvery is the per-session checkpoint cadence in
+	// scheduler steps (default 1 = after every step). Terminal
+	// transitions always checkpoint regardless of cadence. Larger
+	// values trade recovery freshness for write amplification; a crash
+	// loses at most CheckpointEvery-1 steps per session, which recovery
+	// then re-runs bit-identically.
+	CheckpointEvery int
 }
 
 // Stats is the server-wide counter snapshot.
@@ -109,6 +122,9 @@ type Stats struct {
 	StepP50Millis float64 `json:"step_p50_ms"`
 	StepP99Millis float64 `json:"step_p99_ms"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// CheckpointErrors counts failed checkpoint writes (the previous
+	// complete checkpoint of the affected session stays in place).
+	CheckpointErrors int64 `json:"checkpoint_errors,omitempty"`
 }
 
 // Server is the multi-tenant session host.
@@ -122,9 +138,10 @@ type Server struct {
 	datasets map[dsKey]*dataset.Dataset
 	closed   bool
 
-	start     time.Time
-	completed atomic.Int64
-	failed    atomic.Int64
+	start        time.Time
+	completed    atomic.Int64
+	failed       atomic.Int64
+	ckptFailures atomic.Int64
 }
 
 // dsKey identifies a shareable dataset: sessions with the same kernel,
@@ -157,6 +174,11 @@ func NewServer(opts Options) *Server {
 		start:    time.Now(),
 	}
 	srv.sched = newScheduler(workers, opts.TenantWeights)
+	if opts.CheckpointDir != "" {
+		// Best-effort here; Recover and the first checkpoint write report
+		// a directory that cannot be created.
+		_ = os.MkdirAll(opts.CheckpointDir, 0o755)
+	}
 	return srv
 }
 
@@ -279,28 +301,45 @@ func (srv *Server) CreateSession(spec SessionSpec) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := srv.register(s, spec); err != nil {
+		return nil, err
+	}
+	if srv.checkpointing() {
+		// Cover the create-to-first-step window: a crash before the
+		// session ever steps must not lose it. The session is not yet
+		// schedulable here, so this write owns the learner.
+		srv.writeCheckpoint(s, StatusRunning, nil)
+	}
+	s.maybeWake()
+	return s, nil
+}
+
+// register inserts a built session into the registry, enforcing the
+// server-wide and per-tenant caps. On error the session's learner is
+// closed.
+func (srv *Server) register(s *Session, spec SessionSpec) error {
 	key := spec.Tenant + "/" + spec.Name
 
 	srv.mu.Lock()
 	if srv.closed {
 		srv.mu.Unlock()
 		s.learner.Close()
-		return nil, ErrServerClosed
+		return ErrServerClosed
 	}
 	if _, ok := srv.sessions[key]; ok {
 		srv.mu.Unlock()
 		s.learner.Close()
-		return nil, fmt.Errorf("%w: %s", ErrExists, key)
+		return fmt.Errorf("%w: %s", ErrExists, key)
 	}
 	if len(srv.sessions) >= srv.opts.MaxSessions {
 		srv.mu.Unlock()
 		s.learner.Close()
-		return nil, fmt.Errorf("%w: server cap %d", ErrSessionLimit, srv.opts.MaxSessions)
+		return fmt.Errorf("%w: server cap %d", ErrSessionLimit, srv.opts.MaxSessions)
 	}
 	if srv.byTenant[spec.Tenant] >= srv.opts.MaxSessionsPerTenant {
 		srv.mu.Unlock()
 		s.learner.Close()
-		return nil, fmt.Errorf("%w: tenant cap %d", ErrSessionLimit, srv.opts.MaxSessionsPerTenant)
+		return fmt.Errorf("%w: tenant cap %d", ErrSessionLimit, srv.opts.MaxSessionsPerTenant)
 	}
 	srv.sessions[key] = s
 	srv.byTenant[spec.Tenant]++
@@ -313,8 +352,7 @@ func (srv *Server) CreateSession(spec SessionSpec) (*Session, error) {
 	if spec.Weight > 0 {
 		srv.sched.setWeight(spec.Tenant, spec.Weight)
 	}
-	s.maybeWake()
-	return s, nil
+	return nil
 }
 
 // buildSession constructs the learner stack for a spec.
@@ -492,7 +530,11 @@ func (srv *Server) DeleteSession(tenant, name string) error {
 	delete(srv.sessions, key)
 	srv.byTenant[tenant]--
 	srv.mu.Unlock()
+	s.mu.Lock()
+	s.dropCkpt = true
+	s.mu.Unlock()
 	s.shutdown()
+	srv.removeCheckpoint(tenant, name)
 	return nil
 }
 
@@ -511,13 +553,14 @@ func (srv *Server) Stats() Stats {
 	srv.mu.Unlock()
 	ps := srv.sched.lat.percentiles(50, 99)
 	return Stats{
-		Sessions:      n,
-		Active:        active,
-		Completed:     srv.completed.Load(),
-		Failed:        srv.failed.Load(),
-		Steps:         srv.sched.steps.Load(),
-		StepP50Millis: float64(ps[0]) / 1e6,
-		StepP99Millis: float64(ps[1]) / 1e6,
-		UptimeSeconds: time.Since(srv.start).Seconds(),
+		Sessions:         n,
+		Active:           active,
+		Completed:        srv.completed.Load(),
+		Failed:           srv.failed.Load(),
+		Steps:            srv.sched.steps.Load(),
+		StepP50Millis:    float64(ps[0]) / 1e6,
+		StepP99Millis:    float64(ps[1]) / 1e6,
+		UptimeSeconds:    time.Since(srv.start).Seconds(),
+		CheckpointErrors: srv.ckptFailures.Load(),
 	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -101,6 +102,8 @@ type Session struct {
 	mu          sync.Mutex
 	status      Status
 	sched       int
+	suspended   bool // snapshot in progress; maybeWake holds off
+	dropCkpt    bool // deleted (not just shut down): checkpoint must go
 	err         error
 	steps       int64 // scheduler steps taken
 	createdStep int64 // global step ordinal when the session was registered
@@ -241,10 +244,46 @@ func (s *Session) runStep(globalOrd int64) {
 
 	s.mu.Lock()
 	s.steps++
+	steps := s.steps
+	deleted := s.status.terminal()
+	s.mu.Unlock()
+
+	var term Status
+	switch {
+	case err != nil:
+		term = StatusFailed
+	case !more:
+		term = StatusDone
+	}
+	// Persist before releasing step ownership: the learner is only
+	// safely serializable while this worker owns the session. A step
+	// torn down by Server.Close surfaces ErrClosed — that is process
+	// shutdown, not a session failure, and must not clobber the last
+	// good checkpoint (it is exactly what recovery restores from).
+	shuttingDown := err != nil && errors.Is(err, core.ErrClosed)
+	if !deleted && !shuttingDown && s.srv.checkpointDue(steps, term != "") {
+		st := StatusRunning
+		switch {
+		case term != "":
+			st = term
+		case waiting:
+			st = StatusWaiting
+		}
+		s.srv.writeCheckpoint(s, st, err)
+	}
+
+	s.mu.Lock()
 	s.sched = schedParked
 	if s.status.terminal() {
-		// Deleted while stepping; the closer owns the terminal state.
+		// Closed or deleted while stepping; the closer owns the terminal
+		// state. If it was a deletion, a checkpoint written above may
+		// have raced the deletion's cleanup — remove it again. (Server
+		// shutdown keeps checkpoints: they are the recovery source.)
+		drop := s.dropCkpt
 		s.mu.Unlock()
+		if drop {
+			s.srv.removeCheckpoint(s.spec.Tenant, s.spec.Name)
+		}
 		return
 	}
 	switch {
@@ -301,7 +340,7 @@ func (s *Session) observationsReady() bool {
 // racing wakers.
 func (s *Session) maybeWake() {
 	s.mu.Lock()
-	if s.sched != schedParked || s.status.terminal() {
+	if s.sched != schedParked || s.status.terminal() || s.suspended {
 		s.mu.Unlock()
 		return
 	}

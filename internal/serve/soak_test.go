@@ -118,3 +118,117 @@ func TestSoakThousandSessions(t *testing.T) {
 			stats.Completed, stats.Failed, sessions)
 	}
 }
+
+// TestSoakCrashRecovery is the robustness-issue soak: a few hundred
+// concurrent sessions under per-step checkpointing, the server torn
+// down abruptly mid-load, a fresh server recovering the whole fleet
+// from disk. Every session must reach done with zero lost cost-ledger
+// accounting and cost budgets honored exactly as in an uninterrupted
+// run.
+func TestSoakCrashRecovery(t *testing.T) {
+	sessions := 200
+	if testing.Short() {
+		sessions = 60
+	}
+	const (
+		tenants     = 10
+		remoteEvery = 10
+		budgetEvery = 7
+		costBudget  = 2.0
+	)
+	dir := t.TempDir()
+
+	crash := NewServer(Options{CheckpointDir: dir, CheckpointEvery: 1})
+	specs := make([]SessionSpec, sessions)
+	for i := range specs {
+		spec := tinySpec(fmt.Sprintf("t%02d", i%tenants), fmt.Sprintf("s%04d", i))
+		spec.Seed = 7 + uint64(i%4)
+		spec.MaxRounds = 6 + i%4
+		if i%remoteEvery == 0 {
+			spec.Source = SourceRemote
+		}
+		if i%budgetEvery == 0 {
+			spec.CostBudget = costBudget
+		}
+		specs[i] = spec
+		if _, err := crash.CreateSession(spec); err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+	}
+	// Feed the remote cohort just enough to get everyone moving, then
+	// pull the plug mid-load: no drain, no checkpoint flush.
+	for i := 0; i < sessions; i += remoteEvery {
+		s, err := crash.GetSession(specs[i].Tenant, specs[i].Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := feedPartial(s, 2, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(10 * time.Millisecond)
+	crash.Close()
+
+	rec := NewServer(Options{CheckpointDir: dir, CheckpointEvery: 1})
+	defer rec.Close()
+	n, err := rec.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if n != sessions {
+		t.Fatalf("recovered %d of %d sessions", n, sessions)
+	}
+
+	// Restart the external agents for the remote cohort.
+	feedErrs := make(chan error, sessions/remoteEvery+1)
+	var feeders sync.WaitGroup
+	for i := 0; i < sessions; i += remoteEvery {
+		s, err := rec.GetSession(specs[i].Tenant, specs[i].Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feeders.Add(1)
+		go func(s *Session) {
+			defer feeders.Done()
+			if err := feedUntilDone(s, 2*time.Minute); err != nil {
+				feedErrs <- err
+			}
+		}(s)
+	}
+	feeders.Wait()
+	close(feedErrs)
+	for err := range feedErrs {
+		t.Error(err)
+	}
+
+	for i, spec := range specs {
+		s, err := rec.GetSession(spec.Tenant, spec.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, s, 2*time.Minute)
+		info := s.Info()
+		if info.Status != StatusDone {
+			t.Fatalf("session %d (%s): status %v, err %v", i, s.key, info.Status, s.Err())
+		}
+		if i%budgetEvery != 0 {
+			continue
+		}
+		if s.learner.Result().StoppedBy.String() == "cost" {
+			cost, last := s.learner.Cost(), s.learner.LastRoundCost()
+			if cost < costBudget {
+				t.Errorf("session %d stopped by cost below budget: %.3f < %.3f", i, cost, costBudget)
+			}
+			if cost-last >= costBudget {
+				t.Errorf("session %d overshot budget across the restart: cost %.3f, last round %.3f, budget %.3f",
+					i, cost, last, costBudget)
+			}
+		}
+	}
+
+	stats := rec.Stats()
+	if stats.Completed != int64(sessions) || stats.Failed != 0 {
+		t.Fatalf("accounting lost across crash: completed %d failed %d, want %d completed, 0 failed",
+			stats.Completed, stats.Failed, sessions)
+	}
+}

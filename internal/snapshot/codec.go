@@ -1,0 +1,223 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Encoder builds a section payload from fixed-width little-endian
+// primitives. Floats travel as their IEEE-754 bit patterns, which is
+// what the bit-determinism contract requires: a restored float is the
+// same 64 bits that were saved, including negative zero and NaN
+// payloads.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an Encoder with room for sizeHint bytes.
+func NewEncoder(sizeHint int) *Encoder {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Encoder{buf: make([]byte, 0, sizeHint)}
+}
+
+// Bytes returns the accumulated payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+func (e *Encoder) U64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Int encodes a Go int as 64 bits regardless of platform word size.
+func (e *Encoder) Int(v int) { e.U64(uint64(int64(v))) }
+
+func (e *Encoder) U32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// String writes a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Int(len(s))
+	e.buf = append(e.buf, s...)
+}
+
+// Ints writes a length-prefixed []int.
+func (e *Encoder) Ints(v []int) {
+	e.Int(len(v))
+	for _, x := range v {
+		e.Int(x)
+	}
+}
+
+// Int32s writes a length-prefixed []int32.
+func (e *Encoder) Int32s(v []int32) {
+	e.Int(len(v))
+	for _, x := range v {
+		e.U32(uint32(x))
+	}
+}
+
+// F64s writes a length-prefixed []float64.
+func (e *Encoder) F64s(v []float64) {
+	e.Int(len(v))
+	for _, x := range v {
+		e.F64(x)
+	}
+}
+
+// Decoder reads back what an Encoder wrote. It never panics on
+// malformed input: the first violation (short buffer, negative or
+// overrunning length) latches an error, every subsequent read returns
+// a zero value, and the caller checks Err once at the end. Length
+// prefixes are validated against the bytes actually remaining before
+// any allocation, so a flipped length byte cannot force a huge
+// allocation.
+type Decoder struct {
+	buf     []byte
+	section string
+	err     error
+}
+
+// NewDecoder decodes payload; section names the enclosing section for
+// error messages.
+func NewDecoder(section string, payload []byte) *Decoder {
+	return &Decoder{buf: payload, section: section}
+}
+
+// Err reports the first decoding violation, wrapped so that
+// errors.Is(err, ErrCorruptSnapshot) holds.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports how many bytes are left undecoded.
+func (d *Decoder) Remaining() int { return len(d.buf) }
+
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = corruptf(d.section, format, args...)
+	}
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.buf) {
+		d.fail("need %d bytes, %d remain", n, len(d.buf))
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+func (d *Decoder) Int() int { return int(d.I64()) }
+
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+func (d *Decoder) Bool() bool {
+	b := d.take(1)
+	if b == nil {
+		return false
+	}
+	switch b[0] {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("bool byte %d", b[0])
+		return false
+	}
+}
+
+func (d *Decoder) String() string {
+	n := d.Int()
+	if d.err != nil {
+		return ""
+	}
+	if n < 0 || n > len(d.buf) {
+		d.fail("string length %d, %d bytes remain", n, len(d.buf))
+		return ""
+	}
+	return string(d.take(n))
+}
+
+// sliceLen validates a length prefix for elements of elemSize bytes.
+func (d *Decoder) sliceLen(elemSize int) int {
+	n := d.Int()
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || n > len(d.buf)/elemSize {
+		d.fail("slice length %d, %d bytes remain", n, len(d.buf))
+		return 0
+	}
+	return n
+}
+
+func (d *Decoder) Ints() []int {
+	n := d.sliceLen(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]int, n)
+	for i := range v {
+		v[i] = d.Int()
+	}
+	return v
+}
+
+func (d *Decoder) Int32s() []int32 {
+	n := d.sliceLen(4)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]int32, n)
+	for i := range v {
+		v[i] = int32(d.U32())
+	}
+	return v
+}
+
+func (d *Decoder) F64s() []float64 {
+	n := d.sliceLen(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = d.F64()
+	}
+	return v
+}
