@@ -104,11 +104,23 @@ import (
 	"alic/internal/evaluator"
 	"alic/internal/measure"
 	"alic/internal/model"
+	"alic/internal/noise"
+	"alic/internal/rng"
 	"alic/internal/serve"
 	"alic/internal/snapshot"
+	"alic/internal/space"
 	"alic/internal/spapt"
 	"alic/internal/stats"
 	"alic/internal/tuner"
+	"alic/internal/warmstart"
+
+	// The built-in space providers register themselves at init time:
+	// the SPAPT suite, the synthetic robustness spaces, and the
+	// exec-backed compiler-flag space (inert until opted into via
+	// environment).
+	_ "alic/internal/space/execspace"
+	"alic/internal/space/spaptspace"
+	_ "alic/internal/space/synthetic"
 )
 
 // Sentinel errors returned (wrapped) by the facade; assert with
@@ -146,8 +158,16 @@ var (
 	ErrUnsupportedSnapshot = snapshot.ErrUnsupportedVersion
 	// ErrSnapshotMismatch reports a well-formed snapshot taken from a
 	// learner with different structural parameters (pool size,
-	// budgets, plan/scorer/backend, seed) than the one restoring it.
+	// budgets, plan/scorer/backend, seed — or a different search
+	// space) than the one restoring it.
 	ErrSnapshotMismatch = core.ErrSnapshotMismatch
+	// ErrUnknownSpace reports a space name with no registration; the
+	// error text lists every registered space.
+	ErrUnknownSpace = space.ErrUnknownSpace
+	// ErrLiveSpace reports a corpus-based operation (dataset
+	// generation, serving) on a space that measures by executing real
+	// commands; use LearnLive for those.
+	ErrLiveSpace = dataset.ErrLiveSpace
 )
 
 // Re-exported core types. Downstream code uses these names; the
@@ -155,8 +175,31 @@ var (
 type (
 	// Kernel is one SPAPT search problem (benchmark).
 	Kernel = spapt.Kernel
-	// Config is a point of a kernel's optimization space.
-	Config = spapt.Config
+	// Space is one registered search problem: the SPAPT kernels, the
+	// synthetic robustness spaces, the exec-backed compiler-flag
+	// space, or anything added with RegisterSpace.
+	Space = space.Space
+	// SpaceParam is one tunable dimension of a search space.
+	SpaceParam = space.Param
+	// SpaceMeasurer observes configurations of a space.
+	SpaceMeasurer = space.Measurer
+	// RandStream is the deterministic random stream a Space's
+	// RandomConfig draws from.
+	RandStream = rng.Stream
+	// NoiseModel describes a simulated space's measurement-noise
+	// profile (the zero value documents a live space, whose noise is
+	// the real machine's).
+	NoiseModel = noise.Model
+	// Config is a point of a search space ([]int, one value per
+	// parameter).
+	Config = space.Config
+	// WarmStart is the learner-level transfer payload (standardised
+	// pseudo-observations); build one from a WarmStartSummary with
+	// ApplyWarmStart.
+	WarmStart = core.WarmStart
+	// WarmStartSummary is the portable cross-space transfer summary
+	// exported from a finished run.
+	WarmStartSummary = warmstart.Summary
 	// Model is the pluggable regression-backend interface every
 	// learner trains (see internal/model for the contract).
 	Model = model.Model
@@ -292,6 +335,65 @@ func PlanByName(name string) (SamplingPlan, error) { return core.PlanByName(name
 // PlanNames lists the registered sampling plans.
 func PlanNames() []string { return core.PlanNames() }
 
+// RegisterSpace makes a search space selectable by name through
+// SpaceByName, LearnSpace, the -space flag of cmd/alic, and serving
+// session specs. Call it from an init function (see
+// examples/custom-space).
+func RegisterSpace(s Space) { space.Register(s) }
+
+// SpaceByName returns a registered search space.
+func SpaceByName(name string) (Space, error) { return space.ByName(name) }
+
+// SpaceNames lists the registered search spaces in sorted order.
+func SpaceNames() []string { return space.Names() }
+
+// IsLiveSpace reports whether sp measures by executing real commands
+// (no simulated corpus; tune it with LearnLive).
+func IsLiveSpace(sp Space) bool { return space.IsLive(sp) }
+
+// The space helper kit re-exports the generic implementations of the
+// Space interface's mechanical methods, so user-defined spaces outside
+// this module compose them instead of reimplementing the contracts
+// (see examples/custom-space).
+
+// CheckSpaceConfig is the generic Space.Check: one value in [1, Max]
+// per parameter.
+func CheckSpaceConfig(params []SpaceParam, cfg Config) error {
+	return space.CheckConfig(params, cfg)
+}
+
+// UniformSpaceFeatures is the generic Space.Features: dimension i maps
+// to (v-1)/(Max-1), every axis spanning [0, 1].
+func UniformSpaceFeatures(params []SpaceParam, cfg Config) []float64 {
+	return space.UniformFeatures(params, cfg)
+}
+
+// UniformRandomConfig is the generic Space.RandomConfig: one uniform
+// value in [1, Max] per parameter, one Intn draw per dimension.
+func UniformRandomConfig(params []SpaceParam, r *RandStream) Config {
+	return space.UniformRandom(params, r)
+}
+
+// BaselineOnesConfig returns the all-ones configuration — the generic
+// Space.BaselineConfig.
+func BaselineOnesConfig(n int) Config { return space.BaselineOnes(n) }
+
+// HashSpaceConfig is the generic Space.Key: a stable FNV-64a hash of
+// the (space name, configuration) pair, so equal configurations of
+// different spaces never collide into the same noise stream.
+func HashSpaceConfig(name string, cfg Config) uint64 { return space.HashConfig(name, cfg) }
+
+// SpaceSizeOf returns the cardinality of a parameter list.
+func SpaceSizeOf(params []SpaceParam) float64 { return space.SizeOf(params) }
+
+// ValidateSpaceParams is the generic Space.Validate: at least one
+// parameter, unique names, positive ranges.
+func ValidateSpaceParams(params []SpaceParam) error { return space.ValidateParams(params) }
+
+// WrapKernel adapts a SPAPT kernel — including unregistered ones, e.g.
+// retargeted via WithMachine — to the Space interface.
+func WrapKernel(k *Kernel) (Space, error) { return spaptspace.Wrap(k) }
+
 // Kernels returns the 11-kernel SPAPT suite used in the paper's
 // evaluation.
 func Kernels() []*Kernel { return spapt.Kernels() }
@@ -305,12 +407,33 @@ func KernelByName(name string) (*Kernel, error) { return spapt.ByName(name) }
 // NewSession opens a simulated profiling session for a kernel. Equal
 // seeds reproduce identical noise.
 func NewSession(k *Kernel, seed uint64) (*Session, error) {
-	return measure.NewSession(k, seed)
+	sp, err := spaptspace.Wrap(k)
+	if err != nil {
+		return nil, ErrNilKernel
+	}
+	return measure.NewSession(sp, seed)
+}
+
+// NewSpaceSession opens a profiling session for any search space. For
+// simulated spaces equal seeds reproduce identical noise; live spaces
+// measure the real machine.
+func NewSpaceSession(sp Space, seed uint64) (*Session, error) {
+	return measure.NewSession(sp, seed)
 }
 
 // GenerateDataset builds a dataset per §4.5 of the paper.
 func GenerateDataset(k *Kernel, opts DatasetOptions) (*Dataset, error) {
-	return dataset.Generate(k, opts)
+	sp, err := spaptspace.Wrap(k)
+	if err != nil {
+		return nil, ErrNilKernel
+	}
+	return dataset.Generate(sp, opts)
+}
+
+// GenerateSpaceDataset builds a §4.5-style corpus for any simulated
+// search space; live spaces are rejected with ErrLiveSpace.
+func GenerateSpaceDataset(sp Space, opts DatasetOptions) (*Dataset, error) {
+	return dataset.Generate(sp, opts)
 }
 
 // DefaultDatasetOptions returns the paper's dataset parameters
@@ -346,6 +469,9 @@ type LearnOptions struct {
 	TestSize int
 	// DatasetSeed drives configuration sampling and noise.
 	DatasetSeed uint64
+	// WarmStart, when non-nil, seeds the run from a posterior summary
+	// exported by a finished run on a related space (ExportWarmStart).
+	WarmStart *WarmStartSummary
 }
 
 // LearnResult is the outcome of Learn.
@@ -372,6 +498,30 @@ func LearnContext(ctx context.Context, k *Kernel, opts LearnOptions) (*LearnResu
 	if k == nil {
 		return nil, ErrNilKernel
 	}
+	sp, err := spaptspace.Wrap(k)
+	if err != nil {
+		return nil, ErrNilKernel
+	}
+	return learnSpace(ctx, sp, opts)
+}
+
+// LearnSpace builds a runtime model for any registered simulated
+// search space — the space-generic Learn. Live spaces are rejected
+// with ErrLiveSpace (use LearnLive).
+func LearnSpace(name string, opts LearnOptions) (*LearnResult, error) {
+	return LearnSpaceContext(context.Background(), name, opts)
+}
+
+// LearnSpaceContext is LearnSpace under a context.
+func LearnSpaceContext(ctx context.Context, name string, opts LearnOptions) (*LearnResult, error) {
+	sp, err := space.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return learnSpace(ctx, sp, opts)
+}
+
+func learnSpace(ctx context.Context, sp Space, opts LearnOptions) (*LearnResult, error) {
 	if opts.PoolSize < opts.Learner.NInit {
 		return nil, fmt.Errorf("%w: PoolSize %d below NInit %d",
 			ErrPoolTooSmall, opts.PoolSize, opts.Learner.NInit)
@@ -390,7 +540,7 @@ func LearnContext(ctx context.Context, k *Kernel, opts LearnOptions) (*LearnResu
 		}
 		opts.Learner.Model = b
 	}
-	ds, err := dataset.Generate(k, dataset.Options{
+	ds, err := dataset.Generate(sp, dataset.Options{
 		NConfigs:   opts.PoolSize + opts.TestSize,
 		NObs:       opts.Learner.NObs,
 		TrainCount: opts.PoolSize,
@@ -399,11 +549,144 @@ func LearnContext(ctx context.Context, k *Kernel, opts LearnOptions) (*LearnResu
 	if err != nil {
 		return nil, err
 	}
+	if opts.WarmStart != nil {
+		ws, err := warmstart.Apply(opts.WarmStart, ds)
+		if err != nil {
+			return nil, err
+		}
+		opts.Learner.WarmStart = ws
+	}
 	res, err := RunOnDatasetContext(ctx, ds, opts.Learner)
 	if err != nil {
 		return nil, err
 	}
 	return &LearnResult{LearnerResult: res, Dataset: ds}, nil
+}
+
+// LiveResult is the outcome of LearnLive.
+type LiveResult struct {
+	// Result is the learner's report (model, costs, curve-less: live
+	// spaces have no held-out ground truth).
+	*LearnerResult
+	// Configs is the sampled candidate pool the learner chose from.
+	Configs []Config
+	// Winner is the configuration the trained model predicts fastest.
+	Winner Config
+	// WinnerPredicted is the model's predicted mean runtime at Winner.
+	WinnerPredicted float64
+}
+
+// LearnLive tunes a search space by measuring it directly — each
+// acquisition compiles and runs the real configuration through the
+// space's measurer instead of replaying a pre-generated corpus. This
+// is the only way to drive live spaces such as exec/cc (whose
+// measurer shells out to a toolchain), and it works for simulated
+// spaces too. There is no held-out test set, so the result carries no
+// RMSE curve; the winner is the model's predicted-best pool
+// configuration.
+func LearnLive(sp Space, opts LearnOptions) (*LiveResult, error) {
+	return LearnLiveContext(context.Background(), sp, opts)
+}
+
+// LearnLiveContext is LearnLive under a context.
+func LearnLiveContext(ctx context.Context, sp Space, opts LearnOptions) (*LiveResult, error) {
+	if sp == nil {
+		return nil, fmt.Errorf("alic: nil space")
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.PoolSize < opts.Learner.NInit {
+		return nil, fmt.Errorf("%w: PoolSize %d below NInit %d",
+			ErrPoolTooSmall, opts.PoolSize, opts.Learner.NInit)
+	}
+	if float64(opts.PoolSize) > sp.Size()/2 {
+		return nil, fmt.Errorf("alic: PoolSize %d too large for space of size %g",
+			opts.PoolSize, sp.Size())
+	}
+	if opts.Model != "" {
+		b, err := model.ByName(opts.Model)
+		if err != nil {
+			return nil, err
+		}
+		opts.Learner.Model = b
+	}
+
+	// Opening the measurer is the opt-in gate: unconfigured live
+	// spaces fail here, before anything executes.
+	meas, err := sp.Measurer(opts.DatasetSeed)
+	if err != nil {
+		return nil, err
+	}
+	if c, ok := meas.(interface{ Close() error }); ok {
+		defer c.Close()
+	}
+
+	// Sample the candidate pool exactly as dataset generation does
+	// (same stream, same rejection sampling), then standardise features
+	// over the pool.
+	r := rng.NewStream(opts.DatasetSeed, 0xda7a5e7) // dataset stream
+	seen := make(map[uint64]bool, opts.PoolSize)
+	cfgs := make([]Config, 0, opts.PoolSize)
+	for len(cfgs) < opts.PoolSize {
+		cfg := sp.RandomConfig(r)
+		key := sp.Key(cfg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cfgs = append(cfgs, cfg)
+	}
+	raw := make([][]float64, len(cfgs))
+	for i, cfg := range cfgs {
+		raw[i] = sp.Features(cfg)
+	}
+	nz := stats.FitNormalizer(raw)
+	poolX := nz.TransformAll(raw)
+
+	if opts.WarmStart != nil {
+		ws, err := warmstart.ApplyRaw(opts.WarmStart, sp.Name(), sp.Dim(), nz)
+		if err != nil {
+			return nil, err
+		}
+		opts.Learner.WarmStart = ws
+	}
+	if opts.Learner.Space == "" {
+		opts.Learner.Space = sp.Name()
+	}
+
+	src, err := evaluator.NewSpaceSource(meas, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	eng := evaluator.New(src, evaluator.Options{
+		Workers: opts.Learner.EvalWorkers,
+		Window:  learnerWindow(opts.Learner),
+		Latency: opts.Learner.EvalLatency,
+	})
+	learner, err := core.NewWithEvaluator(opts.Learner, core.SlicePool(poolX), eng, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer learner.Close()
+	res, err := learner.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &LiveResult{LearnerResult: res, Configs: cfgs}
+	if res.Model != nil {
+		preds := res.Model.PredictMeanFastBatch(poolX)
+		best := 0
+		for i, p := range preds {
+			if p < preds[best] {
+				best = i
+			}
+		}
+		out.Winner = cfgs[best]
+		out.WinnerPredicted = preds[best]
+	}
+	return out, nil
 }
 
 // NewLearner constructs a step-wise learner over a pre-generated
@@ -418,6 +701,12 @@ func LearnContext(ctx context.Context, k *Kernel, opts LearnOptions) (*LearnResu
 func NewLearner(ds *Dataset, opts LearnerOptions) (*Learner, error) {
 	if ds == nil {
 		return nil, ErrNilDataset
+	}
+	if opts.Space == "" && ds.Space != nil {
+		// Default the snapshot guard: snapshots name their space, and
+		// restoring under a different one fails with
+		// ErrSnapshotMismatch instead of mixing trajectories.
+		opts.Space = ds.Space.Name()
 	}
 	pool := make(core.SlicePool, len(ds.TrainIdx))
 	for i, idx := range ds.TrainIdx {
@@ -504,3 +793,30 @@ func Tune(m Model, sess *Session, ds *Dataset, opts TunerOptions) (*TunerResult,
 	}
 	return tuner.Search(m, sess, ds.Normalizer, opts)
 }
+
+// ExportWarmStart summarises a trained model over its dataset as a
+// compact, portable posterior summary (n points; 0 picks a default):
+// the payload cross-space warm starts consume via LearnOptions,
+// serving specs, or the -warm-start flag of cmd/alic.
+func ExportWarmStart(m Model, ds *Dataset, n int) (*WarmStartSummary, error) {
+	if ds == nil {
+		return nil, ErrNilDataset
+	}
+	return warmstart.Export(m, ds, n)
+}
+
+// ApplyWarmStart maps a summary onto a receiving dataset's feature
+// space, producing the LearnerOptions.WarmStart payload for callers
+// wiring learners manually with NewLearner.
+func ApplyWarmStart(sum *WarmStartSummary, ds *Dataset) (*WarmStart, error) {
+	if ds == nil {
+		return nil, ErrNilDataset
+	}
+	return warmstart.Apply(sum, ds)
+}
+
+// SaveWarmStart writes a summary to path as JSON.
+func SaveWarmStart(sum *WarmStartSummary, path string) error { return warmstart.Save(sum, path) }
+
+// LoadWarmStart reads a summary written by SaveWarmStart.
+func LoadWarmStart(path string) (*WarmStartSummary, error) { return warmstart.Load(path) }

@@ -1,0 +1,167 @@
+package alic
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+)
+
+// The transfer benchmark measures cross-space warm starts on the
+// related synthetic pair: a run on synthetic/needle exports its
+// posterior summary, and runs on synthetic/needle-shifted start either
+// cold or warm from it. The metric is rounds-to-target-RMSE — the
+// first acquisition round at which the test-set error drops to within
+// transferTargetSlack of the cold run's final error — so the number
+// answers the paper's economic question directly: how much profiling
+// does a related space's posterior save?
+
+// transferSeeds are the dataset seeds averaged over; the source run
+// uses the seed, the receiving runs use seed+100 so donor and receiver
+// never share a corpus.
+var transferSeeds = []uint64{1, 2, 3}
+
+// transferTargetSlack defines the target error: coldFinal * slack.
+// The cold run reaches its own final error by construction, so the
+// target is always attainable and rounds-to-target is well defined
+// for the cold arm; a warm arm that never reaches it is censored at
+// the full budget.
+const transferTargetSlack = 1.10
+
+// transferRoundsFloor is the CI floor on the mean warm/cold
+// rounds-to-target ratio: warm starts must not slow convergence to
+// the cold run's quality (≤ 1.0 means the warm arm needed no more
+// rounds than cold on average; the margin absorbs seed-to-seed
+// variance without letting a poisoned transfer through).
+const transferRoundsFloor = 1.0
+
+// transferLearnOptions is the synthetic robustness budget with a
+// round-resolution error curve (EvalEvery 1) so rounds-to-target can
+// be read off the curve exactly.
+func transferLearnOptions(seed uint64) LearnOptions {
+	o := syntheticLearnOptions()
+	o.Learner.EvalEvery = 1
+	o.DatasetSeed = seed
+	return o
+}
+
+// roundsToTarget returns the Acquired count of the first curve point
+// at or below target, or budget if the curve never reaches it.
+func roundsToTarget(curve []CurvePoint, target float64, budget int) int {
+	for _, p := range curve {
+		if !math.IsNaN(p.Error) && p.Error <= target {
+			return p.Acquired
+		}
+	}
+	return budget
+}
+
+// transferSeedRecord is one seed's paired measurement.
+type transferSeedRecord struct {
+	Seed       uint64  `json:"seed"`
+	Target     float64 `json:"target_rmse"`
+	ColdRounds int     `json:"cold_rounds_to_target"`
+	WarmRounds int     `json:"warm_rounds_to_target"`
+	ColdFinal  float64 `json:"cold_final_rmse"`
+	WarmFinal  float64 `json:"warm_final_rmse"`
+}
+
+type transferBenchReport struct {
+	Name            string               `json:"name"`
+	SourceSpace     string               `json:"source_space"`
+	TargetSpace     string               `json:"target_space"`
+	TargetSlack     float64              `json:"target_slack"`
+	Budget          int                  `json:"budget_rounds"`
+	Seeds           []transferSeedRecord `json:"seeds"`
+	MeanColdRounds  float64              `json:"mean_cold_rounds"`
+	MeanWarmRounds  float64              `json:"mean_warm_rounds"`
+	WarmOverCold    float64              `json:"warm_over_cold_rounds_ratio"`
+	MeetsRoundFloor bool                 `json:"meets_rounds_ratio_floor"`
+	MeetsNoPoison   bool                 `json:"meets_no_poison_floor"`
+}
+
+// TestRecordTransferBenchmark regenerates BENCH_transfer.json — warm
+// vs cold rounds-to-target-RMSE on the needle → needle-shifted pair —
+// and enforces two floors: the mean warm/cold rounds ratio stays at or
+// below transferRoundsFloor, and no warm run ends pathologically worse
+// than its cold twin (no-poison, 1.5x). It only runs when
+// ALIC_RECORD_TRANSFER_BENCH is set (CI's spaces job, or locally:
+//
+//	ALIC_RECORD_TRANSFER_BENCH=BENCH_transfer.json go test -run TestRecordTransferBenchmark .
+func TestRecordTransferBenchmark(t *testing.T) {
+	out := os.Getenv("ALIC_RECORD_TRANSFER_BENCH")
+	if out == "" {
+		t.Skip("set ALIC_RECORD_TRANSFER_BENCH=<path> to record the transfer benchmark")
+	}
+	const srcSpace, dstSpace = "synthetic/needle", "synthetic/needle-shifted"
+	budget := syntheticLearnOptions().Learner.NMax
+	rep := transferBenchReport{
+		Name:        "cross-space-warm-start",
+		SourceSpace: srcSpace,
+		TargetSpace: dstSpace,
+		TargetSlack: transferTargetSlack,
+		Budget:      budget,
+	}
+	noPoison := true
+	for _, seed := range transferSeeds {
+		src, err := LearnSpace(srcSpace, transferLearnOptions(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := ExportWarmStart(src.Model, src.Dataset, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		coldOpts := transferLearnOptions(seed + 100)
+		cold, err := LearnSpace(dstSpace, coldOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmOpts := transferLearnOptions(seed + 100)
+		warmOpts.WarmStart = sum
+		warm, err := LearnSpace(dstSpace, warmOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		target := cold.FinalError * transferTargetSlack
+		rec := transferSeedRecord{
+			Seed:       seed,
+			Target:     target,
+			ColdRounds: roundsToTarget(cold.Curve, target, budget),
+			WarmRounds: roundsToTarget(warm.Curve, target, budget),
+			ColdFinal:  cold.FinalError,
+			WarmFinal:  warm.FinalError,
+		}
+		if warm.FinalError > 1.5*cold.FinalError {
+			noPoison = false
+		}
+		rep.Seeds = append(rep.Seeds, rec)
+		rep.MeanColdRounds += float64(rec.ColdRounds)
+		rep.MeanWarmRounds += float64(rec.WarmRounds)
+		t.Logf("seed %d: target %.4f, cold %d rounds (final %.4f), warm %d rounds (final %.4f)",
+			seed, target, rec.ColdRounds, cold.FinalError, rec.WarmRounds, warm.FinalError)
+	}
+	n := float64(len(transferSeeds))
+	rep.MeanColdRounds /= n
+	rep.MeanWarmRounds /= n
+	rep.WarmOverCold = rep.MeanWarmRounds / rep.MeanColdRounds
+	rep.MeetsRoundFloor = rep.WarmOverCold <= transferRoundsFloor
+	rep.MeetsNoPoison = noPoison
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.MeetsRoundFloor {
+		t.Fatalf("warm starts needed %.1f rounds to target vs %.1f cold (%.2fx, want <= %.2fx)",
+			rep.MeanWarmRounds, rep.MeanColdRounds, rep.WarmOverCold, transferRoundsFloor)
+	}
+	if !rep.MeetsNoPoison {
+		t.Fatal("a warm run ended pathologically worse than its cold twin (see BENCH_transfer.json)")
+	}
+}

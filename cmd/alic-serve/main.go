@@ -35,6 +35,12 @@ import (
 	"time"
 
 	"alic/internal/serve"
+
+	// The serve package is provider-agnostic; the binary decides which
+	// search spaces are hostable. Exec-backed (live) spaces are
+	// excluded — the serving layer rejects them anyway.
+	_ "alic/internal/space/spaptspace"
+	_ "alic/internal/space/synthetic"
 )
 
 func main() {

@@ -1,8 +1,12 @@
-// Command alic tunes a SPAPT kernel end-to-end: it learns a runtime
+// Command alic tunes a search space end-to-end: it learns a runtime
 // model with the chosen backend and sampling plan (the paper's
 // dynamic-tree model and variable-observation plan by default), then
 // runs model-driven configuration search (§4.1) and reports the best
-// configuration found together with its speedup over the -O2 baseline.
+// configuration found together with its speedup over the baseline.
+//
+// The SPAPT kernels of the paper are the default spaces; -space selects
+// any registered space (synthetic robustness spaces, the exec-backed
+// compiler-flag space, or user registrations).
 //
 // Usage:
 //
@@ -12,7 +16,11 @@
 //	alic -kernel mvt -model gp -nmax 200 -ncand 60
 //	alic -kernel mm -snapshot run.alicsnp          # ^C saves state
 //	alic -kernel mm -resume run.alicsnp            # picks up where it left off
+//	alic -space synthetic/needle -pool 800 -test 200
+//	alic -space synthetic/needle -export-warm needle.warm
+//	alic -space synthetic/needle-shifted -warm-start needle.warm
 //	alic -list
+//	alic -spaces
 package main
 
 import (
@@ -29,35 +37,41 @@ import (
 	"alic"
 	"alic/internal/dynatree"
 	"alic/internal/report"
+	"alic/internal/space/spaptspace"
 )
 
 func main() {
 	var (
-		kernel    = flag.String("kernel", "mm", "kernel to tune")
-		list      = flag.Bool("list", false, "list available kernels and exit")
-		describe  = flag.Bool("describe", false, "print the kernel's parameters and loop nests, then exit")
-		modelName = flag.String("model", "dynatree", "model backend: "+strings.Join(alic.ModelNames(), "|"))
-		plan      = flag.String("plan", "variable", "sampling plan: "+strings.Join(alic.PlanNames(), "|"))
-		planObs   = flag.Int("planobs", 35, "observations per example for the fixed plan")
-		scorer    = flag.String("scorer", "alc", "acquisition heuristic: "+strings.Join(alic.AcquisitionNames(), "|"))
-		leaf      = flag.String("leaf", "constant", "dynamic-tree leaf model: constant|linear")
-		nmax      = flag.Int("nmax", 400, "acquisition budget")
-		ninit     = flag.Int("ninit", 5, "seed examples")
-		nobs      = flag.Int("nobs", 35, "seed observations / revisit cap")
-		ncand     = flag.Int("ncand", 150, "candidates per iteration")
-		particles = flag.Int("particles", 400, "dynamic-tree particles")
-		pool      = flag.Int("pool", 3000, "training pool size")
-		test      = flag.Int("test", 600, "test set size")
-		seed      = flag.Uint64("seed", 1, "experiment seed")
-		verify    = flag.Int("verify", 10, "configurations to verify during tuning")
-		workers   = flag.Int("workers", 0, "candidate-scoring goroutines (0 = all cores); results are identical for every value")
-		evalWork  = flag.Int("eval-workers", 0, "concurrent profiling measurements (0 = all cores); results are identical for every value")
-		async     = flag.Bool("async", false, "pipeline evaluation: overlap each round's measurement with the next round's scoring (results stay deterministic, but differ from sync: selection uses a one-round-stale model)")
-		progress  = flag.Bool("progress", false, "print acquisition progress while learning")
-		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the learn loop to this file")
-		memprof   = flag.String("memprofile", "", "write a pprof heap profile taken after the learn loop to this file")
-		snapPath  = flag.String("snapshot", "", "write the learner state to this file when the run ends (including on SIGINT), for -resume")
-		resPath   = flag.String("resume", "", "resume a run from a snapshot written by -snapshot (all tuning flags must match the original run)")
+		kernel     = flag.String("kernel", "mm", "SPAPT kernel to tune (shorthand for -space with a kernel name)")
+		spaceName  = flag.String("space", "", "search space to tune (any registered space; overrides -kernel)")
+		list       = flag.Bool("list", false, "list the SPAPT kernels and exit")
+		listSpaces = flag.Bool("spaces", false, "list every registered search space and exit")
+		describe   = flag.Bool("describe", false, "print the space's parameters (and loop nests for kernels), then exit")
+		modelName  = flag.String("model", "dynatree", "model backend: "+strings.Join(alic.ModelNames(), "|"))
+		plan       = flag.String("plan", "variable", "sampling plan: "+strings.Join(alic.PlanNames(), "|"))
+		planObs    = flag.Int("planobs", 35, "observations per example for the fixed plan")
+		scorer     = flag.String("scorer", "alc", "acquisition heuristic: "+strings.Join(alic.AcquisitionNames(), "|"))
+		leaf       = flag.String("leaf", "constant", "dynamic-tree leaf model: constant|linear")
+		nmax       = flag.Int("nmax", 400, "acquisition budget")
+		ninit      = flag.Int("ninit", 5, "seed examples")
+		nobs       = flag.Int("nobs", 35, "seed observations / revisit cap")
+		ncand      = flag.Int("ncand", 150, "candidates per iteration")
+		particles  = flag.Int("particles", 400, "dynamic-tree particles")
+		pool       = flag.Int("pool", 3000, "training pool size")
+		test       = flag.Int("test", 600, "test set size")
+		seed       = flag.Uint64("seed", 1, "experiment seed")
+		verify     = flag.Int("verify", 10, "configurations to verify during tuning")
+		workers    = flag.Int("workers", 0, "candidate-scoring goroutines (0 = all cores); results are identical for every value")
+		evalWork   = flag.Int("eval-workers", 0, "concurrent profiling measurements (0 = all cores); results are identical for every value")
+		async      = flag.Bool("async", false, "pipeline evaluation: overlap each round's measurement with the next round's scoring (results stay deterministic, but differ from sync: selection uses a one-round-stale model)")
+		progress   = flag.Bool("progress", false, "print acquisition progress while learning")
+		cpuprof    = flag.String("cpuprofile", "", "write a pprof CPU profile of the learn loop to this file")
+		memprof    = flag.String("memprofile", "", "write a pprof heap profile taken after the learn loop to this file")
+		snapPath   = flag.String("snapshot", "", "write the learner state to this file when the run ends (including on SIGINT), for -resume")
+		resPath    = flag.String("resume", "", "resume a run from a snapshot written by -snapshot (all tuning flags must match the original run)")
+		warmPath   = flag.String("warm-start", "", "seed the run from a warm-start summary file exported by -export-warm on a related space")
+		exportWarm = flag.String("export-warm", "", "after learning, export the model's warm-start summary to this file")
+		warmPoints = flag.Int("warm-points", 0, "points in the exported warm-start summary (0 = default)")
 	)
 	flag.Parse()
 
@@ -67,18 +81,43 @@ func main() {
 		}
 		return
 	}
+	if *listSpaces {
+		for _, name := range alic.SpaceNames() {
+			sp, err := alic.SpaceByName(name)
+			if err != nil {
+				fatal(err)
+			}
+			tag := " "
+			if alic.IsLiveSpace(sp) {
+				tag = "L" // live: measures by executing real commands
+			}
+			fmt.Printf("%s %-24s %-60s space %.3g\n", tag, sp.Name(), sp.Doc(), sp.Size())
+		}
+		return
+	}
 
-	k, err := alic.KernelByName(*kernel)
+	name := *spaceName
+	if name == "" {
+		name = *kernel
+	}
+	sp, err := alic.SpaceByName(name)
 	if err != nil {
 		fatal(err)
 	}
 
 	if *describe {
-		out, err := k.Describe(k.BaselineConfig())
-		if err != nil {
-			fatal(err)
+		if k := kernelOf(sp); k != nil {
+			out, err := k.Describe(k.BaselineConfig())
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(out)
+			return
 		}
-		fmt.Print(out)
+		fmt.Printf("%s: %s\n", sp.Name(), sp.Doc())
+		for _, p := range sp.Params() {
+			fmt.Printf("  %-12s 1..%d\n", p.Name, p.Max)
+		}
 		return
 	}
 
@@ -113,6 +152,13 @@ func main() {
 	if opts.Learner.Scorer, err = alic.AcquisitionByName(*scorer); err != nil {
 		fatal(err)
 	}
+	if *warmPath != "" {
+		if opts.WarmStart, err = alic.LoadWarmStart(*warmPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("warm start: %d points from %s (space %s)\n",
+			len(opts.WarmStart.Points), *warmPath, opts.WarmStart.Space)
+	}
 	if *progress {
 		opts.Learner.Progress = func(p alic.LearnerProgress) {
 			fmt.Fprintf(os.Stderr, "  acquired %4d (%d runs, %.0f s cost; model %.0f ms scoring / %.0f ms updating)\n",
@@ -126,7 +172,16 @@ func main() {
 		mode = "async"
 	}
 	fmt.Printf("learning %s: model=%s plan=%s scorer=%s nmax=%d mode=%s (space %.3g)\n",
-		k.Name, *modelName, *plan, *scorer, *nmax, mode, k.SpaceSize())
+		sp.Name(), *modelName, *plan, *scorer, *nmax, mode, sp.Size())
+
+	if alic.IsLiveSpace(sp) {
+		if *snapPath != "" || *resPath != "" || *exportWarm != "" {
+			fatal(fmt.Errorf("live space %s: -snapshot/-resume/-export-warm need a pre-generated corpus", sp.Name()))
+		}
+		tuneLive(sp, opts)
+		return
+	}
+
 	// Profile the learn loop only: model updates plus candidate
 	// scoring, the hot paths BENCH_model.json tracks. See the README's
 	// "Profiling the scoring hot path" section for the workflow.
@@ -157,7 +212,7 @@ func main() {
 	// (after stop restores the default disposition) kills the process
 	// the hard way.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	res, err := learn(ctx, k, opts, *resPath, *snapPath)
+	res, err := learn(ctx, sp, opts, *resPath, *snapPath)
 	stop()
 	stopCPUProfile()
 	if err != nil {
@@ -182,6 +237,16 @@ func main() {
 		res.Unique, res.Revisits)
 	fmt.Printf("training cost: %s simulated seconds (stopped by %s)\n",
 		report.FormatFloat(res.Cost), res.StoppedBy)
+	if *exportWarm != "" && res.Model != nil {
+		sum, err := alic.ExportWarmStart(res.Model, res.Dataset, *warmPoints)
+		if err != nil {
+			fatal(err)
+		}
+		if err := alic.SaveWarmStart(sum, *exportWarm); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("warm-start summary (%d points) written to %s\n", len(sum.Points), *exportWarm)
+	}
 	if res.StoppedBy == alic.StopCancelled {
 		if *snapPath != "" {
 			fmt.Printf("interrupted: skipping configuration search (resume with -resume %s)\n", *snapPath)
@@ -191,7 +256,7 @@ func main() {
 		return
 	}
 
-	sess, err := alic.NewSession(k, *seed+1)
+	sess, err := alic.NewSpaceSession(sp, *seed+1)
 	if err != nil {
 		fatal(err)
 	}
@@ -205,14 +270,55 @@ func main() {
 
 	fmt.Printf("\nbest configuration (verified %d candidates, %s s verification cost):\n",
 		len(tres.Top), report.FormatFloat(tres.VerifyCost))
-	for i, p := range k.Params {
-		fmt.Printf("  %-10s (%s, %s/%s) = %d\n",
-			p.Name, p.Kind, k.Nests[p.Nest].Name, p.Loop, tres.Best.Config[i])
-	}
+	printConfig(sp, tres.Best.Config)
 	fmt.Printf("predicted %s s, measured %s s, baseline %s s -> speedup %.2fx\n",
 		report.FormatFloat(tres.Best.Predicted),
 		report.FormatFloat(tres.Best.Measured),
 		report.FormatFloat(tres.Baseline), tres.Speedup)
+}
+
+// kernelOf unwraps a SPAPT-backed space to its kernel; nil for every
+// other provider.
+func kernelOf(sp alic.Space) *alic.Kernel {
+	if w, ok := sp.(*spaptspace.Space); ok {
+		return w.Kernel()
+	}
+	return nil
+}
+
+// printConfig prints one configuration, with the kernel-aware detail
+// (parameter kind, loop nest) when the space wraps a SPAPT kernel.
+func printConfig(sp alic.Space, cfg alic.Config) {
+	if k := kernelOf(sp); k != nil {
+		for i, p := range k.Params {
+			fmt.Printf("  %-10s (%s, %s/%s) = %d\n",
+				p.Name, p.Kind, k.Nests[p.Nest].Name, p.Loop, cfg[i])
+		}
+		return
+	}
+	for i, p := range sp.Params() {
+		fmt.Printf("  %-12s = %d\n", p.Name, cfg[i])
+	}
+}
+
+// tuneLive drives a live space through LearnLive: acquisitions measure
+// the real machine, and the report is the model's predicted-best
+// configuration (there is no simulated ground truth to verify
+// against).
+func tuneLive(sp alic.Space, opts alic.LearnOptions) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	res, err := alic.LearnLiveContext(ctx, sp, opts)
+	stop()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("live tuning done: %d acquisitions, %d runs, %s s measured cost (stopped by %s)\n",
+		res.Acquired, res.Observations, report.FormatFloat(res.Cost), res.StoppedBy)
+	if res.Winner != nil {
+		fmt.Printf("\npredicted-best configuration (predicted %s s):\n",
+			report.FormatFloat(res.WinnerPredicted))
+		printConfig(sp, res.Winner)
+	}
 }
 
 // learn runs the model-training phase step-wise (NewLearner + Run
@@ -221,7 +327,7 @@ func main() {
 // regenerated from the same seed on both sides; a resume under
 // different tuning flags is rejected with ErrSnapshotMismatch rather
 // than silently diverging.
-func learn(ctx context.Context, k *alic.Kernel, opts alic.LearnOptions, resumePath, snapshotPath string) (*alic.LearnResult, error) {
+func learn(ctx context.Context, sp alic.Space, opts alic.LearnOptions, resumePath, snapshotPath string) (*alic.LearnResult, error) {
 	if opts.PoolSize < opts.Learner.NInit {
 		return nil, fmt.Errorf("%w: PoolSize %d below NInit %d",
 			alic.ErrPoolTooSmall, opts.PoolSize, opts.Learner.NInit)
@@ -236,7 +342,7 @@ func learn(ctx context.Context, k *alic.Kernel, opts alic.LearnOptions, resumePa
 		}
 		opts.Learner.Model = b
 	}
-	ds, err := alic.GenerateDataset(k, alic.DatasetOptions{
+	ds, err := alic.GenerateSpaceDataset(sp, alic.DatasetOptions{
 		NConfigs:   opts.PoolSize + opts.TestSize,
 		NObs:       opts.Learner.NObs,
 		TrainCount: opts.PoolSize,
@@ -244,6 +350,11 @@ func learn(ctx context.Context, k *alic.Kernel, opts alic.LearnOptions, resumePa
 	})
 	if err != nil {
 		return nil, err
+	}
+	if opts.WarmStart != nil {
+		if opts.Learner.WarmStart, err = alic.ApplyWarmStart(opts.WarmStart, ds); err != nil {
+			return nil, err
+		}
 	}
 	var l *alic.Learner
 	if resumePath != "" {

@@ -18,6 +18,7 @@ import (
 	"alic/internal/dataset"
 	"alic/internal/experiment"
 	"alic/internal/report"
+	"alic/internal/space/spaptspace"
 	"alic/internal/spapt"
 )
 
@@ -51,7 +52,11 @@ func main() {
 		"benchmark", "runtime min", "runtime mean", "runtime max",
 		"var mean", "var max", "CI/mean fail@5%%", "mean compile (s)")
 	for _, k := range kernels {
-		ds, err := dataset.Generate(k, dataset.Options{
+		sp, err := spaptspace.Wrap(k)
+		if err != nil {
+			fatal(err)
+		}
+		ds, err := dataset.Generate(sp, dataset.Options{
 			NConfigs: *configs, NObs: *obs, TrainFrac: 0.75, Seed: *seed,
 		})
 		if err != nil {

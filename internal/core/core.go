@@ -143,6 +143,38 @@ type Options struct {
 	EvalLatency time.Duration
 	// Progress, when non-nil, is invoked by Run after every step.
 	Progress func(Progress)
+	// Space, when non-empty, names the search space this learner runs
+	// over. It is recorded in snapshots as a structural guard:
+	// restoring under a differently-named space fails with
+	// ErrSnapshotMismatch instead of silently mixing trajectories.
+	// Empty means unguarded (the pre-registry behaviour).
+	Space string
+	// WarmStart, when non-nil, seeds the freshly built model with a
+	// posterior summary exported from a finished learner on a related
+	// space (cross-space transfer). The points fold in right after the
+	// NInit seed round; they do not count as acquisitions, charge no
+	// cost, and leave the rng stream untouched, so a run with
+	// WarmStart == nil is byte-identical to the pre-warm-start code.
+	WarmStart *WarmStart
+}
+
+// WarmStart is a compact posterior summary used to transfer a finished
+// learner's knowledge onto a new space: pseudo-observations as
+// standardised feature vectors (in the receiving learner's feature
+// space) paired with z-scores of the source model's predicted mean.
+// The receiver rescales each z-score to its own seed-round mean and
+// spread, so summaries transfer across spaces with different runtime
+// scales.
+type WarmStart struct {
+	// From names the source space, for diagnostics.
+	From string
+	// Xs are standardised feature vectors; every row must match the
+	// receiving pool's feature dimension.
+	Xs [][]float64
+	// Zs are the source model's predictions at Xs as z-scores
+	// ((prediction - mean) / std over the exported set); len(Zs) must
+	// equal len(Xs).
+	Zs []float64
 }
 
 // Progress is the lightweight snapshot handed to Options.Progress
@@ -1164,7 +1196,43 @@ func (l *Learner) seedObserve(idxs []int, seedObs int) error {
 			l.maybeEval()
 		}
 	}
+	if err := l.foldWarmStart(means); err != nil {
+		return err
+	}
 	l.updateNS += time.Since(t0).Nanoseconds() //alic:allow detfloat wall-clock phase accounting only
+	return nil
+}
+
+// foldWarmStart injects the cross-space transfer summary (if any)
+// right after the seed fold: each exported z-score is rescaled to the
+// seed round's mean and spread and folded as a plain model update.
+// Nothing else moves — no acquisitions, no cost, no rng draws — so
+// learners without a summary are byte-identical to builds that
+// predate warm starts.
+func (l *Learner) foldWarmStart(seedMeans []float64) error {
+	ws := l.opts.WarmStart
+	if ws == nil || len(ws.Xs) == 0 {
+		return nil
+	}
+	if len(ws.Xs) != len(ws.Zs) {
+		return fmt.Errorf("core: warm start with %d points but %d z-scores", len(ws.Xs), len(ws.Zs))
+	}
+	dim := len(l.pool.Features(0))
+	var w stats.Welford
+	for _, m := range seedMeans {
+		w.Add(m)
+	}
+	mean, std := w.Mean(), w.Stddev()
+	if !(std > 0) {
+		std = 1
+	}
+	for i, x := range ws.Xs {
+		if len(x) != dim {
+			return fmt.Errorf("core: warm start point %d has dim %d, pool has %d (source space %q)",
+				i, len(x), dim, ws.From)
+		}
+		l.model.Update(x, mean+ws.Zs[i]*std)
+	}
 	return nil
 }
 

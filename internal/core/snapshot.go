@@ -36,6 +36,7 @@ const (
 	secRound   = "core.round"
 	secLedger  = "core.ledger"
 	secModel   = "core.model"
+	secSpace   = "core.space"
 )
 
 // Snapshot serializes the learner's complete resumable state to w as
@@ -154,6 +155,17 @@ func (l *Learner) Snapshot(w io.Writer) error {
 
 	if err := sw.Section(secLedger, ledger); err != nil {
 		return err
+	}
+
+	// The space name travels in its own section so pre-registry readers
+	// (which skip unknown names) stay compatible; it is only written
+	// when the learner is space-guarded at all.
+	if l.opts.Space != "" {
+		se := snapshot.NewEncoder(16 + len(l.opts.Space))
+		se.String(l.opts.Space)
+		if err := sw.Section(secSpace, se.Bytes()); err != nil {
+			return err
+		}
 	}
 
 	if ms != nil {
@@ -335,6 +347,26 @@ func (l *Learner) Restore(r io.Reader) error {
 	ledger, ok := c.Section(secLedger)
 	if !ok {
 		return snapshot.Corruptf(secLedger, "section missing")
+	}
+
+	// Space guard: when both sides name a space they must agree —
+	// restoring an "mm" snapshot into a "synthetic/needle" learner is a
+	// configuration error, never a panic. A snapshot without the
+	// section (pre-registry) or a learner without Options.Space
+	// (legacy construction) skips the check.
+	if pay, ok = c.Section(secSpace); ok {
+		sd := snapshot.NewDecoder(secSpace, pay)
+		snapSpace := sd.String()
+		if err := sd.Err(); err != nil {
+			return err
+		}
+		if snapSpace == "" {
+			return snapshot.Corruptf(secSpace, "empty space name")
+		}
+		if l.opts.Space != "" && snapSpace != l.opts.Space {
+			return fmt.Errorf("%w: snapshot space %q, learner space %q",
+				ErrSnapshotMismatch, snapSpace, l.opts.Space)
+		}
 	}
 
 	// Rebuild the model before committing any learner state, so a bad

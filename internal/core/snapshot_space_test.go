@@ -1,0 +1,132 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"alic/internal/snapshot"
+)
+
+// TestSnapshotSpaceGuard pins the cross-space restore contract: the
+// space name travels in its own snapshot section, restoring under a
+// different space fails with ErrSnapshotMismatch naming both spaces,
+// and both legacy directions (guard on one side only) stay
+// compatible.
+func TestSnapshotSpaceGuard(t *testing.T) {
+	opts := smallOpts()
+	opts.NMax = 30
+	opts.Space = "synthetic/needle"
+	pool := gridPool(300)
+
+	orig := snapLearner(t, opts, pool, 1)
+	defer orig.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := orig.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	// Different space: typed rejection naming both sides.
+	other := opts
+	other.Space = "synthetic/needle-shifted"
+	l := snapLearner(t, other, pool, 1)
+	err := l.Restore(bytes.NewReader(snap))
+	l.Close()
+	if !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("cross-space restore: err = %v, want ErrSnapshotMismatch", err)
+	}
+	if !strings.Contains(err.Error(), "synthetic/needle") ||
+		!strings.Contains(err.Error(), "synthetic/needle-shifted") {
+		t.Fatalf("mismatch error %q does not name both spaces", err)
+	}
+
+	// Same space: restore succeeds and the run completes.
+	same := snapLearner(t, opts, pool, 1)
+	if err := same.Restore(bytes.NewReader(snap)); err != nil {
+		t.Fatalf("same-space restore: %v", err)
+	}
+	runToEnd(t, same)
+	same.Close()
+
+	// Legacy reader: a learner without a space set skips the check.
+	legacy := opts
+	legacy.Space = ""
+	ll := snapLearner(t, legacy, pool, 1)
+	if err := ll.Restore(bytes.NewReader(snap)); err != nil {
+		t.Fatalf("guard-less learner rejected a spaced snapshot: %v", err)
+	}
+	ll.Close()
+
+	// Legacy writer: a snapshot without the section restores into a
+	// guarded learner (the section is simply absent).
+	var legacyBuf bytes.Buffer
+	lw := snapLearner(t, legacy, pool, 1)
+	if _, err := lw.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lw.Snapshot(&legacyBuf); err != nil {
+		t.Fatal(err)
+	}
+	lw.Close()
+	guarded := snapLearner(t, opts, pool, 1)
+	if err := guarded.Restore(bytes.NewReader(legacyBuf.Bytes())); err != nil {
+		t.Fatalf("guarded learner rejected a legacy snapshot: %v", err)
+	}
+	guarded.Close()
+}
+
+// TestSnapshotSpaceSectionCorruption runs the corruption-fuzz stride
+// over a snapshot that carries the space section: every flipped byte
+// must surface as a typed error or a clean space mismatch — never a
+// panic, never a silent restore of corrupt state.
+func TestSnapshotSpaceSectionCorruption(t *testing.T) {
+	opts := smallOpts()
+	opts.NMax = 30
+	opts.Space = "synthetic/needle"
+	pool := gridPool(200)
+	orig := snapLearner(t, opts, pool, 1)
+	defer orig.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := orig.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	stride := len(snap)/211 + 1
+	for i := 0; i < len(snap); i += stride {
+		for _, bit := range []byte{0x01, 0xFF} {
+			mut := append([]byte(nil), snap...)
+			mut[i] ^= bit
+			l := snapLearner(t, opts, pool, 1)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic restoring snapshot mutated at byte %d: %v", i, r)
+					}
+				}()
+				err := l.Restore(bytes.NewReader(mut))
+				if err == nil {
+					t.Fatalf("byte %d flipped by %#x restored cleanly", i, bit)
+				}
+				if !errors.Is(err, snapshot.ErrCorruptSnapshot) &&
+					!errors.Is(err, snapshot.ErrUnsupportedVersion) &&
+					!errors.Is(err, ErrSnapshotMismatch) {
+					t.Fatalf("byte %d: untyped error %v", i, err)
+				}
+			}()
+			l.Close()
+		}
+	}
+}

@@ -1,18 +1,28 @@
 // Package dataset materialises the experimental datasets of §4.5 of
-// the paper: for each kernel, a corpus of distinct randomly selected
-// configurations, each profiled a fixed number of times (35 in the
-// paper), split into a training pool and a held-out test set
+// the paper: for each search space, a corpus of distinct randomly
+// selected configurations, each profiled a fixed number of times (35
+// in the paper), split into a training pool and a held-out test set
 // (7,500 / 2,500), with features standardised by scaling and centring.
+//
+// Generation is space-generic (any registered space.Space works), but
+// requires a simulated measurer: live spaces, whose observations
+// execute real commands, have no pre-generable ground truth and are
+// rejected with ErrLiveSpace.
 package dataset
 
 import (
+	"errors"
 	"fmt"
 
-	"alic/internal/noise"
 	"alic/internal/rng"
-	"alic/internal/spapt"
+	"alic/internal/space"
 	"alic/internal/stats"
 )
+
+// ErrLiveSpace reports an attempt to pre-generate a corpus for a
+// space that measures by executing real commands; assert with
+// errors.Is.
+var ErrLiveSpace = errors.New("cannot pre-generate a dataset for a live space")
 
 // Options configures dataset generation.
 type Options struct {
@@ -43,13 +53,13 @@ type PointStats struct {
 	Variance float64
 }
 
-// Dataset is a generated corpus for one kernel.
+// Dataset is a generated corpus for one search space.
 type Dataset struct {
-	Kernel *spapt.Kernel
-	Opts   Options
+	Space space.Space
+	Opts  Options
 
 	// Configs are the distinct sampled configurations.
-	Configs []spapt.Config
+	Configs []space.Config
 	// Raw are the [0,1]-scaled feature vectors.
 	Raw [][]float64
 	// Features are the standardised feature vectors (zero mean, unit
@@ -68,16 +78,19 @@ type Dataset struct {
 	// Normalizer holds the feature scaling fitted on the corpus.
 	Normalizer *stats.Normalizer
 
-	sampler *noise.Sampler
+	meas space.Measurer
 }
 
-// Generate builds the dataset for a kernel.
-func Generate(k *spapt.Kernel, opts Options) (*Dataset, error) {
-	if k == nil {
-		return nil, fmt.Errorf("dataset: nil kernel")
+// Generate builds the dataset for a search space.
+func Generate(sp space.Space, opts Options) (*Dataset, error) {
+	if sp == nil {
+		return nil, fmt.Errorf("dataset: nil space")
 	}
-	if err := k.Validate(); err != nil {
+	if err := sp.Validate(); err != nil {
 		return nil, err
+	}
+	if space.IsLive(sp) {
+		return nil, fmt.Errorf("dataset: space %s: %w", sp.Name(), ErrLiveSpace)
 	}
 	if opts.NConfigs < 2 {
 		return nil, fmt.Errorf("dataset: NConfigs %d < 2", opts.NConfigs)
@@ -93,23 +106,23 @@ func Generate(k *spapt.Kernel, opts Options) (*Dataset, error) {
 	} else if opts.TrainFrac <= 0 || opts.TrainFrac >= 1 {
 		return nil, fmt.Errorf("dataset: TrainFrac %v outside (0, 1)", opts.TrainFrac)
 	}
-	if float64(opts.NConfigs) > k.SpaceSize()/2 {
+	if float64(opts.NConfigs) > sp.Size()/2 {
 		return nil, fmt.Errorf("dataset: NConfigs %d too large for space of size %g",
-			opts.NConfigs, k.SpaceSize())
+			opts.NConfigs, sp.Size())
 	}
 
-	sampler, err := noise.NewSampler(k.Noise, k.Dim(), opts.Seed)
+	meas, err := sp.Measurer(opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	d := &Dataset{Kernel: k, Opts: opts, sampler: sampler}
+	d := &Dataset{Space: sp, Opts: opts, meas: meas}
 
 	r := rng.NewStream(opts.Seed, 0xda7a5e7) // dataset stream
 	seen := make(map[uint64]bool, opts.NConfigs)
-	d.Configs = make([]spapt.Config, 0, opts.NConfigs)
+	d.Configs = make([]space.Config, 0, opts.NConfigs)
 	for len(d.Configs) < opts.NConfigs {
-		cfg := k.RandomConfig(r)
-		key := k.Key(cfg)
+		cfg := sp.RandomConfig(r)
+		key := sp.Key(cfg)
 		if seen[key] {
 			continue
 		}
@@ -123,22 +136,25 @@ func Generate(k *spapt.Kernel, opts Options) (*Dataset, error) {
 	d.Observed = make([]PointStats, n)
 	d.CompileTime = make([]float64, n)
 	for i, cfg := range d.Configs {
-		d.Raw[i] = k.Features(cfg)
-		mu, err := k.TrueRuntime(cfg)
+		d.Raw[i] = sp.Features(cfg)
+		mu, err := meas.TrueMean(cfg)
 		if err != nil {
 			return nil, err
 		}
 		d.TrueMean[i] = mu
-		ct, err := k.CompileTime(cfg)
+		ct, err := meas.CompileCost(cfg)
 		if err != nil {
 			return nil, err
 		}
 		d.CompileTime[i] = ct
 
 		var w stats.Welford
-		key := k.Key(cfg)
 		for j := 0; j < opts.NObs; j++ {
-			w.Add(sampler.Sample(mu, d.Raw[i], key, j))
+			y, err := meas.Observe(cfg, j)
+			if err != nil {
+				return nil, err
+			}
+			w.Add(y)
 		}
 		d.Observed[i] = PointStats{Mean: w.Mean(), Variance: w.Variance()}
 	}
@@ -165,10 +181,15 @@ func Generate(k *spapt.Kernel, opts Options) (*Dataset, error) {
 
 // Observe regenerates observation obsIdx of configuration i — the same
 // value the dataset saw during generation for obsIdx < NObs, and fresh
-// consistent draws beyond.
+// consistent draws beyond. The corpus measurer is simulated (Generate
+// rejects live spaces) and every configuration here already measured
+// once, so a failure is a programmer error.
 func (d *Dataset) Observe(i, obsIdx int) float64 {
-	cfg := d.Configs[i]
-	return d.sampler.Sample(d.TrueMean[i], d.Raw[i], d.Kernel.Key(cfg), obsIdx)
+	y, err := d.meas.Observe(d.Configs[i], obsIdx)
+	if err != nil {
+		panic(fmt.Sprintf("dataset: regenerating observation (%d, %d): %v", i, obsIdx, err))
+	}
+	return y
 }
 
 // TestFeatures returns the standardised features of the test set.

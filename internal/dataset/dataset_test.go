@@ -4,7 +4,8 @@ import (
 	"math"
 	"testing"
 
-	"alic/internal/spapt"
+	"alic/internal/space"
+	_ "alic/internal/space/spaptspace"
 	"alic/internal/stats"
 )
 
@@ -14,11 +15,11 @@ func smallOpts() Options {
 
 func gen(t *testing.T, kernel string, opts Options) *Dataset {
 	t.Helper()
-	k, err := spapt.ByName(kernel)
+	sp, err := space.ByName(kernel)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := Generate(k, opts)
+	d, err := Generate(sp, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func gen(t *testing.T, kernel string, opts Options) *Dataset {
 }
 
 func TestGenerateValidation(t *testing.T) {
-	k, _ := spapt.ByName("mm")
+	k, _ := space.ByName("mm")
 	bad := []Options{
 		{NConfigs: 1, NObs: 5, TrainFrac: 0.75},
 		{NConfigs: 100, NObs: 0, TrainFrac: 0.75},
@@ -96,7 +97,7 @@ func TestConfigsDistinct(t *testing.T) {
 	d := gen(t, "hessian", smallOpts())
 	keys := make(map[uint64]bool)
 	for _, cfg := range d.Configs {
-		k := d.Kernel.Key(cfg)
+		k := d.Space.Key(cfg)
 		if keys[k] {
 			t.Fatal("duplicate configuration in dataset")
 		}
@@ -106,7 +107,7 @@ func TestConfigsDistinct(t *testing.T) {
 
 func TestFeaturesStandardised(t *testing.T) {
 	d := gen(t, "lu", smallOpts())
-	dim := d.Kernel.Dim()
+	dim := d.Space.Dim()
 	for j := 0; j < dim; j++ {
 		var w stats.Welford
 		for _, f := range d.Features {
@@ -162,7 +163,7 @@ func TestGenerateDeterministic(t *testing.T) {
 	c := gen(t, "jacobi", opts2)
 	same := 0
 	for i := range a.Configs {
-		if a.Kernel.Key(a.Configs[i]) == c.Kernel.Key(c.Configs[i]) {
+		if a.Space.Key(a.Configs[i]) == c.Space.Key(c.Configs[i]) {
 			same++
 		}
 	}

@@ -13,7 +13,8 @@ import (
 	"alic/internal/dataset"
 	"alic/internal/measure"
 	"alic/internal/rng"
-	"alic/internal/spapt"
+	"alic/internal/space"
+	_ "alic/internal/space/spaptspace"
 )
 
 // synthSource is a pure synthetic source: value and compile cost are
@@ -332,7 +333,7 @@ func TestFromOraclePreservesCallOrder(t *testing.T) {
 }
 
 func TestDatasetSourceAgainstDirectObserve(t *testing.T) {
-	k, err := spapt.ByName("mm")
+	k, err := space.ByName("mm")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +372,7 @@ func TestDatasetSourceAgainstDirectObserve(t *testing.T) {
 }
 
 func TestSessionSourceContinuesSessionHistory(t *testing.T) {
-	k, err := spapt.ByName("mvt")
+	k, err := space.ByName("mvt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +394,7 @@ func TestSessionSourceContinuesSessionHistory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src, err := NewSessionSource(sess, []spapt.Config{warm, cold})
+	src, err := NewSessionSource(sess, []space.Config{warm, cold})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,10 +415,10 @@ func TestSessionSourceContinuesSessionHistory(t *testing.T) {
 	if cs.Compile <= 0 {
 		t.Fatal("fresh config carried no compile charge")
 	}
-	if _, err := NewSessionSource(sess, []spapt.Config{warm, warm}); err == nil {
+	if _, err := NewSessionSource(sess, []space.Config{warm, warm}); err == nil {
 		t.Fatal("duplicate configurations accepted")
 	}
-	if _, err := NewSessionSource(nil, []spapt.Config{warm}); err == nil {
+	if _, err := NewSessionSource(nil, []space.Config{warm}); err == nil {
 		t.Fatal("nil session accepted")
 	}
 }

@@ -5,7 +5,7 @@ import (
 
 	"alic/internal/dataset"
 	"alic/internal/measure"
-	"alic/internal/spapt"
+	"alic/internal/space"
 )
 
 // Oracle is the legacy per-observation measurement interface the
@@ -85,7 +85,7 @@ func (s *DatasetSource) Measure(i, ord int) (Sample, error) {
 // ledger owns the accounting.
 type SessionSource struct {
 	sess *measure.Session
-	cfgs []spapt.Config
+	cfgs []space.Config
 	base []int     // session observation count at construction
 	ct   []float64 // compile cost to charge at ordinal zero (0 if compiled)
 }
@@ -94,14 +94,14 @@ type SessionSource struct {
 // interface. The configurations must be distinct (the engine keys its
 // ordinal streams by item index, so duplicates would replay the same
 // noise draws and double-charge compilation).
-func NewSessionSource(sess *measure.Session, cfgs []spapt.Config) (*SessionSource, error) {
+func NewSessionSource(sess *measure.Session, cfgs []space.Config) (*SessionSource, error) {
 	if sess == nil {
 		return nil, fmt.Errorf("evaluator: nil session")
 	}
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("evaluator: empty configuration set")
 	}
-	k := sess.Kernel()
+	sp := sess.Space()
 	src := &SessionSource{
 		sess: sess,
 		cfgs: cfgs,
@@ -110,14 +110,14 @@ func NewSessionSource(sess *measure.Session, cfgs []spapt.Config) (*SessionSourc
 	}
 	seen := make(map[uint64]bool, len(cfgs))
 	for i, cfg := range cfgs {
-		key := k.Key(cfg)
+		key := sp.Key(cfg)
 		if seen[key] {
 			return nil, fmt.Errorf("evaluator: duplicate configuration at item %d", i)
 		}
 		seen[key] = true
 		src.base[i] = sess.Observations(cfg)
 		if !sess.Compiled(cfg) {
-			ct, err := k.CompileTime(cfg)
+			ct, err := sess.CompileCost(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -139,6 +139,51 @@ func (s *SessionSource) Measure(i, ord int) (Sample, error) {
 	out := Sample{Value: y}
 	if ord == 0 {
 		out.Compile = s.ct[i]
+	}
+	return out, nil
+}
+
+// SpaceSource measures a fixed set of configurations directly through
+// a space measurer — the source behind live spaces (exec-backed
+// toolchains), which have no pre-generated corpus. Item i is cfgs[i];
+// observation (i, ord) asks the measurer for ordinal ord, and the
+// compile cost rides on each item's ordinal-zero sample. Simulated
+// measurers make this source pure; live measurers are only as
+// repeatable as the machine underneath, so drive them with a serial
+// or single-worker engine when order matters.
+type SpaceSource struct {
+	meas space.Measurer
+	cfgs []space.Config
+}
+
+// NewSpaceSource adapts a measurer and a candidate set to the Source
+// interface.
+func NewSpaceSource(meas space.Measurer, cfgs []space.Config) (*SpaceSource, error) {
+	if meas == nil {
+		return nil, fmt.Errorf("evaluator: nil measurer")
+	}
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("evaluator: empty configuration set")
+	}
+	return &SpaceSource{meas: meas, cfgs: cfgs}, nil
+}
+
+// Measure implements Source over the candidate set.
+func (s *SpaceSource) Measure(i, ord int) (Sample, error) {
+	if i >= len(s.cfgs) {
+		return Sample{}, fmt.Errorf("evaluator: item %d outside candidate set of %d", i, len(s.cfgs))
+	}
+	y, err := s.meas.Observe(s.cfgs[i], ord)
+	if err != nil {
+		return Sample{}, err
+	}
+	out := Sample{Value: y}
+	if ord == 0 {
+		ct, err := s.meas.CompileCost(s.cfgs[i])
+		if err != nil {
+			return Sample{}, err
+		}
+		out.Compile = ct
 	}
 	return out, nil
 }

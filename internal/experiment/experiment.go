@@ -30,6 +30,7 @@ import (
 	"alic/internal/dynatree"
 	"alic/internal/evaluator"
 	"alic/internal/model"
+	"alic/internal/space/spaptspace"
 	"alic/internal/spapt"
 	"alic/internal/stats"
 	"alic/internal/workpool"
@@ -203,8 +204,12 @@ type BenchmarkCurves struct {
 
 // buildDataset generates the kernel's corpus under the settings.
 func buildDataset(k *spapt.Kernel, s Settings) (*dataset.Dataset, error) {
+	sp, err := spaptspace.Wrap(k)
+	if err != nil {
+		return nil, err
+	}
 	total := s.PoolConfigs + s.TestConfigs
-	return dataset.Generate(k, dataset.Options{
+	return dataset.Generate(sp, dataset.Options{
 		NConfigs:   total,
 		NObs:       s.NObs,
 		TrainCount: s.PoolConfigs,

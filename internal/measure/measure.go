@@ -1,6 +1,7 @@
 // Package measure simulates the profiling environment of the paper's
-// experiments: compiling a kernel configuration and executing the
-// resulting binary to obtain one (noisy) runtime observation.
+// experiments: compiling a configuration of a search space and
+// executing the resulting binary to obtain one (noisy) runtime
+// observation.
 //
 // A Session tracks the cumulative evaluation cost exactly as §4.3 of
 // the paper defines it — the sum of the compile time of every distinct
@@ -14,11 +15,10 @@ import (
 	"fmt"
 	"sync"
 
-	"alic/internal/noise"
-	"alic/internal/spapt"
+	"alic/internal/space"
 )
 
-// Session is a simulated profiling session for one kernel. It is safe
+// Session is a profiling session for one search space. It is safe
 // for concurrent use: compile charges and observation ordinals are
 // reserved under a lock, so parallel observers of overlapping
 // configurations charge each compile exactly once and draw distinct
@@ -28,13 +28,12 @@ import (
 // order, address the ordinal explicitly with At (the evaluator
 // engine's path).
 type Session struct {
-	kernel  *spapt.Kernel
-	sampler *noise.Sampler
+	sp   space.Space
+	meas space.Measurer
 
 	mu       sync.Mutex
 	compiled map[uint64]bool
 	obsCount map[uint64]int
-	trueMean map[uint64]float64
 
 	cost     float64
 	runs     int
@@ -42,75 +41,61 @@ type Session struct {
 }
 
 // NewSession creates a profiling session. The seed determines the
-// measurement noise; sessions with equal seeds reproduce identical
-// observation sequences.
-func NewSession(k *spapt.Kernel, seed uint64) (*Session, error) {
-	if k == nil {
-		return nil, fmt.Errorf("measure: nil kernel")
+// measurement noise; sessions with equal seeds on simulated spaces
+// reproduce identical observation sequences.
+func NewSession(sp space.Space, seed uint64) (*Session, error) {
+	if sp == nil {
+		return nil, fmt.Errorf("measure: nil space")
 	}
-	if err := k.Validate(); err != nil {
+	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
-	sampler, err := noise.NewSampler(k.Noise, k.Dim(), seed)
+	meas, err := sp.Measurer(seed)
 	if err != nil {
 		return nil, err
 	}
 	return &Session{
-		kernel:   k,
-		sampler:  sampler,
+		sp:       sp,
+		meas:     meas,
 		compiled: make(map[uint64]bool),
 		obsCount: make(map[uint64]int),
-		trueMean: make(map[uint64]float64),
 	}, nil
 }
 
-// Kernel returns the session's kernel.
-func (s *Session) Kernel() *spapt.Kernel { return s.kernel }
+// Space returns the session's search space.
+func (s *Session) Space() space.Space { return s.sp }
 
-// TrueMean returns the noise-free mean runtime of cfg (memoised).
-func (s *Session) TrueMean(cfg spapt.Config) (float64, error) {
-	key := s.kernel.Key(cfg)
-	s.mu.Lock()
-	mu, ok := s.trueMean[key]
-	s.mu.Unlock()
-	if ok {
-		return mu, nil
-	}
-	// Compute outside the lock (the cost model walks the loop nests);
-	// racing computers store the same deterministic value.
-	mu, err := s.kernel.TrueRuntime(cfg)
-	if err != nil {
-		return 0, err
-	}
-	s.mu.Lock()
-	s.trueMean[key] = mu
-	s.mu.Unlock()
-	return mu, nil
+// TrueMean returns the noise-free mean runtime of cfg. Live spaces,
+// which have no ground truth, return an error.
+func (s *Session) TrueMean(cfg space.Config) (float64, error) {
+	return s.meas.TrueMean(cfg)
+}
+
+// CompileCost returns the one-time compile cost of cfg without
+// charging it to the session ledger.
+func (s *Session) CompileCost(cfg space.Config) (float64, error) {
+	return s.meas.CompileCost(cfg)
 }
 
 // At returns observation obsIdx of cfg — the value the obsIdx-th
 // serial Observe of cfg returns — without charging cost or advancing
-// the session's counters. Each (cfg, obsIdx) pair addresses its own
-// deterministic noise draw, so At is pure, safe for any concurrency,
-// and independent of evaluation order: it is the measurement
-// primitive behind the evaluator engine's session adapter, which owns
-// the cost accounting instead.
-func (s *Session) At(cfg spapt.Config, obsIdx int) (float64, error) {
+// the session's counters. On simulated spaces each (cfg, obsIdx) pair
+// addresses its own deterministic noise draw, so At is pure, safe for
+// any concurrency, and independent of evaluation order: it is the
+// measurement primitive behind the evaluator engine's session adapter,
+// which owns the cost accounting instead.
+func (s *Session) At(cfg space.Config, obsIdx int) (float64, error) {
 	if obsIdx < 0 {
 		return 0, fmt.Errorf("measure: At with negative observation index %d", obsIdx)
 	}
-	mu, err := s.TrueMean(cfg)
-	if err != nil {
-		return 0, err
-	}
-	return s.sampler.Sample(mu, s.kernel.Features(cfg), s.kernel.Key(cfg), obsIdx), nil
+	return s.meas.Observe(cfg, obsIdx)
 }
 
 // Observe compiles cfg if needed, runs it once, and returns the
 // observed runtime. Compile time (first observation only) and the
 // observed runtime are added to the session cost.
-func (s *Session) Observe(cfg spapt.Config) (float64, error) {
-	key := s.kernel.Key(cfg)
+func (s *Session) Observe(cfg space.Config) (float64, error) {
+	key := s.sp.Key(cfg)
 
 	// Reserve the compile charge and the observation ordinal under the
 	// lock: exactly one concurrent observer wins the compile, and each
@@ -136,18 +121,17 @@ func (s *Session) Observe(cfg spapt.Config) (float64, error) {
 	var ct float64
 	if first {
 		var err error
-		ct, err = s.kernel.CompileTime(cfg)
+		ct, err = s.meas.CompileCost(cfg)
 		if err != nil {
 			rollback()
 			return 0, err
 		}
 	}
-	mu, err := s.TrueMean(cfg)
+	y, err := s.meas.Observe(cfg, idx)
 	if err != nil {
 		rollback()
 		return 0, err
 	}
-	y := s.sampler.Sample(mu, s.kernel.Features(cfg), key, idx)
 
 	s.mu.Lock()
 	if first {
@@ -161,7 +145,7 @@ func (s *Session) Observe(cfg spapt.Config) (float64, error) {
 }
 
 // ObserveN takes n observations of cfg and returns them.
-func (s *Session) ObserveN(cfg spapt.Config, n int) ([]float64, error) {
+func (s *Session) ObserveN(cfg space.Config, n int) ([]float64, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("measure: ObserveN with n=%d", n)
 	}
@@ -183,11 +167,11 @@ func (s *Session) ObserveN(cfg spapt.Config, n int) ([]float64, error) {
 // noise stream instead of replaying it), the configuration is marked
 // compiled, and cost (the caller's compile + run charges for these
 // measurements) lands in the session total. Safe for concurrent use.
-func (s *Session) RecordExternal(cfg spapt.Config, n int, cost float64) {
+func (s *Session) RecordExternal(cfg space.Config, n int, cost float64) {
 	if n < 1 {
 		return
 	}
-	key := s.kernel.Key(cfg)
+	key := s.sp.Key(cfg)
 	s.mu.Lock()
 	if !s.compiled[key] {
 		s.compiled[key] = true
@@ -200,18 +184,18 @@ func (s *Session) RecordExternal(cfg spapt.Config, n int, cost float64) {
 }
 
 // Observations returns how many times cfg has been profiled.
-func (s *Session) Observations(cfg spapt.Config) int {
+func (s *Session) Observations(cfg space.Config) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.obsCount[s.kernel.Key(cfg)]
+	return s.obsCount[s.sp.Key(cfg)]
 }
 
 // Compiled reports whether cfg's binary has been built (and its
 // compile time charged) in this session.
-func (s *Session) Compiled(cfg spapt.Config) bool {
+func (s *Session) Compiled(cfg space.Config) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.compiled[s.kernel.Key(cfg)]
+	return s.compiled[s.sp.Key(cfg)]
 }
 
 // Cost returns the cumulative evaluation cost in simulated seconds.

@@ -6,17 +6,19 @@ import (
 	"testing"
 
 	"alic/internal/rng"
+	"alic/internal/space"
+	"alic/internal/space/spaptspace"
 	"alic/internal/spapt"
 	"alic/internal/stats"
 )
 
-func session(t *testing.T, kernel string, seed uint64) *Session {
+func session(t *testing.T, name string, seed uint64) *Session {
 	t.Helper()
-	k, err := spapt.ByName(kernel)
+	sp, err := space.ByName(name)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := NewSession(k, seed)
+	s, err := NewSession(sp, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,19 +27,26 @@ func session(t *testing.T, kernel string, seed uint64) *Session {
 
 func TestNewSessionValidation(t *testing.T) {
 	if _, err := NewSession(nil, 1); err == nil {
-		t.Fatal("nil kernel accepted")
+		t.Fatal("nil space accepted")
 	}
 	k, _ := spapt.ByName("mm")
 	k.Params = nil
-	if _, err := NewSession(k, 1); err == nil {
-		t.Fatal("invalid kernel accepted")
+	sp, err := spaptspace.Wrap(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSession(sp, 1); err == nil {
+		t.Fatal("invalid space accepted")
 	}
 }
 
 func TestObserveAccountsCompileOnce(t *testing.T) {
 	s := session(t, "mvt", 3)
-	cfg := s.Kernel().BaselineConfig()
-	ct, _ := s.Kernel().CompileTime(cfg)
+	cfg := s.Space().BaselineConfig()
+	ct, err := s.CompileCost(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	y1, err := s.Observe(cfg)
 	if err != nil {
@@ -69,8 +78,8 @@ func TestObserveAccountsCompileOnce(t *testing.T) {
 
 func TestDistinctConfigsEachCompile(t *testing.T) {
 	s := session(t, "mvt", 4)
-	a := s.Kernel().BaselineConfig()
-	b := s.Kernel().BaselineConfig()
+	a := s.Space().BaselineConfig()
+	b := s.Space().BaselineConfig()
 	b[0] = 5
 	if _, err := s.Observe(a); err != nil {
 		t.Fatal(err)
@@ -85,7 +94,7 @@ func TestDistinctConfigsEachCompile(t *testing.T) {
 
 func TestObservationsAverageToTrueMean(t *testing.T) {
 	s := session(t, "lu", 5) // quiet kernel: tight averaging
-	cfg := s.Kernel().BaselineConfig()
+	cfg := s.Space().BaselineConfig()
 	mu, err := s.TrueMean(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -109,7 +118,7 @@ func TestObservationsAverageToTrueMean(t *testing.T) {
 func TestSessionsReproducible(t *testing.T) {
 	a := session(t, "gemver", 7)
 	b := session(t, "gemver", 7)
-	cfg := a.Kernel().BaselineConfig()
+	cfg := a.Space().BaselineConfig()
 	for i := 0; i < 10; i++ {
 		ya, _ := a.Observe(cfg)
 		yb, _ := b.Observe(cfg)
@@ -127,7 +136,7 @@ func TestSessionsReproducible(t *testing.T) {
 
 func TestObserveN(t *testing.T) {
 	s := session(t, "mm", 9)
-	cfg := s.Kernel().BaselineConfig()
+	cfg := s.Space().BaselineConfig()
 	ys, err := s.ObserveN(cfg, 35)
 	if err != nil {
 		t.Fatal(err)
@@ -143,7 +152,7 @@ func TestObserveN(t *testing.T) {
 
 func TestObserveRejectsBadConfig(t *testing.T) {
 	s := session(t, "mm", 10)
-	if _, err := s.Observe(spapt.Config{1}); err == nil {
+	if _, err := s.Observe(space.Config{1}); err == nil {
 		t.Fatal("short config accepted")
 	}
 	if s.Cost() != 0 {
@@ -154,9 +163,10 @@ func TestObserveRejectsBadConfig(t *testing.T) {
 func TestCostMonotonic(t *testing.T) {
 	s := session(t, "atax", 11)
 	prev := 0.0
-	cfg := s.Kernel().BaselineConfig()
+	cfg := s.Space().BaselineConfig()
+	max0 := s.Space().Params()[0].Max
 	for i := 0; i < 20; i++ {
-		cfg[0] = (i % s.Kernel().Params[0].Max) + 1
+		cfg[0] = (i % max0) + 1
 		if _, err := s.Observe(cfg); err != nil {
 			t.Fatal(err)
 		}
@@ -175,12 +185,12 @@ func TestCostMonotonic(t *testing.T) {
 // allows float reassociation slack only).
 func TestConcurrentObserveStress(t *testing.T) {
 	s := session(t, "gemver", 12)
-	k := s.Kernel()
+	sp := s.Space()
 	r := rng.New(41)
 	const nConfigs, goroutines, perG = 6, 8, 40
-	cfgs := make([]spapt.Config, nConfigs)
+	cfgs := make([]space.Config, nConfigs)
 	for i := range cfgs {
-		cfgs[i] = k.RandomConfig(r)
+		cfgs[i] = sp.RandomConfig(r)
 	}
 
 	var wg sync.WaitGroup
@@ -232,7 +242,7 @@ func TestConcurrentObserveStress(t *testing.T) {
 // without touching cost or counters.
 func TestAtMatchesSerialObserve(t *testing.T) {
 	s := session(t, "atax", 13)
-	cfg := s.Kernel().BaselineConfig()
+	cfg := s.Space().BaselineConfig()
 	want, err := s.ObserveN(cfg, 5)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,10 @@
+package serve
+
+// The serve package is provider-agnostic: it resolves spaces through
+// the registry and leaves registration to the embedding binary (the
+// facade and cmd/alic-serve blank-import the providers). Tests embed
+// nothing, so they register the providers they exercise here.
+import (
+	_ "alic/internal/space/spaptspace"
+	_ "alic/internal/space/synthetic"
+)

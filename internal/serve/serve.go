@@ -34,8 +34,9 @@ import (
 	"alic/internal/dataset"
 	"alic/internal/evaluator"
 	"alic/internal/model"
-	"alic/internal/spapt"
+	"alic/internal/space"
 	"alic/internal/stats"
+	"alic/internal/warmstart"
 )
 
 // Sentinel errors of the serving layer; assert with errors.Is.
@@ -144,10 +145,10 @@ type Server struct {
 	ckptFailures atomic.Int64
 }
 
-// dsKey identifies a shareable dataset: sessions with the same kernel,
+// dsKey identifies a shareable dataset: sessions with the same space,
 // seed, and shape read the same immutable corpus.
 type dsKey struct {
-	kernel   string
+	space    string
 	seed     uint64
 	nConfigs int
 	nObs     int
@@ -228,6 +229,25 @@ func normalize(spec SessionSpec) (SessionSpec, error) {
 	if !validName(spec.Name) {
 		return spec, fmt.Errorf("%w: bad session name %q", ErrBadSpec, spec.Name)
 	}
+	// Space supersedes Kernel; the legacy field keeps working as an
+	// alias and both are kept in sync so old clients reading either
+	// field of an echoed spec see the same name.
+	if spec.Space == "" {
+		spec.Space = spec.Kernel
+	}
+	if spec.Kernel == "" {
+		spec.Kernel = spec.Space
+	}
+	if spec.Space == "" {
+		return spec, fmt.Errorf("%w: missing space (or legacy kernel) name", ErrBadSpec)
+	}
+	if spec.Kernel != spec.Space {
+		return spec, fmt.Errorf("%w: space %q conflicts with legacy kernel field %q",
+			ErrBadSpec, spec.Space, spec.Kernel)
+	}
+	if spec.WarmStartFrom != "" && spec.WarmStart != nil {
+		return spec, fmt.Errorf("%w: warm_start_from and warm_start are mutually exclusive", ErrBadSpec)
+	}
 	if spec.Source == "" {
 		spec.Source = SourceSimulated
 	}
@@ -297,6 +317,17 @@ func (srv *Server) CreateSession(spec SessionSpec) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	if spec.WarmStartFrom != "" {
+		// Resolve the reference into an inline summary at creation time:
+		// the spec (and therefore every checkpoint of this session)
+		// becomes self-contained, so recovery works even after the
+		// source session is deleted.
+		sum, err := srv.resolveWarmStart(spec.WarmStartFrom)
+		if err != nil {
+			return nil, err
+		}
+		spec.WarmStart = sum
+	}
 	s, err := srv.buildSession(spec)
 	if err != nil {
 		return nil, err
@@ -357,11 +388,16 @@ func (srv *Server) register(s *Session, spec SessionSpec) error {
 
 // buildSession constructs the learner stack for a spec.
 func (srv *Server) buildSession(spec SessionSpec) (*Session, error) {
-	k, err := spapt.ByName(spec.Kernel)
+	sp, err := space.ByName(spec.Space)
 	if err != nil {
+		// The registry error lists every registered space, so a typo in
+		// the spec comes back actionable.
 		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
-	ds, err := srv.dataset(k, spec)
+	if space.IsLive(sp) {
+		return nil, fmt.Errorf("%w: space %q measures by executing commands; the serving layer only hosts simulated spaces", ErrBadSpec, spec.Space)
+	}
+	ds, err := srv.dataset(sp, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -376,6 +412,7 @@ func (srv *Server) buildSession(spec SessionSpec) (*Session, error) {
 	opts.Seed = spec.Seed
 	opts.StopCost = spec.CostBudget
 	opts.Workers = 1 // sessions are small; parallelism comes from the fleet
+	opts.Space = spec.Space
 	opts.Tree.Particles = spec.Particles
 	opts.Tree.ScoreParticles = spec.Particles / 4
 	if opts.Tree.ScoreParticles < 1 {
@@ -401,6 +438,14 @@ func (srv *Server) buildSession(spec SessionSpec) (*Session, error) {
 			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
 		}
 		opts.Scorer = a
+	}
+
+	if spec.WarmStart != nil {
+		ws, err := warmstart.Apply(spec.WarmStart, ds)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		opts.WarmStart = ws
 	}
 
 	pool := make(core.SlicePool, len(ds.TrainIdx))
@@ -446,15 +491,15 @@ func (srv *Server) buildSession(spec SessionSpec) (*Session, error) {
 }
 
 // dataset returns the corpus for a spec, shared across sessions with
-// the same kernel, seed, and shape (the dataset is immutable after
+// the same space, seed, and shape (the dataset is immutable after
 // generation, so concurrent sessions read it freely).
-func (srv *Server) dataset(k *spapt.Kernel, spec SessionSpec) (*dataset.Dataset, error) {
+func (srv *Server) dataset(sp space.Space, spec SessionSpec) (*dataset.Dataset, error) {
 	testSize := spec.PoolSize / defaultTestFrac
 	if testSize < 8 {
 		testSize = 8
 	}
 	key := dsKey{
-		kernel:   spec.Kernel,
+		space:    spec.Space,
 		seed:     spec.Seed,
 		nConfigs: spec.PoolSize + testSize,
 		nObs:     spec.NObs,
@@ -469,7 +514,7 @@ func (srv *Server) dataset(k *spapt.Kernel, spec SessionSpec) (*dataset.Dataset,
 	// Generate outside the lock — it is the expensive part — and
 	// tolerate a racing duplicate: last writer wins, both corpora are
 	// identical by seeded determinism.
-	ds, err := dataset.Generate(k, dataset.Options{
+	ds, err := dataset.Generate(sp, dataset.Options{
 		NConfigs:   key.nConfigs,
 		NObs:       key.nObs,
 		TrainCount: key.train,
@@ -486,6 +531,31 @@ func (srv *Server) dataset(k *spapt.Kernel, spec SessionSpec) (*dataset.Dataset,
 	}
 	srv.mu.Unlock()
 	return ds, nil
+}
+
+// resolveWarmStart exports a posterior summary from a finished hosted
+// session named "tenant/name".
+func (srv *Server) resolveWarmStart(ref string) (*warmstart.Summary, error) {
+	tenant, name, ok := splitRef(ref)
+	if !ok {
+		return nil, fmt.Errorf("%w: warm_start_from %q is not tenant/name", ErrBadSpec, ref)
+	}
+	s, err := srv.GetSession(tenant, name)
+	if err != nil {
+		return nil, err
+	}
+	return s.WarmStartSummary()
+}
+
+// splitRef splits a "tenant/name" session reference.
+func splitRef(ref string) (tenant, name string, ok bool) {
+	for i := 0; i < len(ref); i++ {
+		if ref[i] == '/' {
+			tenant, name = ref[:i], ref[i+1:]
+			return tenant, name, validName(tenant) && validName(name)
+		}
+	}
+	return "", "", false
 }
 
 // GetSession looks up one session.

@@ -8,20 +8,25 @@ import (
 
 	"alic/internal/core"
 	"alic/internal/dataset"
-	"alic/internal/spapt"
+	"alic/internal/space"
+	"alic/internal/warmstart"
 )
 
 // SessionSpec configures one hosted learner session. Zero-valued
 // fields adopt serving defaults sized for fleets of small sessions;
-// Kernel is the only required field.
+// Space (or its legacy alias Kernel) is the only required field.
 type SessionSpec struct {
 	// Tenant namespaces the session; on the HTTP path it comes from
 	// the URL, not the body.
 	Tenant string `json:"tenant,omitempty"`
 	// Name identifies the session within its tenant.
 	Name string `json:"name"`
-	// Kernel names the SPAPT search problem to tune.
-	Kernel string `json:"kernel"`
+	// Space names the registered search space to tune ("mm",
+	// "synthetic/needle", ...). Live (exec-backed) spaces are rejected.
+	Space string `json:"space,omitempty"`
+	// Kernel is the legacy name of Space from when only SPAPT kernels
+	// existed; normalize keeps the two in sync.
+	Kernel string `json:"kernel,omitempty"`
 	// Source selects the observation feed: "simulated" (default, the
 	// §4.5 dataset oracle measured in-process) or "remote" (external
 	// agents post observations for suggested configs).
@@ -54,6 +59,16 @@ type SessionSpec struct {
 	Weight int `json:"weight,omitempty"`
 	// QueueCap bounds the remote observation queue (default 256).
 	QueueCap int `json:"queue_cap,omitempty"`
+
+	// WarmStartFrom seeds this session from the posterior of a finished
+	// session on this server, referenced as "tenant/name". It is
+	// resolved into an inline WarmStart summary at creation time, so
+	// checkpoints of this session stay self-contained.
+	WarmStartFrom string `json:"warm_start_from,omitempty"`
+	// WarmStart inlines a cross-space transfer summary (exported by a
+	// previous run, possibly on another server or via the CLI).
+	// Mutually exclusive with WarmStartFrom.
+	WarmStart *warmstart.Summary `json:"warm_start,omitempty"`
 }
 
 // Session status values.
@@ -117,6 +132,7 @@ type Session struct {
 type SessionInfo struct {
 	Tenant       string  `json:"tenant"`
 	Name         string  `json:"name"`
+	Space        string  `json:"space"`
 	Kernel       string  `json:"kernel"`
 	Source       string  `json:"source"`
 	Status       Status  `json:"status"`
@@ -138,7 +154,7 @@ type SessionInfo struct {
 // the posts land on ordinals [First, First+Count).
 type Suggestion struct {
 	Item   int          `json:"item"`
-	Config spapt.Config `json:"config"`
+	Config space.Config `json:"config"`
 	First  int          `json:"first"`
 	Count  int          `json:"count"`
 	Posted int          `json:"posted"`
@@ -161,7 +177,7 @@ type ObservationPost struct {
 // WinnerInfo reports the best configuration at completion.
 type WinnerInfo struct {
 	Item      int          `json:"item"`
-	Config    spapt.Config `json:"config"`
+	Config    space.Config `json:"config"`
 	Predicted float64      `json:"predicted"`
 }
 
@@ -181,6 +197,7 @@ func (s *Session) Info() SessionInfo {
 	info := SessionInfo{
 		Tenant:      s.spec.Tenant,
 		Name:        s.spec.Name,
+		Space:       s.spec.Space,
 		Kernel:      s.spec.Kernel,
 		Source:      s.sourceName(),
 		Status:      s.status,
@@ -476,4 +493,28 @@ func (s *Session) Result() (*SessionResult, error) {
 		Predicted: preds[best],
 	}
 	return out, nil
+}
+
+// WarmStartSummary exports the finished session's posterior as a
+// cross-space transfer summary — the payload a later session's
+// warm_start_from resolves to.
+func (s *Session) WarmStartSummary() (*warmstart.Summary, error) {
+	s.mu.Lock()
+	st := s.status
+	cached := s.result
+	s.mu.Unlock()
+	if st != StatusDone {
+		return nil, fmt.Errorf("%w: session %q is %s", ErrNotDone, s.key, st)
+	}
+	res := cached
+	if res == nil {
+		res = s.learner.Result()
+		s.mu.Lock()
+		if s.result == nil {
+			s.result = res
+		}
+		res = s.result
+		s.mu.Unlock()
+	}
+	return warmstart.Export(res.Model, s.ds, 0)
 }

@@ -1,0 +1,161 @@
+package execspace
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"alic/internal/space"
+)
+
+// TestRegisteredButGated pins the hermetic-safety contract: the space
+// is always registered and describable, but opening a measurer without
+// the toolchain environment fails with ErrNotConfigured — nothing
+// executes.
+func TestRegisteredButGated(t *testing.T) {
+	t.Setenv("ALIC_EXEC_CC", "")
+	t.Setenv("ALIC_EXEC_SRC", "")
+	sp, err := space.ByName("exec/cc")
+	if err != nil {
+		t.Fatalf("exec/cc not registered: %v", err)
+	}
+	if !space.IsLive(sp) {
+		t.Fatal("exec/cc not marked live")
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Measurer(1); !errors.Is(err, ErrNotConfigured) {
+		t.Fatalf("unconfigured measurer: err = %v, want ErrNotConfigured", err)
+	}
+	// Missing source file: configured-looking but still refused before
+	// anything runs.
+	t.Setenv("ALIC_EXEC_CC", "cc")
+	t.Setenv("ALIC_EXEC_SRC", filepath.Join(t.TempDir(), "definitely-missing.c"))
+	if _, err := sp.Measurer(1); err == nil {
+		t.Fatal("missing source accepted")
+	}
+}
+
+// TestFlags pins the configuration -> flag encoding.
+func TestFlags(t *testing.T) {
+	sp := New()
+	flags, err := sp.Flags(space.Config{1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flags) != 1 || flags[0] != "-O0" {
+		t.Fatalf("baseline flags %v, want [-O0]", flags)
+	}
+	flags, err = sp.Flags(space.Config{4, 2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"-O3", "-funroll-loops", "-ftree-vectorize", "-ffast-math", "-fomit-frame-pointer"}
+	if len(flags) != len(want) {
+		t.Fatalf("full flags %v, want %v", flags, want)
+	}
+	for i := range want {
+		if flags[i] != want[i] {
+			t.Fatalf("full flags %v, want %v", flags, want)
+		}
+	}
+	if _, err := sp.Flags(space.Config{5, 1, 1, 1, 1}); err == nil {
+		t.Fatal("out-of-range opt level accepted")
+	}
+}
+
+// TestFakeToolchainEndToEnd drives the full compile-once/observe path
+// against a stub "compiler" — a shell script that writes a trivially
+// runnable binary — so the process plumbing is covered without any
+// real toolchain.
+func TestFakeToolchainEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	cc := filepath.Join(dir, "fake-cc")
+	// The stub scans for -o and emits an executable script there; the
+	// marker file proves each configuration compiles at most once.
+	script := `#!/bin/sh
+out=""
+prev=""
+for a in "$@"; do
+  if [ "$prev" = "-o" ]; then out="$a"; fi
+  prev="$a"
+done
+[ -n "$out" ] || exit 1
+echo run >> "$out.compiled"
+printf '#!/bin/sh\nexit 0\n' > "$out"
+chmod +x "$out"
+`
+	if err := os.WriteFile(cc, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(dir, "prog.c")
+	if err := os.WriteFile(src, []byte("int main(void){return 0;}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("ALIC_EXEC_CC", cc)
+	t.Setenv("ALIC_EXEC_SRC", src)
+	t.Setenv("ALIC_EXEC_TIMEOUT", "20s")
+
+	sp := New()
+	meas, err := sp.Measurer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := meas.(interface{ Close() error }); ok {
+		defer c.Close()
+	}
+
+	cfg := space.Config{3, 2, 1, 1, 2}
+	if _, err := meas.TrueMean(cfg); !errors.Is(err, ErrNoGroundTruth) {
+		t.Fatalf("TrueMean on a live space: err = %v, want ErrNoGroundTruth", err)
+	}
+	ct, err := meas.CompileCost(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct <= 0 {
+		t.Fatalf("compile cost %v, want > 0", ct)
+	}
+	for ord := 0; ord < 3; ord++ {
+		y, err := meas.Observe(cfg, ord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y <= 0 {
+			t.Fatalf("observation %v, want > 0", y)
+		}
+	}
+	if _, err := meas.Observe(cfg, -1); err == nil {
+		t.Fatal("negative ordinal accepted")
+	}
+
+	// The memoisation contract: three observations, one compile.
+	m := meas.(*measurer)
+	bin := filepath.Join(m.dir, binName(m.sp.Key(cfg)))
+	data, err := os.ReadFile(bin + ".compiled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "run\n" {
+		t.Fatalf("compiler ran %d times for one config", len(data)/len("run\n"))
+	}
+
+	// A failing compile surfaces as an error, not a panic, and keeps
+	// failing consistently from the memoised result.
+	t.Setenv("ALIC_EXEC_CC", filepath.Join(dir, "missing-cc"))
+	bad, err := sp.Measurer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := bad.(interface{ Close() error }); ok {
+		defer c.Close()
+	}
+	if _, err := bad.Observe(cfg, 0); err == nil {
+		t.Fatal("missing compiler succeeded")
+	}
+	if _, err := bad.CompileCost(cfg); err == nil {
+		t.Fatal("missing compiler reported a compile cost")
+	}
+}

@@ -1,0 +1,34 @@
+package space
+
+import (
+	"errors"
+
+	"alic/internal/registry"
+)
+
+// ErrUnknownSpace reports a space name with no registration; assert
+// with errors.Is. Lookup failures list every registered name, so a
+// caller surfacing the error (the serving layer's spec validation,
+// the -space flag) tells the user what is available.
+var ErrUnknownSpace = errors.New("unknown space")
+
+var reg = registry.New[Space]("space", ErrUnknownSpace)
+
+// Register makes a space selectable by name through ByName, the
+// facade, the -space flag of cmd/alic, and the serving layer's
+// session specs. Registration must happen at init time (the
+// cmd/alic-lint registry contract); the space's Name() is the
+// registry key and re-registering a name replaces the entry.
+func Register(s Space) {
+	reg.Register(s.Name(), s)
+}
+
+// ByName returns a registered space.
+func ByName(name string) (Space, error) {
+	return reg.Lookup(name)
+}
+
+// Names lists the registered space names in sorted order.
+func Names() []string {
+	return reg.Names()
+}

@@ -6,7 +6,8 @@ import (
 	"testing"
 
 	"alic/internal/measure"
-	"alic/internal/spapt"
+	"alic/internal/space"
+	_ "alic/internal/space/spaptspace"
 	"alic/internal/stats"
 )
 
@@ -18,7 +19,7 @@ import (
 // scheduling order).
 func TestParallelVerificationMatchesSerial(t *testing.T) {
 	run := func(workers int) *Result {
-		k, err := spapt.ByName("gemver")
+		k, err := space.ByName("gemver")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func TestParallelVerificationMatchesSerial(t *testing.T) {
 // verified mean then doubles as the baseline measurement and the
 // speedup of a baseline winner is exactly 1.
 func TestBaselineInTopSetReusesVerifiedMean(t *testing.T) {
-	k, err := spapt.ByName("mvt")
+	k, err := space.ByName("mvt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestBaselineInTopSetReusesVerifiedMean(t *testing.T) {
 // re-charge compile time, and keep sess.Cost() covering verification
 // spend.
 func TestRepeatedSearchContinuesSessionHistory(t *testing.T) {
-	k, err := spapt.ByName("mvt")
+	k, err := space.ByName("mvt")
 	if err != nil {
 		t.Fatal(err)
 	}

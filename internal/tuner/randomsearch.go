@@ -6,7 +6,7 @@ import (
 
 	"alic/internal/measure"
 	"alic/internal/rng"
-	"alic/internal/spapt"
+	"alic/internal/space"
 	"alic/internal/stats"
 )
 
@@ -39,7 +39,7 @@ func RandomSearch(sess *measure.Session, budget float64, obs int, seed uint64) (
 	if budget <= 0 || obs < 1 {
 		return nil, fmt.Errorf("tuner: budget and obs must be positive")
 	}
-	k := sess.Kernel()
+	sp := sess.Space()
 	r := rng.NewStream(seed, 0x7a2d0)
 
 	start := sess.Cost()
@@ -47,10 +47,10 @@ func RandomSearch(sess *measure.Session, budget float64, obs int, seed uint64) (
 	evaluated := 0
 	seen := make(map[uint64]bool)
 	for sess.Cost()-start < budget {
-		var cfg spapt.Config
+		var cfg space.Config
 		for {
-			cfg = k.RandomConfig(r)
-			if key := k.Key(cfg); !seen[key] {
+			cfg = sp.RandomConfig(r)
+			if key := sp.Key(cfg); !seen[key] {
 				seen[key] = true
 				break
 			}
@@ -73,7 +73,7 @@ func RandomSearch(sess *measure.Session, budget float64, obs int, seed uint64) (
 	}
 
 	var wb stats.Welford
-	base := k.BaselineConfig()
+	base := sp.BaselineConfig()
 	for j := 0; j < obs; j++ {
 		y, err := sess.Observe(base)
 		if err != nil {

@@ -22,7 +22,7 @@ import (
 	"alic/internal/measure"
 	"alic/internal/model"
 	"alic/internal/rng"
-	"alic/internal/spapt"
+	"alic/internal/space"
 	"alic/internal/stats"
 )
 
@@ -51,7 +51,7 @@ func DefaultOptions() Options {
 
 // Candidate is one ranked configuration.
 type Candidate struct {
-	Config    spapt.Config
+	Config    space.Config
 	Predicted float64
 	// Measured is the mean of VerifyObs observations, or NaN if the
 	// candidate was not in the verified top set.
@@ -93,23 +93,23 @@ func Search(m model.Predictor, sess *measure.Session, norm Normalizer, opts Opti
 	if opts.Verify > opts.Candidates {
 		opts.Verify = opts.Candidates
 	}
-	k := sess.Kernel()
+	sp := sess.Space()
 	r := rng.NewStream(opts.Seed, 0x7c7e12)
 
 	// Rank candidates by predicted runtime.
 	cands := make([]Candidate, opts.Candidates)
 	seen := make(map[uint64]bool, opts.Candidates)
 	for i := range cands {
-		var cfg spapt.Config
+		var cfg space.Config
 		for {
-			cfg = k.RandomConfig(r)
-			key := k.Key(cfg)
+			cfg = sp.RandomConfig(r)
+			key := sp.Key(cfg)
 			if !seen[key] {
 				seen[key] = true
 				break
 			}
 		}
-		feats := norm.Transform(k.Features(cfg))
+		feats := norm.Transform(sp.Features(cfg))
 		cands[i] = Candidate{
 			Config:    cfg,
 			Predicted: m.PredictMeanFast(feats),
@@ -126,15 +126,15 @@ func Search(m model.Predictor, sess *measure.Session, norm Normalizer, opts Opti
 	// rank it into the top set, in which case its verified mean
 	// doubles as the baseline measurement.
 	top := cands[:opts.Verify]
-	cfgs := make([]spapt.Config, 0, len(top)+1)
+	cfgs := make([]space.Config, 0, len(top)+1)
 	for i := range top {
 		cfgs = append(cfgs, top[i].Config)
 	}
-	base := k.BaselineConfig()
+	base := sp.BaselineConfig()
 	baseItem := -1
-	baseKey := k.Key(base)
+	baseKey := sp.Key(base)
 	for i := range top {
-		if k.Key(top[i].Config) == baseKey {
+		if sp.Key(top[i].Config) == baseKey {
 			baseItem = i
 		}
 	}

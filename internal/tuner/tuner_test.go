@@ -7,14 +7,15 @@ import (
 	"alic/internal/dynatree"
 	"alic/internal/measure"
 	"alic/internal/rng"
-	"alic/internal/spapt"
+	"alic/internal/space"
+	_ "alic/internal/space/spaptspace"
 	"alic/internal/stats"
 )
 
 // trainModel fits a small forest on random observations of the kernel.
 func trainModel(t *testing.T, sess *measure.Session, norm *stats.Normalizer, n int) *dynatree.Forest {
 	t.Helper()
-	k := sess.Kernel()
+	k := sess.Space()
 	cfg := dynatree.DefaultConfig()
 	cfg.Particles = 80
 	cfg.ScoreParticles = 30
@@ -45,7 +46,7 @@ type identityNorm struct{}
 func (identityNorm) Transform(x []float64) []float64 { return x }
 
 func TestSearchValidation(t *testing.T) {
-	k, _ := spapt.ByName("mvt")
+	k, _ := space.ByName("mvt")
 	sess, _ := measure.NewSession(k, 1)
 	model, _ := dynatree.New(dynatree.DefaultConfig(), k.Dim(), rng.New(1))
 	if _, err := Search(nil, sess, identityNorm{}, DefaultOptions()); err == nil {
@@ -65,7 +66,7 @@ func TestSearchValidation(t *testing.T) {
 }
 
 func TestSearchFindsFasterThanBaseline(t *testing.T) {
-	k, _ := spapt.ByName("mvt")
+	k, _ := space.ByName("mvt")
 	sess, err := measure.NewSession(k, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +108,7 @@ func TestSearchFindsFasterThanBaseline(t *testing.T) {
 }
 
 func TestVerifyClampedToCandidates(t *testing.T) {
-	k, _ := spapt.ByName("mvt")
+	k, _ := space.ByName("mvt")
 	sess, _ := measure.NewSession(k, 9)
 	norm := &stats.Normalizer{Means: make([]float64, k.Dim()), Stddevs: onesVec(k.Dim())}
 	model := trainModel(t, sess, norm, 60)
@@ -130,7 +131,7 @@ func onesVec(n int) []float64 {
 }
 
 func TestRandomSearchValidation(t *testing.T) {
-	k, _ := spapt.ByName("mvt")
+	k, _ := space.ByName("mvt")
 	sess, _ := measure.NewSession(k, 21)
 	if _, err := RandomSearch(nil, 10, 1, 1); err == nil {
 		t.Fatal("nil session accepted")
@@ -144,7 +145,7 @@ func TestRandomSearchValidation(t *testing.T) {
 }
 
 func TestRandomSearchRespectsBudget(t *testing.T) {
-	k, _ := spapt.ByName("mvt")
+	k, _ := space.ByName("mvt")
 	sess, _ := measure.NewSession(k, 22)
 	res, err := RandomSearch(sess, 30, 2, 3)
 	if err != nil {
@@ -169,7 +170,7 @@ func TestRandomSearchRespectsBudget(t *testing.T) {
 func TestRandomSearchImprovesWithBudget(t *testing.T) {
 	// More budget cannot make the best-found slower (same seed).
 	run := func(budget float64) float64 {
-		k, _ := spapt.ByName("gemver")
+		k, _ := space.ByName("gemver")
 		sess, _ := measure.NewSession(k, 23)
 		res, err := RandomSearch(sess, budget, 1, 5)
 		if err != nil {

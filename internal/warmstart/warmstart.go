@@ -1,0 +1,179 @@
+// Package warmstart implements cross-space transfer: a compact,
+// JSON-serialisable summary of a finished learner's posterior that can
+// seed a new session on a different space in the same family (per
+// Mpeis et al., reusing past per-app results is where real-world
+// iterative compilation wins).
+//
+// The summary stores raw [0,1]-scaled feature vectors (the encoding
+// every space.Space shares) paired with z-scores of the source model's
+// predicted mean over its own export set. The receiving side maps the
+// raw vectors through its corpus normalizer and rescales the z-scores
+// to its own seed-round statistics, so summaries transfer across
+// spaces with different dimensionality conventions rejected and
+// different runtime scales handled.
+package warmstart
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"alic/internal/core"
+	"alic/internal/dataset"
+	"alic/internal/model"
+	"alic/internal/stats"
+)
+
+// DefaultPoints is the export-set size when the caller does not pick
+// one: enough to sketch the posterior, small enough to embed in a
+// serving spec.
+const DefaultPoints = 64
+
+// Point is one pseudo-observation of the summary.
+type Point struct {
+	// X is the raw [0,1]-scaled feature vector.
+	X []float64 `json:"x"`
+	// Z is the source model's predicted mean at X as a z-score over
+	// the export set.
+	Z float64 `json:"z"`
+}
+
+// Summary is a compact posterior export of a finished learner.
+type Summary struct {
+	// Space names the source space.
+	Space string `json:"space"`
+	// Dim is the feature dimension of every point.
+	Dim int `json:"dim"`
+	// Points are the pseudo-observations.
+	Points []Point `json:"points"`
+}
+
+// Validate checks internal consistency.
+func (s *Summary) Validate() error {
+	if s == nil {
+		return fmt.Errorf("warmstart: nil summary")
+	}
+	if s.Space == "" {
+		return fmt.Errorf("warmstart: summary without a source space name")
+	}
+	if s.Dim < 1 {
+		return fmt.Errorf("warmstart: summary dim %d < 1", s.Dim)
+	}
+	if len(s.Points) == 0 {
+		return fmt.Errorf("warmstart: summary with no points")
+	}
+	for i, p := range s.Points {
+		if len(p.X) != s.Dim {
+			return fmt.Errorf("warmstart: point %d has dim %d, summary says %d", i, len(p.X), s.Dim)
+		}
+	}
+	return nil
+}
+
+// Export summarises a trained model over its dataset: n points (0 =
+// DefaultPoints) taken as an even stride over the training pool, each
+// pairing the configuration's raw features with the model's predicted
+// mean as a z-score. The stride (not a random sample) keeps the export
+// deterministic.
+func Export(m model.Predictor, ds *dataset.Dataset, n int) (*Summary, error) {
+	if model.IsNil(m) {
+		return nil, fmt.Errorf("warmstart: nil model")
+	}
+	if ds == nil {
+		return nil, fmt.Errorf("warmstart: nil dataset")
+	}
+	if n <= 0 {
+		n = DefaultPoints
+	}
+	if n > len(ds.TrainIdx) {
+		n = len(ds.TrainIdx)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("warmstart: dataset has no training pool")
+	}
+
+	idxs := make([]int, 0, n)
+	stride := float64(len(ds.TrainIdx)) / float64(n)
+	for i := 0; i < n; i++ {
+		idxs = append(idxs, ds.TrainIdx[int(float64(i)*stride)])
+	}
+
+	preds := make([]float64, len(idxs))
+	var w stats.Welford
+	for i, idx := range idxs {
+		preds[i] = m.PredictMeanFast(ds.Features[idx])
+		w.Add(preds[i])
+	}
+	mean, std := w.Mean(), w.Stddev()
+	if !(std > 0) {
+		std = 1
+	}
+
+	sum := &Summary{Space: ds.Space.Name(), Dim: ds.Space.Dim()}
+	for i, idx := range idxs {
+		x := append([]float64(nil), ds.Raw[idx]...)
+		sum.Points = append(sum.Points, Point{X: x, Z: (preds[i] - mean) / std})
+	}
+	return sum, nil
+}
+
+// Apply maps a summary onto a receiving dataset's feature space,
+// producing the core.WarmStart the learner folds in after its seed
+// round. The receiving space must share the summary's feature
+// dimension (the "same family" contract).
+func Apply(sum *Summary, ds *dataset.Dataset) (*core.WarmStart, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("warmstart: nil dataset")
+	}
+	return ApplyRaw(sum, ds.Space.Name(), ds.Space.Dim(), ds.Normalizer)
+}
+
+// ApplyRaw is Apply for receivers without a pre-generated corpus (the
+// live tuning path): the caller supplies the target space's name,
+// feature dimension, and fitted normalizer directly.
+func ApplyRaw(sum *Summary, spaceName string, dim int, nz *stats.Normalizer) (*core.WarmStart, error) {
+	if err := sum.Validate(); err != nil {
+		return nil, err
+	}
+	if nz == nil {
+		return nil, fmt.Errorf("warmstart: nil normalizer")
+	}
+	if dim != sum.Dim {
+		return nil, fmt.Errorf("warmstart: summary from %q has dim %d, target space %q has dim %d",
+			sum.Space, sum.Dim, spaceName, dim)
+	}
+	ws := &core.WarmStart{From: sum.Space}
+	for _, p := range sum.Points {
+		ws.Xs = append(ws.Xs, nz.Transform(p.X))
+		ws.Zs = append(ws.Zs, p.Z)
+	}
+	return ws, nil
+}
+
+// Save writes a summary to path as JSON.
+func Save(sum *Summary, path string) error {
+	if err := sum.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a summary saved by Save.
+func Load(path string) (*Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sum Summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		return nil, fmt.Errorf("warmstart: %s: %w", path, err)
+	}
+	if err := sum.Validate(); err != nil {
+		return nil, fmt.Errorf("warmstart: %s: %w", path, err)
+	}
+	return &sum, nil
+}

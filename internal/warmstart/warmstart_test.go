@@ -1,0 +1,169 @@
+package warmstart
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"alic/internal/dataset"
+	"alic/internal/space"
+	_ "alic/internal/space/spaptspace"
+	"alic/internal/space/synthetic"
+)
+
+func genDataset(t *testing.T, sp space.Space, seed uint64) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate(sp, dataset.Options{
+		NConfigs: 300, NObs: 3, TrainCount: 240, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// constModel predicts a linear function of the first feature, so
+// exported z-scores have real spread.
+type constModel struct{}
+
+func (constModel) PredictMeanFast(x []float64) float64 { return 2 + 0.5*x[0] }
+func (constModel) PredictMeanFastBatch(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = constModel{}.PredictMeanFast(x)
+	}
+	return out
+}
+
+func TestExportValidateApplyRoundTrip(t *testing.T) {
+	src := genDataset(t, synthetic.Needle(), 3)
+	sum, err := Export(constModel{}, src, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Space != "synthetic/needle" || sum.Dim != 4 || len(sum.Points) != 32 {
+		t.Fatalf("summary header %+v with %d points", sum, len(sum.Points))
+	}
+	if err := sum.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Z-scores are standardised over the export set.
+	var mean, sq float64
+	for _, p := range sum.Points {
+		mean += p.Z
+	}
+	mean /= float64(len(sum.Points))
+	for _, p := range sum.Points {
+		sq += (p.Z - mean) * (p.Z - mean)
+	}
+	if math.Abs(mean) > 1e-9 {
+		t.Fatalf("z-scores not centred: mean %v", mean)
+	}
+	if sq == 0 {
+		t.Fatal("z-scores degenerate (no spread)")
+	}
+
+	// Apply onto the related space: point count preserved, vectors
+	// mapped through the receiver's normalizer.
+	dst := genDataset(t, synthetic.NeedleShifted(), 4)
+	ws, err := Apply(sum, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.From != "synthetic/needle" || len(ws.Xs) != 32 || len(ws.Zs) != 32 {
+		t.Fatalf("warm start %+v", ws)
+	}
+	for i, x := range ws.Xs {
+		want := dst.Normalizer.Transform(sum.Points[i].X)
+		for j := range x {
+			if x[j] != want[j] {
+				t.Fatalf("point %d not normalised through the receiver", i)
+			}
+		}
+	}
+}
+
+func TestExportDeterministic(t *testing.T) {
+	ds := genDataset(t, synthetic.Needle(), 3)
+	a, err := Export(constModel{}, ds, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Export(constModel{}, ds, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i].Z != b.Points[i].Z {
+			t.Fatalf("export not deterministic at point %d", i)
+		}
+	}
+}
+
+func TestApplyDimMismatch(t *testing.T) {
+	src := genDataset(t, synthetic.Needle(), 3)
+	sum, err := Export(constModel{}, src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SPAPT mvt has 5 dimensions; the 4-dim synthetic summary must be
+	// refused with both spaces named.
+	mvt, err := space.ByName("mvt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := genDataset(t, mvt, 5)
+	_, err = Apply(sum, dst)
+	if err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if !strings.Contains(err.Error(), "synthetic/needle") || !strings.Contains(err.Error(), "mvt") {
+		t.Fatalf("mismatch error %q does not name both spaces", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	good := &Summary{Space: "s", Dim: 2, Points: []Point{{X: []float64{0, 1}, Z: 0}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, bad := range map[string]*Summary{
+		"nil":       nil,
+		"no space":  {Dim: 2, Points: []Point{{X: []float64{0, 1}}}},
+		"bad dim":   {Space: "s", Dim: 0, Points: []Point{{X: nil}}},
+		"no points": {Space: "s", Dim: 2},
+		"short x":   {Space: "s", Dim: 2, Points: []Point{{X: []float64{0}}}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("%s summary accepted", name)
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	ds := genDataset(t, synthetic.Needle(), 3)
+	sum, err := Export(constModel{}, ds, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sum.warm")
+	if err := Save(sum, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Space != sum.Space || got.Dim != sum.Dim || len(got.Points) != len(sum.Points) {
+		t.Fatalf("round trip lost the header: %+v", got)
+	}
+	for i := range got.Points {
+		if got.Points[i].Z != sum.Points[i].Z {
+			t.Fatalf("round trip changed point %d", i)
+		}
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.warm")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}

@@ -1,0 +1,218 @@
+package alic
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// syntheticLearnOptions is the robustness suite's budget: small enough
+// to stay in tier-1 time, large enough for the acquisition differences
+// to show.
+func syntheticLearnOptions() LearnOptions {
+	o := DefaultLearnOptions()
+	o.PoolSize = 500
+	o.TestSize = 150
+	o.Learner.NInit = 5
+	o.Learner.NObs = 6
+	o.Learner.NCand = 80
+	o.Learner.NMax = 80
+	o.Learner.EvalEvery = 20
+	o.Learner.Tree.Particles = 80
+	o.Learner.Tree.ScoreParticles = 20
+	return o
+}
+
+// learnWithScorer runs LearnSpace with the named acquisition.
+func learnWithScorer(t *testing.T, spaceName, scorer string) *LearnResult {
+	t.Helper()
+	opts := syntheticLearnOptions()
+	acq, err := AcquisitionByName(scorer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Learner.Scorer = acq
+	res, err := LearnSpace(spaceName, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSpaceRegistryFacade pins the facade surface of the registry.
+func TestSpaceRegistryFacade(t *testing.T) {
+	names := SpaceNames()
+	for _, want := range []string{"mm", "synthetic/needle", "exec/cc"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("SpaceNames() missing %q: %v", want, names)
+		}
+	}
+	if _, err := SpaceByName("no/such/space"); !errors.Is(err, ErrUnknownSpace) {
+		t.Fatalf("unknown space: err = %v, want ErrUnknownSpace", err)
+	}
+	ex, err := SpaceByName("exec/cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsLiveSpace(ex) {
+		t.Fatal("exec/cc not live through the facade")
+	}
+	if _, err := GenerateSpaceDataset(ex, DatasetOptions{NConfigs: 10, NObs: 1, TrainFrac: 0.5, Seed: 1}); !errors.Is(err, ErrLiveSpace) {
+		t.Fatalf("live dataset generation: err = %v, want ErrLiveSpace", err)
+	}
+}
+
+// TestSyntheticLearnerVsRandom is the robustness satellite: on the
+// structured synthetic spaces (needle, plateau) active learning must
+// model the landscape at least as well as random sampling under the
+// same budget, and on the flat space — where there is nothing to
+// learn — it must not do worse (the acquisition-pathology regression
+// guard). The generous slack keeps this a pathology guard, not a
+// performance benchmark.
+func TestSyntheticLearnerVsRandom(t *testing.T) {
+	for _, spaceName := range []string{
+		"synthetic/needle", "synthetic/plateau", "synthetic/flat",
+	} {
+		t.Run(strings.TrimPrefix(spaceName, "synthetic/"), func(t *testing.T) {
+			al := learnWithScorer(t, spaceName, "alc")
+			rnd := learnWithScorer(t, spaceName, "random")
+			if math.IsNaN(al.FinalError) || math.IsNaN(rnd.FinalError) {
+				t.Fatalf("NaN error: alc %v random %v", al.FinalError, rnd.FinalError)
+			}
+			if al.FinalError > 1.5*rnd.FinalError {
+				t.Fatalf("active learning pathologically worse than random on %s: %v vs %v",
+					spaceName, al.FinalError, rnd.FinalError)
+			}
+		})
+	}
+}
+
+// TestSyntheticNeedleModelSeesTheWell pins that a trained model ranks
+// the needle region below the plain — the property the warm-start
+// transfer benchmark builds on.
+func TestSyntheticNeedleModelSeesTheWell(t *testing.T) {
+	res := learnWithScorer(t, "synthetic/needle", "alc")
+	ds := res.Dataset
+
+	// The deepest true configuration in the corpus vs the corpus
+	// median prediction: the model must predict the well lower.
+	best := 0
+	for i, mu := range ds.TrueMean {
+		if mu < ds.TrueMean[best] {
+			best = i
+		}
+	}
+	if ds.TrueMean[best] > 0.9 {
+		t.Skipf("corpus sample missed the needle (best true mean %v)", ds.TrueMean[best])
+	}
+	preds := res.Model.PredictMeanFastBatch(ds.Features)
+	var mean float64
+	for _, p := range preds {
+		mean += p
+	}
+	mean /= float64(len(preds))
+	if preds[best] >= mean {
+		t.Fatalf("model predicts the needle (%v) at or above the corpus mean (%v)",
+			preds[best], mean)
+	}
+}
+
+// TestWarmStartTransferFacade pins the cross-space warm-start flow end
+// to end through the facade: export from a finished needle run, seed a
+// needle-shifted run with it, and verify the warm run completes with a
+// sane model. (The transfer *benefit* is measured by the transfer
+// bench, not asserted here.)
+func TestWarmStartTransferFacade(t *testing.T) {
+	src := learnWithScorer(t, "synthetic/needle", "alc")
+	sum, err := ExportWarmStart(src.Model, src.Dataset, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Space != "synthetic/needle" {
+		t.Fatalf("summary space %q", sum.Space)
+	}
+
+	opts := syntheticLearnOptions()
+	opts.WarmStart = sum
+	warm, err := LearnSpace("synthetic/needle-shifted", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(warm.FinalError) || warm.FinalError <= 0 {
+		t.Fatalf("warm run error %v", warm.FinalError)
+	}
+
+	// Same budget, no warm start: both runs must complete; the warm
+	// one must not be pathologically worse than cold (transfer can
+	// help or be neutral, never poison).
+	cold, err := LearnSpace("synthetic/needle-shifted", syntheticLearnOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.FinalError > 1.5*cold.FinalError {
+		t.Fatalf("warm start poisoned the run: warm %v vs cold %v",
+			warm.FinalError, cold.FinalError)
+	}
+
+	// Dimension mismatch is refused, naming both spaces.
+	bad := syntheticLearnOptions()
+	bad.WarmStart = sum
+	if _, err := Learn(mustKernel(t, "mvt"), bad); err == nil {
+		t.Fatal("4-dim summary accepted by a 5-dim kernel")
+	}
+}
+
+// TestLearnLiveSimulated drives the live tuning path against a
+// simulated space (the path itself is space-agnostic): the learner
+// measures on demand instead of replaying a corpus, and the winner is
+// a valid configuration in the sampled pool.
+func TestLearnLiveSimulated(t *testing.T) {
+	sp, err := SpaceByName("synthetic/needle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := syntheticLearnOptions()
+	opts.TestSize = 0 // unused on the live path
+	opts.Learner.NMax = 40
+	res, err := LearnLive(sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Acquired == 0 || res.Cost <= 0 {
+		t.Fatalf("live run did nothing: %+v", res.LearnerResult)
+	}
+	if len(res.Configs) != opts.PoolSize {
+		t.Fatalf("pool size %d, want %d", len(res.Configs), opts.PoolSize)
+	}
+	if res.Winner == nil {
+		t.Fatal("no winner")
+	}
+	if err := sp.Check(res.Winner); err != nil {
+		t.Fatalf("winner invalid: %v", err)
+	}
+
+	// Determinism: the live path over a simulated space is replayable.
+	again, err := LearnLive(sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cost != res.Cost || again.WinnerPredicted != res.WinnerPredicted {
+		t.Fatalf("live run not deterministic: cost %v vs %v", again.Cost, res.Cost)
+	}
+}
+
+func mustKernel(t *testing.T, name string) *Kernel {
+	t.Helper()
+	k, err := KernelByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
